@@ -1,0 +1,229 @@
+package repro_test
+
+// One benchmark per experiment artifact (see DESIGN.md §3 and
+// EXPERIMENTS.md). Each benchmark times the experiment's unit of work — a
+// single protocol execution under that experiment's workload — and reports
+// the metric the corresponding table tracks via b.ReportMetric, so
+// `go test -bench=.` regenerates the per-run numbers behind every table.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/rational"
+	"repro/internal/topo"
+)
+
+// benchRun executes one cooperative protocol run and reports rounds.
+func benchRun(b *testing.B, n int, gamma float64, alpha float64) core.RunResult {
+	b.Helper()
+	p := core.MustParams(n, 2, gamma)
+	colors := core.UniformColors(n, 2)
+	var faulty []bool
+	if alpha > 0 {
+		faulty = core.WorstCaseFaults(n, alpha)
+	}
+	var last core.RunResult
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		res, err := core.Run(core.RunConfig{
+			Params: p, Colors: colors, Faulty: faulty,
+			Seed: uint64(i) + 1, Workers: 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		last = res
+	}
+	return last
+}
+
+// BenchmarkT1Rounds measures the T1 workload unit: one fault-free execution
+// at n = 1024; the reported "rounds" metric is the T1 observable.
+func BenchmarkT1Rounds(b *testing.B) {
+	res := benchRun(b, 1024, 2, 0)
+	b.ReportMetric(float64(res.Rounds), "rounds")
+}
+
+// BenchmarkT2MessageSize reports the largest message of a run (the T2
+// observable, claimed O(log² n) bits).
+func BenchmarkT2MessageSize(b *testing.B) {
+	res := benchRun(b, 1024, 2, 0)
+	b.ReportMetric(float64(res.Metrics.MaxMessageBits), "maxMsgBits")
+}
+
+// BenchmarkT3Communication reports messages and total bits per execution
+// (the T3 observables, claimed o(n²) and O(n log³ n)).
+func BenchmarkT3Communication(b *testing.B) {
+	res := benchRun(b, 1024, 2, 0)
+	b.ReportMetric(float64(res.Metrics.Messages), "msgs")
+	b.ReportMetric(float64(res.Metrics.Bits), "bits")
+}
+
+// BenchmarkT3LocalBaseline is the Ω(n²) LOCAL-model comparison point.
+func BenchmarkT3LocalBaseline(b *testing.B) {
+	colors := core.UniformColors(1024, 2)
+	b.ReportAllocs()
+	var msgs int
+	for i := 0; i < b.N; i++ {
+		res, err := baseline.RunLocalSum(baseline.LocalSumConfig{
+			N: 1024, Colors: colors, Seed: uint64(i) + 1, CommitReveal: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		msgs = res.Messages
+	}
+	b.ReportMetric(float64(msgs), "msgs")
+}
+
+// BenchmarkT4Fairness times the T4 Monte-Carlo unit: one n = 512 execution
+// with a 2-color split (the fairness experiment runs thousands of these).
+func BenchmarkT4Fairness(b *testing.B) {
+	p := core.MustParams(512, 2, core.DefaultGamma)
+	colors := core.SplitColors(512, 0.5)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(core.RunConfig{
+			Params: p, Colors: colors, Seed: uint64(i) + 1, Workers: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkT5Faults times the T5 unit: one execution with α = 0.4 worst-case
+// permanent faults.
+func BenchmarkT5Faults(b *testing.B) {
+	res := benchRun(b, 512, core.DefaultGamma, 0.4)
+	if res.Outcome.Failed {
+		b.Log("run failed (rare but possible under faults)")
+	}
+}
+
+// BenchmarkT6Equilibrium times the T6 unit: one game against a 4-member
+// min-k-liar coalition.
+func BenchmarkT6Equilibrium(b *testing.B) {
+	p := core.MustParams(512, 2, core.DefaultGamma)
+	colors := core.UniformColors(512, 2)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := rational.RunGame(rational.GameConfig{
+			Params: p, Colors: colors,
+			Coalition: []int{1, 128, 256, 384},
+			Deviation: rational.MinKLiar{},
+			Seed:      uint64(i) + 1, Workers: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkT7Ablation times the T7 unit: one naive min-gossip run with a
+// liar (the protocol Protocol P's machinery is compared against).
+func BenchmarkT7Ablation(b *testing.B) {
+	p := core.MustParams(512, 2, core.DefaultGamma)
+	colors := core.UniformColors(512, 2)
+	b.ReportAllocs()
+	var liarWins int
+	for i := 0; i < b.N; i++ {
+		res, err := baseline.RunNaive(baseline.NaiveConfig{
+			Params: p, Colors: colors, Seed: uint64(i) + 1, HasLiar: true, Liar: 5,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.LiarWon {
+			liarWins++
+		}
+	}
+	b.ReportMetric(float64(liarWins)/float64(b.N), "liarWinRate")
+}
+
+// BenchmarkT8Baselines times the Hassin–Peleg polling baseline (the slow,
+// Θ(n)-round comparator of T8).
+func BenchmarkT8Baselines(b *testing.B) {
+	colors := core.SplitColors(512, 0.5)
+	b.ReportAllocs()
+	var rounds int
+	for i := 0; i < b.N; i++ {
+		res, err := baseline.RunPolling(baseline.PollingConfig{
+			N: 512, NumColors: 2, Colors: colors, Seed: uint64(i) + 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		rounds = res.Rounds
+	}
+	b.ReportMetric(float64(rounds), "rounds")
+}
+
+// BenchmarkE9Topologies times one execution on a random 8-regular graph
+// (open problem 1's favourable case).
+func BenchmarkE9Topologies(b *testing.B) {
+	const n = 512
+	p := core.MustParams(n, 2, core.DefaultGamma)
+	colors := core.UniformColors(n, 2)
+	net := topo.NewRandomRegular(n, 8, 7)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := core.Run(core.RunConfig{
+			Params: p, Colors: colors, Seed: uint64(i) + 1, Workers: 1, Topology: net,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE10Async times one sequential-GOSSIP execution (open problem 2)
+// and reports ticks per run.
+func BenchmarkE10Async(b *testing.B) {
+	const n = 128
+	p := core.MustParams(n, 2, core.DefaultAsyncGamma)
+	colors := core.UniformColors(n, 2)
+	b.ReportAllocs()
+	var ticks int
+	for i := 0; i < b.N; i++ {
+		_, tk, err := core.RunAsync(core.AsyncRunConfig{
+			Params: p, Colors: colors, Seed: uint64(i) + 1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		ticks = tk
+	}
+	b.ReportMetric(float64(ticks), "ticks")
+}
+
+// BenchmarkE11Scaling times one game against a half-the-network cert-forger
+// coalition (the E11 boundary probe).
+func BenchmarkE11Scaling(b *testing.B) {
+	const n = 256
+	p := core.MustParams(n, 2, core.DefaultGamma)
+	colors := core.UniformColors(n, 2)
+	coalition := make([]int, n/2)
+	for i := range coalition {
+		coalition[i] = i + 1
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := rational.RunGame(rational.GameConfig{
+			Params: p, Colors: colors,
+			Coalition: coalition, Deviation: rational.CertForger{},
+			Seed: uint64(i) + 1, Workers: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkProtocolScaling provides the per-n cost curve behind T1–T3.
+func BenchmarkProtocolScaling(b *testing.B) {
+	for _, n := range []int{128, 256, 512, 1024, 2048} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			benchRun(b, n, 2, 0)
+		})
+	}
+}

@@ -1,0 +1,107 @@
+// Command experiments regenerates every table and figure in EXPERIMENTS.md:
+// the empirical validation of Theorem 4 (rounds, message size, fairness),
+// Lemma 3 (fault tolerance), Theorem 7 (equilibrium), the ablation and
+// baseline comparisons, and the two open-problem explorations.
+//
+// Usage:
+//
+//	experiments                 # full run (a few minutes)
+//	experiments -quick          # scaled-down run (seconds)
+//	experiments -only T4,T6     # a subset by table ID
+//	experiments -csv            # also print figure series as CSV
+package main
+
+import (
+	"flag"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/sim"
+)
+
+func main() {
+	var (
+		quick   = flag.Bool("quick", false, "run scaled-down experiment configurations")
+		workers = flag.Int("workers", 0, "trial-level parallelism (0 = all CPUs)")
+		only    = flag.String("only", "", "comma-separated table IDs to run (default: all)")
+		csv     = flag.Bool("csv", false, "print figure series as CSV blocks")
+	)
+	flag.Parse()
+
+	wanted := map[string]bool{}
+	for _, id := range strings.Split(*only, ",") {
+		id = strings.TrimSpace(strings.ToUpper(id))
+		if id != "" {
+			wanted[id] = true
+		}
+	}
+
+	start := time.Now()
+	var tables []*sim.Table
+	if len(wanted) == 0 {
+		if *quick {
+			tables = sim.RunAllQuick(*workers)
+		} else {
+			tables = sim.RunAll(*workers)
+		}
+	} else {
+		tables = runSelected(wanted, *quick, *workers)
+	}
+
+	for _, t := range tables {
+		if t.Series {
+			if *csv {
+				fmt.Printf("%s — %s\n%s\n", t.ID, t.Title, t.CSV())
+			}
+			continue
+		}
+		fmt.Println(t.String())
+	}
+	fmt.Printf("regenerated %d artifacts in %s\n", len(tables), time.Since(start).Round(time.Millisecond))
+}
+
+// runSelected executes only the experiments producing the requested IDs.
+func runSelected(wanted map[string]bool, quick bool, workers int) []*sim.Table {
+	var out []*sim.Table
+	add := func(ids []string, run func() []*sim.Table) {
+		for _, id := range ids {
+			if wanted[id] {
+				out = append(out, run()...)
+				return
+			}
+		}
+	}
+	perf := sim.DefaultPerfOptions()
+	fair := sim.DefaultFairnessOptions()
+	faults := sim.DefaultFaultOptions()
+	eq := sim.DefaultEquilibriumOptions()
+	abl := sim.DefaultAblationOptions()
+	bl := sim.DefaultBaselineOptions()
+	tp := sim.DefaultTopologyOptions()
+	as := sim.DefaultAsyncOptions()
+	sc := sim.DefaultScalingOptions()
+	if quick {
+		perf, fair, faults = sim.QuickPerfOptions(), sim.QuickFairnessOptions(), sim.QuickFaultOptions()
+		eq, abl, bl = sim.QuickEquilibriumOptions(), sim.QuickAblationOptions(), sim.QuickBaselineOptions()
+		tp, as = sim.QuickTopologyOptions(), sim.QuickAsyncOptions()
+		sc = sim.QuickScalingOptions()
+	}
+	perf.Workers, fair.Workers, faults.Workers, eq.Workers = workers, workers, workers, workers
+	abl.Workers, bl.Workers, tp.Workers, as.Workers = workers, workers, workers, workers
+	sc.Workers = workers
+
+	add([]string{"T0"}, func() []*sim.Table { return sim.RunT0Predictions(perf) })
+	add([]string{"T1", "F1"}, func() []*sim.Table { return sim.RunT1Rounds(perf) })
+	add([]string{"T2"}, func() []*sim.Table { return sim.RunT2MessageSize(perf) })
+	add([]string{"T3"}, func() []*sim.Table { return sim.RunT3Communication(perf) })
+	add([]string{"T4", "F2"}, func() []*sim.Table { return sim.RunT4Fairness(fair) })
+	add([]string{"T5"}, func() []*sim.Table { return sim.RunT5Faults(faults) })
+	add([]string{"T6", "F3"}, func() []*sim.Table { return sim.RunT6Equilibrium(eq) })
+	add([]string{"T7"}, func() []*sim.Table { return sim.RunT7Ablation(abl) })
+	add([]string{"T8"}, func() []*sim.Table { return sim.RunT8Baselines(bl) })
+	add([]string{"E9"}, func() []*sim.Table { return sim.RunE9Topologies(tp) })
+	add([]string{"E10"}, func() []*sim.Table { return sim.RunE10Async(as) })
+	add([]string{"E11"}, func() []*sim.Table { return sim.RunE11CoalitionScaling(sc) })
+	return out
+}

@@ -1,0 +1,147 @@
+// Command fairconsensus runs one execution of the rational fair consensus
+// protocol (Protocol P) and reports the outcome and communication costs.
+//
+// Examples:
+//
+//	fairconsensus -n 1024 -colors 2
+//	fairconsensus -n 512 -colors 8 -alpha 0.3 -gamma 4 -seed 7
+//	fairconsensus -n 256 -leader            # fair leader election (colors = IDs)
+//	fairconsensus -n 256 -async             # sequential GOSSIP adaptation
+//	fairconsensus -n 256 -topology regular8 # open-problem-1 exploration
+//	fairconsensus -n 128 -deviation min-k-liar -coalition 3 # rational attack
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/rational"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+func main() {
+	var (
+		n         = flag.Int("n", 256, "number of agents")
+		colors    = flag.Int("colors", 2, "number of colors |Σ|")
+		leader    = flag.Bool("leader", false, "fair leader election (every agent supports its own ID)")
+		gamma     = flag.Float64("gamma", core.DefaultGamma, "phase-length constant γ")
+		alpha     = flag.Float64("alpha", 0, "fraction of worst-case permanent faults")
+		seed      = flag.Uint64("seed", 1, "master random seed")
+		async     = flag.Bool("async", false, "run the sequential (one agent per tick) adaptation")
+		topoName  = flag.String("topology", "complete", "complete | ring | regular8 | er")
+		deviation = flag.String("deviation", "", "deviation name (see -list-deviations) for a rational coalition")
+		coalition = flag.Int("coalition", 0, "coalition size when -deviation is set")
+		list      = flag.Bool("list-deviations", false, "print the deviation library and exit")
+		traceRun  = flag.Bool("trace", false, "print every engine event (use with small -n)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, d := range rational.AllDeviations() {
+			fmt.Println(d.Name())
+		}
+		return
+	}
+
+	numColors := *colors
+	var colorVec []core.Color
+	if *leader {
+		numColors = *n
+		colorVec = core.LeaderElectionColors(*n)
+	} else {
+		colorVec = core.UniformColors(*n, numColors)
+	}
+	g := *gamma
+	if *async && g == core.DefaultGamma {
+		g = core.DefaultAsyncGamma
+	}
+	p, err := core.NewParams(*n, numColors, g)
+	if err != nil {
+		fatal(err)
+	}
+	var faulty []bool
+	if *alpha > 0 {
+		faulty = core.WorstCaseFaults(*n, *alpha)
+	}
+
+	var net topo.Topology
+	switch strings.ToLower(*topoName) {
+	case "complete":
+		net = topo.NewComplete(*n)
+	case "ring":
+		net = topo.NewRing(*n)
+	case "regular8":
+		net = topo.NewRandomRegular(*n, 8, *seed)
+	case "er":
+		net = topo.NewErdosRenyi(*n, 16.0/float64(*n), *seed)
+	default:
+		fatal(fmt.Errorf("unknown topology %q", *topoName))
+	}
+
+	fmt.Printf("protocol P: n=%d |Σ|=%d γ=%.1f q=%d m=%d rounds=%d topology=%s\n",
+		p.N, p.NumColors, p.Gamma, p.Q, p.M, p.TotalRounds(), net.Name())
+
+	switch {
+	case *async:
+		out, ticks, err := core.RunAsync(core.AsyncRunConfig{
+			Params: p, Colors: colorVec, Faulty: faulty, Seed: *seed,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("outcome: %s after %d ticks (%.2f activations/agent)\n",
+			out, ticks, float64(ticks)/float64(*n))
+
+	case *deviation != "":
+		dev, err := rational.DeviationByName(*deviation)
+		if err != nil {
+			fatal(err)
+		}
+		t := *coalition
+		if t < 1 {
+			t = 1
+		}
+		members := make([]int, t)
+		for i := range members {
+			members[i] = (i * *n) / t
+			if faulty != nil && faulty[members[i]] {
+				members[i] = *n - 1 - i // keep coalition members active
+			}
+		}
+		res, err := rational.RunGame(rational.GameConfig{
+			Params: p, Colors: colorVec, Faulty: faulty,
+			Coalition: members, Deviation: dev, Seed: *seed, Topology: net,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("coalition: %v deviation: %s\n", members, dev.Name())
+		fmt.Printf("outcome: %s (coalition color won: %v)\n", res.Outcome, res.CoalitionColorWon)
+		fmt.Printf("communication: %s\n", res.Metrics)
+
+	default:
+		var sink trace.Sink
+		if *traceRun {
+			sink = &trace.Writer{W: os.Stdout}
+		}
+		res, err := core.Run(core.RunConfig{
+			Params: p, Colors: colorVec, Faulty: faulty, Seed: *seed, Topology: net, Trace: sink,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("outcome: %s in %d rounds\n", res.Outcome, res.Rounds)
+		fmt.Printf("communication: %s\n", res.Metrics)
+		fmt.Printf("good execution (Definition 2): %v (votes per agent in [%d, %d], distinct k: %v, certs agree: %v)\n",
+			res.Good.Good(), res.Good.MinVotes, res.Good.MaxVotes, res.Good.DistinctK, res.Good.CertsAgree)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "fairconsensus:", err)
+	os.Exit(1)
+}

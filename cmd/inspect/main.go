@@ -1,0 +1,47 @@
+// Command inspect runs one small protocol execution and prints a complete
+// transcript of its internal state: declarations, votes, lottery values, the
+// winning certificate, and every verifier's verdict.
+//
+//	go run ./cmd/inspect -n 8 -seed 3
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/inspect"
+)
+
+func main() {
+	var (
+		n      = flag.Int("n", 8, "number of agents (keep small; the transcript is per-agent)")
+		colors = flag.Int("colors", 2, "number of colors")
+		gamma  = flag.Float64("gamma", core.DefaultGamma, "phase-length constant")
+		alpha  = flag.Float64("alpha", 0, "fault fraction")
+		seed   = flag.Uint64("seed", 1, "random seed")
+	)
+	flag.Parse()
+
+	p, err := core.NewParams(*n, *colors, *gamma)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "inspect:", err)
+		os.Exit(1)
+	}
+	var faulty []bool
+	if *alpha > 0 {
+		faulty = core.WorstCaseFaults(*n, *alpha)
+	}
+	res, err := core.Run(core.RunConfig{
+		Params: p,
+		Colors: core.UniformColors(*n, *colors),
+		Faulty: faulty,
+		Seed:   *seed,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "inspect:", err)
+		os.Exit(1)
+	}
+	inspect.Report(os.Stdout, res)
+}

@@ -1,0 +1,130 @@
+// Command sweep runs a parameter sweep of Protocol P and emits one CSV row
+// per configuration × aggregate, convenient for plotting scaling behaviour.
+//
+// Example:
+//
+//	sweep -sizes 128,256,512,1024 -alphas 0,0.3 -trials 50 > sweep.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/sim"
+	"repro/internal/stats"
+)
+
+func main() {
+	var (
+		sizes   = flag.String("sizes", "128,256,512,1024", "comma-separated network sizes")
+		alphas  = flag.String("alphas", "0", "comma-separated fault fractions")
+		gamma   = flag.Float64("gamma", core.DefaultGamma, "phase-length constant γ")
+		colors  = flag.Int("colors", 2, "number of colors")
+		trials  = flag.Int("trials", 50, "trials per configuration")
+		seed    = flag.Uint64("seed", 1, "master seed")
+		workers = flag.Int("workers", 0, "parallelism (0 = all CPUs)")
+	)
+	flag.Parse()
+
+	ns, err := parseInts(*sizes)
+	if err != nil {
+		fatal(err)
+	}
+	as, err := parseFloats(*alphas)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Println("n,alpha,gamma,trials,success_rate,rounds_median,messages_mean,bits_mean,max_msg_bits_median,good_exec_rate")
+	for _, n := range ns {
+		for _, alpha := range as {
+			p, err := core.NewParams(n, *colors, *gamma)
+			if err != nil {
+				fatal(err)
+			}
+			colorVec := core.UniformColors(n, *colors)
+			var faulty []bool
+			if alpha > 0 {
+				faulty = core.WorstCaseFaults(n, alpha)
+			}
+			type out struct {
+				ok, good      bool
+				rounds, maxMB float64
+				msgs, bits    float64
+			}
+			outs := sim.ParallelTrials(*trials, *workers, *seed+uint64(n)+uint64(alpha*1e6),
+				func(i int, s uint64) out {
+					res, err := core.Run(core.RunConfig{
+						Params: p, Colors: colorVec, Faulty: faulty, Seed: s, Workers: 1,
+					})
+					if err != nil {
+						panic(err)
+					}
+					return out{
+						ok:     !res.Outcome.Failed,
+						good:   res.Good.Good(),
+						rounds: float64(res.Rounds),
+						maxMB:  float64(res.Metrics.MaxMessageBits),
+						msgs:   float64(res.Metrics.Messages),
+						bits:   float64(res.Metrics.Bits),
+					}
+				})
+			okC, goodC := 0, 0
+			var rounds, maxMB []float64
+			var msgs, bits float64
+			for _, o := range outs {
+				if o.ok {
+					okC++
+				}
+				if o.good {
+					goodC++
+				}
+				rounds = append(rounds, o.rounds)
+				maxMB = append(maxMB, o.maxMB)
+				msgs += o.msgs
+				bits += o.bits
+			}
+			t := float64(*trials)
+			fmt.Printf("%d,%g,%g,%d,%.4f,%.0f,%.0f,%.0f,%.0f,%.4f\n",
+				n, alpha, *gamma, *trials,
+				float64(okC)/t,
+				stats.Summarize(rounds).Median,
+				msgs/t, bits/t,
+				stats.Summarize(maxMB).Median,
+				float64(goodC)/t)
+		}
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad size %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloats(s string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad fraction %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "sweep:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,23 @@
+// Package repro is a from-scratch Go implementation of "Rational Fair
+// Consensus in the GOSSIP Model" (Clementi, Gualà, Proietti, Scornavacca,
+// 2017): a randomized GOSSIP protocol that reaches fair consensus on the
+// complete graph in O(log n) rounds with O(log² n)-bit messages, tolerates
+// any constant fraction of worst-case permanent faults, and is a whp
+// t-strong equilibrium against coalitions of t = o(n/log n) rational agents.
+//
+// The implementation lives under internal/:
+//
+//	internal/gossip   — the synchronous (and sequential) GOSSIP engines
+//	internal/core     — Protocol P and its sequential-model adaptation
+//	internal/rational — utilities, coalitions, and the deviation library
+//	internal/baseline — LOCAL-model election, HP polling, naive ablation
+//	internal/sim      — the experiment harness (tables T1–T8, E9–E10)
+//	internal/topo     — complete / ring / regular / Erdős–Rényi topologies
+//	internal/rng, internal/stats, internal/metrics, internal/par,
+//	internal/trace    — supporting substrates
+//
+// Entry points: cmd/fairconsensus (single runs), cmd/experiments
+// (regenerate every table/figure), cmd/sweep (CSV scaling sweeps), and the
+// runnable walkthroughs under examples/. The root bench_test.go holds one
+// benchmark per experiment artifact.
+package repro

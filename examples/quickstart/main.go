@@ -1,0 +1,49 @@
+// Quickstart: run rational fair consensus once on a complete network of 128
+// agents split 60/40 between two colors, and inspect the result.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/core"
+)
+
+func main() {
+	const n = 128
+
+	// Protocol parameters: n agents, |Σ| = 2 colors, phase length
+	// q = ⌈γ·log₂ n⌉ rounds with the library default γ.
+	params, err := core.NewParams(n, 2, core.DefaultGamma)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 60% of agents initially support color 0, 40% color 1. Fairness
+	// (Theorem 4) says color 0 should win with probability 0.6.
+	colors := core.SplitColors(n, 0.6)
+
+	res, err := core.Run(core.RunConfig{
+		Params: params,
+		Colors: colors,
+		Seed:   42,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("agents: %d, colors: 60%%/40%%, q = %d rounds per phase\n", n, params.Q)
+	fmt.Printf("outcome: %v (consensus on a single color; ⊥ would mean failure)\n", res.Outcome)
+	fmt.Printf("rounds: %d (schedule: 4q+1 = %d)\n", res.Rounds, params.TotalRounds())
+	fmt.Printf("communication: %d messages, %d bits total, largest message %d bits\n",
+		res.Metrics.Messages, res.Metrics.Bits, res.Metrics.MaxMessageBits)
+	fmt.Printf("good execution (Definition 2): %v\n", res.Good.Good())
+
+	// Every honest agent decided the same color:
+	for _, a := range res.Agents[:3] {
+		fmt.Printf("  agent %d decided color %d\n", a.ID(), a.FinalColor())
+	}
+	fmt.Println("  ...")
+}

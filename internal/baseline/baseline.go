@@ -1,0 +1,309 @@
+// Package baseline implements the comparison systems the paper positions
+// Protocol P against:
+//
+//   - LocalSumElection: the LOCAL-model fair leader election in the style of
+//     Abraham–Dolev–Halpern [2] — every agent broadcasts a random value to
+//     everyone; the leader is selected by the sum modulo the number of
+//     responders. It is fair and (in its commit–reveal form) robust to a
+//     rushing agent, but costs Θ(n²) messages and Θ(n) local memory, the
+//     inefficiency the paper's protocol removes.
+//
+//   - Polling: Hassin–Peleg proportionate-agreement polling [15] (the voter
+//     model): each round every agent adopts the color of a u.a.r. peer. It is
+//     fair in expectation and ultra-light per round, but needs Θ(n) rounds on
+//     the complete graph and offers no protection against rational agents.
+//
+//   - NaiveMinGossip: Protocol P stripped of the Commitment and Verification
+//     machinery — each agent draws its lottery value locally and the network
+//     gossips the minimum. The ablation shows why the machinery exists: a
+//     single liar claiming k = 0 wins every time.
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gossip"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/topo"
+)
+
+// LocalSumConfig configures a LOCAL-model modular-sum fair leader election.
+type LocalSumConfig struct {
+	N      int
+	Colors []core.Color
+	Faulty []bool
+	Seed   uint64
+	// CommitReveal runs the two-round commit–reveal variant (robust to a
+	// rushing deviator at twice the message cost).
+	CommitReveal bool
+	// HasRusher marks agent Rusher as a rushing deviator that waits for
+	// everyone else's value before choosing its own so that it wins. Without
+	// commit–reveal the rusher always succeeds; with it, the rusher's choice
+	// is already locked.
+	HasRusher bool
+	Rusher    int
+}
+
+// LocalSumResult reports one LOCAL-model election.
+type LocalSumResult struct {
+	Outcome core.Outcome
+	Leader  int
+	Rounds  int
+	// Messages counts point-to-point sends: every active agent addresses
+	// every other node each round — the Ω(n²) cost the paper's protocol
+	// avoids.
+	Messages int
+	Bits     int64
+}
+
+// RunLocalSum executes the baseline election analytically (the LOCAL model
+// needs no gossip engine: all-to-all in each round).
+func RunLocalSum(cfg LocalSumConfig) (LocalSumResult, error) {
+	n := cfg.N
+	if n < 2 {
+		return LocalSumResult{}, fmt.Errorf("baseline: n = %d", n)
+	}
+	if len(cfg.Colors) != n {
+		return LocalSumResult{}, fmt.Errorf("baseline: %d colors for n = %d", len(cfg.Colors), n)
+	}
+	if cfg.HasRusher && (cfg.Rusher < 0 || cfg.Rusher >= n) {
+		return LocalSumResult{}, fmt.Errorf("baseline: rusher %d out of range", cfg.Rusher)
+	}
+	master := rng.New(cfg.Seed)
+	var active []int
+	for i := 0; i < n; i++ {
+		if cfg.Faulty != nil && cfg.Faulty[i] {
+			continue
+		}
+		active = append(active, i)
+	}
+	if len(active) == 0 {
+		return LocalSumResult{Outcome: core.Outcome{Failed: true}}, nil
+	}
+
+	// Each active agent draws r_i u.a.r. in [0, |A|).
+	values := make(map[int]int, len(active))
+	for _, id := range active {
+		values[id] = master.Split(uint64(id)).Intn(len(active))
+	}
+
+	sum := 0
+	for _, id := range active {
+		sum += values[id]
+	}
+	if cfg.HasRusher && !cfg.isFaulty(cfg.Rusher) {
+		if !cfg.CommitReveal {
+			// The rusher saw everyone else's value and replaces its own so
+			// the index lands on itself.
+			idx := indexOf(active, cfg.Rusher)
+			if idx >= 0 {
+				rest := sum - values[cfg.Rusher]
+				want := (idx - rest) % len(active)
+				if want < 0 {
+					want += len(active)
+				}
+				values[cfg.Rusher] = want
+				sum = rest + want
+			}
+		}
+		// With commit–reveal the rusher's value was committed in round 1;
+		// rushing the reveal gains nothing.
+	}
+
+	leader := active[sum%len(active)]
+	rounds := 1
+	if cfg.CommitReveal {
+		rounds = 2
+	}
+	msgs := rounds * len(active) * (n - 1)
+	valueBits := metrics.BitsForValues(uint64(len(active)))
+	colorBits := metrics.BitsForValues(uint64(maxColor(cfg.Colors) + 1))
+	bits := int64(msgs) * int64(valueBits+colorBits)
+	return LocalSumResult{
+		Outcome:  core.Outcome{Color: cfg.Colors[leader]},
+		Leader:   leader,
+		Rounds:   rounds,
+		Messages: msgs,
+		Bits:     bits,
+	}, nil
+}
+
+func (cfg LocalSumConfig) isFaulty(id int) bool {
+	return cfg.Faulty != nil && id >= 0 && id < len(cfg.Faulty) && cfg.Faulty[id]
+}
+
+func indexOf(xs []int, x int) int {
+	for i, v := range xs {
+		if v == x {
+			return i
+		}
+	}
+	return -1
+}
+
+func maxColor(cs []core.Color) int {
+	m := 0
+	for _, c := range cs {
+		if int(c) > m {
+			m = int(c)
+		}
+	}
+	return m
+}
+
+// colorPayload carries a color in the polling protocol.
+type colorPayload struct {
+	c    core.Color
+	bits int
+}
+
+func (p colorPayload) SizeBits() int { return p.bits }
+
+// PollingAgent implements Hassin–Peleg proportionate polling: every round,
+// pull a u.a.r. peer's current color and adopt it. There is no termination
+// detection inside the protocol; the harness stops when the configuration is
+// monochromatic.
+type PollingAgent struct {
+	id    int
+	color core.Color
+	reply core.Color // start-of-round snapshot answered to pulls
+	bits  int
+	net   topo.Topology
+	r     *rng.Source
+}
+
+// NewPollingAgent builds a polling agent with the given initial color.
+func NewPollingAgent(id int, color core.Color, numColors int, net topo.Topology, r *rng.Source) *PollingAgent {
+	return &PollingAgent{
+		id: id, color: color, reply: color,
+		bits: metrics.BitsForValues(uint64(numColors)),
+		net:  net, r: r,
+	}
+}
+
+// Color returns the agent's current color.
+func (a *PollingAgent) Color() core.Color { return a.color }
+
+// Act pulls a u.a.r. peer. It also snapshots the color answered to pulls
+// this round, so all adoptions in a round sample the start-of-round
+// configuration — the synchronous voter model, whose winning probability is
+// exactly proportional to the initial support (martingale argument). Without
+// the snapshot, mid-round updates bias against agents that update early.
+func (a *PollingAgent) Act(round int) gossip.Action {
+	a.reply = a.color
+	return gossip.PullFrom(a.net.SamplePeer(a.id, a.r), colorPayload{bits: 1})
+}
+
+// HandlePush ignores pushes (the protocol is pull-only).
+func (a *PollingAgent) HandlePush(round, from int, p gossip.Payload) {}
+
+// HandlePull answers with the start-of-round color.
+func (a *PollingAgent) HandlePull(round, from int, q gossip.Payload) gossip.Payload {
+	return colorPayload{c: a.reply, bits: a.bits}
+}
+
+// HandlePullReply adopts the pulled color.
+func (a *PollingAgent) HandlePullReply(round, from int, reply gossip.Payload) {
+	if cp, ok := reply.(colorPayload); ok {
+		a.color = cp.c
+	}
+}
+
+// PollingConfig configures a voter-model run.
+type PollingConfig struct {
+	N         int
+	NumColors int
+	Colors    []core.Color
+	Faulty    []bool
+	Seed      uint64
+	MaxRounds int // 0 means 50·n
+}
+
+// PollingResult reports one voter-model run.
+type PollingResult struct {
+	Outcome core.Outcome
+	Rounds  int
+	Metrics metrics.Snapshot
+}
+
+// StubbornAgent is a PollingAgent that never updates its color — the
+// one-line deviation that completely defeats the polling baseline: the voter
+// model absorbed at a stubborn agent converges to that agent's color (or
+// never terminates). Protocol P's lottery structure is immune to the
+// analogous behaviour.
+type StubbornAgent struct{ PollingAgent }
+
+// HandlePullReply ignores the pulled color.
+func (a *StubbornAgent) HandlePullReply(round, from int, reply gossip.Payload) {}
+
+// RunPollingStubborn runs the polling baseline with one stubborn agent.
+func RunPollingStubborn(cfg PollingConfig, stubborn int) (PollingResult, error) {
+	if stubborn < 0 || stubborn >= cfg.N {
+		return PollingResult{}, fmt.Errorf("baseline: stubborn agent %d out of range", stubborn)
+	}
+	return runPolling(cfg, stubborn)
+}
+
+// RunPolling executes the polling baseline until the active agents are
+// monochromatic or MaxRounds elapse.
+func RunPolling(cfg PollingConfig) (PollingResult, error) {
+	return runPolling(cfg, -1)
+}
+
+func runPolling(cfg PollingConfig, stubborn int) (PollingResult, error) {
+	n := cfg.N
+	if len(cfg.Colors) != n {
+		return PollingResult{}, fmt.Errorf("baseline: %d colors for n = %d", len(cfg.Colors), n)
+	}
+	maxRounds := cfg.MaxRounds
+	if maxRounds == 0 {
+		maxRounds = 50 * n
+	}
+	net := topo.NewComplete(n)
+	master := rng.New(cfg.Seed)
+	agents := make([]gossip.Agent, n)
+	var poll []*PollingAgent
+	for i := 0; i < n; i++ {
+		if cfg.Faulty != nil && cfg.Faulty[i] {
+			continue
+		}
+		a := NewPollingAgent(i, cfg.Colors[i], cfg.NumColors, net, master.Split(uint64(i)))
+		if i == stubborn {
+			agents[i] = &StubbornAgent{PollingAgent: *a}
+			poll = append(poll, &(agents[i].(*StubbornAgent).PollingAgent))
+			continue
+		}
+		agents[i] = a
+		poll = append(poll, a)
+	}
+	if len(poll) == 0 {
+		return PollingResult{Outcome: core.Outcome{Failed: true}}, nil
+	}
+	var counters metrics.Counters
+	eng := gossip.NewEngine(gossip.Config{
+		Topology: net, Faulty: cfg.Faulty, Counters: &counters, Workers: 1,
+	}, agents)
+	rounds := 0
+	for ; rounds < maxRounds; rounds++ {
+		if mono(poll) {
+			break
+		}
+		eng.Step()
+	}
+	out := core.Outcome{Failed: true}
+	if mono(poll) {
+		out = core.Outcome{Color: poll[0].Color()}
+	}
+	return PollingResult{Outcome: out, Rounds: rounds, Metrics: counters.Snapshot()}, nil
+}
+
+func mono(poll []*PollingAgent) bool {
+	for _, a := range poll {
+		if a.Color() != poll[0].Color() {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,280 @@
+package baseline
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+func TestLocalSumBasic(t *testing.T) {
+	const n = 32
+	colors := core.UniformColors(n, 2)
+	res, err := RunLocalSum(LocalSumConfig{N: n, Colors: colors, Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome.Failed {
+		t.Fatal("election failed")
+	}
+	if res.Leader < 0 || res.Leader >= n {
+		t.Fatalf("leader = %d", res.Leader)
+	}
+	if res.Outcome.Color != colors[res.Leader] {
+		t.Fatal("outcome color is not the leader's")
+	}
+	if res.Messages != n*(n-1) {
+		t.Fatalf("messages = %d, want n(n-1) = %d", res.Messages, n*(n-1))
+	}
+	if res.Rounds != 1 {
+		t.Fatalf("rounds = %d", res.Rounds)
+	}
+}
+
+func TestLocalSumCommitRevealDoublesMessages(t *testing.T) {
+	const n = 16
+	colors := core.UniformColors(n, 2)
+	res, err := RunLocalSum(LocalSumConfig{N: n, Colors: colors, Seed: 1, CommitReveal: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Messages != 2*n*(n-1) || res.Rounds != 2 {
+		t.Fatalf("commit-reveal: messages=%d rounds=%d", res.Messages, res.Rounds)
+	}
+}
+
+func TestLocalSumFairness(t *testing.T) {
+	const n, trials = 10, 4000
+	colors := core.LeaderElectionColors(n)
+	wins := make([]int, n)
+	for s := 0; s < trials; s++ {
+		res, err := RunLocalSum(LocalSumConfig{N: n, Colors: colors, Seed: uint64(s) + 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wins[res.Leader]++
+	}
+	expected := make([]float64, n)
+	for i := range expected {
+		expected[i] = 1.0 / n
+	}
+	gof, err := stats.ChiSquareGOF(wins, expected)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gof.PValue < 0.001 {
+		t.Fatalf("LOCAL sum unfair: wins=%v p=%v", wins, gof.PValue)
+	}
+}
+
+func TestLocalSumFaultsExcluded(t *testing.T) {
+	const n = 20
+	colors := core.UniformColors(n, 2)
+	faulty := core.WorstCaseFaults(n, 0.5)
+	for s := 0; s < 200; s++ {
+		res, err := RunLocalSum(LocalSumConfig{N: n, Colors: colors, Faulty: faulty, Seed: uint64(s)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if faulty[res.Leader] {
+			t.Fatalf("faulty leader %d elected", res.Leader)
+		}
+	}
+}
+
+func TestLocalSumRusherWinsWithoutCommitReveal(t *testing.T) {
+	const n = 16
+	colors := core.LeaderElectionColors(n)
+	for s := 0; s < 100; s++ {
+		res, err := RunLocalSum(LocalSumConfig{
+			N: n, Colors: colors, Seed: uint64(s), HasRusher: true, Rusher: 3,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Leader != 3 {
+			t.Fatalf("seed %d: rusher did not win (leader %d)", s, res.Leader)
+		}
+	}
+}
+
+func TestLocalSumRusherBlockedByCommitReveal(t *testing.T) {
+	const n, trials = 16, 600
+	colors := core.LeaderElectionColors(n)
+	rusherWins := 0
+	for s := 0; s < trials; s++ {
+		res, err := RunLocalSum(LocalSumConfig{
+			N: n, Colors: colors, Seed: uint64(s),
+			HasRusher: true, Rusher: 3, CommitReveal: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Leader == 3 {
+			rusherWins++
+		}
+	}
+	// Fair share is trials/n ≈ 37; allow generous slack.
+	if rusherWins > 3*trials/n {
+		t.Fatalf("rusher won %d/%d despite commit-reveal", rusherWins, trials)
+	}
+}
+
+func TestLocalSumValidation(t *testing.T) {
+	colors := core.UniformColors(4, 2)
+	if _, err := RunLocalSum(LocalSumConfig{N: 1, Colors: colors[:1]}); err == nil {
+		t.Error("n=1 accepted")
+	}
+	if _, err := RunLocalSum(LocalSumConfig{N: 4, Colors: colors[:2]}); err == nil {
+		t.Error("short colors accepted")
+	}
+	if _, err := RunLocalSum(LocalSumConfig{N: 4, Colors: colors, HasRusher: true, Rusher: 9}); err == nil {
+		t.Error("out-of-range rusher accepted")
+	}
+}
+
+func TestPollingReachesConsensus(t *testing.T) {
+	const n = 64
+	res, err := RunPolling(PollingConfig{
+		N: n, NumColors: 2, Colors: core.UniformColors(n, 2), Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome.Failed {
+		t.Fatalf("polling failed after %d rounds", res.Rounds)
+	}
+	if !res.Outcome.Color.Valid(2) {
+		t.Fatalf("invalid winner %d", res.Outcome.Color)
+	}
+}
+
+func TestPollingFairInExpectation(t *testing.T) {
+	// 75/25 split: color 0 should win ≈ 75% of runs (martingale argument).
+	const n, trials = 32, 400
+	colors := core.SplitColors(n, 0.75)
+	wins := make([]int, 2)
+	for s := 0; s < trials; s++ {
+		res, err := RunPolling(PollingConfig{N: n, NumColors: 2, Colors: colors, Seed: uint64(s) + 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Outcome.Failed {
+			t.Fatal("polling failed")
+		}
+		wins[res.Outcome.Color]++
+	}
+	gof, err := stats.ChiSquareGOF(wins, []float64{0.75, 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gof.PValue < 0.001 {
+		t.Fatalf("polling unfair: wins=%v p=%v", wins, gof.PValue)
+	}
+}
+
+func TestPollingRoundsLinearInN(t *testing.T) {
+	// The voter model needs Θ(n) rounds — the round-complexity price the
+	// paper's protocol avoids. Check rounds grow superlogarithmically.
+	mean := func(n int) float64 {
+		total := 0
+		const trials = 20
+		for s := 0; s < trials; s++ {
+			res, err := RunPolling(PollingConfig{
+				N: n, NumColors: 2, Colors: core.UniformColors(n, 2), Seed: uint64(100*n + s),
+			})
+			if err != nil || res.Outcome.Failed {
+				t.Fatalf("polling n=%d failed: %v", n, err)
+			}
+			total += res.Rounds
+		}
+		return float64(total) / trials
+	}
+	small, large := mean(16), mean(128)
+	if large < 2*small {
+		t.Fatalf("polling rounds: n=16→%.1f, n=128→%.1f; expected ~linear growth", small, large)
+	}
+}
+
+func TestPollingWithFaults(t *testing.T) {
+	const n = 48
+	res, err := RunPolling(PollingConfig{
+		N: n, NumColors: 2, Colors: core.UniformColors(n, 2),
+		Faulty: core.WorstCaseFaults(n, 0.25), Seed: 11,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome.Failed {
+		t.Fatal("polling with faults failed")
+	}
+}
+
+func TestNaiveHonestIsFair(t *testing.T) {
+	const n, trials = 24, 600
+	p := core.MustParams(n, 2, core.DefaultGamma)
+	colors := core.SplitColors(n, 0.5)
+	wins := make([]int, 2)
+	for s := 0; s < trials; s++ {
+		res, err := RunNaive(NaiveConfig{Params: p, Colors: colors, Seed: uint64(s) + 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Outcome.Failed {
+			t.Fatal("honest naive run failed")
+		}
+		wins[res.Outcome.Color]++
+	}
+	gof, err := stats.ChiSquareGOF(wins, []float64{0.5, 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gof.PValue < 0.001 {
+		t.Fatalf("honest naive unfair: %v p=%v", wins, gof.PValue)
+	}
+}
+
+func TestNaiveLiarAlwaysWins(t *testing.T) {
+	// The ablation headline: without commitment/verification, a single liar
+	// claiming ticket 0 wins every run.
+	const n, trials = 24, 100
+	p := core.MustParams(n, 2, core.DefaultGamma)
+	colors := core.UniformColors(n, 2)
+	liarWins := 0
+	for s := 0; s < trials; s++ {
+		res, err := RunNaive(NaiveConfig{
+			Params: p, Colors: colors, Seed: uint64(s) + 1, HasLiar: true, Liar: 5,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.LiarWon {
+			liarWins++
+		}
+	}
+	if liarWins < trials*95/100 {
+		t.Fatalf("naive liar won only %d/%d", liarWins, trials)
+	}
+}
+
+func TestNaiveSubquadraticMessages(t *testing.T) {
+	const n = 256
+	p := core.MustParams(n, 2, 2)
+	res, err := RunNaive(NaiveConfig{Params: p, Colors: core.UniformColors(n, 2), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Messages >= n*n/4 {
+		t.Fatalf("naive messages = %d, not o(n²)", res.Metrics.Messages)
+	}
+}
+
+func TestNaiveValidation(t *testing.T) {
+	p := core.MustParams(8, 2, 1)
+	if _, err := RunNaive(NaiveConfig{Params: p, Colors: make([]core.Color, 3)}); err == nil {
+		t.Error("bad colors length accepted")
+	}
+	if _, err := RunNaive(NaiveConfig{Params: p, Colors: core.UniformColors(8, 2), HasLiar: true, Liar: 99}); err == nil {
+		t.Error("out-of-range liar accepted")
+	}
+}

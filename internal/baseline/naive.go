@@ -1,0 +1,169 @@
+package baseline
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gossip"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/topo"
+)
+
+// naiveTicket is the payload of the naive min-gossip protocol: a lottery
+// value with the owner's color. Unlike Protocol P's certificate it carries
+// no evidence, so nothing stops an owner from just claiming value 0.
+type naiveTicket struct {
+	K     uint64
+	Color core.Color
+	Owner int32
+	bits  int
+}
+
+func (t naiveTicket) SizeBits() int { return t.bits }
+
+func (t naiveTicket) less(o naiveTicket) bool {
+	if t.K != o.K {
+		return t.K < o.K
+	}
+	return t.Owner < o.Owner
+}
+
+// NaiveAgent runs the ablated protocol: draw k u.a.r. locally, gossip the
+// minimum ticket for q rounds (pull), then 	adopt the minimum's color. This is
+// the "simple and natural idea" of Section 3 without the Commitment /
+// Voting / Verification scaffolding.
+type NaiveAgent struct {
+	id      int
+	q       int
+	ticket  naiveTicket
+	minTick naiveTicket
+	reply   naiveTicket
+	net     topo.Topology
+	r       *rng.Source
+	decided bool
+}
+
+// NewNaiveAgent builds an honest naive agent.
+func NewNaiveAgent(id int, p core.Params, color core.Color, net topo.Topology, r *rng.Source) *NaiveAgent {
+	t := naiveTicket{
+		K:     r.Uint64n(p.M) + 1,
+		Color: color,
+		Owner: int32(id),
+		bits:  metrics.BitsForValues(p.M) + metrics.BitsForValues(uint64(p.NumColors)) + metrics.BitsForValues(uint64(p.N)),
+	}
+	return &NaiveAgent{id: id, q: p.Q, ticket: t, minTick: t, reply: t, net: net, r: r}
+}
+
+// ForceTicket overrides the agent's lottery value — the one-line "deviation"
+// that breaks the naive protocol (a liar claims the minimum possible value).
+func (a *NaiveAgent) ForceTicket(k uint64) {
+	a.ticket.K = k
+	a.minTick = a.ticket
+	a.reply = a.ticket
+}
+
+// Act pulls a u.a.r. peer's minimal ticket for q rounds, then decides.
+func (a *NaiveAgent) Act(round int) gossip.Action {
+	if round >= a.q {
+		a.decided = true
+		return gossip.NoAction()
+	}
+	a.reply = a.minTick
+	return gossip.PullFrom(a.net.SamplePeer(a.id, a.r), colorPayload{bits: 1})
+}
+
+// HandlePush ignores pushes.
+func (a *NaiveAgent) HandlePush(round, from int, p gossip.Payload) {}
+
+// HandlePull answers with the start-of-round minimal ticket.
+func (a *NaiveAgent) HandlePull(round, from int, q gossip.Payload) gossip.Payload {
+	return a.reply
+}
+
+// HandlePullReply adopts a smaller ticket.
+func (a *NaiveAgent) HandlePullReply(round, from int, reply gossip.Payload) {
+	t, ok := reply.(naiveTicket)
+	if !ok {
+		return
+	}
+	if t.less(a.minTick) {
+		a.minTick = t
+	}
+}
+
+// Decided implements gossip.Decider / core.Participant.
+func (a *NaiveAgent) Decided() bool { return a.decided }
+
+// Failed implements core.Participant (the naive protocol cannot fail — that
+// is exactly its weakness).
+func (a *NaiveAgent) Failed() bool { return false }
+
+// FinalColor implements core.Participant.
+func (a *NaiveAgent) FinalColor() core.Color {
+	if !a.decided {
+		return core.ColorBot
+	}
+	return a.minTick.Color
+}
+
+// Output implements gossip.Decider.
+func (a *NaiveAgent) Output() int { return int(a.FinalColor()) }
+
+// NaiveConfig configures a naive min-gossip run.
+type NaiveConfig struct {
+	Params core.Params
+	Colors []core.Color
+	Faulty []bool
+	Seed   uint64
+	// Liar, when HasLiar, forces that agent's ticket to 0 — the trivially
+	// winning deviation the ablation demonstrates.
+	HasLiar bool
+	Liar    int
+}
+
+// NaiveResult reports one naive run.
+type NaiveResult struct {
+	Outcome core.Outcome
+	Rounds  int
+	Metrics metrics.Snapshot
+	// LiarWon reports whether the liar's color won.
+	LiarWon bool
+}
+
+// RunNaive executes the ablated protocol.
+func RunNaive(cfg NaiveConfig) (NaiveResult, error) {
+	p := cfg.Params
+	if len(cfg.Colors) != p.N {
+		return NaiveResult{}, fmt.Errorf("baseline: %d colors for n = %d", len(cfg.Colors), p.N)
+	}
+	if cfg.HasLiar && (cfg.Liar < 0 || cfg.Liar >= p.N) {
+		return NaiveResult{}, fmt.Errorf("baseline: liar %d out of range", cfg.Liar)
+	}
+	net := topo.NewComplete(p.N)
+	master := rng.New(cfg.Seed)
+	agents := make([]gossip.Agent, p.N)
+	parts := make([]core.Participant, p.N)
+	for i := 0; i < p.N; i++ {
+		if cfg.Faulty != nil && cfg.Faulty[i] {
+			continue
+		}
+		a := NewNaiveAgent(i, p, cfg.Colors[i], net, master.Split(uint64(i)))
+		if cfg.HasLiar && i == cfg.Liar {
+			a.ForceTicket(0)
+		}
+		agents[i] = a
+		parts[i] = a
+	}
+	var counters metrics.Counters
+	eng := gossip.NewEngine(gossip.Config{
+		Topology: net, Faulty: cfg.Faulty, Counters: &counters, Workers: 1,
+	}, agents)
+	rounds := eng.Run(p.Q + 1)
+	out := core.CollectOutcome(parts, cfg.Faulty)
+	res := NaiveResult{Outcome: out, Rounds: rounds, Metrics: counters.Snapshot()}
+	if cfg.HasLiar && !out.Failed && out.Color == cfg.Colors[cfg.Liar] {
+		res.LiarWon = true
+	}
+	return res, nil
+}

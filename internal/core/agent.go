@@ -1,0 +1,303 @@
+package core
+
+import (
+	"repro/internal/gossip"
+	"repro/internal/rng"
+	"repro/internal/topo"
+)
+
+// Agent is an honest (protocol-following) participant of Protocol P. It
+// implements gossip.Agent plus the Participant interface used for outcome
+// collection.
+//
+// The zero value is not usable; construct with NewAgent. An Agent is owned by
+// a single engine and is not safe for concurrent use except as the engine
+// prescribes (Act in parallel with other agents' Act only).
+type Agent struct {
+	id    int
+	p     Params
+	color Color
+	r     *rng.Source
+	net   topo.Topology
+
+	// Voting-Intention output, fixed at construction (round-0 local step).
+	intentions []Intent
+
+	// Commitment state.
+	log *CommitmentLog
+
+	// Voting state.
+	w []WEntry
+
+	// Find-Min / Coherence state.
+	ownCert   *Certificate
+	minCert   *Certificate
+	replyCert *Certificate // snapshot answered to same-round pulls
+
+	failed  bool
+	decided bool
+	out     Color
+}
+
+// NewAgent builds an honest agent with identity id supporting color,
+// drawing all randomness from r (which the agent takes ownership of).
+func NewAgent(id int, p Params, color Color, net topo.Topology, r *rng.Source) *Agent {
+	if !color.Valid(p.NumColors) {
+		panic("core: NewAgent with color outside Σ")
+	}
+	a := &Agent{
+		id:    id,
+		p:     p,
+		color: color,
+		r:     r,
+		net:   net,
+		log:   NewCommitmentLog(),
+	}
+	// Voting-Intention phase: q votes, values u.a.r. in [1, m], targets
+	// u.a.r. over the topology's sample space (all of [n] on the complete
+	// graph, exactly the paper's "u.a.r. in [n]"; the neighbor set on
+	// restricted graphs, where non-neighbors are unreachable).
+	a.intentions = make([]Intent, p.Q)
+	for i := range a.intentions {
+		a.intentions[i] = Intent{
+			H: a.r.Uint64n(p.M) + 1,
+			Z: int32(net.SamplePeer(id, a.r)),
+		}
+	}
+	return a
+}
+
+// ID returns the agent's node identity.
+func (a *Agent) ID() int { return a.id }
+
+// Params returns the protocol parameters the agent runs with.
+func (a *Agent) Params() Params { return a.p }
+
+// Topology returns the communication topology the agent samples peers from.
+func (a *Agent) Topology() topo.Topology { return a.net }
+
+// Rand returns the agent's private randomness source. Deviation wrappers
+// (which are logically the same agent) use it for their own peer sampling.
+func (a *Agent) Rand() *rng.Source { return a.r }
+
+// EnsureCertificate finalizes and returns the agent's own certificate; it is
+// idempotent. Deviation wrappers that replace the Find-Min behaviour use it
+// to obtain the honest certificate the wrapped agent would have built.
+func (a *Agent) EnsureCertificate() *Certificate {
+	if a.ownCert == nil {
+		a.finalizeOwnCertificate()
+	}
+	return a.ownCert
+}
+
+// InitialColor returns the color the agent supports at the onset.
+func (a *Agent) InitialColor() Color { return a.color }
+
+// Intentions exposes the declared vote list (test and analysis hook).
+func (a *Agent) Intentions() []Intent { return a.intentions }
+
+// VotesReceived exposes Wᵤ (test and analysis hook).
+func (a *Agent) VotesReceived() []WEntry { return a.w }
+
+// K returns the agent's vote sum kᵤ; valid once the Voting phase ended.
+func (a *Agent) K() uint64 { return SumVotesMod(a.w, a.p.M) }
+
+// MinCertificate returns the minimal certificate currently held.
+func (a *Agent) MinCertificate() *Certificate { return a.minCert }
+
+// Log exposes the commitment log (test and analysis hook).
+func (a *Agent) Log() *CommitmentLog { return a.log }
+
+// Act implements the per-round schedule of Algorithm 1.
+func (a *Agent) Act(round int) gossip.Action {
+	switch a.p.PhaseOf(round) {
+	case PhaseCommitment:
+		return gossip.PullFrom(a.net.SamplePeer(a.id, a.r), IntentQuery{P: a.p})
+
+	case PhaseVoting:
+		i := round - a.p.Q
+		if i < 0 || i >= len(a.intentions) {
+			return gossip.NoAction()
+		}
+		in := a.intentions[i]
+		return gossip.PushTo(int(in.Z), Vote{P: a.p, Value: in.H})
+
+	case PhaseFindMin:
+		if a.ownCert == nil {
+			a.finalizeOwnCertificate()
+		}
+		// Snapshot the certificate answered to pulls arriving this round, so
+		// information propagates one hop per round (synchronous semantics).
+		a.replyCert = a.minCert
+		return gossip.PullFrom(a.net.SamplePeer(a.id, a.r), CertQuery{P: a.p})
+
+	case PhaseCoherence:
+		if a.ownCert == nil { // defensive: q rounds always precede, but keep safe
+			a.finalizeOwnCertificate()
+		}
+		a.replyCert = a.minCert
+		return gossip.PushTo(a.net.SamplePeer(a.id, a.r), a.minCert)
+
+	default: // PhaseVerification
+		if !a.decided {
+			a.verify()
+		}
+		return gossip.NoAction()
+	}
+}
+
+// finalizeOwnCertificate computes kᵤ and CEᵤ from the collected votes; it
+// runs once, at the first Find-Min round.
+func (a *Agent) finalizeOwnCertificate() {
+	a.ownCert = &Certificate{
+		P:     a.p,
+		K:     SumVotesMod(a.w, a.p.M),
+		W:     append([]WEntry(nil), a.w...),
+		Color: a.color,
+		Owner: int32(a.id),
+	}
+	a.minCert = a.ownCert
+}
+
+// HandlePush processes pushed payloads according to the agent's own phase;
+// anything outside the expected phase/type is ignored (a deviator cannot make
+// an honest agent act out of protocol).
+func (a *Agent) HandlePush(round, from int, p gossip.Payload) {
+	switch a.p.PhaseOf(round) {
+	case PhaseVoting:
+		v, ok := p.(Vote)
+		if !ok {
+			return
+		}
+		// Malformed values are discarded at receipt so an honest agent's W
+		// never contains junk a verifier would (rightly) reject.
+		if v.Value == 0 || v.Value > a.p.M {
+			return
+		}
+		// Votes from peers this agent marked faulty count as 0 (footnote 4).
+		if a.log.Faulty(int32(from)) {
+			return
+		}
+		a.w = append(a.w, WEntry{Voter: int32(from), Value: v.Value})
+
+	case PhaseCoherence:
+		cert, ok := p.(*Certificate)
+		if !ok {
+			return
+		}
+		if a.minCert != nil && !a.minCert.Equal(cert) {
+			a.failNow()
+		}
+	}
+}
+
+// HandlePull answers a pull according to the agent's own phase: the
+// intention list during Commitment, the (start-of-round) minimal certificate
+// during Find-Min and Coherence, silence otherwise.
+func (a *Agent) HandlePull(round, from int, query gossip.Payload) gossip.Payload {
+	switch a.p.PhaseOf(round) {
+	case PhaseCommitment:
+		return Intentions{P: a.p, Votes: a.intentions}
+	case PhaseFindMin, PhaseCoherence:
+		if a.replyCert != nil {
+			return a.replyCert
+		}
+		if a.minCert != nil {
+			return a.minCert
+		}
+		return nil
+	default:
+		return nil
+	}
+}
+
+// HandlePullReply consumes the answer to this agent's own pull.
+func (a *Agent) HandlePullReply(round, from int, reply gossip.Payload) {
+	switch a.p.PhaseOf(round) {
+	case PhaseCommitment:
+		if reply == nil {
+			a.log.MarkFaulty(int32(from))
+			return
+		}
+		in, ok := reply.(Intentions)
+		if !ok || !a.validDeclaration(in.Votes) {
+			// "Replies in an unexpected way" — marked faulty (footnote 4).
+			// A declaration is well-formed only if it has exactly q votes
+			// with values in [1, m] and in-range targets: Hᵤ has exactly
+			// that shape by construction, so anything else is a deviation
+			// (and accepting unbounded lists would be a memory/bandwidth
+			// attack on the verifiers).
+			a.log.MarkFaulty(int32(from))
+			return
+		}
+		a.log.Record(int32(from), in.Votes)
+
+	case PhaseFindMin:
+		cert, ok := reply.(*Certificate)
+		if !ok || cert == nil {
+			return // silent or garbage peer: the pull simply fails
+		}
+		if a.minCert == nil || cert.Less(a.minCert) {
+			a.minCert = cert.Clone()
+		}
+	}
+}
+
+// validDeclaration reports whether a pulled intention list has the exact
+// shape the protocol prescribes (q votes, values in [1, m], targets in [n]).
+func (a *Agent) validDeclaration(votes []Intent) bool {
+	return validDeclarationFor(a.p, votes)
+}
+
+func validDeclarationFor(p Params, votes []Intent) bool {
+	if len(votes) != p.Q {
+		return false
+	}
+	for _, in := range votes {
+		if in.H == 0 || in.H > p.M {
+			return false
+		}
+		if in.Z < 0 || int(in.Z) >= p.N {
+			return false
+		}
+	}
+	return true
+}
+
+// verify runs the Verification phase and fixes the agent's output.
+func (a *Agent) verify() {
+	a.decided = true
+	if a.failed {
+		a.out = ColorBot
+		return
+	}
+	if err := VerifyCertificate(a.p, a.minCert, a.log); err != nil {
+		a.failNow()
+		a.out = ColorBot
+		return
+	}
+	a.out = a.minCert.Color
+}
+
+func (a *Agent) failNow() {
+	a.failed = true
+}
+
+// Failed reports whether the agent declared protocol failure.
+func (a *Agent) Failed() bool { return a.failed }
+
+// Decided reports whether the agent reached a final state.
+func (a *Agent) Decided() bool { return a.decided }
+
+// Output returns the agent's final color as an int for gossip.Decider;
+// ColorBot (−1) encodes failure.
+func (a *Agent) Output() int { return int(a.FinalColor()) }
+
+// FinalColor returns the agent's final color, or ColorBot on failure or
+// before deciding.
+func (a *Agent) FinalColor() Color {
+	if !a.decided || a.failed {
+		return ColorBot
+	}
+	return a.out
+}

@@ -1,0 +1,66 @@
+package core
+
+import "fmt"
+
+// Participant is the read-only view of any protocol participant (honest or
+// deviating) needed to evaluate an execution's outcome.
+type Participant interface {
+	Decided() bool
+	Failed() bool
+	FinalColor() Color
+}
+
+// Outcome is the result of one protocol execution: either a winning color
+// c ∈ Σ agreed by every active agent, or ⊥.
+type Outcome struct {
+	Color  Color
+	Failed bool
+}
+
+// String renders the outcome.
+func (o Outcome) String() string {
+	if o.Failed {
+		return "⊥"
+	}
+	return fmt.Sprintf("color(%d)", o.Color)
+}
+
+// CollectOutcome evaluates agreement over all active participants: the
+// outcome is color c iff every active participant decided c ∈ Σ; any
+// failure, non-decision, or disagreement yields ⊥. This is the Agreement
+// condition of Section 2 evaluated post-hoc by the experimenter.
+//
+// participants[i] may be nil only where faulty[i] is true; faulty may be nil
+// for a fault-free run.
+func CollectOutcome(participants []Participant, faulty []bool) Outcome {
+	agreed := ColorBot
+	first := true
+	for i, p := range participants {
+		if faulty != nil && faulty[i] {
+			continue
+		}
+		if p == nil {
+			panic(fmt.Sprintf("core: active participant %d is nil", i))
+		}
+		if !p.Decided() || p.Failed() {
+			return Outcome{Failed: true}
+		}
+		c := p.FinalColor()
+		if c == ColorBot {
+			return Outcome{Failed: true}
+		}
+		if first {
+			agreed = c
+			first = false
+			continue
+		}
+		if c != agreed {
+			return Outcome{Failed: true}
+		}
+	}
+	if first {
+		// No active participants at all: vacuous failure.
+		return Outcome{Failed: true}
+	}
+	return Outcome{Color: agreed}
+}

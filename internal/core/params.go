@@ -1,0 +1,155 @@
+// Package core implements Protocol P from "Rational Fair Consensus in the
+// GOSSIP Model" (Clementi, Gualà, Proietti, Scornavacca, 2017), Algorithm 1.
+//
+// The protocol elects a uniformly random active agent and drives the network
+// to consensus on that agent's color, in five communicating phases of
+// q = ⌈γ·log₂ n⌉ rounds each plus a local verification step:
+//
+//	Voting-Intention (local): agent u draws q votes (hᵤ,ᵢ, zᵤ,ᵢ) with
+//	    hᵤ,ᵢ u.a.r. in [1, m], m = n³, and zᵤ,ᵢ u.a.r. in [n].
+//	Commitment: u pulls vote intentions Hᵥ from u.a.r. peers into Lᵤ;
+//	    a peer that does not answer (or answers garbage) is marked faulty
+//	    and all its votes count as 0.
+//	Voting: at the i-th voting round u pushes hᵤ,ᵢ to zᵤ,ᵢ and collects
+//	    received votes in Wᵤ; then kᵤ = Σ Wᵤ mod m.
+//	Find-Min: pull-based broadcast of the certificate (kᵤ, Wᵤ, cᵤ, u)
+//	    with the minimum k.
+//	Coherence: u pushes its minimal certificate to u.a.r. peers and fails
+//	    the protocol upon seeing a different one.
+//	Verification (local): accept the winner color only if k_min equals
+//	    Σ W_min mod m and W_min is consistent with the commitments in Lᵤ.
+//
+// The value kᵤ of every agent contains at least one vote from an honest
+// agent unknown to any coalition (w.h.p.), so k is uniform in [m] and the
+// minimum is a fair lottery; the commitment/verification pair makes lying
+// about k or W detectable. This yields fair consensus (Theorem 4) and a
+// whp t-strong equilibrium for t = o(n/log n) (Theorem 7).
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/metrics"
+)
+
+// MaxN bounds the network size so m = n³ fits in uint64 with room for
+// modular sums.
+const MaxN = 1 << 20
+
+// DefaultGamma is a phase-length constant that makes good executions
+// overwhelmingly likely for moderate fault fractions at simulation scales.
+const DefaultGamma = 3.0
+
+// DefaultAsyncGamma is the phase-length constant for the sequential
+// (asynchronous) adaptation, where local activation clocks drift apart by
+// Θ(√(q·log n)) activations and phases must outgrow that skew (see
+// AsyncAgent).
+const DefaultAsyncGamma = 6.0
+
+// Params fixes one protocol instance. Build with NewParams.
+type Params struct {
+	N         int     // number of nodes (active + faulty)
+	NumColors int     // |Σ|; colors are 0..NumColors-1
+	Gamma     float64 // phase-length constant γ
+	Q         int     // rounds per phase: ⌈γ·log₂ n⌉, at least 1
+	M         uint64  // vote space size: n³
+
+	// Precomputed wire widths.
+	voteBits   int // bits to encode a value in [1, m]
+	idBits     int // bits to encode a node ID
+	colorBits  int // bits to encode a color
+	indexBits  int // bits to encode a round index in [0, q)
+	headerBits int // bits for a payload type tag
+}
+
+// NewParams validates and derives the protocol parameters.
+func NewParams(n, numColors int, gamma float64) (Params, error) {
+	if n < 2 || n > MaxN {
+		return Params{}, fmt.Errorf("core: n = %d out of range [2, %d]", n, MaxN)
+	}
+	if numColors < 1 || numColors > n {
+		return Params{}, fmt.Errorf("core: numColors = %d out of range [1, n]", numColors)
+	}
+	if gamma <= 0 {
+		return Params{}, fmt.Errorf("core: gamma = %v must be positive", gamma)
+	}
+	q := int(math.Ceil(gamma * math.Log2(float64(n))))
+	if q < 1 {
+		q = 1
+	}
+	m := uint64(n) * uint64(n) * uint64(n)
+	p := Params{
+		N:         n,
+		NumColors: numColors,
+		Gamma:     gamma,
+		Q:         q,
+		M:         m,
+	}
+	p.voteBits = metrics.BitsForValues(m)
+	p.idBits = metrics.BitsForValues(uint64(n))
+	p.colorBits = metrics.BitsForValues(uint64(numColors))
+	p.indexBits = metrics.BitsForValues(uint64(q))
+	p.headerBits = 2
+	return p, nil
+}
+
+// MustParams is NewParams that panics on error, for tests and examples.
+func MustParams(n, numColors int, gamma float64) Params {
+	p, err := NewParams(n, numColors, gamma)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+// TotalRounds is the protocol's running time: four communicating phases of Q
+// rounds plus the local verification round.
+func (p Params) TotalRounds() int { return 4*p.Q + 1 }
+
+// Phase identifies the protocol phase a given round belongs to.
+type Phase int
+
+// Protocol phases in schedule order.
+const (
+	PhaseCommitment Phase = iota
+	PhaseVoting
+	PhaseFindMin
+	PhaseCoherence
+	PhaseVerification
+)
+
+// String names the phase.
+func (ph Phase) String() string {
+	switch ph {
+	case PhaseCommitment:
+		return "commitment"
+	case PhaseVoting:
+		return "voting"
+	case PhaseFindMin:
+		return "find-min"
+	case PhaseCoherence:
+		return "coherence"
+	case PhaseVerification:
+		return "verification"
+	default:
+		return fmt.Sprintf("phase(%d)", int(ph))
+	}
+}
+
+// PhaseOf maps a global round number to its phase. All agents know n and γ,
+// so the schedule is common knowledge and phases stay aligned.
+func (p Params) PhaseOf(round int) Phase {
+	switch {
+	case round < p.Q:
+		return PhaseCommitment
+	case round < 2*p.Q:
+		return PhaseVoting
+	case round < 3*p.Q:
+		return PhaseFindMin
+	case round < 4*p.Q:
+		return PhaseCoherence
+	default:
+		return PhaseVerification
+	}
+}

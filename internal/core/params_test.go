@@ -1,0 +1,116 @@
+package core
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewParamsValid(t *testing.T) {
+	p, err := NewParams(1024, 2, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N != 1024 || p.NumColors != 2 || p.Gamma != 3 {
+		t.Fatalf("params = %+v", p)
+	}
+	if p.Q != 30 { // ceil(3·log2(1024)) = 30
+		t.Fatalf("Q = %d, want 30", p.Q)
+	}
+	if p.M != 1024*1024*1024 {
+		t.Fatalf("M = %d, want n³", p.M)
+	}
+	if p.TotalRounds() != 4*30+1 {
+		t.Fatalf("TotalRounds = %d", p.TotalRounds())
+	}
+}
+
+func TestNewParamsQCeiling(t *testing.T) {
+	p := MustParams(100, 2, 1)
+	want := int(math.Ceil(math.Log2(100)))
+	if p.Q != want {
+		t.Fatalf("Q = %d, want %d", p.Q, want)
+	}
+}
+
+func TestNewParamsErrors(t *testing.T) {
+	cases := []struct {
+		n, colors int
+		gamma     float64
+	}{
+		{1, 1, 1},        // n too small
+		{MaxN + 1, 2, 1}, // n too large
+		{10, 0, 1},       // no colors
+		{10, 11, 1},      // more colors than nodes
+		{10, 2, 0},       // gamma zero
+		{10, 2, -1},      // gamma negative
+	}
+	for _, c := range cases {
+		if _, err := NewParams(c.n, c.colors, c.gamma); err == nil {
+			t.Errorf("NewParams(%d,%d,%v) accepted", c.n, c.colors, c.gamma)
+		}
+	}
+}
+
+func TestMustParamsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustParams did not panic on invalid input")
+		}
+	}()
+	MustParams(0, 1, 1)
+}
+
+func TestPhaseOfBoundaries(t *testing.T) {
+	p := MustParams(16, 2, 1) // Q = 4
+	if p.Q != 4 {
+		t.Fatalf("Q = %d, want 4", p.Q)
+	}
+	cases := []struct {
+		round int
+		want  Phase
+	}{
+		{0, PhaseCommitment}, {3, PhaseCommitment},
+		{4, PhaseVoting}, {7, PhaseVoting},
+		{8, PhaseFindMin}, {11, PhaseFindMin},
+		{12, PhaseCoherence}, {15, PhaseCoherence},
+		{16, PhaseVerification}, {100, PhaseVerification},
+	}
+	for _, c := range cases {
+		if got := p.PhaseOf(c.round); got != c.want {
+			t.Errorf("PhaseOf(%d) = %v, want %v", c.round, got, c.want)
+		}
+	}
+}
+
+func TestPhaseString(t *testing.T) {
+	for ph, want := range map[Phase]string{
+		PhaseCommitment: "commitment", PhaseVoting: "voting",
+		PhaseFindMin: "find-min", PhaseCoherence: "coherence",
+		PhaseVerification: "verification", Phase(42): "phase(42)",
+	} {
+		if got := ph.String(); got != want {
+			t.Errorf("Phase(%d).String() = %q, want %q", int(ph), got, want)
+		}
+	}
+}
+
+func TestMessageSizesScalePolylog(t *testing.T) {
+	// The certificate of an agent with Θ(log n) votes must be O(log² n) bits.
+	for _, n := range []int{64, 1024, 16384} {
+		p := MustParams(n, 2, 2)
+		w := make([]WEntry, p.Q) // ~γ·log n votes
+		cert := Certificate{P: p, W: w}
+		logn := math.Log2(float64(n))
+		if got := float64(cert.SizeBits()); got > 20*logn*logn {
+			t.Errorf("n=%d: cert size %v bits exceeds 20·log²n = %v", n, got, 20*logn*logn)
+		}
+		in := Intentions{P: p, Votes: make([]Intent, p.Q)}
+		if got := float64(in.SizeBits()); got > 20*logn*logn {
+			t.Errorf("n=%d: intentions size %v bits exceeds 20·log²n", n, got)
+		}
+		v := Vote{P: p}
+		if got := float64(v.SizeBits()); got > 10*logn {
+			t.Errorf("n=%d: vote size %v bits exceeds 10·log n", n, got)
+		}
+	}
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Color is an element of the color space Σ, represented as an index in
+// [0, NumColors). ColorBot is the failure outcome ⊥ ∉ Σ.
+type Color int32
+
+// ColorBot is the distinguished failure value ⊥.
+const ColorBot Color = -1
+
+// Valid reports whether the color is an element of Σ for the given palette
+// size.
+func (c Color) Valid(numColors int) bool { return c >= 0 && int(c) < numColors }
+
+// Intent is one entry of a vote-intention list: "I will push value H to
+// agent Z". A value of 0 is reserved to mean "no vote" (used for peers
+// marked faulty).
+type Intent struct {
+	H uint64 // vote value in [1, m]
+	Z int32  // target agent
+}
+
+// Intentions is the payload answering a Commitment-phase pull: the full
+// declared list Hᵤ. Its wire size is q·(|h| + |z|) = O(log² n) bits, the
+// protocol's largest regular message along with certificates.
+type Intentions struct {
+	P     Params
+	Votes []Intent
+}
+
+// SizeBits returns the wire size of the intention list.
+func (in Intentions) SizeBits() int {
+	return in.P.headerBits + len(in.Votes)*(in.P.voteBits+in.P.idBits)
+}
+
+// Vote is the payload pushed during the Voting phase: a single value in
+// [1, m]. The voter identity is supplied by the secure channel, not the
+// payload.
+type Vote struct {
+	P     Params
+	Value uint64
+}
+
+// SizeBits returns the wire size of one vote.
+func (v Vote) SizeBits() int { return v.P.headerBits + v.P.voteBits }
+
+// IntentQuery asks a peer for its vote-intention list (Commitment phase).
+type IntentQuery struct{ P Params }
+
+// SizeBits returns the query size (a bare type tag).
+func (IntentQuery) SizeBits() int { return 2 }
+
+// CertQuery asks a peer for its current minimal certificate (Find-Min phase).
+type CertQuery struct{ P Params }
+
+// SizeBits returns the query size (a bare type tag).
+func (CertQuery) SizeBits() int { return 2 }
+
+// WEntry is one received vote inside a certificate: voter identity (stamped
+// by the secure channel at receipt time) and value.
+type WEntry struct {
+	Voter int32
+	Value uint64
+}
+
+// Certificate is CEᵤ = (kᵤ, Wᵤ, cᵤ, u): the claimed vote sum modulo m, the
+// multiset of received votes backing it, the owner's color, and the owner's
+// identity. Certificates travel as data — the Owner field is a claim, which
+// is exactly why the Verification phase exists.
+type Certificate struct {
+	P     Params
+	K     uint64
+	W     []WEntry
+	Color Color
+	Owner int32
+}
+
+// SizeBits returns the certificate's wire size: O(log n) votes of O(log n)
+// bits each in a good execution, hence O(log² n) overall.
+func (c *Certificate) SizeBits() int {
+	return c.P.headerBits + c.P.voteBits + len(c.W)*(c.P.idBits+c.P.voteBits) + c.P.colorBits + c.P.idBits
+}
+
+// Equal reports whether two certificates are identical, including the exact
+// multiset of votes (order-insensitive). The Coherence phase fails the
+// protocol on any inequality.
+func (c *Certificate) Equal(o *Certificate) bool {
+	if c == nil || o == nil {
+		return c == o
+	}
+	if c.K != o.K || c.Color != o.Color || c.Owner != o.Owner || len(c.W) != len(o.W) {
+		return false
+	}
+	a := append([]WEntry(nil), c.W...)
+	b := append([]WEntry(nil), o.W...)
+	less := func(x, y WEntry) bool {
+		if x.Voter != y.Voter {
+			return x.Voter < y.Voter
+		}
+		return x.Value < y.Value
+	}
+	sort.Slice(a, func(i, j int) bool { return less(a[i], a[j]) })
+	sort.Slice(b, func(i, j int) bool { return less(b[i], b[j]) })
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a deep copy, so agents can hold certificates without
+// aliasing a peer's memory.
+func (c *Certificate) Clone() *Certificate {
+	if c == nil {
+		return nil
+	}
+	cp := *c
+	cp.W = append([]WEntry(nil), c.W...)
+	return &cp
+}
+
+// Less orders certificates by K value with the owner ID as a deterministic
+// tiebreaker (ties are a bad event — they violate Definition 2.2 — but the
+// simulator must still behave deterministically when they occur).
+func (c *Certificate) Less(o *Certificate) bool {
+	if c.K != o.K {
+		return c.K < o.K
+	}
+	return c.Owner < o.Owner
+}
+
+// String renders the certificate compactly for traces and errors.
+func (c *Certificate) String() string {
+	if c == nil {
+		return "<nil cert>"
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "CE{k=%d owner=%d color=%d |W|=%d}", c.K, c.Owner, c.Color, len(c.W))
+	return sb.String()
+}
+
+// SumVotesMod returns Σ values mod m, accumulating modularly so sums never
+// overflow for m up to 2^62.
+func SumVotesMod(w []WEntry, m uint64) uint64 {
+	var sum uint64
+	for _, e := range w {
+		sum = (sum + e.Value%m) % m
+	}
+	return sum
+}

@@ -1,0 +1,198 @@
+package core
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+	"repro/internal/topo"
+)
+
+// randomCert builds a structurally random (not necessarily valid) certificate.
+func randomCert(r *rng.Source, p Params) *Certificate {
+	w := make([]WEntry, r.Intn(6))
+	for i := range w {
+		w[i] = WEntry{Voter: int32(r.Intn(p.N)), Value: r.Uint64n(p.M) + 1}
+	}
+	return &Certificate{
+		P:     p,
+		K:     r.Uint64n(p.M),
+		W:     w,
+		Color: Color(r.Intn(p.NumColors)),
+		Owner: int32(r.Intn(p.N)),
+	}
+}
+
+func TestCertificateEqualIsEquivalence(t *testing.T) {
+	p := MustParams(16, 4, 1)
+	master := rng.New(31)
+	f := func(seed uint64) bool {
+		r := master.Split(seed)
+		a := randomCert(r, p)
+		b := randomCert(r, p)
+		// Reflexive, symmetric, and clone-equal.
+		if !a.Equal(a) || !b.Equal(b) {
+			return false
+		}
+		if a.Equal(b) != b.Equal(a) {
+			return false
+		}
+		return a.Equal(a.Clone()) && b.Clone().Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCertificateEqualPermutationInvariant(t *testing.T) {
+	p := MustParams(32, 2, 1)
+	master := rng.New(37)
+	f := func(seed uint64) bool {
+		r := master.Split(seed)
+		a := randomCert(r, p)
+		b := a.Clone()
+		rng.Shuffle(r, b.W)
+		return a.Equal(b)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCertificateLessIsStrictOrder(t *testing.T) {
+	p := MustParams(16, 2, 1)
+	master := rng.New(41)
+	f := func(seed uint64) bool {
+		r := master.Split(seed)
+		a := randomCert(r, p)
+		b := randomCert(r, p)
+		c := randomCert(r, p)
+		// Irreflexive and antisymmetric.
+		if a.Less(a) {
+			return false
+		}
+		if a.Less(b) && b.Less(a) {
+			return false
+		}
+		// Transitive.
+		if a.Less(b) && b.Less(c) && !a.Less(c) {
+			return false
+		}
+		// Total on distinct (K, Owner) pairs.
+		if a.K != b.K || a.Owner != b.Owner {
+			if !a.Less(b) && !b.Less(a) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestKIsSumInvariant(t *testing.T) {
+	// Invariant: for any sequence of valid votes delivered in the voting
+	// phase, the agent's k equals the modular sum of its W, and its own
+	// certificate passes the structural half of verification.
+	p := MustParams(32, 2, 1)
+	master := rng.New(43)
+	f := func(seed uint64, nVotes uint8) bool {
+		r := master.Split(seed)
+		a := NewAgent(0, p, 0, topo.NewComplete(p.N), r.Split(1))
+		var want uint64
+		for i := 0; i < int(nVotes%40); i++ {
+			v := r.Uint64n(p.M) + 1
+			a.HandlePush(p.Q, r.Intn(p.N), Vote{P: p, Value: v})
+			want = (want + v) % p.M
+		}
+		if a.K() != want {
+			return false
+		}
+		cert := a.EnsureCertificate()
+		return SumVotesMod(cert.W, p.M) == cert.K
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerificationRejectsAnySingleVoteMutation(t *testing.T) {
+	// Invariant behind Claim 1: take an honest certificate whose voters are
+	// all known to the verifier; mutate exactly one vote value (fixing k);
+	// verification must reject.
+	p := MustParams(32, 2, 1)
+	master := rng.New(47)
+	f := func(seed uint64) bool {
+		r := master.Split(seed)
+		owner := int32(r.Intn(p.N))
+		log := NewCommitmentLog()
+		var w []WEntry
+		for v := 0; v < 4; v++ {
+			voter := int32(v)
+			intents := []Intent{{H: r.Uint64n(p.M) + 1, Z: owner}}
+			log.Record(voter, intents)
+			w = append(w, WEntry{Voter: voter, Value: intents[0].H})
+		}
+		cert := &Certificate{P: p, K: SumVotesMod(w, p.M), W: w, Color: 0, Owner: owner}
+		if VerifyCertificate(p, cert, log) != nil {
+			return false // honest cert must pass
+		}
+		mut := cert.Clone()
+		idx := r.Intn(len(mut.W))
+		old := mut.W[idx].Value
+		mut.W[idx].Value = old%p.M + 1
+		if mut.W[idx].Value == old {
+			mut.W[idx].Value = old - 1
+			if mut.W[idx].Value == 0 {
+				mut.W[idx].Value = 2
+			}
+		}
+		mut.K = SumVotesMod(mut.W, p.M)
+		return VerifyCertificate(p, mut, log) != nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommitmentLogFirstWinsProperty(t *testing.T) {
+	// Whatever interleaving of Record/MarkFaulty happens, the first verdict
+	// about a voter is the one that sticks.
+	f := func(ops []bool) bool {
+		l := NewCommitmentLog()
+		firstIsRecord := false
+		recorded := false
+		for i, isRecord := range ops {
+			if isRecord {
+				l.Record(7, []Intent{{H: uint64(i) + 1, Z: 0}})
+			} else {
+				l.MarkFaulty(7)
+			}
+			if !recorded {
+				recorded = true
+				firstIsRecord = isRecord
+			}
+		}
+		if !recorded {
+			return !l.Known(7)
+		}
+		if firstIsRecord {
+			in, ok := l.Declared(7)
+			return ok && !l.Faulty(7) && in[0].H == firstIndexValue(ops)
+		}
+		return l.Faulty(7)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func firstIndexValue(ops []bool) uint64 {
+	for i, isRecord := range ops {
+		if isRecord {
+			return uint64(i) + 1
+		}
+	}
+	return 0
+}

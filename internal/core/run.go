@@ -1,0 +1,145 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/gossip"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// RunConfig describes one cooperative (all-honest) protocol execution.
+type RunConfig struct {
+	Params Params
+	// Colors assigns the initial color of every node (length N). Entries for
+	// faulty nodes are ignored.
+	Colors []Color
+	// Faulty marks the worst-case permanent faults; nil = fault-free.
+	Faulty []bool
+	// Seed drives all randomness of the execution.
+	Seed uint64
+	// Topology defaults to the complete graph on N nodes when nil.
+	Topology topo.Topology
+	// Workers is the engine Act-phase parallelism (0 = GOMAXPROCS, 1 = serial).
+	Workers int
+	// Trace optionally receives engine events.
+	Trace trace.Sink
+}
+
+// RunResult is the observable result of one execution.
+type RunResult struct {
+	Outcome Outcome
+	Rounds  int
+	Metrics metrics.Snapshot
+	Good    GoodExecution
+	// Agents exposes the honest agents for deeper inspection.
+	Agents []*Agent
+}
+
+// Run executes Protocol P with all agents honest and returns the outcome.
+// It is the cooperative-setting experiment of Section 3.1.
+func Run(cfg RunConfig) (RunResult, error) {
+	p := cfg.Params
+	if len(cfg.Colors) != p.N {
+		return RunResult{}, fmt.Errorf("core: %d colors for n = %d", len(cfg.Colors), p.N)
+	}
+	net := cfg.Topology
+	if net == nil {
+		net = topo.NewComplete(p.N)
+	}
+	if net.N() != p.N {
+		return RunResult{}, fmt.Errorf("core: topology has %d nodes, params n = %d", net.N(), p.N)
+	}
+	master := rng.New(cfg.Seed)
+	agents := make([]gossip.Agent, p.N)
+	honest := make([]*Agent, 0, p.N)
+	for i := 0; i < p.N; i++ {
+		if cfg.Faulty != nil && cfg.Faulty[i] {
+			continue
+		}
+		if !cfg.Colors[i].Valid(p.NumColors) {
+			return RunResult{}, fmt.Errorf("core: node %d has color %d outside Σ", i, cfg.Colors[i])
+		}
+		a := NewAgent(i, p, cfg.Colors[i], net, master.Split(uint64(i)))
+		agents[i] = a
+		honest = append(honest, a)
+	}
+	var counters metrics.Counters
+	eng := gossip.NewEngine(gossip.Config{
+		Topology: net,
+		Faulty:   cfg.Faulty,
+		Counters: &counters,
+		Trace:    cfg.Trace,
+		Workers:  cfg.Workers,
+	}, agents)
+	rounds := eng.Run(p.TotalRounds() + 1)
+
+	parts := make([]Participant, p.N)
+	for i, ag := range agents {
+		if ag != nil {
+			parts[i] = ag.(*Agent)
+		}
+	}
+	return RunResult{
+		Outcome: CollectOutcome(parts, cfg.Faulty),
+		Rounds:  rounds,
+		Metrics: counters.Snapshot(),
+		Good:    CheckGoodExecution(p, honest),
+		Agents:  honest,
+	}, nil
+}
+
+// UniformColors assigns colors round-robin so each of numColors colors gets
+// an (almost) equal share of the n nodes.
+func UniformColors(n, numColors int) []Color {
+	out := make([]Color, n)
+	for i := range out {
+		out[i] = Color(i % numColors)
+	}
+	return out
+}
+
+// SplitColors assigns the first ⌊fraction·n⌋ nodes color 0 and the rest
+// color 1. It panics unless 0 ≤ fraction ≤ 1.
+func SplitColors(n int, fraction float64) []Color {
+	if fraction < 0 || fraction > 1 {
+		panic("core: SplitColors fraction out of range")
+	}
+	cut := int(fraction * float64(n))
+	out := make([]Color, n)
+	for i := range out {
+		if i < cut {
+			out[i] = 0
+		} else {
+			out[i] = 1
+		}
+	}
+	return out
+}
+
+// LeaderElectionColors gives every node its own color (color = ID), turning
+// fair consensus into fair leader election, the special case highlighted in
+// Sections 1–2.
+func LeaderElectionColors(n int) []Color {
+	out := make([]Color, n)
+	for i := range out {
+		out[i] = Color(i)
+	}
+	return out
+}
+
+// WorstCaseFaults marks the first ⌊α·n⌋ nodes faulty — a deterministic
+// adversarial placement (IDs are exchangeable, so any fixed set is as
+// adversarial as any other for this protocol).
+func WorstCaseFaults(n int, alpha float64) []bool {
+	if alpha < 0 || alpha >= 1 {
+		panic("core: WorstCaseFaults needs 0 ≤ α < 1")
+	}
+	f := make([]bool, n)
+	for i := 0; i < int(alpha*float64(n)); i++ {
+		f[i] = true
+	}
+	return f
+}

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+)
+
+// CommitmentLog is an agent's Lᵤ: the vote intentions it collected during
+// the Commitment phase, plus the set of peers it marked faulty for not
+// answering (whose votes all count as 0 per the protocol).
+//
+// The first declaration received from a peer is binding — subsequent
+// declarations (which only a deviating peer would vary) are ignored, mirroring
+// the h* definition in the proof of Theorem 7.
+type CommitmentLog struct {
+	declared map[int32][]Intent
+	faulty   map[int32]bool
+}
+
+// NewCommitmentLog returns an empty log.
+func NewCommitmentLog() *CommitmentLog {
+	return &CommitmentLog{
+		declared: make(map[int32][]Intent),
+		faulty:   make(map[int32]bool),
+	}
+}
+
+// Record stores voter's declared intentions if this is the first information
+// about voter; it reports whether the declaration was recorded.
+func (l *CommitmentLog) Record(voter int32, intents []Intent) bool {
+	if l.Known(voter) {
+		return false
+	}
+	l.declared[voter] = append([]Intent(nil), intents...)
+	return true
+}
+
+// MarkFaulty records that voter failed to answer a pull; all its votes are
+// treated as 0 from now on. A voter already recorded stays recorded.
+func (l *CommitmentLog) MarkFaulty(voter int32) {
+	if l.Known(voter) {
+		return
+	}
+	l.faulty[voter] = true
+}
+
+// Known reports whether the log holds any verdict (declaration or faulty
+// mark) about voter.
+func (l *CommitmentLog) Known(voter int32) bool {
+	if _, ok := l.declared[voter]; ok {
+		return true
+	}
+	return l.faulty[voter]
+}
+
+// Faulty reports whether voter was marked faulty.
+func (l *CommitmentLog) Faulty(voter int32) bool { return l.faulty[voter] }
+
+// Declared returns voter's recorded intention list and whether one exists.
+func (l *CommitmentLog) Declared(voter int32) ([]Intent, bool) {
+	in, ok := l.declared[voter]
+	return in, ok
+}
+
+// Size returns the number of peers the log has information about.
+func (l *CommitmentLog) Size() int { return len(l.declared) + len(l.faulty) }
+
+// ExpectedVotesFor returns the multiset (sorted) of values voter committed
+// to push to target. A faulty-marked voter commits to nothing.
+func (l *CommitmentLog) ExpectedVotesFor(voter, target int32) []uint64 {
+	if l.faulty[voter] {
+		return nil
+	}
+	var out []uint64
+	for _, in := range l.declared[voter] {
+		if in.Z == target {
+			out = append(out, in.H)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// VerifyCertificate implements the Verification phase of Algorithm 1: it
+// accepts the winning certificate only if
+//
+//  1. it is structurally sound (owner and color in range, vote values in
+//     [1, m], k < m),
+//  2. k = Σ_{h∈W} h mod m, and
+//  3. W is consistent with the verifier's commitment log: for every voter
+//     the verifier has information about, the multiset of that voter's votes
+//     to the certificate owner inside W must exactly equal the declared
+//     votes for the owner (none, for a voter marked faulty).
+//
+// Consistency is two-sided: an altered vote, an extra vote, and a *missing*
+// committed vote all reject. The missing-vote direction is what stops a
+// cheating winner from dropping votes to lower its k (Claim 1 in the paper's
+// Theorem 7 proof relies on some honest agent holding the dropped voter's
+// commitment).
+//
+// A nil error means the verifier supports cert.Color; any error means the
+// verifier makes the protocol fail.
+func VerifyCertificate(p Params, cert *Certificate, log *CommitmentLog) error {
+	if cert == nil {
+		return fmt.Errorf("verify: no certificate")
+	}
+	if cert.Owner < 0 || int(cert.Owner) >= p.N {
+		return fmt.Errorf("verify: owner %d out of range", cert.Owner)
+	}
+	if !cert.Color.Valid(p.NumColors) {
+		return fmt.Errorf("verify: color %d not in Σ", cert.Color)
+	}
+	if cert.K >= p.M {
+		return fmt.Errorf("verify: k = %d outside [0, m)", cert.K)
+	}
+	for _, e := range cert.W {
+		if e.Value == 0 || e.Value > p.M {
+			return fmt.Errorf("verify: vote value %d from %d outside [1, m]", e.Value, e.Voter)
+		}
+		if e.Voter < 0 || int(e.Voter) >= p.N {
+			return fmt.Errorf("verify: voter %d out of range", e.Voter)
+		}
+	}
+	if got := SumVotesMod(cert.W, p.M); got != cert.K {
+		return fmt.Errorf("verify: k = %d but ΣW mod m = %d", cert.K, got)
+	}
+
+	// Group W's values by voter.
+	byVoter := make(map[int32][]uint64)
+	for _, e := range cert.W {
+		byVoter[e.Voter] = append(byVoter[e.Voter], e.Value)
+	}
+	checked := make(map[int32]bool)
+	for voter, actual := range byVoter {
+		if !log.Known(voter) {
+			continue // no commitment information; nothing to check
+		}
+		checked[voter] = true
+		expected := log.ExpectedVotesFor(voter, cert.Owner)
+		if !equalMultisets(actual, expected) {
+			return fmt.Errorf("verify: voter %d votes to %d are %v, committed %v",
+				voter, cert.Owner, sortedCopy(actual), expected)
+		}
+	}
+	// Voters the verifier knows about but that are absent from W must have
+	// committed no votes for the owner.
+	for voter := range log.declared {
+		if checked[voter] {
+			continue
+		}
+		if exp := log.ExpectedVotesFor(voter, cert.Owner); len(exp) > 0 {
+			return fmt.Errorf("verify: voter %d committed votes %v to %d but W has none",
+				voter, exp, cert.Owner)
+		}
+	}
+	return nil
+}
+
+func equalMultisets(a, b []uint64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as := sortedCopy(a)
+	bs := sortedCopy(b)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func sortedCopy(xs []uint64) []uint64 {
+	out := append([]uint64(nil), xs...)
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestCommitmentLogFirstDeclarationBinding(t *testing.T) {
+	l := NewCommitmentLog()
+	if !l.Record(3, []Intent{{H: 10, Z: 1}}) {
+		t.Fatal("first Record rejected")
+	}
+	if l.Record(3, []Intent{{H: 99, Z: 1}}) {
+		t.Fatal("second Record accepted")
+	}
+	in, ok := l.Declared(3)
+	if !ok || len(in) != 1 || in[0].H != 10 {
+		t.Fatalf("Declared = %v, %v", in, ok)
+	}
+}
+
+func TestCommitmentLogMarkFaulty(t *testing.T) {
+	l := NewCommitmentLog()
+	l.MarkFaulty(5)
+	if !l.Faulty(5) || !l.Known(5) {
+		t.Fatal("faulty mark not recorded")
+	}
+	// A mark after a declaration must not erase the declaration.
+	l.Record(7, []Intent{{H: 1, Z: 0}})
+	l.MarkFaulty(7)
+	if l.Faulty(7) {
+		t.Fatal("declaration overwritten by faulty mark")
+	}
+	// A declaration after a mark must not unmark.
+	if l.Record(5, []Intent{{H: 2, Z: 0}}) {
+		t.Fatal("declaration accepted after faulty mark")
+	}
+	if l.Size() != 2 {
+		t.Fatalf("Size = %d, want 2", l.Size())
+	}
+}
+
+func TestExpectedVotesFor(t *testing.T) {
+	l := NewCommitmentLog()
+	l.Record(1, []Intent{{H: 30, Z: 9}, {H: 10, Z: 9}, {H: 20, Z: 4}})
+	got := l.ExpectedVotesFor(1, 9)
+	if len(got) != 2 || got[0] != 10 || got[1] != 30 {
+		t.Fatalf("ExpectedVotesFor = %v, want sorted [10 30]", got)
+	}
+	if len(l.ExpectedVotesFor(1, 5)) != 0 {
+		t.Fatal("votes for unrelated target")
+	}
+	l.MarkFaulty(2)
+	if len(l.ExpectedVotesFor(2, 9)) != 0 {
+		t.Fatal("faulty voter has expected votes")
+	}
+	if len(l.ExpectedVotesFor(99, 9)) != 0 {
+		t.Fatal("unknown voter has expected votes")
+	}
+}
+
+// buildHonestCert builds a certificate and a verifier log that are mutually
+// consistent, as they would be after an honest execution.
+func buildHonestCert(t *testing.T, p Params) (*Certificate, *CommitmentLog) {
+	t.Helper()
+	r := rng.New(1)
+	owner := int32(2)
+	log := NewCommitmentLog()
+	var w []WEntry
+	// Three voters declare intentions; all their votes for owner are in W.
+	for voter := int32(3); voter <= 5; voter++ {
+		intents := []Intent{
+			{H: r.Uint64n(p.M) + 1, Z: owner},
+			{H: r.Uint64n(p.M) + 1, Z: (owner + 1) % int32(p.N)},
+		}
+		log.Record(voter, intents)
+		for _, in := range intents {
+			if in.Z == owner {
+				w = append(w, WEntry{Voter: voter, Value: in.H})
+			}
+		}
+	}
+	// One voter the verifier knows nothing about also voted.
+	w = append(w, WEntry{Voter: 6, Value: 77})
+	return &Certificate{P: p, K: SumVotesMod(w, p.M), W: w, Color: 1, Owner: owner}, log
+}
+
+func TestVerifyAcceptsHonestCertificate(t *testing.T) {
+	p := MustParams(8, 2, 1)
+	cert, log := buildHonestCert(t, p)
+	if err := VerifyCertificate(p, cert, log); err != nil {
+		t.Fatalf("honest certificate rejected: %v", err)
+	}
+}
+
+func TestVerifyRejectsNil(t *testing.T) {
+	p := MustParams(8, 2, 1)
+	if err := VerifyCertificate(p, nil, NewCommitmentLog()); err == nil {
+		t.Fatal("nil certificate accepted")
+	}
+}
+
+func TestVerifyRejectsBadK(t *testing.T) {
+	p := MustParams(8, 2, 1)
+	cert, log := buildHonestCert(t, p)
+	cert.K = (cert.K + 1) % p.M
+	if err := VerifyCertificate(p, cert, log); err == nil {
+		t.Fatal("k ≠ ΣW accepted")
+	}
+}
+
+func TestVerifyRejectsKOutOfRange(t *testing.T) {
+	p := MustParams(8, 2, 1)
+	cert, log := buildHonestCert(t, p)
+	cert.K = p.M
+	if err := VerifyCertificate(p, cert, log); err == nil {
+		t.Fatal("k ≥ m accepted")
+	}
+}
+
+func TestVerifyRejectsAlteredVote(t *testing.T) {
+	p := MustParams(8, 2, 1)
+	cert, log := buildHonestCert(t, p)
+	// Alter a committed vote and fix up k so the sum check passes: the
+	// commitment consistency check must still catch it.
+	old := cert.W[0].Value
+	cert.W[0].Value = old%p.M + 1
+	if cert.W[0].Value == old {
+		cert.W[0].Value++
+	}
+	cert.K = SumVotesMod(cert.W, p.M)
+	if err := VerifyCertificate(p, cert, log); err == nil {
+		t.Fatal("altered committed vote accepted")
+	}
+}
+
+func TestVerifyRejectsDroppedVote(t *testing.T) {
+	p := MustParams(8, 2, 1)
+	cert, log := buildHonestCert(t, p)
+	// Drop a committed vote (the cheating-winner strategy for lowering k).
+	cert.W = cert.W[1:]
+	cert.K = SumVotesMod(cert.W, p.M)
+	if err := VerifyCertificate(p, cert, log); err == nil {
+		t.Fatal("dropped committed vote accepted")
+	}
+}
+
+func TestVerifyRejectsExtraVote(t *testing.T) {
+	p := MustParams(8, 2, 1)
+	cert, log := buildHonestCert(t, p)
+	// A known voter "voted" a second time beyond its declaration.
+	cert.W = append(cert.W, WEntry{Voter: 3, Value: 123})
+	cert.K = SumVotesMod(cert.W, p.M)
+	if err := VerifyCertificate(p, cert, log); err == nil {
+		t.Fatal("extra undeclared vote from known voter accepted")
+	}
+}
+
+func TestVerifyRejectsVoteFromFaultyMarked(t *testing.T) {
+	p := MustParams(8, 2, 1)
+	cert, log := buildHonestCert(t, p)
+	log.MarkFaulty(7)
+	cert.W = append(cert.W, WEntry{Voter: 7, Value: 55})
+	cert.K = SumVotesMod(cert.W, p.M)
+	if err := VerifyCertificate(p, cert, log); err == nil {
+		t.Fatal("vote from faulty-marked voter accepted")
+	}
+}
+
+func TestVerifyAllowsUnknownVoters(t *testing.T) {
+	p := MustParams(8, 2, 1)
+	cert, log := buildHonestCert(t, p)
+	cert.W = append(cert.W, WEntry{Voter: 0, Value: 100})
+	cert.K = SumVotesMod(cert.W, p.M)
+	if err := VerifyCertificate(p, cert, log); err != nil {
+		t.Fatalf("vote from unknown voter rejected: %v", err)
+	}
+}
+
+func TestVerifyRejectsStructuralJunk(t *testing.T) {
+	p := MustParams(8, 2, 1)
+	base, log := buildHonestCert(t, p)
+	for name, mutate := range map[string]func(*Certificate){
+		"owner negative":  func(c *Certificate) { c.Owner = -1 },
+		"owner too large": func(c *Certificate) { c.Owner = int32(p.N) },
+		"color bot":       func(c *Certificate) { c.Color = ColorBot },
+		"color too large": func(c *Certificate) { c.Color = Color(p.NumColors) },
+		"zero vote value": func(c *Certificate) {
+			c.W = append(c.W, WEntry{Voter: 6, Value: 0})
+		},
+		"huge vote value": func(c *Certificate) {
+			c.W = append(c.W, WEntry{Voter: 6, Value: p.M + 1})
+		},
+		"voter out of range": func(c *Certificate) {
+			c.W = append(c.W, WEntry{Voter: 99, Value: 5})
+		},
+	} {
+		c := base.Clone()
+		mutate(c)
+		c.K = SumVotesMod(c.W, p.M)
+		if c.K >= p.M {
+			c.K = 0 // keep the k-range check out of the way for value tests
+		}
+		if err := VerifyCertificate(p, c, log); err == nil {
+			t.Errorf("structural junk %q accepted", name)
+		}
+	}
+}
+
+func TestVerifyPropertyHonestCertsAlwaysAccepted(t *testing.T) {
+	// Property: any certificate built by faithfully collecting declared
+	// votes is accepted by a verifier holding any subset of the declarations.
+	p := MustParams(32, 4, 1)
+	master := rng.New(99)
+	for trial := 0; trial < 200; trial++ {
+		r := master.Split(uint64(trial))
+		owner := int32(r.Intn(p.N))
+		full := NewCommitmentLog()
+		verifier := NewCommitmentLog()
+		var w []WEntry
+		voters := r.Intn(10) + 1
+		for v := 0; v < voters; v++ {
+			voter := int32(r.Intn(p.N))
+			if full.Known(voter) {
+				continue
+			}
+			intents := make([]Intent, r.Intn(4)+1)
+			for i := range intents {
+				intents[i] = Intent{H: r.Uint64n(p.M) + 1, Z: int32(r.Intn(p.N))}
+			}
+			full.Record(voter, intents)
+			if r.Bool(0.5) {
+				verifier.Record(voter, intents)
+			}
+			for _, in := range intents {
+				if in.Z == owner {
+					w = append(w, WEntry{Voter: voter, Value: in.H})
+				}
+			}
+		}
+		cert := &Certificate{
+			P: p, K: SumVotesMod(w, p.M), W: w,
+			Color: Color(r.Intn(p.NumColors)), Owner: owner,
+		}
+		if err := VerifyCertificate(p, cert, verifier); err != nil {
+			t.Fatalf("trial %d: honest cert rejected: %v", trial, err)
+		}
+	}
+}

@@ -1,0 +1,47 @@
+package core
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/gossip"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/topo"
+)
+
+func TestTopoDebug(t *testing.T) {
+	const n = 64
+	p := MustParams(n, 2, DefaultGamma)
+	colors := SplitColors(n, 0.5)
+	net := topo.NewRandomRegular(n, 8, 9)
+	master := rng.New(12345)
+	agents := make([]gossip.Agent, n)
+	aa := make([]*Agent, n)
+	for i := 0; i < n; i++ {
+		a := NewAgent(i, p, colors[i], net, master.Split(uint64(i)))
+		agents[i] = a
+		aa[i] = a
+	}
+	var c metrics.Counters
+	eng := gossip.NewEngine(gossip.Config{Topology: net, Counters: &c, Workers: 1}, agents)
+	eng.Run(p.TotalRounds() + 1)
+	fmt.Println("dropped actions:", eng.DroppedActions())
+	coherence, verify := 0, 0
+	var verr error
+	certs := map[uint64]int{}
+	for _, a := range aa {
+		certs[a.MinCertificate().K]++
+		if a.Failed() {
+			if err := VerifyCertificate(p, a.MinCertificate(), a.Log()); err != nil {
+				verify++
+				if verr == nil {
+					verr = err
+				}
+			} else {
+				coherence++
+			}
+		}
+	}
+	fmt.Printf("coherenceFail=%d verifyFail=%d distinctMinCerts=%d err=%v\n", coherence, verify, len(certs), verr)
+}

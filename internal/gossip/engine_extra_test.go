@@ -1,0 +1,148 @@
+package gossip
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+func TestTraceEventsEmitted(t *testing.T) {
+	ss := newScripted(3)
+	ss[0].script = []Action{PushTo(1, word{bits: 8})}
+	ss[2].script = []Action{PullFrom(1, word{bits: 4})}
+	var sink trace.Memory
+	e := NewEngine(Config{Topology: topo.NewComplete(3), Trace: &sink}, asAgents(ss))
+	e.Step()
+	if sink.CountKind(trace.KindPush) != 1 {
+		t.Fatalf("push events = %d", sink.CountKind(trace.KindPush))
+	}
+	if sink.CountKind(trace.KindPull) != 1 {
+		t.Fatalf("pull events = %d", sink.CountKind(trace.KindPull))
+	}
+}
+
+func TestTracePullNoReplyNote(t *testing.T) {
+	ss := newScripted(2)
+	ss[0].script = []Action{PullFrom(1, word{bits: 4})}
+	ss[1].refuse = true
+	var sink trace.Memory
+	e := NewEngine(Config{Topology: topo.NewComplete(2), Trace: &sink}, asAgents(ss))
+	e.Step()
+	evs := sink.Events()
+	found := false
+	for _, ev := range evs {
+		if ev.Kind == trace.KindPull && ev.Note == "refused" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("refused pull not annotated: %v", evs)
+	}
+}
+
+func TestExternalCountersShared(t *testing.T) {
+	var c metrics.Counters
+	ss := newScripted(2)
+	ss[0].script = []Action{PushTo(1, word{bits: 8})}
+	e := NewEngine(Config{Topology: topo.NewComplete(2), Counters: &c}, asAgents(ss))
+	e.Step()
+	if c.Messages() != 1 {
+		t.Fatal("external counters not used")
+	}
+	if e.Counters() != &c {
+		t.Fatal("Counters() returns a different object")
+	}
+}
+
+func TestEngineRoundAccessor(t *testing.T) {
+	ss := newScripted(2)
+	e := NewEngine(Config{Topology: topo.NewComplete(2)}, asAgents(ss))
+	if e.Round() != 0 {
+		t.Fatal("initial round not 0")
+	}
+	e.Step()
+	e.Step()
+	if e.Round() != 2 {
+		t.Fatalf("Round = %d", e.Round())
+	}
+}
+
+func TestRunZeroMaxRounds(t *testing.T) {
+	ss := newScripted(2)
+	e := NewEngine(Config{Topology: topo.NewComplete(2)}, asAgents(ss))
+	if ran := e.Run(0); ran != 0 {
+		t.Fatalf("Run(0) executed %d rounds", ran)
+	}
+}
+
+func TestAsyncEngineRunStopsOnDecided(t *testing.T) {
+	agents := []Agent{
+		&decidingAgent{decideAt: 0},
+		&decidingAgent{decideAt: 0},
+	}
+	e := NewAsyncEngine(Config{Topology: topo.NewComplete(2)}, agents, rng.New(1))
+	// decidingAgent.Decided is based on the last Act round; drive a few
+	// ticks so both agents act.
+	ran := e.Run(100)
+	if ran > 20 {
+		t.Fatalf("async Run did not stop early: %d ticks", ran)
+	}
+}
+
+func TestAsyncEngineDroppedActions(t *testing.T) {
+	ss := newScripted(6)
+	for r := 0; r < 50; r++ {
+		ss[0].script = append(ss[0].script, PushTo(3, word{bits: 8})) // chord on a ring
+	}
+	e := NewAsyncEngine(Config{Topology: topo.NewRing(6)}, asAgents(ss), rng.New(2))
+	for i := 0; i < 60; i++ {
+		e.Tick()
+	}
+	if e.DroppedActions() == 0 {
+		t.Fatal("illegal async actions not dropped")
+	}
+	if len(ss[3].pushes) != 0 {
+		t.Fatal("illegal async push delivered")
+	}
+}
+
+func TestAsyncEnginePanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("mismatched agents accepted")
+		}
+	}()
+	NewAsyncEngine(Config{Topology: topo.NewComplete(3)}, make([]Agent, 2), rng.New(1))
+}
+
+func TestAsyncEngineAllFaulty(t *testing.T) {
+	e := NewAsyncEngine(Config{
+		Topology: topo.NewComplete(2),
+		Faulty:   []bool{true, true},
+	}, make([]Agent, 2), rng.New(1))
+	e.Tick() // must not panic; ticks still advance
+	if e.TickCount() != 1 {
+		t.Fatalf("TickCount = %d", e.TickCount())
+	}
+}
+
+func TestPayloadBitsNil(t *testing.T) {
+	if payloadBits(nil) != 0 {
+		t.Fatal("nil payload has size")
+	}
+}
+
+func TestSelfPullWithRefusingSelf(t *testing.T) {
+	// A self-pull on an agent that refuses pulls delivers nil locally.
+	ss := newScripted(1)
+	ss[0].script = []Action{PullFrom(0, word{bits: 4})}
+	ss[0].refuse = true
+	e := NewEngine(Config{Topology: topo.NewComplete(1)}, asAgents(ss))
+	e.Step()
+	if len(ss[0].replies) != 1 || ss[0].replies[0] != -1 {
+		t.Fatalf("self-refusal replies = %v", ss[0].replies)
+	}
+}

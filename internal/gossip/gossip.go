@@ -1,0 +1,425 @@
+// Package gossip implements the paper's communication model (Section 2): a
+// synchronous network of n nodes where, in every round, each node actively
+// performs at most one push or one pull operation towards one peer, while
+// passively receiving any number of messages. Channels are secure: the engine
+// stamps the true sender identity on every delivery, so agents can lie about
+// payload content but never about who they are — exactly the paper's
+// assumption that peers "cannot cheat each other about their IDs".
+//
+// Permanent worst-case faults (Section 2) are first-class: a faulty node is
+// quiescent from round 0 — it never acts, never receives, and never answers a
+// pull. An active agent that deliberately ignores a pull is indistinguishable
+// from a faulty one at the puller, which is precisely the "pretend to be
+// faulty" deviation the protocol must tolerate.
+//
+// The package also provides AsyncEngine, a sequential GOSSIP scheduler (one
+// random node awake per tick) for the paper's second open problem.
+package gossip
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/par"
+	"repro/internal/rng"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// Payload is any message content. SizeBits must return the wire size used
+// for communication-complexity accounting; it should reflect the information
+// content (e.g. a vote is O(log n) bits, a certificate O(log² n)).
+type Payload interface {
+	SizeBits() int
+}
+
+// ActionKind enumerates what an agent does with its one active operation.
+type ActionKind uint8
+
+// The three possible uses of a round's active slot.
+const (
+	ActNone ActionKind = iota
+	ActPush
+	ActPull
+)
+
+// Action is an agent's single active operation for a round.
+type Action struct {
+	Kind    ActionKind
+	To      int
+	Payload Payload // pushed content, or the pull query
+}
+
+// NoAction returns the idle action.
+func NoAction() Action { return Action{Kind: ActNone} }
+
+// PushTo builds a push action.
+func PushTo(to int, p Payload) Action { return Action{Kind: ActPush, To: to, Payload: p} }
+
+// PullFrom builds a pull action with the given query payload.
+func PullFrom(to int, query Payload) Action { return Action{Kind: ActPull, To: to, Payload: query} }
+
+// Agent is a protocol participant. The engine calls the methods in a fixed
+// per-round order: Act for every agent first, then HandlePush deliveries,
+// then HandlePull/HandlePullReply exchanges. Act and the handlers for one
+// agent are never invoked concurrently; Act may run in parallel across
+// different agents, so it must touch only its own agent's state.
+type Agent interface {
+	// Act returns the agent's single active operation for the round.
+	Act(round int) Action
+	// HandlePush receives a payload pushed by from in this round.
+	HandlePush(round, from int, p Payload)
+	// HandlePull answers a pull request; returning nil refuses to answer
+	// (the puller observes the same silence a faulty node would produce).
+	HandlePull(round, from int, query Payload) Payload
+	// HandlePullReply receives the answer to this agent's pull. reply is nil
+	// when the target was faulty, silent, or the pull was dropped.
+	HandlePullReply(round, from int, reply Payload)
+}
+
+// Decider is implemented by agents that eventually fix an output. The engine
+// uses it for early termination and outcome collection.
+type Decider interface {
+	// Decided reports whether the agent has reached a final state.
+	Decided() bool
+	// Output returns the final value (protocol-defined) once Decided.
+	Output() int
+}
+
+// Config configures an Engine.
+type Config struct {
+	Topology topo.Topology
+	// Faulty marks permanently faulty nodes; nil means fault-free. The slice
+	// length must equal Topology.N().
+	Faulty []bool
+	// Counters receives communication accounting; nil allocates a private one.
+	Counters *metrics.Counters
+	// Trace receives events; nil disables tracing.
+	Trace trace.Sink
+	// Workers is the parallelism for the Act phase; 0 means GOMAXPROCS,
+	// 1 forces sequential.
+	Workers int
+}
+
+// Engine executes synchronous GOSSIP rounds over a set of agents.
+type Engine struct {
+	topo     topo.Topology
+	agents   []Agent
+	faulty   []bool
+	counters *metrics.Counters
+	sink     trace.Sink
+	workers  int
+	round    int
+	actions  []Action // scratch, reused across rounds
+	dropped  int      // actions dropped for violating the topology
+}
+
+// NewEngine builds an engine for the given agents. agents[i] is the agent at
+// node i; entries for faulty nodes may be nil. It panics on size mismatches
+// so misconfigured experiments fail loudly.
+func NewEngine(cfg Config, agents []Agent) *Engine {
+	n := cfg.Topology.N()
+	if len(agents) != n {
+		panic(fmt.Sprintf("gossip: %d agents for %d nodes", len(agents), n))
+	}
+	faulty := cfg.Faulty
+	if faulty == nil {
+		faulty = make([]bool, n)
+	}
+	if len(faulty) != n {
+		panic(fmt.Sprintf("gossip: faulty mask has %d entries for %d nodes", len(faulty), n))
+	}
+	for i, a := range agents {
+		if a == nil && !faulty[i] {
+			panic(fmt.Sprintf("gossip: active node %d has no agent", i))
+		}
+	}
+	counters := cfg.Counters
+	if counters == nil {
+		counters = &metrics.Counters{}
+	}
+	return &Engine{
+		topo:     cfg.Topology,
+		agents:   agents,
+		faulty:   faulty,
+		counters: counters,
+		sink:     cfg.Trace,
+		workers:  cfg.Workers,
+		actions:  make([]Action, n),
+	}
+}
+
+// Round returns the number of rounds executed so far.
+func (e *Engine) Round() int { return e.round }
+
+// Counters returns the engine's communication counters.
+func (e *Engine) Counters() *metrics.Counters { return e.counters }
+
+// DroppedActions returns how many actions were discarded because they
+// addressed a non-neighbor or an out-of-range node.
+func (e *Engine) DroppedActions() int { return e.dropped }
+
+// Step executes one synchronous round: collect every active agent's action
+// (possibly in parallel), deliver pushes in node-ID order, then resolve pulls
+// in node-ID order. The fixed orders make executions deterministic for a
+// given seed assignment regardless of Workers.
+func (e *Engine) Step() {
+	n := len(e.agents)
+	round := e.round
+
+	// Decision phase: agents choose their one active operation. Safe to
+	// parallelize because Act only touches the agent's own state.
+	par.ForN(e.workers, n, func(i int) {
+		if e.faulty[i] || e.agents[i] == nil {
+			e.actions[i] = NoAction()
+			return
+		}
+		e.actions[i] = e.agents[i].Act(round)
+	})
+
+	// Validate actions against the topology.
+	for u := range e.actions {
+		a := &e.actions[u]
+		if a.Kind == ActNone {
+			continue
+		}
+		if a.To < 0 || a.To >= n || !e.topo.CanSend(u, a.To) {
+			e.dropped++
+			e.emit(trace.Event{Round: round, Kind: trace.KindDrop, From: u, To: a.To})
+			*a = NoAction()
+		}
+	}
+
+	// Push delivery phase (node-ID order).
+	for u := 0; u < n; u++ {
+		a := e.actions[u]
+		if a.Kind != ActPush {
+			continue
+		}
+		if u == a.To {
+			// Self-push is a local operation: delivered, not counted.
+			e.agents[u].HandlePush(round, u, a.Payload)
+			continue
+		}
+		size := payloadBits(a.Payload)
+		e.counters.AddPush()
+		e.counters.AddMessage(size)
+		e.emit(trace.Event{Round: round, Kind: trace.KindPush, From: u, To: a.To})
+		if e.faulty[a.To] {
+			continue // pushed into the void; cost already incurred
+		}
+		e.agents[a.To].HandlePush(round, u, a.Payload)
+	}
+
+	// Pull phase (node-ID order). A pull is a query message followed by an
+	// optional reply message; both are counted when they cross a link.
+	for u := 0; u < n; u++ {
+		a := e.actions[u]
+		if a.Kind != ActPull {
+			continue
+		}
+		if u == a.To {
+			// Self-pull resolves locally, free of charge.
+			reply := e.agents[u].HandlePull(round, u, a.Payload)
+			e.agents[u].HandlePullReply(round, u, reply)
+			continue
+		}
+		e.counters.AddMessage(payloadBits(a.Payload))
+		if e.faulty[a.To] {
+			e.counters.AddPull(false)
+			e.emit(trace.Event{Round: round, Kind: trace.KindPull, From: u, To: a.To, Note: "no-reply"})
+			e.agents[u].HandlePullReply(round, a.To, nil)
+			continue
+		}
+		reply := e.agents[a.To].HandlePull(round, u, a.Payload)
+		if reply == nil {
+			e.counters.AddPull(false)
+			e.emit(trace.Event{Round: round, Kind: trace.KindPull, From: u, To: a.To, Note: "refused"})
+			e.agents[u].HandlePullReply(round, a.To, nil)
+			continue
+		}
+		e.counters.AddPull(true)
+		e.counters.AddMessage(payloadBits(reply))
+		e.emit(trace.Event{Round: round, Kind: trace.KindPull, From: u, To: a.To})
+		e.agents[u].HandlePullReply(round, a.To, reply)
+	}
+
+	e.counters.AddRound()
+	e.round++
+}
+
+// Run executes rounds until every active Decider agent has decided, or until
+// maxRounds have been executed. It returns the number of rounds run.
+func (e *Engine) Run(maxRounds int) int {
+	start := e.round
+	for e.round-start < maxRounds {
+		if e.allDecided() {
+			break
+		}
+		e.Step()
+	}
+	return e.round - start
+}
+
+func (e *Engine) allDecided() bool {
+	for i, a := range e.agents {
+		if e.faulty[i] || a == nil {
+			continue
+		}
+		d, ok := a.(Decider)
+		if !ok || !d.Decided() {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *Engine) emit(ev trace.Event) {
+	if e.sink != nil {
+		e.sink.Emit(ev)
+	}
+}
+
+func payloadBits(p Payload) int {
+	if p == nil {
+		return 0
+	}
+	return p.SizeBits()
+}
+
+// AsyncEngine implements the sequential GOSSIP model from the paper's second
+// open problem: at every tick exactly one agent, chosen uniformly at random
+// among the active ones, wakes up and performs one push or pull. All other
+// semantics (secure channels, quiescent faults, accounting) match Engine.
+type AsyncEngine struct {
+	topo     topo.Topology
+	agents   []Agent
+	faulty   []bool
+	active   []int // indices of active nodes, for uniform waking
+	counters *metrics.Counters
+	sink     trace.Sink
+	r        *rng.Source
+	tick     int
+	dropped  int
+}
+
+// NewAsyncEngine builds a sequential-GOSSIP engine; sched drives the wake-up
+// choices. Panics mirror NewEngine's.
+func NewAsyncEngine(cfg Config, agents []Agent, sched *rng.Source) *AsyncEngine {
+	n := cfg.Topology.N()
+	if len(agents) != n {
+		panic(fmt.Sprintf("gossip: %d agents for %d nodes", len(agents), n))
+	}
+	faulty := cfg.Faulty
+	if faulty == nil {
+		faulty = make([]bool, n)
+	}
+	if len(faulty) != n {
+		panic(fmt.Sprintf("gossip: faulty mask has %d entries for %d nodes", len(faulty), n))
+	}
+	var active []int
+	for i := 0; i < n; i++ {
+		if !faulty[i] {
+			if agents[i] == nil {
+				panic(fmt.Sprintf("gossip: active node %d has no agent", i))
+			}
+			active = append(active, i)
+		}
+	}
+	counters := cfg.Counters
+	if counters == nil {
+		counters = &metrics.Counters{}
+	}
+	return &AsyncEngine{
+		topo:     cfg.Topology,
+		agents:   agents,
+		faulty:   faulty,
+		active:   active,
+		counters: counters,
+		sink:     cfg.Trace,
+		r:        sched,
+	}
+}
+
+// Tick wakes one uniformly random active agent and executes its action.
+// The tick number is passed to the agent as its "round".
+func (e *AsyncEngine) Tick() {
+	if len(e.active) == 0 {
+		e.tick++
+		return
+	}
+	u := e.active[e.r.Intn(len(e.active))]
+	a := e.agents[u].Act(e.tick)
+	n := len(e.agents)
+	switch {
+	case a.Kind == ActNone:
+	case a.To < 0 || a.To >= n || !e.topo.CanSend(u, a.To):
+		e.dropped++
+		if e.sink != nil {
+			e.sink.Emit(trace.Event{Round: e.tick, Kind: trace.KindDrop, From: u, To: a.To})
+		}
+	case a.Kind == ActPush:
+		if u == a.To {
+			e.agents[u].HandlePush(e.tick, u, a.Payload)
+			break
+		}
+		e.counters.AddPush()
+		e.counters.AddMessage(payloadBits(a.Payload))
+		if !e.faulty[a.To] {
+			e.agents[a.To].HandlePush(e.tick, u, a.Payload)
+		}
+	case a.Kind == ActPull:
+		if u == a.To {
+			reply := e.agents[u].HandlePull(e.tick, u, a.Payload)
+			e.agents[u].HandlePullReply(e.tick, u, reply)
+			break
+		}
+		e.counters.AddMessage(payloadBits(a.Payload))
+		if e.faulty[a.To] {
+			e.counters.AddPull(false)
+			e.agents[u].HandlePullReply(e.tick, a.To, nil)
+			break
+		}
+		reply := e.agents[a.To].HandlePull(e.tick, u, a.Payload)
+		if reply == nil {
+			e.counters.AddPull(false)
+			e.agents[u].HandlePullReply(e.tick, a.To, nil)
+			break
+		}
+		e.counters.AddPull(true)
+		e.counters.AddMessage(payloadBits(reply))
+		e.agents[u].HandlePullReply(e.tick, a.To, reply)
+	}
+	e.counters.AddRound()
+	e.tick++
+}
+
+// Run ticks until all active Decider agents decide or maxTicks elapse,
+// returning the number of ticks executed.
+func (e *AsyncEngine) Run(maxTicks int) int {
+	start := e.tick
+	for e.tick-start < maxTicks {
+		done := true
+		for _, u := range e.active {
+			d, ok := e.agents[u].(Decider)
+			if !ok || !d.Decided() {
+				done = false
+				break
+			}
+		}
+		if done {
+			break
+		}
+		e.Tick()
+	}
+	return e.tick - start
+}
+
+// Tick returns the number of executed ticks.
+func (e *AsyncEngine) TickCount() int { return e.tick }
+
+// Counters returns the engine's communication counters.
+func (e *AsyncEngine) Counters() *metrics.Counters { return e.counters }
+
+// DroppedActions returns how many actions violated the topology.
+func (e *AsyncEngine) DroppedActions() int { return e.dropped }

@@ -1,0 +1,441 @@
+package gossip
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// word is a trivial payload.
+type word struct {
+	v    int
+	bits int
+}
+
+func (w word) SizeBits() int { return w.bits }
+
+// scriptAgent plays a fixed list of actions and records everything delivered
+// to it.
+type scriptAgent struct {
+	id       int
+	script   []Action
+	pushes   []int // senders of received pushes
+	pullSeen []int // senders of received pull requests
+	replies  []int // values received via pull replies; -1 marks silence
+	answer   Payload
+	refuse   bool
+}
+
+func (a *scriptAgent) Act(round int) Action {
+	if round < len(a.script) {
+		return a.script[round]
+	}
+	return NoAction()
+}
+
+func (a *scriptAgent) HandlePush(round, from int, p Payload) {
+	a.pushes = append(a.pushes, from)
+}
+
+func (a *scriptAgent) HandlePull(round, from int, q Payload) Payload {
+	a.pullSeen = append(a.pullSeen, from)
+	if a.refuse {
+		return nil
+	}
+	if a.answer != nil {
+		return a.answer
+	}
+	return word{v: a.id, bits: 8}
+}
+
+func (a *scriptAgent) HandlePullReply(round, from int, p Payload) {
+	if p == nil {
+		a.replies = append(a.replies, -1)
+		return
+	}
+	a.replies = append(a.replies, p.(word).v)
+}
+
+func newScripted(n int) []*scriptAgent {
+	agents := make([]*scriptAgent, n)
+	for i := range agents {
+		agents[i] = &scriptAgent{id: i}
+	}
+	return agents
+}
+
+func asAgents(ss []*scriptAgent) []Agent {
+	out := make([]Agent, len(ss))
+	for i, s := range ss {
+		out[i] = s
+	}
+	return out
+}
+
+func TestPushDelivery(t *testing.T) {
+	ss := newScripted(3)
+	ss[0].script = []Action{PushTo(2, word{v: 7, bits: 16})}
+	e := NewEngine(Config{Topology: topo.NewComplete(3)}, asAgents(ss))
+	e.Step()
+	if len(ss[2].pushes) != 1 || ss[2].pushes[0] != 0 {
+		t.Fatalf("push not delivered: %v", ss[2].pushes)
+	}
+	if len(ss[1].pushes) != 0 {
+		t.Fatal("push delivered to wrong node")
+	}
+	s := e.Counters().Snapshot()
+	if s.Messages != 1 || s.Bits != 16 || s.Pushes != 1 || s.Rounds != 1 {
+		t.Fatalf("counters = %+v", s)
+	}
+}
+
+func TestPullExchange(t *testing.T) {
+	ss := newScripted(2)
+	ss[0].script = []Action{PullFrom(1, word{bits: 4})}
+	ss[1].answer = word{v: 42, bits: 10}
+	e := NewEngine(Config{Topology: topo.NewComplete(2)}, asAgents(ss))
+	e.Step()
+	if len(ss[1].pullSeen) != 1 || ss[1].pullSeen[0] != 0 {
+		t.Fatalf("pull request not seen: %v", ss[1].pullSeen)
+	}
+	if len(ss[0].replies) != 1 || ss[0].replies[0] != 42 {
+		t.Fatalf("pull reply not delivered: %v", ss[0].replies)
+	}
+	s := e.Counters().Snapshot()
+	if s.Messages != 2 || s.Bits != 14 || s.Pulls != 1 || s.UnansweredPulls != 0 {
+		t.Fatalf("counters = %+v", s)
+	}
+}
+
+func TestPullFromFaultyGetsSilence(t *testing.T) {
+	ss := newScripted(2)
+	ss[0].script = []Action{PullFrom(1, word{bits: 4})}
+	e := NewEngine(Config{
+		Topology: topo.NewComplete(2),
+		Faulty:   []bool{false, true},
+	}, []Agent{ss[0], nil})
+	e.Step()
+	if len(ss[0].replies) != 1 || ss[0].replies[0] != -1 {
+		t.Fatalf("expected silence, got %v", ss[0].replies)
+	}
+	if e.Counters().UnansweredPulls() != 1 {
+		t.Fatal("unanswered pull not counted")
+	}
+}
+
+func TestRefusedPullLooksLikeFault(t *testing.T) {
+	ss := newScripted(2)
+	ss[0].script = []Action{PullFrom(1, word{bits: 4})}
+	ss[1].refuse = true
+	e := NewEngine(Config{Topology: topo.NewComplete(2)}, asAgents(ss))
+	e.Step()
+	if len(ss[0].replies) != 1 || ss[0].replies[0] != -1 {
+		t.Fatalf("refusal should look like silence, got %v", ss[0].replies)
+	}
+	if e.Counters().UnansweredPulls() != 1 {
+		t.Fatal("refused pull not counted as unanswered")
+	}
+}
+
+func TestPushToFaultyIsLostButCounted(t *testing.T) {
+	ss := newScripted(2)
+	ss[0].script = []Action{PushTo(1, word{bits: 8})}
+	e := NewEngine(Config{
+		Topology: topo.NewComplete(2),
+		Faulty:   []bool{false, true},
+	}, []Agent{ss[0], nil})
+	e.Step()
+	if e.Counters().Messages() != 1 {
+		t.Fatal("push to faulty node should still cost a message")
+	}
+}
+
+func TestFaultyAgentNeverActs(t *testing.T) {
+	ss := newScripted(2)
+	ss[1].script = []Action{PushTo(0, word{bits: 8}), PushTo(0, word{bits: 8})}
+	e := NewEngine(Config{
+		Topology: topo.NewComplete(2),
+		Faulty:   []bool{false, true},
+	}, asAgents(ss))
+	e.Step()
+	e.Step()
+	if len(ss[0].pushes) != 0 {
+		t.Fatal("faulty agent sent a message")
+	}
+}
+
+func TestSelfPushAndPullAreLocalAndFree(t *testing.T) {
+	ss := newScripted(1)
+	ss[0].script = []Action{PushTo(0, word{v: 1, bits: 8}), PullFrom(0, word{bits: 4})}
+	e := NewEngine(Config{Topology: topo.NewComplete(1)}, asAgents(ss))
+	e.Step()
+	e.Step()
+	if len(ss[0].pushes) != 1 || len(ss[0].replies) != 1 || ss[0].replies[0] != 0 {
+		t.Fatalf("self ops not delivered: pushes=%v replies=%v", ss[0].pushes, ss[0].replies)
+	}
+	if e.Counters().Messages() != 0 {
+		t.Fatal("self messages were counted as communication")
+	}
+}
+
+func TestTopologyViolationDropped(t *testing.T) {
+	ss := newScripted(6)
+	// Node 0 tries to push to node 3, which is not a ring neighbor.
+	ss[0].script = []Action{PushTo(3, word{bits: 8})}
+	var sink trace.Memory
+	e := NewEngine(Config{Topology: topo.NewRing(6), Trace: &sink}, asAgents(ss))
+	e.Step()
+	if len(ss[3].pushes) != 0 {
+		t.Fatal("illegal push delivered")
+	}
+	if e.DroppedActions() != 1 {
+		t.Fatalf("DroppedActions = %d, want 1", e.DroppedActions())
+	}
+	if sink.CountKind(trace.KindDrop) != 1 {
+		t.Fatal("drop not traced")
+	}
+}
+
+func TestOutOfRangeTargetDropped(t *testing.T) {
+	ss := newScripted(2)
+	ss[0].script = []Action{PushTo(99, word{bits: 8}), PushTo(-1, word{bits: 8})}
+	e := NewEngine(Config{Topology: topo.NewComplete(2)}, asAgents(ss))
+	e.Step()
+	e.Step()
+	if e.DroppedActions() != 2 {
+		t.Fatalf("DroppedActions = %d, want 2", e.DroppedActions())
+	}
+}
+
+func TestMultipleReceiptsInOneRound(t *testing.T) {
+	// The GOSSIP model allows a node to receive many messages per round.
+	const n = 10
+	ss := newScripted(n)
+	for i := 1; i < n; i++ {
+		ss[i].script = []Action{PushTo(0, word{v: i, bits: 8})}
+	}
+	e := NewEngine(Config{Topology: topo.NewComplete(n)}, asAgents(ss))
+	e.Step()
+	if len(ss[0].pushes) != n-1 {
+		t.Fatalf("node 0 received %d pushes, want %d", len(ss[0].pushes), n-1)
+	}
+}
+
+func TestDeliveryOrderIsByNodeID(t *testing.T) {
+	const n = 8
+	ss := newScripted(n)
+	for i := 1; i < n; i++ {
+		ss[i].script = []Action{PushTo(0, word{v: i, bits: 8})}
+	}
+	e := NewEngine(Config{Topology: topo.NewComplete(n), Workers: 4}, asAgents(ss))
+	e.Step()
+	for i, from := range ss[0].pushes {
+		if from != i+1 {
+			t.Fatalf("delivery order %v not sorted by node ID", ss[0].pushes)
+		}
+	}
+}
+
+// decidingAgent decides after a fixed round.
+type decidingAgent struct {
+	scriptAgent
+	decideAt int
+	round    int
+}
+
+func (d *decidingAgent) Act(round int) Action {
+	d.round = round
+	return NoAction()
+}
+func (d *decidingAgent) Decided() bool { return d.round >= d.decideAt }
+func (d *decidingAgent) Output() int   { return 1 }
+
+func TestRunStopsWhenAllDecided(t *testing.T) {
+	agents := []Agent{
+		&decidingAgent{decideAt: 3},
+		&decidingAgent{decideAt: 5},
+	}
+	e := NewEngine(Config{Topology: topo.NewComplete(2)}, agents)
+	ran := e.Run(100)
+	if ran != 6 {
+		t.Fatalf("Run executed %d rounds, want 6", ran)
+	}
+}
+
+func TestRunHonorsMaxRounds(t *testing.T) {
+	ss := newScripted(2) // never decide (no Decider interface)
+	e := NewEngine(Config{Topology: topo.NewComplete(2)}, asAgents(ss))
+	if ran := e.Run(7); ran != 7 {
+		t.Fatalf("Run executed %d rounds, want 7", ran)
+	}
+}
+
+func TestNewEnginePanicsOnMismatch(t *testing.T) {
+	cases := []func(){
+		func() { NewEngine(Config{Topology: topo.NewComplete(3)}, make([]Agent, 2)) },
+		func() {
+			NewEngine(Config{Topology: topo.NewComplete(1), Faulty: make([]bool, 2)},
+				[]Agent{&scriptAgent{}})
+		},
+		func() { NewEngine(Config{Topology: topo.NewComplete(1)}, []Agent{nil}) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+// rumorAgent implements pull-based rumor spreading: informed agents answer
+// pulls; everyone pulls a random peer until informed. This is the primitive
+// the Find-Min phase builds on, and its O(log n) convergence is the paper's
+// reference [19].
+type rumorAgent struct {
+	id       int
+	n        int
+	informed bool
+	r        *rng.Source
+}
+
+func (a *rumorAgent) Act(round int) Action {
+	if a.informed {
+		return NoAction()
+	}
+	return PullFrom(a.r.Intn(a.n), word{bits: 1})
+}
+func (a *rumorAgent) HandlePush(round, from int, p Payload) {}
+func (a *rumorAgent) HandlePull(round, from int, q Payload) Payload {
+	if a.informed {
+		return word{v: 1, bits: 1}
+	}
+	return word{v: 0, bits: 1}
+}
+func (a *rumorAgent) HandlePullReply(round, from int, p Payload) {
+	if p != nil && p.(word).v == 1 {
+		a.informed = true
+	}
+}
+func (a *rumorAgent) Decided() bool { return a.informed }
+func (a *rumorAgent) Output() int   { return 1 }
+
+func TestRumorSpreadingLogarithmic(t *testing.T) {
+	master := rng.New(1234)
+	for _, n := range []int{64, 256, 1024} {
+		agents := make([]Agent, n)
+		for i := 0; i < n; i++ {
+			agents[i] = &rumorAgent{id: i, n: n, informed: i == 0, r: master.Split(uint64(i))}
+		}
+		e := NewEngine(Config{Topology: topo.NewComplete(n), Workers: 1}, agents)
+		ran := e.Run(10 * int(math.Log2(float64(n))))
+		for i, a := range agents {
+			if !a.(*rumorAgent).informed {
+				t.Fatalf("n=%d: node %d not informed after %d rounds", n, i, ran)
+			}
+		}
+		if float64(ran) > 6*math.Log2(float64(n)) {
+			t.Errorf("n=%d: rumor took %d rounds, expected O(log n)≈%.0f", n, ran, math.Log2(float64(n)))
+		}
+	}
+}
+
+func TestEngineDeterminismAcrossWorkerCounts(t *testing.T) {
+	run := func(workers int) metrics.Snapshot {
+		master := rng.New(77)
+		const n = 128
+		agents := make([]Agent, n)
+		for i := 0; i < n; i++ {
+			agents[i] = &rumorAgent{id: i, n: n, informed: i == 0, r: master.Split(uint64(i))}
+		}
+		var c metrics.Counters
+		e := NewEngine(Config{Topology: topo.NewComplete(n), Workers: workers, Counters: &c}, agents)
+		e.Run(200)
+		return c.Snapshot()
+	}
+	base := run(1)
+	for _, w := range []int{2, 4, 8} {
+		if got := run(w); got != base {
+			t.Fatalf("workers=%d produced %+v, workers=1 produced %+v", w, got, base)
+		}
+	}
+}
+
+func TestAsyncEngineBasicDelivery(t *testing.T) {
+	ss := newScripted(2)
+	// Act receives the global tick number, so fill the script densely.
+	for r := 0; r < 50; r++ {
+		ss[0].script = append(ss[0].script, PushTo(1, word{v: 5, bits: 8}))
+		ss[1].script = append(ss[1].script, PushTo(0, word{v: 6, bits: 8}))
+	}
+	// Seeded scheduler; over enough ticks both agents act.
+	e := NewAsyncEngine(Config{Topology: topo.NewComplete(2)}, asAgents(ss), rng.New(3))
+	for i := 0; i < 50; i++ {
+		e.Tick()
+	}
+	if len(ss[0].pushes) == 0 || len(ss[1].pushes) == 0 {
+		t.Fatalf("async pushes not delivered: %v %v", ss[0].pushes, ss[1].pushes)
+	}
+}
+
+func TestAsyncEngineOneAgentPerTick(t *testing.T) {
+	const n = 10
+	ss := newScripted(n)
+	for i := range ss {
+		ss[i].script = []Action{PushTo((i+1)%n, word{bits: 8})}
+		// Extend the script so every activation pushes.
+		for r := 1; r < 100; r++ {
+			ss[i].script = append(ss[i].script, PushTo((i+1)%n, word{bits: 8}))
+		}
+	}
+	e := NewAsyncEngine(Config{Topology: topo.NewComplete(n)}, asAgents(ss), rng.New(9))
+	const ticks = 40
+	for i := 0; i < ticks; i++ {
+		e.Tick()
+	}
+	if got := e.Counters().Messages(); got != ticks {
+		t.Fatalf("async engine delivered %d messages over %d ticks, want exactly one per tick", got, ticks)
+	}
+}
+
+func TestAsyncRumorSpreads(t *testing.T) {
+	const n = 128
+	master := rng.New(55)
+	agents := make([]Agent, n)
+	for i := 0; i < n; i++ {
+		agents[i] = &rumorAgent{id: i, n: n, informed: i == 0, r: master.Split(uint64(i))}
+	}
+	e := NewAsyncEngine(Config{Topology: topo.NewComplete(n)}, agents, rng.New(66))
+	e.Run(100 * n)
+	for i, a := range agents {
+		if !a.(*rumorAgent).informed {
+			t.Fatalf("async rumor: node %d not informed after %d ticks", i, e.TickCount())
+		}
+	}
+}
+
+func TestAsyncFaultyNeverWakes(t *testing.T) {
+	ss := newScripted(3)
+	for i := range ss {
+		for r := 0; r < 100; r++ {
+			ss[i].script = append(ss[i].script, PushTo((i+1)%3, word{bits: 8}))
+		}
+	}
+	e := NewAsyncEngine(Config{
+		Topology: topo.NewComplete(3),
+		Faulty:   []bool{false, true, false},
+	}, asAgents(ss), rng.New(4))
+	for i := 0; i < 100; i++ {
+		e.Tick()
+	}
+	if len(ss[2].pushes) != 0 {
+		t.Fatal("faulty node 1 pushed to node 2")
+	}
+}

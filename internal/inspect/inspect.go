@@ -1,0 +1,115 @@
+// Package inspect renders the internal state of a finished protocol
+// execution as a human-readable transcript: who declared which votes, what
+// every agent's lottery value came out to, which certificate won Find-Min,
+// and what every verifier concluded. It exists for debugging and for
+// teaching — `go run ./cmd/inspect -n 8` shows one complete election end to
+// end on a screenful.
+package inspect
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+)
+
+// Report writes a full transcript of a finished cooperative execution to w.
+// The result must come from core.Run (it needs the honest agents).
+func Report(w io.Writer, res core.RunResult) {
+	agents := res.Agents
+	if len(agents) == 0 {
+		fmt.Fprintln(w, "no active agents")
+		return
+	}
+	p := agents[0].Params()
+
+	fmt.Fprintf(w, "Protocol P execution — n=%d |Σ|=%d γ=%.1f q=%d m=%d\n",
+		p.N, p.NumColors, p.Gamma, p.Q, p.M)
+	fmt.Fprintf(w, "schedule: commitment [0,%d) voting [%d,%d) find-min [%d,%d) coherence [%d,%d) verify @%d\n\n",
+		p.Q, p.Q, 2*p.Q, 2*p.Q, 3*p.Q, 3*p.Q, 4*p.Q, 4*p.Q)
+
+	// Voting-Intention + Voting phase digest.
+	fmt.Fprintln(w, "== Voting (declared intentions → votes received) ==")
+	fmt.Fprintf(w, "%-6s %-7s %-14s %-10s %s\n", "agent", "color", "declared→", "received", "k = ΣW mod m")
+	for _, a := range agents {
+		targets := make([]string, 0, len(a.Intentions()))
+		for _, in := range a.Intentions() {
+			targets = append(targets, fmt.Sprintf("%d", in.Z))
+		}
+		fmt.Fprintf(w, "%-6d %-7d %-14s %-10d %d\n",
+			a.ID(), a.InitialColor(), ellipsis(strings.Join(targets, ","), 14),
+			len(a.VotesReceived()), a.K())
+	}
+
+	// Lottery digest: sorted k values.
+	fmt.Fprintln(w, "\n== Lottery (Find-Min over k) ==")
+	type entry struct {
+		id int
+		k  uint64
+	}
+	entries := make([]entry, len(agents))
+	for i, a := range agents {
+		entries[i] = entry{id: a.ID(), k: a.K()}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].k < entries[j].k })
+	show := len(entries)
+	if show > 5 {
+		show = 5
+	}
+	for i := 0; i < show; i++ {
+		marker := " "
+		if i == 0 {
+			marker = "← minimum (legitimate winner)"
+		}
+		fmt.Fprintf(w, "  k=%-12d agent %-4d %s\n", entries[i].k, entries[i].id, marker)
+	}
+	if len(entries) > show {
+		fmt.Fprintf(w, "  … %d more\n", len(entries)-show)
+	}
+
+	// Certificate agreement.
+	fmt.Fprintln(w, "\n== Coherence (certificate agreement) ==")
+	certs := map[string][]int{}
+	for _, a := range agents {
+		certs[a.MinCertificate().String()] = append(certs[a.MinCertificate().String()], a.ID())
+	}
+	for cs, ids := range certs {
+		fmt.Fprintf(w, "  %s held by %d agents %s\n", cs, len(ids), ellipsisInts(ids, 8))
+	}
+
+	// Verification verdicts.
+	fmt.Fprintln(w, "\n== Verification ==")
+	accepted, failed := 0, 0
+	for _, a := range agents {
+		if a.Failed() {
+			failed++
+		} else {
+			accepted++
+		}
+	}
+	fmt.Fprintf(w, "  accepted: %d, failed: %d\n", accepted, failed)
+	fmt.Fprintf(w, "  outcome: %s after %d rounds\n", res.Outcome, res.Rounds)
+	fmt.Fprintf(w, "  good execution (Definition 2): %v (votes∈[%d,%d], distinct k: %v, certs agree: %v)\n",
+		res.Good.Good(), res.Good.MinVotes, res.Good.MaxVotes, res.Good.DistinctK, res.Good.CertsAgree)
+	fmt.Fprintf(w, "  communication: %s\n", res.Metrics)
+}
+
+func ellipsis(s string, max int) string {
+	if len(s) <= max {
+		return s
+	}
+	if max <= 1 {
+		return "…"
+	}
+	return s[:max-1] + "…"
+}
+
+func ellipsisInts(ids []int, max int) string {
+	sort.Ints(ids)
+	if len(ids) <= max {
+		return fmt.Sprintf("%v", ids)
+	}
+	return fmt.Sprintf("%v…", ids[:max])
+}

@@ -1,0 +1,66 @@
+package inspect
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestReportContainsAllSections(t *testing.T) {
+	const n = 8
+	p := core.MustParams(n, 2, core.DefaultGamma)
+	res, err := core.Run(core.RunConfig{
+		Params: p, Colors: core.UniformColors(n, 2), Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	Report(&sb, res)
+	out := sb.String()
+	for _, want := range []string{
+		"Protocol P execution",
+		"== Voting",
+		"== Lottery",
+		"← minimum",
+		"== Coherence",
+		"== Verification",
+		"outcome:",
+		"good execution",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("report missing %q:\n%s", want, out)
+		}
+	}
+	// One voting row per agent.
+	if got := strings.Count(out, "\n"); got < n+10 {
+		t.Errorf("report suspiciously short (%d lines)", got)
+	}
+}
+
+func TestReportEmpty(t *testing.T) {
+	var sb strings.Builder
+	Report(&sb, core.RunResult{})
+	if !strings.Contains(sb.String(), "no active agents") {
+		t.Fatal("empty result not handled")
+	}
+}
+
+func TestEllipsisHelpers(t *testing.T) {
+	if ellipsis("abcdef", 4) != "abc…" {
+		t.Fatalf("ellipsis = %q", ellipsis("abcdef", 4))
+	}
+	if ellipsis("ab", 4) != "ab" {
+		t.Fatal("short string truncated")
+	}
+	if ellipsis("abc", 1) != "…" {
+		t.Fatal("max 1 mishandled")
+	}
+	if got := ellipsisInts([]int{3, 1, 2}, 8); got != "[1 2 3]" {
+		t.Fatalf("ellipsisInts = %q", got)
+	}
+	if got := ellipsisInts([]int{5, 4, 3, 2}, 2); got != "[2 3]…" {
+		t.Fatalf("ellipsisInts long = %q", got)
+	}
+}

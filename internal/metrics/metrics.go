@@ -1,0 +1,116 @@
+// Package metrics accounts for the communication resources the paper bounds:
+// number of rounds, number of point-to-point messages, total bits on the
+// wire, and the largest single message. Protocol P is claimed to finish in
+// O(log n) rounds with messages of O(log² n) bits and O(n log³ n) total
+// communication; the engine feeds every delivery through a Counters value so
+// experiments can report the measured quantities next to those bounds.
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+)
+
+// Counters accumulates communication costs. All methods are safe for
+// concurrent use; the engine may deliver from multiple goroutines.
+type Counters struct {
+	rounds     atomic.Int64
+	messages   atomic.Int64
+	bits       atomic.Int64
+	maxMsgBits atomic.Int64
+	pushes     atomic.Int64
+	pulls      atomic.Int64
+	pullFails  atomic.Int64 // pulls that received no reply (faulty/silent peer)
+}
+
+// AddRound records the completion of one synchronous round.
+func (c *Counters) AddRound() { c.rounds.Add(1) }
+
+// AddMessage records one delivered message of the given size in bits.
+func (c *Counters) AddMessage(bits int) {
+	c.messages.Add(1)
+	c.bits.Add(int64(bits))
+	for {
+		cur := c.maxMsgBits.Load()
+		if int64(bits) <= cur || c.maxMsgBits.CompareAndSwap(cur, int64(bits)) {
+			return
+		}
+	}
+}
+
+// AddPush records a push operation (in addition to its AddMessage).
+func (c *Counters) AddPush() { c.pushes.Add(1) }
+
+// AddPull records a pull operation; answered reports whether the target
+// replied.
+func (c *Counters) AddPull(answered bool) {
+	c.pulls.Add(1)
+	if !answered {
+		c.pullFails.Add(1)
+	}
+}
+
+// Rounds returns the number of completed rounds.
+func (c *Counters) Rounds() int { return int(c.rounds.Load()) }
+
+// Messages returns the number of delivered messages.
+func (c *Counters) Messages() int { return int(c.messages.Load()) }
+
+// Bits returns the total delivered payload size in bits.
+func (c *Counters) Bits() int64 { return c.bits.Load() }
+
+// MaxMessageBits returns the size of the largest single delivered message.
+func (c *Counters) MaxMessageBits() int { return int(c.maxMsgBits.Load()) }
+
+// Pushes returns the number of push operations performed.
+func (c *Counters) Pushes() int { return int(c.pushes.Load()) }
+
+// Pulls returns the number of pull operations performed.
+func (c *Counters) Pulls() int { return int(c.pulls.Load()) }
+
+// UnansweredPulls returns the number of pulls that got no reply.
+func (c *Counters) UnansweredPulls() int { return int(c.pullFails.Load()) }
+
+// Snapshot is an immutable copy of the counters, convenient for aggregation
+// after a trial finishes.
+type Snapshot struct {
+	Rounds          int
+	Messages        int
+	Bits            int64
+	MaxMessageBits  int
+	Pushes          int
+	Pulls           int
+	UnansweredPulls int
+}
+
+// Snapshot captures the current counter values.
+func (c *Counters) Snapshot() Snapshot {
+	return Snapshot{
+		Rounds:          c.Rounds(),
+		Messages:        c.Messages(),
+		Bits:            c.Bits(),
+		MaxMessageBits:  c.MaxMessageBits(),
+		Pushes:          c.Pushes(),
+		Pulls:           c.Pulls(),
+		UnansweredPulls: c.UnansweredPulls(),
+	}
+}
+
+// String renders a snapshot compactly.
+func (s Snapshot) String() string {
+	return fmt.Sprintf("rounds=%d msgs=%d bits=%d maxMsgBits=%d pushes=%d pulls=%d unanswered=%d",
+		s.Rounds, s.Messages, s.Bits, s.MaxMessageBits, s.Pushes, s.Pulls, s.UnansweredPulls)
+}
+
+// BitsForValues returns the number of bits needed to address one of n
+// distinct values, i.e. ⌈log₂ n⌉, with a minimum of 1.
+func BitsForValues(n uint64) int {
+	if n <= 2 {
+		return 1
+	}
+	bits := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		bits++
+	}
+	return bits
+}

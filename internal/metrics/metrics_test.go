@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func TestCountersBasic(t *testing.T) {
+	var c Counters
+	c.AddRound()
+	c.AddRound()
+	c.AddMessage(10)
+	c.AddMessage(30)
+	c.AddMessage(20)
+	c.AddPush()
+	c.AddPull(true)
+	c.AddPull(false)
+
+	s := c.Snapshot()
+	if s.Rounds != 2 {
+		t.Errorf("Rounds = %d, want 2", s.Rounds)
+	}
+	if s.Messages != 3 {
+		t.Errorf("Messages = %d, want 3", s.Messages)
+	}
+	if s.Bits != 60 {
+		t.Errorf("Bits = %d, want 60", s.Bits)
+	}
+	if s.MaxMessageBits != 30 {
+		t.Errorf("MaxMessageBits = %d, want 30", s.MaxMessageBits)
+	}
+	if s.Pushes != 1 || s.Pulls != 2 || s.UnansweredPulls != 1 {
+		t.Errorf("ops snapshot = %+v", s)
+	}
+}
+
+func TestCountersZeroValueUsable(t *testing.T) {
+	var c Counters
+	s := c.Snapshot()
+	if s != (Snapshot{}) {
+		t.Fatalf("zero Counters snapshot = %+v", s)
+	}
+}
+
+func TestCountersConcurrent(t *testing.T) {
+	var c Counters
+	const workers, per = 8, 10000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.AddMessage(w + 1)
+				c.AddPush()
+			}
+		}(w)
+	}
+	wg.Wait()
+	s := c.Snapshot()
+	if s.Messages != workers*per {
+		t.Errorf("Messages = %d, want %d", s.Messages, workers*per)
+	}
+	wantBits := int64(per * (1 + 2 + 3 + 4 + 5 + 6 + 7 + 8))
+	if s.Bits != wantBits {
+		t.Errorf("Bits = %d, want %d", s.Bits, wantBits)
+	}
+	if s.MaxMessageBits != workers {
+		t.Errorf("MaxMessageBits = %d, want %d", s.MaxMessageBits, workers)
+	}
+}
+
+func TestMaxMessageBitsMonotone(t *testing.T) {
+	var c Counters
+	c.AddMessage(100)
+	c.AddMessage(5)
+	if c.MaxMessageBits() != 100 {
+		t.Fatalf("MaxMessageBits = %d, want 100", c.MaxMessageBits())
+	}
+}
+
+func TestBitsForValues(t *testing.T) {
+	cases := []struct {
+		n    uint64
+		want int
+	}{
+		{0, 1}, {1, 1}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+		{1024, 10}, {1025, 11}, {1 << 30, 30},
+	}
+	for _, tc := range cases {
+		if got := BitsForValues(tc.n); got != tc.want {
+			t.Errorf("BitsForValues(%d) = %d, want %d", tc.n, got, tc.want)
+		}
+	}
+}
+
+func TestBitsForValuesProperty(t *testing.T) {
+	// 2^bits >= n for every n, and bits is minimal.
+	f := func(n uint32) bool {
+		if n < 2 {
+			return BitsForValues(uint64(n)) == 1
+		}
+		b := BitsForValues(uint64(n))
+		return uint64(1)<<b >= uint64(n) && (b == 1 || uint64(1)<<(b-1) < uint64(n))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSnapshotString(t *testing.T) {
+	var c Counters
+	c.AddRound()
+	c.AddMessage(8)
+	if got := c.Snapshot().String(); got == "" {
+		t.Fatal("empty String()")
+	}
+}

@@ -1,0 +1,200 @@
+package rational
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/par"
+	"repro/internal/rng"
+	"repro/internal/stats"
+)
+
+// EquilibriumConfig describes one Theorem 7 experiment: T independent trials
+// of the honest profile and T trials of the deviating profile, identical in
+// every other respect.
+type EquilibriumConfig struct {
+	Params    core.Params
+	Colors    []core.Color
+	Faulty    []bool
+	Coalition []int
+	Deviation Deviation
+	Utility   Utility
+	// Scheme optionally replaces Utility with a generalized payoff model
+	// (see Scheme); nil uses Utility.
+	Scheme Scheme
+	Trials int
+	Seed   uint64
+	// Workers parallelizes across trials (0 = GOMAXPROCS).
+	Workers int
+}
+
+// MemberStats summarizes one coalition member's utilities across trials.
+type MemberStats struct {
+	ID          int
+	Color       core.Color
+	HonestMean  float64
+	DevMean     float64
+	Gain        float64 // DevMean − HonestMean
+	GainCI95    float64 // half-width of a 95% CI on the gain
+	Significant bool    // gain − CI > 0: a statistically significant profit
+}
+
+// EquilibriumReport is the outcome of an equilibrium experiment.
+type EquilibriumReport struct {
+	Deviation string
+	Trials    int
+	Coalition []int
+
+	HonestFailRate float64
+	DevFailRate    float64
+
+	// Win rate of any coalition-supported color.
+	HonestCoalitionWinRate float64
+	DevCoalitionWinRate    float64
+	// FairShare is the coalition's colors' fair winning probability: the
+	// fraction of active agents supporting a coalition color.
+	FairShare float64
+
+	Members []MemberStats
+	// MinGain / MaxGain over coalition members.
+	MinGain float64
+	MaxGain float64
+}
+
+// SomeMemberDoesNotProfit reports whether at least one coalition member shows
+// no statistically significant utility gain — the defining property of a
+// whp t-strong equilibrium (Definition 1).
+func (r EquilibriumReport) SomeMemberDoesNotProfit() bool {
+	for _, m := range r.Members {
+		if !m.Significant {
+			return true
+		}
+	}
+	return len(r.Members) == 0
+}
+
+// EvaluateEquilibrium runs the paired honest/deviating Monte-Carlo experiment
+// and reports per-member expected utilities.
+func EvaluateEquilibrium(cfg EquilibriumConfig) (EquilibriumReport, error) {
+	if cfg.Trials < 1 {
+		return EquilibriumReport{}, fmt.Errorf("rational: trials = %d", cfg.Trials)
+	}
+	if len(cfg.Coalition) == 0 {
+		return EquilibriumReport{}, fmt.Errorf("rational: empty coalition")
+	}
+	if cfg.Deviation == nil {
+		return EquilibriumReport{}, fmt.Errorf("rational: nil deviation")
+	}
+
+	type trialOut struct {
+		outcome core.Outcome
+		err     error
+	}
+	run := func(dev Deviation, seedSalt uint64) []trialOut {
+		outs := make([]trialOut, cfg.Trials)
+		seeds := rng.New(cfg.Seed ^ seedSalt)
+		trialSeeds := make([]uint64, cfg.Trials)
+		for i := range trialSeeds {
+			trialSeeds[i] = seeds.Uint64()
+		}
+		par.ForN(cfg.Workers, cfg.Trials, func(i int) {
+			res, err := RunGame(GameConfig{
+				Params:    cfg.Params,
+				Colors:    cfg.Colors,
+				Faulty:    cfg.Faulty,
+				Coalition: cfg.Coalition,
+				Deviation: dev,
+				Seed:      trialSeeds[i],
+				Workers:   1, // parallelism lives at the trial level
+			})
+			outs[i] = trialOut{outcome: res.Outcome, err: err}
+		})
+		return outs
+	}
+
+	honestOuts := run(Honest{}, 0x9e3779b97f4a7c15)
+	devOuts := run(cfg.Deviation, 0xc2b2ae3d27d4eb4f)
+	for _, o := range append(append([]trialOut(nil), honestOuts...), devOuts...) {
+		if o.err != nil {
+			return EquilibriumReport{}, o.err
+		}
+	}
+
+	report := EquilibriumReport{
+		Deviation: cfg.Deviation.Name(),
+		Trials:    cfg.Trials,
+		Coalition: append([]int(nil), cfg.Coalition...),
+	}
+
+	coalColors := make(map[core.Color]bool)
+	for _, id := range cfg.Coalition {
+		coalColors[cfg.Colors[id]] = true
+	}
+	active, coalSupported := 0, 0
+	for i, c := range cfg.Colors {
+		if cfg.Faulty != nil && cfg.Faulty[i] {
+			continue
+		}
+		active++
+		if coalColors[c] {
+			coalSupported++
+		}
+	}
+	if active > 0 {
+		report.FairShare = float64(coalSupported) / float64(active)
+	}
+
+	tally := func(outs []trialOut) (failRate, coalWinRate float64) {
+		fails, wins := 0, 0
+		for _, o := range outs {
+			if o.outcome.Failed {
+				fails++
+				continue
+			}
+			if coalColors[o.outcome.Color] {
+				wins++
+			}
+		}
+		t := float64(len(outs))
+		return float64(fails) / t, float64(wins) / t
+	}
+	report.HonestFailRate, report.HonestCoalitionWinRate = tally(honestOuts)
+	report.DevFailRate, report.DevCoalitionWinRate = tally(devOuts)
+
+	scheme := cfg.Scheme
+	if scheme == nil {
+		scheme = cfg.Utility
+	}
+	members := append([]int(nil), cfg.Coalition...)
+	sort.Ints(members)
+	report.MinGain = 2 // utilities live in [−χ, 1]; gains in [−1−χ, 1+χ]
+	report.MaxGain = -2 - cfg.Utility.Chi
+	for _, id := range members {
+		pref := cfg.Colors[id]
+		hu := make([]float64, cfg.Trials)
+		du := make([]float64, cfg.Trials)
+		for i := range honestOuts {
+			hu[i] = scheme.Payoff(pref, honestOuts[i].outcome)
+			du[i] = scheme.Payoff(pref, devOuts[i].outcome)
+		}
+		hm, hci := stats.MeanCI95(hu)
+		dm, dci := stats.MeanCI95(du)
+		gain := dm - hm
+		ci := hci + dci // conservative union of the two CIs
+		ms := MemberStats{
+			ID: id, Color: pref,
+			HonestMean: hm, DevMean: dm,
+			Gain: gain, GainCI95: ci,
+			Significant: gain-ci > 0,
+		}
+		report.Members = append(report.Members, ms)
+		if gain < report.MinGain {
+			report.MinGain = gain
+		}
+		if gain > report.MaxGain {
+			report.MaxGain = gain
+		}
+	}
+	return report, nil
+}

@@ -1,0 +1,81 @@
+package rational
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+)
+
+// Scheme generalizes the payoff model: the paper analyses the normalized
+// scheme (Utility), and notes that richer profit-function classes have been
+// studied for rational fair consensus (e.g. Abraham–Dolev–Halpern). A Scheme
+// maps an agent's preference and the realized outcome to a payoff. All
+// schemes here keep the two structural properties Theorem 7's proof uses:
+// an agent's best outcome is its own color winning, and failure is never
+// strictly better than any consensus.
+type Scheme interface {
+	Payoff(pref core.Color, o core.Outcome) float64
+}
+
+// Payoff implements Scheme for the paper's normalized payoff values.
+func (u Utility) Payoff(pref core.Color, o core.Outcome) float64 { return u.Of(pref, o) }
+
+// RankedScheme pays according to a preference ranking over colors: the
+// winning color's payoff is Values[rank(pref, winner)], where rank 0 means
+// "my color won". Failure pays −Chi. With Values = [1, 0, 0, …] this
+// degenerates to the paper's scheme; decreasing non-negative Values model
+// agents that prefer "near" colors (e.g. ordered preferences over proposals).
+type RankedScheme struct {
+	// Ranking[a] lists agent colors in order of preference for an agent
+	// preferring color a; a itself must come first.
+	Values []float64
+	Chi    float64
+	// Distance returns the preference rank of winner for an agent that
+	// prefers pref; 0 iff winner == pref. Nil means |winner − pref| (a
+	// line metric over color indices).
+	Distance func(pref, winner core.Color) int
+}
+
+// Payoff implements Scheme.
+func (s RankedScheme) Payoff(pref core.Color, o core.Outcome) float64 {
+	if o.Failed {
+		return -s.Chi
+	}
+	d := 0
+	if s.Distance != nil {
+		d = s.Distance(pref, o.Color)
+	} else {
+		d = int(o.Color - pref)
+		if d < 0 {
+			d = -d
+		}
+	}
+	if d < 0 {
+		d = 0
+	}
+	if d >= len(s.Values) {
+		return 0
+	}
+	return s.Values[d]
+}
+
+// Validate checks the structural properties Theorem 7 relies on: the own
+// color pays strictly more than any other rank, payoffs are non-increasing
+// in distance, and failure pays no more than the worst consensus.
+func (s RankedScheme) Validate() error {
+	if len(s.Values) == 0 {
+		return fmt.Errorf("rational: RankedScheme needs at least one value")
+	}
+	for i := 1; i < len(s.Values); i++ {
+		if s.Values[i] > s.Values[i-1] {
+			return fmt.Errorf("rational: RankedScheme values not non-increasing at rank %d", i)
+		}
+	}
+	if len(s.Values) > 1 && s.Values[1] >= s.Values[0] {
+		return fmt.Errorf("rational: own color must pay strictly more than rank 1")
+	}
+	if -s.Chi > s.Values[len(s.Values)-1] {
+		return fmt.Errorf("rational: failure pays more than the worst consensus")
+	}
+	return nil
+}

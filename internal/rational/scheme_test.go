@@ -1,0 +1,101 @@
+package rational
+
+import (
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestUtilityImplementsScheme(t *testing.T) {
+	var s Scheme = Utility{Chi: 2}
+	if s.Payoff(1, core.Outcome{Color: 1}) != 1 {
+		t.Fatal("own color payoff")
+	}
+	if s.Payoff(1, core.Outcome{Failed: true}) != -2 {
+		t.Fatal("failure payoff")
+	}
+}
+
+func TestRankedSchemePayoffs(t *testing.T) {
+	s := RankedScheme{Values: []float64{1, 0.5, 0.25}, Chi: 1}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		pref, winner core.Color
+		want         float64
+	}{
+		{3, 3, 1},
+		{3, 4, 0.5},
+		{3, 2, 0.5},
+		{3, 5, 0.25},
+		{3, 7, 0}, // beyond the value table
+	}
+	for _, c := range cases {
+		if got := s.Payoff(c.pref, core.Outcome{Color: c.winner}); got != c.want {
+			t.Errorf("Payoff(%d, winner %d) = %v, want %v", c.pref, c.winner, got, c.want)
+		}
+	}
+	if got := s.Payoff(3, core.Outcome{Failed: true}); got != -1 {
+		t.Errorf("failure payoff = %v", got)
+	}
+}
+
+func TestRankedSchemeCustomDistance(t *testing.T) {
+	s := RankedScheme{
+		Values:   []float64{1, 0.3},
+		Distance: func(pref, winner core.Color) int { return int(winner) % 2 }, // parity metric
+	}
+	if got := s.Payoff(5, core.Outcome{Color: 2}); got != 1 {
+		t.Errorf("even winner payoff = %v", got)
+	}
+	if got := s.Payoff(5, core.Outcome{Color: 3}); got != 0.3 {
+		t.Errorf("odd winner payoff = %v", got)
+	}
+}
+
+func TestRankedSchemeValidate(t *testing.T) {
+	bad := []RankedScheme{
+		{},                                   // no values
+		{Values: []float64{1, 2}},            // increasing
+		{Values: []float64{1, 1}},            // rank 1 not strictly worse
+		{Values: []float64{1, 0.5}, Chi: -2}, // failure better than worst
+	}
+	for i, s := range bad {
+		if s.Validate() == nil {
+			t.Errorf("case %d validated", i)
+		}
+	}
+	good := RankedScheme{Values: []float64{1, 0.5, 0}, Chi: 0}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good scheme rejected: %v", err)
+	}
+}
+
+func TestEquilibriumUnderRankedScheme(t *testing.T) {
+	// Theorem 7's structure survives richer payoffs: with a graded scheme
+	// over 4 colors, the min-k liar still cannot profit.
+	const n, trials = 48, 80
+	p := core.MustParams(n, 4, core.DefaultGamma)
+	colors := core.UniformColors(n, 4)
+	scheme := RankedScheme{Values: []float64{1, 0.4, 0.1, 0}, Chi: 1}
+	if err := scheme.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := EvaluateEquilibrium(EquilibriumConfig{
+		Params:    p,
+		Colors:    colors,
+		Coalition: []int{2, 17},
+		Deviation: MinKLiar{},
+		Utility:   Utility{Chi: 1},
+		Scheme:    scheme,
+		Trials:    trials,
+		Seed:      77,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.SomeMemberDoesNotProfit() {
+		t.Fatalf("liar profited under ranked scheme: %+v", rep.Members)
+	}
+}

@@ -1,0 +1,213 @@
+// Package rng provides deterministic, splittable pseudo-random number
+// generation for the simulator.
+//
+// Every random choice in a simulation (vote values, peer selection, fault
+// placement, color assignment) is drawn from a stream derived from a single
+// master seed, so an entire experiment is reproducible from one uint64 and
+// results are independent of goroutine scheduling: each agent and each trial
+// owns a private stream split off deterministically with Split.
+//
+// The generator is xoshiro256** seeded through splitmix64, the initialization
+// recommended by the xoshiro authors. It is not cryptographically secure; it
+// is a simulation RNG.
+package rng
+
+import "math/bits"
+
+// SplitMix64 advances the splitmix64 state in *state and returns the next
+// output. It is used both as a seed expander and as a cheap standalone
+// generator for derived seeds.
+func SplitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Mix64 hashes a pair of uint64 values into a well-distributed uint64.
+// It is the basis for Split: Mix64(seed, index) yields independent-looking
+// streams for distinct indices.
+func Mix64(a, b uint64) uint64 {
+	s := a ^ (b * 0xff51afd7ed558ccd)
+	x := SplitMix64(&s)
+	s ^= b
+	return x ^ SplitMix64(&s)
+}
+
+// Source is a xoshiro256** generator. The zero value is invalid; construct
+// with New or Split.
+type Source struct {
+	s [4]uint64
+}
+
+// New returns a Source seeded from seed via splitmix64. Distinct seeds give
+// uncorrelated streams; seed 0 is valid.
+func New(seed uint64) *Source {
+	var src Source
+	src.Reseed(seed)
+	return &src
+}
+
+// Reseed reinitializes the generator in place from seed.
+func (r *Source) Reseed(seed uint64) {
+	sm := seed
+	for i := range r.s {
+		r.s[i] = SplitMix64(&sm)
+	}
+	// xoshiro requires a nonzero state; splitmix64 of any seed produces one
+	// with overwhelming probability, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+}
+
+// Split derives a new independent Source from this one's seed lineage and the
+// given index. Calling Split with distinct indices yields distinct streams;
+// the parent stream is not advanced, so splitting is itself deterministic and
+// order-independent.
+func (r *Source) Split(index uint64) *Source {
+	// Combine the full parent state so streams split from different parents
+	// differ even for equal indices.
+	h := Mix64(r.s[0]^bits.RotateLeft64(r.s[2], 17), r.s[1]^bits.RotateLeft64(r.s[3], 31))
+	return New(Mix64(h, index))
+}
+
+// Uint64 returns the next 64 uniformly distributed bits.
+func (r *Source) Uint64() uint64 {
+	s := &r.s
+	result := bits.RotateLeft64(s[1]*5, 7) * 9
+	t := s[1] << 17
+	s[2] ^= s[0]
+	s[3] ^= s[1]
+	s[1] ^= s[2]
+	s[0] ^= s[3]
+	s[2] ^= t
+	s[3] = bits.RotateLeft64(s[3], 45)
+	return result
+}
+
+// Int63 returns a non-negative int64, satisfying math/rand.Source64 shape.
+func (r *Source) Int63() int64 { return int64(r.Uint64() >> 1) }
+
+// Seed is present to satisfy math/rand.Source; it reseeds the stream.
+func (r *Source) Seed(seed int64) { r.Reseed(uint64(seed)) }
+
+// Uint64n returns a uniform value in [0, n). It panics if n == 0.
+// It uses Lemire's multiply-shift rejection method (unbiased).
+func (r *Source) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n with n == 0")
+	}
+	// Fast path for powers of two.
+	if n&(n-1) == 0 {
+		return r.Uint64() & (n - 1)
+	}
+	hi, lo := bits.Mul64(r.Uint64(), n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			hi, lo = bits.Mul64(r.Uint64(), n)
+		}
+	}
+	return hi
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+func (r *Source) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// IntnExcept returns a uniform int in [0, n) \ {except}. It panics if n <= 1
+// or except is outside [0, n).
+func (r *Source) IntnExcept(n, except int) int {
+	if n <= 1 {
+		panic("rng: IntnExcept needs n > 1")
+	}
+	if except < 0 || except >= n {
+		panic("rng: IntnExcept except out of range")
+	}
+	v := r.Intn(n - 1)
+	if v >= except {
+		v++
+	}
+	return v
+}
+
+// Range returns a uniform value in the inclusive integer range [lo, hi].
+func (r *Source) Range(lo, hi int64) int64 {
+	if hi < lo {
+		panic("rng: Range with hi < lo")
+	}
+	return lo + int64(r.Uint64n(uint64(hi-lo)+1))
+}
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Source) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Bool returns true with probability p.
+func (r *Source) Bool(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Perm returns a uniformly random permutation of [0, n) (Fisher–Yates).
+func (r *Source) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	for i := n - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		p[i], p[j] = p[j], p[i]
+	}
+	return p
+}
+
+// Shuffle permutes xs in place uniformly at random.
+func Shuffle[T any](r *Source, xs []T) {
+	for i := len(xs) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+// Sample returns k distinct indices drawn uniformly from [0, n) in random
+// order. It panics if k > n or k < 0.
+func (r *Source) Sample(n, k int) []int {
+	if k < 0 || k > n {
+		panic("rng: Sample with k out of range")
+	}
+	// Partial Fisher–Yates over an index map; O(k) memory via sparse map for
+	// large n, dense slice for small n.
+	if n <= 4*k || n <= 1024 {
+		p := r.Perm(n)
+		return p[:k]
+	}
+	chosen := make(map[int]int, k)
+	out := make([]int, k)
+	for i := 0; i < k; i++ {
+		j := i + r.Intn(n-i)
+		vj, ok := chosen[j]
+		if !ok {
+			vj = j
+		}
+		vi, ok := chosen[i]
+		if !ok {
+			vi = i
+		}
+		chosen[j] = vi
+		out[i] = vj
+	}
+	return out
+}

@@ -1,0 +1,341 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewDeterminism(t *testing.T) {
+	a := New(42)
+	b := New(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams from equal seeds diverged at step %d", i)
+		}
+	}
+}
+
+func TestDistinctSeedsDiffer(t *testing.T) {
+	a := New(1)
+	b := New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("streams from distinct seeds coincide %d/1000 times", same)
+	}
+}
+
+func TestReseedResets(t *testing.T) {
+	r := New(7)
+	first := make([]uint64, 16)
+	for i := range first {
+		first[i] = r.Uint64()
+	}
+	r.Reseed(7)
+	for i := range first {
+		if got := r.Uint64(); got != first[i] {
+			t.Fatalf("after Reseed, step %d = %d, want %d", i, got, first[i])
+		}
+	}
+}
+
+func TestSplitIndependence(t *testing.T) {
+	parent := New(99)
+	a := parent.Split(0)
+	b := parent.Split(1)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("split streams coincide %d/1000 times", same)
+	}
+}
+
+func TestSplitDoesNotAdvanceParent(t *testing.T) {
+	a := New(5)
+	b := New(5)
+	_ = a.Split(3)
+	_ = a.Split(4)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("Split advanced the parent stream (step %d)", i)
+		}
+	}
+}
+
+func TestSplitSameIndexSameStream(t *testing.T) {
+	parent := New(123)
+	a := parent.Split(9)
+	b := parent.Split(9)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("same-index splits diverged at step %d", i)
+		}
+	}
+}
+
+func TestSplitDifferentParents(t *testing.T) {
+	a := New(1).Split(0)
+	b := New(2).Split(0)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("splits of different parents coincide %d/1000 times", same)
+	}
+}
+
+func TestUint64nRange(t *testing.T) {
+	r := New(11)
+	for _, n := range []uint64{1, 2, 3, 7, 16, 1000, 1 << 40} {
+		for i := 0; i < 200; i++ {
+			if v := r.Uint64n(n); v >= n {
+				t.Fatalf("Uint64n(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	// Chi-square-ish sanity: 10 buckets, 100k draws, each bucket within 5%
+	// of expectation.
+	r := New(2024)
+	const n, draws = 10, 100000
+	counts := make([]int, n)
+	for i := 0; i < draws; i++ {
+		counts[r.Uint64n(n)]++
+	}
+	want := float64(draws) / n
+	for b, c := range counts {
+		if math.Abs(float64(c)-want) > 0.05*want {
+			t.Fatalf("bucket %d has %d draws, want %.0f±5%%", b, c, want)
+		}
+	}
+}
+
+func TestIntnExcept(t *testing.T) {
+	r := New(3)
+	for i := 0; i < 10000; i++ {
+		v := r.IntnExcept(10, 4)
+		if v == 4 || v < 0 || v >= 10 {
+			t.Fatalf("IntnExcept(10,4) = %d", v)
+		}
+	}
+	// Uniform over the remaining 9 values.
+	counts := make([]int, 10)
+	for i := 0; i < 90000; i++ {
+		counts[r.IntnExcept(10, 0)]++
+	}
+	if counts[0] != 0 {
+		t.Fatal("excluded value was drawn")
+	}
+	for v := 1; v < 10; v++ {
+		if math.Abs(float64(counts[v])-10000) > 600 {
+			t.Fatalf("value %d drawn %d times, want ~10000", v, counts[v])
+		}
+	}
+}
+
+func TestRange(t *testing.T) {
+	r := New(8)
+	for i := 0; i < 1000; i++ {
+		v := r.Range(-5, 5)
+		if v < -5 || v > 5 {
+			t.Fatalf("Range(-5,5) = %d", v)
+		}
+	}
+	if got := r.Range(7, 7); got != 7 {
+		t.Fatalf("Range(7,7) = %d, want 7", got)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(13)
+	sum := 0.0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+		sum += f
+	}
+	if mean := sum / draws; math.Abs(mean-0.5) > 0.01 {
+		t.Fatalf("Float64 mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestBoolEdges(t *testing.T) {
+	r := New(21)
+	for i := 0; i < 100; i++ {
+		if r.Bool(0) {
+			t.Fatal("Bool(0) returned true")
+		}
+		if !r.Bool(1) {
+			t.Fatal("Bool(1) returned false")
+		}
+	}
+	hits := 0
+	const draws = 100000
+	for i := 0; i < draws; i++ {
+		if r.Bool(0.25) {
+			hits++
+		}
+	}
+	if math.Abs(float64(hits)/draws-0.25) > 0.01 {
+		t.Fatalf("Bool(0.25) rate = %v", float64(hits)/draws)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(17)
+	for _, n := range []int{0, 1, 2, 10, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) invalid: %v", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShuffleKeepsMultiset(t *testing.T) {
+	r := New(29)
+	xs := []int{1, 1, 2, 3, 5, 8, 13}
+	sum := 0
+	for _, x := range xs {
+		sum += x
+	}
+	Shuffle(r, xs)
+	sum2 := 0
+	for _, x := range xs {
+		sum2 += x
+	}
+	if sum != sum2 || len(xs) != 7 {
+		t.Fatalf("Shuffle changed contents: %v", xs)
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	r := New(31)
+	for _, tc := range []struct{ n, k int }{{10, 0}, {10, 10}, {10, 3}, {100000, 5}, {1000, 999}} {
+		s := r.Sample(tc.n, tc.k)
+		if len(s) != tc.k {
+			t.Fatalf("Sample(%d,%d) len=%d", tc.n, tc.k, len(s))
+		}
+		seen := make(map[int]bool, tc.k)
+		for _, v := range s {
+			if v < 0 || v >= tc.n || seen[v] {
+				t.Fatalf("Sample(%d,%d) invalid element %d", tc.n, tc.k, v)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestSampleLargeNUniform(t *testing.T) {
+	// Each element of [0,50) should appear in a 5-element sample with
+	// probability 1/10.
+	r := New(37)
+	counts := make([]int, 50)
+	const trials = 20000
+	for i := 0; i < trials; i++ {
+		for _, v := range r.Sample(50, 5) {
+			counts[v]++
+		}
+	}
+	want := float64(trials) * 5 / 50
+	for v, c := range counts {
+		if math.Abs(float64(c)-want) > 0.1*want {
+			t.Fatalf("element %d sampled %d times, want ~%.0f", v, c, want)
+		}
+	}
+}
+
+func TestMix64Property(t *testing.T) {
+	// Mix64 must be a function (deterministic) and sensitive to both args.
+	f := func(a, b uint64) bool {
+		return Mix64(a, b) == Mix64(a, b) &&
+			(a == a+1 || Mix64(a, b) != Mix64(a+1, b)) &&
+			(b == b+1 || Mix64(a, b) != Mix64(a, b+1))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUint64nPropertyInRange(t *testing.T) {
+	r := New(41)
+	f := func(n uint64) bool {
+		if n == 0 {
+			return true
+		}
+		return r.Uint64n(n) < n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestInt63NonNegative(t *testing.T) {
+	r := New(43)
+	for i := 0; i < 10000; i++ {
+		if r.Int63() < 0 {
+			t.Fatal("Int63 returned negative")
+		}
+	}
+}
+
+func TestSeedInterface(t *testing.T) {
+	r := New(1)
+	r.Seed(77)
+	want := New(77)
+	for i := 0; i < 50; i++ {
+		if r.Uint64() != want.Uint64() {
+			t.Fatal("Seed(77) != New(77)")
+		}
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkUint64n(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Uint64n(1000003)
+	}
+	_ = sink
+}

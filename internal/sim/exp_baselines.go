@@ -1,0 +1,162 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/rational"
+	"repro/internal/stats"
+)
+
+// BaselineOptions configures T8, the side-by-side protocol comparison.
+type BaselineOptions struct {
+	N       int
+	Gamma   float64
+	Trials  int
+	Seed    uint64
+	Workers int
+}
+
+// DefaultBaselineOptions is the full comparison.
+func DefaultBaselineOptions() BaselineOptions {
+	return BaselineOptions{N: 256, Gamma: core.DefaultGamma, Trials: 300, Seed: 8}
+}
+
+// QuickBaselineOptions is a scaled-down variant for tests.
+func QuickBaselineOptions() BaselineOptions {
+	return BaselineOptions{N: 64, Gamma: core.DefaultGamma, Trials: 80, Seed: 8}
+}
+
+// RunT8Baselines regenerates T8: Protocol P vs the LOCAL-model election vs
+// Hassin–Peleg polling on rounds, communication, fairness, and robustness to
+// a single cheater.
+func RunT8Baselines(o BaselineOptions) []*Table {
+	t8 := &Table{
+		ID:    "T8",
+		Title: fmt.Sprintf("Protocol comparison at n = %d (related-work positioning, §1)", o.N),
+		Columns: []string{"protocol", "rounds(mean)", "msgs(mean)", "bits(mean)",
+			"fairness TV", "cheater win", "notes"},
+	}
+	n := o.N
+	colors := core.SplitColors(n, 0.5)
+	p := core.MustParams(n, 2, o.Gamma)
+	const cheater = 3 // supports color 0, fair share 50%
+
+	type out struct {
+		failed   bool
+		color    core.Color
+		rounds   float64
+		msgs     float64
+		bits     float64
+		cheatWon bool
+	}
+
+	summarize := func(name string, outs []out, cheaterOuts []out, note string) {
+		wins := make([]int, 2)
+		fails := 0
+		var rounds, msgs, bits float64
+		for _, r := range outs {
+			rounds += r.rounds
+			msgs += r.msgs
+			bits += r.bits
+			if r.failed {
+				fails++
+				continue
+			}
+			wins[r.color]++
+		}
+		t := float64(len(outs))
+		tv := stats.TotalVariation(stats.Normalize(wins), []float64{0.5, 0.5})
+		cheatWins := 0
+		for _, r := range cheaterOuts {
+			if r.cheatWon {
+				cheatWins++
+			}
+		}
+		t8.AddRow(name, F(rounds/t), F(msgs/t), F(bits/t), F(tv),
+			Pct(float64(cheatWins)/float64(len(cheaterOuts))), note)
+	}
+
+	// Protocol P.
+	pHonest := ParallelTrials(o.Trials, o.Workers, o.Seed, func(i int, seed uint64) out {
+		res, err := core.Run(core.RunConfig{Params: p, Colors: colors, Seed: seed, Workers: 1})
+		if err != nil {
+			panic(err)
+		}
+		return out{failed: res.Outcome.Failed, color: res.Outcome.Color,
+			rounds: float64(res.Rounds), msgs: float64(res.Metrics.Messages), bits: float64(res.Metrics.Bits)}
+	})
+	pCheat := ParallelTrials(o.Trials, o.Workers, o.Seed+1, func(i int, seed uint64) out {
+		res, err := rational.RunGame(rational.GameConfig{
+			Params: p, Colors: colors, Coalition: []int{cheater},
+			Deviation: rational.MinKLiar{}, Seed: seed, Workers: 1,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return out{cheatWon: res.CoalitionColorWon && !res.Outcome.Failed}
+	})
+	summarize("Protocol P", pHonest, pCheat, "whp t-strong equilibrium; o(n²) msgs")
+
+	// LOCAL modular-sum election (commit-reveal).
+	localHonest := ParallelTrials(o.Trials, o.Workers, o.Seed+2, func(i int, seed uint64) out {
+		res, err := baseline.RunLocalSum(baseline.LocalSumConfig{
+			N: n, Colors: colors, Seed: seed, CommitReveal: true,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return out{failed: res.Outcome.Failed, color: res.Outcome.Color,
+			rounds: float64(res.Rounds), msgs: float64(res.Messages), bits: float64(res.Bits)}
+	})
+	localCheat := ParallelTrials(o.Trials, o.Workers, o.Seed+3, func(i int, seed uint64) out {
+		res, err := baseline.RunLocalSum(baseline.LocalSumConfig{
+			N: n, Colors: colors, Seed: seed, CommitReveal: true, HasRusher: true, Rusher: cheater,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return out{cheatWon: res.Leader == cheater}
+	})
+	summarize("LOCAL sum (commit-reveal)", localHonest, localCheat, "fair & rush-proof but Ω(n²) msgs")
+
+	// LOCAL modular-sum election without commitment, rushed.
+	localNaiveCheat := ParallelTrials(o.Trials, o.Workers, o.Seed+4, func(i int, seed uint64) out {
+		res, err := baseline.RunLocalSum(baseline.LocalSumConfig{
+			N: n, Colors: colors, Seed: seed, HasRusher: true, Rusher: cheater,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return out{cheatWon: res.Leader == cheater}
+	})
+	summarize("LOCAL sum (no commitment)", localHonest, localNaiveCheat, "a rusher picks the leader at will")
+
+	// Hassin–Peleg polling.
+	pollHonest := ParallelTrials(o.Trials, o.Workers, o.Seed+5, func(i int, seed uint64) out {
+		res, err := baseline.RunPolling(baseline.PollingConfig{
+			N: n, NumColors: 2, Colors: colors, Seed: seed,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return out{failed: res.Outcome.Failed, color: res.Outcome.Color,
+			rounds: float64(res.Rounds), msgs: float64(res.Metrics.Messages), bits: float64(res.Metrics.Bits)}
+	})
+	// Polling has no cheater model in [15]; a stubborn agent that never
+	// updates its color drags the whole network to it, so report that.
+	pollCheat := ParallelTrials(o.Trials, o.Workers, o.Seed+6, func(i int, seed uint64) out {
+		res, err := baseline.RunPollingStubborn(baseline.PollingConfig{
+			N: n, NumColors: 2, Colors: colors, Seed: seed,
+		}, cheater)
+		if err != nil {
+			panic(err)
+		}
+		return out{cheatWon: !res.Outcome.Failed && res.Outcome.Color == colors[cheater]}
+	})
+	summarize("HP polling", pollHonest, pollCheat, "fair in expectation; Θ(n) rounds; no rational defense")
+
+	t8.AddNote("cheater = the strongest single-agent deviation each protocol admits (min-k liar / rusher / stubborn agent)")
+	return []*Table{t8}
+}

@@ -1,0 +1,206 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// FairnessOptions configures T4 (fairness) and the F2 scatter series.
+type FairnessOptions struct {
+	N       int
+	Gamma   float64
+	Trials  int
+	Seed    uint64
+	Workers int
+	// LeaderN is the (smaller) network used for the leader-election case,
+	// where the number of categories equals n.
+	LeaderN      int
+	LeaderTrials int
+}
+
+// DefaultFairnessOptions is the full experiment.
+func DefaultFairnessOptions() FairnessOptions {
+	return FairnessOptions{
+		N: 512, Gamma: core.DefaultGamma, Trials: 1200, Seed: 4,
+		LeaderN: 64, LeaderTrials: 3000,
+	}
+}
+
+// QuickFairnessOptions is a scaled-down variant for tests.
+func QuickFairnessOptions() FairnessOptions {
+	return FairnessOptions{
+		N: 64, Gamma: core.DefaultGamma, Trials: 250, Seed: 4,
+		LeaderN: 16, LeaderTrials: 500,
+	}
+}
+
+type fairnessCase struct {
+	name      string
+	colors    []core.Color
+	numColors int
+}
+
+func (o FairnessOptions) cases() []fairnessCase {
+	return []fairnessCase{
+		{"50/50", core.SplitColors(o.N, 0.5), 2},
+		{"90/10", core.SplitColors(o.N, 0.9), 2},
+		{"uniform-8", core.UniformColors(o.N, 8), 8},
+	}
+}
+
+// RunT4Fairness regenerates T4 (Theorem 4 fairness: Pr[winner = c] equals
+// the initial fraction supporting c) and the F2 scatter series.
+func RunT4Fairness(o FairnessOptions) []*Table {
+	t4 := &Table{
+		ID:      "T4",
+		Title:   fmt.Sprintf("Fairness at n = %d (Theorem 4): winner distribution vs initial support", o.N),
+		Columns: []string{"distribution", "trials", "fails", "TV distance", "chi² p-value"},
+	}
+	f2 := &Table{
+		ID:      "F2",
+		Title:   "Figure: initial support fraction vs empirical win rate (y = x is perfect fairness)",
+		Columns: []string{"case", "color", "initial fraction", "win rate"},
+		Series:  true,
+	}
+
+	runCase := func(name string, n int, colors []core.Color, numColors, trials int, seedSalt uint64) {
+		p := core.MustParams(n, numColors, o.Gamma)
+		type out struct {
+			failed bool
+			color  core.Color
+		}
+		outs := ParallelTrials(trials, o.Workers, o.Seed+seedSalt, func(i int, seed uint64) out {
+			res, err := core.Run(core.RunConfig{Params: p, Colors: colors, Seed: seed, Workers: 1})
+			if err != nil {
+				panic(err)
+			}
+			return out{failed: res.Outcome.Failed, color: res.Outcome.Color}
+		})
+		wins := make([]int, numColors)
+		fails := 0
+		for _, r := range outs {
+			if r.failed {
+				fails++
+				continue
+			}
+			wins[r.color]++
+		}
+		expected := make([]float64, numColors)
+		for _, c := range colors {
+			expected[c] += 1.0 / float64(n)
+		}
+		gof, err := stats.ChiSquareGOF(wins, expected)
+		if err != nil {
+			panic(err)
+		}
+		tv := stats.TotalVariation(stats.Normalize(wins), expected)
+		t4.AddRow(name, I(trials), I(fails), F(tv), F(gof.PValue))
+		for c := 0; c < numColors; c++ {
+			winRate := float64(wins[c]) / float64(trials-fails)
+			f2.AddRow(name, I(c), F(expected[c]), F(winRate))
+		}
+	}
+
+	for i, fc := range o.cases() {
+		runCase(fc.name, o.N, fc.colors, fc.numColors, o.Trials, uint64(i)*97)
+	}
+	runCase(fmt.Sprintf("leader-election (n=%d)", o.LeaderN), o.LeaderN,
+		core.LeaderElectionColors(o.LeaderN), o.LeaderN, o.LeaderTrials, 7777)
+
+	t4.AddNote("expected: TV near 0 and p-value not small — the winner distribution matches initial support")
+	return []*Table{t4, f2}
+}
+
+// FaultOptions configures T5 (Lemma 3: good executions under worst-case
+// permanent faults).
+type FaultOptions struct {
+	N       int
+	Alphas  []float64
+	Gammas  []float64
+	Trials  int
+	Seed    uint64
+	Workers int
+}
+
+// DefaultFaultOptions is the full grid.
+func DefaultFaultOptions() FaultOptions {
+	return FaultOptions{
+		N:      256,
+		Alphas: []float64{0, 0.2, 0.4, 0.6, 0.8},
+		Gammas: []float64{1, 2, 3, 4},
+		Trials: 150,
+		Seed:   5,
+	}
+}
+
+// QuickFaultOptions is a scaled-down grid for tests.
+func QuickFaultOptions() FaultOptions {
+	return FaultOptions{
+		N:      64,
+		Alphas: []float64{0, 0.4},
+		Gammas: []float64{1, 3},
+		Trials: 40,
+		Seed:   5,
+	}
+}
+
+// RunT5Faults regenerates T5 (Lemma 3): success and good-execution rates as
+// the fault fraction α and the phase-length constant γ vary.
+func RunT5Faults(o FaultOptions) []*Table {
+	t5 := &Table{
+		ID:      "T5",
+		Title:   fmt.Sprintf("Fault tolerance at n = %d (Lemma 3): success and Definition-2 rates", o.N),
+		Columns: []string{"alpha", "gamma", "success", "success CI95", "good-exec", "minVotes(med)"},
+	}
+	for _, gamma := range o.Gammas {
+		for _, alpha := range o.Alphas {
+			p := core.MustParams(o.N, 2, gamma)
+			colors := core.UniformColors(o.N, 2)
+			var faulty []bool
+			if alpha > 0 {
+				faulty = core.WorstCaseFaults(o.N, alpha)
+			}
+			type out struct {
+				ok       bool
+				good     bool
+				minVotes int
+			}
+			outs := ParallelTrials(o.Trials, o.Workers,
+				o.Seed+uint64(gamma*10)+uint64(alpha*1000)*13,
+				func(i int, seed uint64) out {
+					res, err := core.Run(core.RunConfig{
+						Params: p, Colors: colors, Faulty: faulty, Seed: seed, Workers: 1,
+					})
+					if err != nil {
+						panic(err)
+					}
+					return out{
+						ok:       !res.Outcome.Failed,
+						good:     res.Good.Good(),
+						minVotes: res.Good.MinVotes,
+					}
+				})
+			okCount, goodCount := 0, 0
+			var minVotes []float64
+			for _, r := range outs {
+				if r.ok {
+					okCount++
+				}
+				if r.good {
+					goodCount++
+				}
+				minVotes = append(minVotes, float64(r.minVotes))
+			}
+			lo, hi := stats.WilsonCI95(okCount, o.Trials)
+			t5.AddRow(F(alpha), F(gamma),
+				Pct(float64(okCount)/float64(o.Trials)),
+				fmt.Sprintf("[%s,%s]", Pct(lo), Pct(hi)),
+				Pct(float64(goodCount)/float64(o.Trials)),
+				F(stats.Summarize(minVotes).Median))
+		}
+	}
+	t5.AddNote("Lemma 3 predicts success w.h.p. for any constant α < 1 given a large enough γ(α)")
+	return []*Table{t5}
+}

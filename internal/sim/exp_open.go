@@ -1,0 +1,243 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/topo"
+)
+
+// TopologyOptions configures E9, the first open problem of Section 4:
+// Protocol P on graph classes other than the complete graph.
+type TopologyOptions struct {
+	N       int
+	Gamma   float64
+	Trials  int
+	Seed    uint64
+	Workers int
+}
+
+// DefaultTopologyOptions is the full experiment.
+func DefaultTopologyOptions() TopologyOptions {
+	return TopologyOptions{N: 256, Gamma: core.DefaultGamma, Trials: 150, Seed: 9}
+}
+
+// QuickTopologyOptions is a scaled-down variant for tests.
+func QuickTopologyOptions() TopologyOptions {
+	return TopologyOptions{N: 64, Gamma: core.DefaultGamma, Trials: 40, Seed: 9}
+}
+
+// RunE9Topologies regenerates E9: success rate and fairness of Protocol P on
+// the complete graph (its analyzed setting) versus ring, random-regular, and
+// Erdős–Rényi graphs. The protocol was only proven for the complete graph;
+// expanders are expected to behave well (pull gossip still converges in
+// O(log n)) while the ring's Θ(n) diameter starves the Find-Min phase.
+func RunE9Topologies(o TopologyOptions) []*Table {
+	e9 := &Table{
+		ID:      "E9",
+		Title:   fmt.Sprintf("Open problem 1 at n = %d: Protocol P beyond the complete graph", o.N),
+		Columns: []string{"topology", "degree", "success", "fairness TV", "trials"},
+	}
+	n := o.N
+	colors := core.SplitColors(n, 0.5)
+	p := core.MustParams(n, 2, o.Gamma)
+	topos := []topo.Topology{
+		topo.NewComplete(n),
+		topo.NewRandomRegular(n, 8, o.Seed),
+		topo.NewErdosRenyi(n, 16.0/float64(n), o.Seed),
+		topo.NewRing(n),
+	}
+	for _, tp := range topos {
+		type out struct {
+			failed bool
+			color  core.Color
+		}
+		outs := ParallelTrials(o.Trials, o.Workers, o.Seed+uint64(len(tp.Name())), func(i int, seed uint64) out {
+			res, err := core.Run(core.RunConfig{
+				Params: p, Colors: colors, Seed: seed, Workers: 1, Topology: tp,
+			})
+			if err != nil {
+				panic(err)
+			}
+			return out{failed: res.Outcome.Failed, color: res.Outcome.Color}
+		})
+		wins := make([]int, 2)
+		fails := 0
+		for _, r := range outs {
+			if r.failed {
+				fails++
+				continue
+			}
+			wins[r.color]++
+		}
+		tv := 1.0
+		if fails < o.Trials {
+			tv = stats.TotalVariation(stats.Normalize(wins), []float64{0.5, 0.5})
+		}
+		deg := tp.Degree(0)
+		e9.AddRow(tp.Name(), I(deg), Pct(float64(o.Trials-fails)/float64(o.Trials)), F(tv), I(o.Trials))
+	}
+	e9.AddNote("the paper proves P only on the complete graph; expander-like graphs retain it empirically, the ring starves Find-Min (diameter Θ(n) ≫ q rounds)")
+	return []*Table{e9}
+}
+
+// AsyncOptions configures E10, the second open problem of Section 4: the
+// sequential (one random agent per tick) GOSSIP model.
+type AsyncOptions struct {
+	Sizes   []int
+	Gamma   float64
+	Trials  int
+	Seed    uint64
+	Workers int
+}
+
+// DefaultAsyncOptions is the full experiment.
+func DefaultAsyncOptions() AsyncOptions {
+	return AsyncOptions{Sizes: []int{64, 128, 256}, Gamma: core.DefaultAsyncGamma, Trials: 150, Seed: 10}
+}
+
+// QuickAsyncOptions is a scaled-down variant for tests.
+func QuickAsyncOptions() AsyncOptions {
+	return AsyncOptions{Sizes: []int{32, 64}, Gamma: core.DefaultAsyncGamma, Trials: 50, Seed: 10}
+}
+
+// RunE10Async regenerates E10: the local-clock adaptation of Protocol P in
+// the sequential GOSSIP model — success rate, fairness, and ticks consumed
+// (normalized by n·(7q+1), the expected schedule length).
+func RunE10Async(o AsyncOptions) []*Table {
+	e10 := &Table{
+		ID:      "E10",
+		Title:   "Open problem 2: sequential GOSSIP (one random agent per tick), local-clock adaptation",
+		Columns: []string{"n", "success", "fairness TV", "ticks(mean)", "ticks/(n·acts)"},
+	}
+	for _, n := range o.Sizes {
+		p := core.MustParams(n, 2, o.Gamma)
+		colors := core.SplitColors(n, 0.5)
+		type out struct {
+			failed bool
+			color  core.Color
+			ticks  int
+		}
+		outs := ParallelTrials(o.Trials, o.Workers, o.Seed+uint64(n), func(i int, seed uint64) out {
+			res, ticks, err := core.RunAsync(core.AsyncRunConfig{
+				Params: p, Colors: colors, Seed: seed,
+			})
+			if err != nil {
+				panic(err)
+			}
+			return out{failed: res.Failed, color: res.Color, ticks: ticks}
+		})
+		wins := make([]int, 2)
+		fails := 0
+		ticks := 0.0
+		for _, r := range outs {
+			ticks += float64(r.ticks)
+			if r.failed {
+				fails++
+				continue
+			}
+			wins[r.color]++
+		}
+		ticks /= float64(o.Trials)
+		tv := 1.0
+		if fails < o.Trials {
+			tv = stats.TotalVariation(stats.Normalize(wins), []float64{0.5, 0.5})
+		}
+		e10.AddRow(I(n), Pct(float64(o.Trials-fails)/float64(o.Trials)), F(tv),
+			F(ticks), F(ticks/float64(n*p.TotalActivations())))
+	}
+	e10.AddNote("adaptation: per-agent activation clocks, a 2q settle gap after Voting, 2q Find-Min activations, γ = %.0f", o.Gamma)
+	e10.AddNote("failures are boundary losses from clock skew; no equilibrium claim is made in this model")
+	return []*Table{e10}
+}
+
+// RunAll executes every experiment with its default options and returns all
+// tables in index order. This is what cmd/experiments prints.
+func RunAll(workers int) []*Table {
+	var tables []*Table
+	perf := DefaultPerfOptions()
+	perf.Workers = workers
+	tables = append(tables, RunT0Predictions(perf)...)
+	tables = append(tables, RunT1Rounds(perf)...)
+	tables = append(tables, RunT2MessageSize(perf)...)
+	tables = append(tables, RunT3Communication(perf)...)
+
+	fair := DefaultFairnessOptions()
+	fair.Workers = workers
+	tables = append(tables, RunT4Fairness(fair)...)
+
+	faults := DefaultFaultOptions()
+	faults.Workers = workers
+	tables = append(tables, RunT5Faults(faults)...)
+
+	eq := DefaultEquilibriumOptions()
+	eq.Workers = workers
+	tables = append(tables, RunT6Equilibrium(eq)...)
+
+	abl := DefaultAblationOptions()
+	abl.Workers = workers
+	tables = append(tables, RunT7Ablation(abl)...)
+
+	bl := DefaultBaselineOptions()
+	bl.Workers = workers
+	tables = append(tables, RunT8Baselines(bl)...)
+
+	tp := DefaultTopologyOptions()
+	tp.Workers = workers
+	tables = append(tables, RunE9Topologies(tp)...)
+
+	as := DefaultAsyncOptions()
+	as.Workers = workers
+	tables = append(tables, RunE10Async(as)...)
+
+	sc := DefaultScalingOptions()
+	sc.Workers = workers
+	tables = append(tables, RunE11CoalitionScaling(sc)...)
+	return tables
+}
+
+// RunAllQuick executes every experiment with scaled-down options (used by
+// tests and the -quick CLI flag).
+func RunAllQuick(workers int) []*Table {
+	var tables []*Table
+	perf := QuickPerfOptions()
+	perf.Workers = workers
+	tables = append(tables, RunT0Predictions(perf)...)
+	tables = append(tables, RunT1Rounds(perf)...)
+	tables = append(tables, RunT2MessageSize(perf)...)
+	tables = append(tables, RunT3Communication(perf)...)
+
+	fair := QuickFairnessOptions()
+	fair.Workers = workers
+	tables = append(tables, RunT4Fairness(fair)...)
+
+	faults := QuickFaultOptions()
+	faults.Workers = workers
+	tables = append(tables, RunT5Faults(faults)...)
+
+	eq := QuickEquilibriumOptions()
+	eq.Workers = workers
+	tables = append(tables, RunT6Equilibrium(eq)...)
+
+	abl := QuickAblationOptions()
+	abl.Workers = workers
+	tables = append(tables, RunT7Ablation(abl)...)
+
+	bl := QuickBaselineOptions()
+	bl.Workers = workers
+	tables = append(tables, RunT8Baselines(bl)...)
+
+	tp := QuickTopologyOptions()
+	tp.Workers = workers
+	tables = append(tables, RunE9Topologies(tp)...)
+
+	as := QuickAsyncOptions()
+	as.Workers = workers
+	tables = append(tables, RunE10Async(as)...)
+
+	sc := QuickScalingOptions()
+	sc.Workers = workers
+	tables = append(tables, RunE11CoalitionScaling(sc)...)
+	return tables
+}

@@ -1,0 +1,202 @@
+package sim
+
+import (
+	"fmt"
+
+	"repro/internal/baseline"
+	"repro/internal/core"
+	"repro/internal/rational"
+)
+
+// EquilibriumOptions configures T6 (Theorem 7) and the F3 series.
+type EquilibriumOptions struct {
+	N             int
+	Gamma         float64
+	CoalitionSize []int
+	Chi           float64
+	Trials        int
+	Seed          uint64
+	Workers       int
+}
+
+// DefaultEquilibriumOptions is the full experiment.
+func DefaultEquilibriumOptions() EquilibriumOptions {
+	return EquilibriumOptions{
+		N: 256, Gamma: core.DefaultGamma,
+		CoalitionSize: []int{1, 4, 16},
+		Chi:           1,
+		Trials:        200,
+		Seed:          6,
+	}
+}
+
+// QuickEquilibriumOptions is a scaled-down variant for tests.
+func QuickEquilibriumOptions() EquilibriumOptions {
+	return EquilibriumOptions{
+		N: 64, Gamma: core.DefaultGamma,
+		CoalitionSize: []int{1, 4},
+		Chi:           1,
+		Trials:        60,
+		Seed:          6,
+	}
+}
+
+// coalitionIDs spreads t members across the ID space deterministically.
+func coalitionIDs(n, t int) []int {
+	ids := make([]int, t)
+	for i := range ids {
+		ids[i] = (i*n)/t + 1
+		if ids[i] >= n {
+			ids[i] = n - 1
+		}
+	}
+	// Deduplicate defensively for tiny n.
+	seen := map[int]bool{}
+	out := ids[:0]
+	for _, id := range ids {
+		if !seen[id] {
+			seen[id] = true
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// RunT6Equilibrium regenerates T6 (Theorem 7: whp t-strong equilibrium): for
+// every deviation and coalition size, the coalition's win rate stays at its
+// fair share and no member profits significantly. It also emits the F3
+// series (utility gain vs t per deviation).
+func RunT6Equilibrium(o EquilibriumOptions) []*Table {
+	t6 := &Table{
+		ID:    "T6",
+		Title: fmt.Sprintf("Equilibrium at n = %d (Theorem 7): deviations never profit", o.N),
+		Columns: []string{"deviation", "t", "fair share", "honest win", "dev win",
+			"honest fail", "dev fail", "max gain", "min gain", "equilibrium?"},
+	}
+	f3 := &Table{
+		ID:      "F3",
+		Title:   "Figure: per-member max utility gain vs coalition size t (≤ 0 means no profit)",
+		Columns: []string{"deviation", "t", "maxGain", "minGain"},
+		Series:  true,
+	}
+	colors := core.UniformColors(o.N, 2)
+	p := core.MustParams(o.N, 2, o.Gamma)
+	for _, dev := range rational.AllDeviations() {
+		for _, t := range o.CoalitionSize {
+			rep, err := rational.EvaluateEquilibrium(rational.EquilibriumConfig{
+				Params:    p,
+				Colors:    colors,
+				Coalition: coalitionIDs(o.N, t),
+				Deviation: dev,
+				Utility:   rational.Utility{Chi: o.Chi},
+				Trials:    o.Trials,
+				Seed:      o.Seed + uint64(t)*1009,
+				Workers:   o.Workers,
+			})
+			if err != nil {
+				panic(err)
+			}
+			verdict := "HOLDS"
+			if !rep.SomeMemberDoesNotProfit() {
+				verdict = "VIOLATED"
+			}
+			t6.AddRow(dev.Name(), I(t), Pct(rep.FairShare),
+				Pct(rep.HonestCoalitionWinRate), Pct(rep.DevCoalitionWinRate),
+				Pct(rep.HonestFailRate), Pct(rep.DevFailRate),
+				F(rep.MaxGain), F(rep.MinGain), verdict)
+			f3.AddRow(dev.Name(), I(t), F(rep.MaxGain), F(rep.MinGain))
+		}
+	}
+	t6.AddNote("χ = %.1f; gains are per-member mean utility differences (dev − honest) over %d paired trials", o.Chi, o.Trials)
+	t6.AddNote("HOLDS = at least one coalition member shows no statistically significant gain (Definition 1)")
+	return []*Table{t6, f3}
+}
+
+// AblationOptions configures T7 (why the commitment/verification machinery
+// exists).
+type AblationOptions struct {
+	N       int
+	Gamma   float64
+	Trials  int
+	Seed    uint64
+	Workers int
+}
+
+// DefaultAblationOptions is the full experiment.
+func DefaultAblationOptions() AblationOptions {
+	return AblationOptions{N: 256, Gamma: core.DefaultGamma, Trials: 300, Seed: 7}
+}
+
+// QuickAblationOptions is a scaled-down variant for tests.
+func QuickAblationOptions() AblationOptions {
+	return AblationOptions{N: 64, Gamma: core.DefaultGamma, Trials: 80, Seed: 7}
+}
+
+// RunT7Ablation regenerates T7: the naive min-gossip protocol (no
+// commitment, no verification) against Protocol P, both facing a single
+// min-k liar.
+func RunT7Ablation(o AblationOptions) []*Table {
+	t7 := &Table{
+		ID:      "T7",
+		Title:   fmt.Sprintf("Ablation at n = %d: remove commitment+verification and a single liar owns the lottery", o.N),
+		Columns: []string{"protocol", "adversary", "liar-color win", "fail rate"},
+	}
+	colors := core.UniformColors(o.N, 2)
+	p := core.MustParams(o.N, 2, o.Gamma)
+	const liar = 5
+
+	// Naive protocol, honest.
+	type out struct {
+		failed  bool
+		liarWon bool
+	}
+	naiveHonest := ParallelTrials(o.Trials, o.Workers, o.Seed, func(i int, seed uint64) out {
+		res, err := baseline.RunNaive(baseline.NaiveConfig{Params: p, Colors: colors, Seed: seed})
+		if err != nil {
+			panic(err)
+		}
+		return out{failed: res.Outcome.Failed, liarWon: !res.Outcome.Failed && res.Outcome.Color == colors[liar]}
+	})
+	// Naive protocol with a liar.
+	naiveLiar := ParallelTrials(o.Trials, o.Workers, o.Seed+1, func(i int, seed uint64) out {
+		res, err := baseline.RunNaive(baseline.NaiveConfig{
+			Params: p, Colors: colors, Seed: seed, HasLiar: true, Liar: liar,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return out{failed: res.Outcome.Failed, liarWon: res.LiarWon}
+	})
+	// Protocol P with the same liar (as a MinKLiar coalition of one).
+	pLiar := ParallelTrials(o.Trials, o.Workers, o.Seed+2, func(i int, seed uint64) out {
+		res, err := rational.RunGame(rational.GameConfig{
+			Params: p, Colors: colors,
+			Coalition: []int{liar}, Deviation: rational.MinKLiar{},
+			Seed: seed, Workers: 1,
+		})
+		if err != nil {
+			panic(err)
+		}
+		return out{failed: res.Outcome.Failed, liarWon: res.CoalitionColorWon}
+	})
+
+	row := func(name, adv string, outs []out) {
+		fails, wins := 0, 0
+		for _, r := range outs {
+			if r.failed {
+				fails++
+			}
+			if r.liarWon {
+				wins++
+			}
+		}
+		t := float64(len(outs))
+		t7.AddRow(name, adv, Pct(float64(wins)/t), Pct(float64(fails)/t))
+	}
+	row("naive min-gossip", "none", naiveHonest)
+	row("naive min-gossip", "1 min-k liar", naiveLiar)
+	row("Protocol P", "1 min-k liar", pLiar)
+	t7.AddNote("liar supports color %d, whose fair share is 50%%; naive+liar win ≈ 100%% shows the lottery is stolen", colors[liar])
+	t7.AddNote("Protocol P converts the theft attempt into detection: the liar's color win rate collapses and runs fail instead")
+	return []*Table{t7}
+}

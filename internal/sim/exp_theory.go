@@ -1,0 +1,50 @@
+package sim
+
+import (
+	"repro/internal/core"
+	"repro/internal/theory"
+	"repro/internal/wire"
+)
+
+// RunT0Predictions emits T0: the protocol parameters and the paper's
+// analytical predictions next to single-run measurements — a reference sheet
+// for reading T1–T5. It also cross-checks the simulator's declared message
+// sizes against real serialized bytes (internal/wire).
+func RunT0Predictions(o PerfOptions) []*Table {
+	t0 := &Table{
+		ID:    "T0",
+		Title: "Parameters and analytical predictions (γ = " + F(o.Gamma) + ")",
+		Columns: []string{"n", "q", "rounds=4q+1", "E[votes]", "Pr[G] bound",
+			"maxMsg bound(bits)", "maxMsg measured", "maxMsg wire", "msgs bound", "msgs measured"},
+	}
+	for _, n := range o.Sizes {
+		p := core.MustParams(n, 2, o.Gamma)
+		res, err := core.Run(core.RunConfig{
+			Params: p, Colors: core.UniformColors(n, 2), Seed: o.Seed, Workers: o.Workers,
+		})
+		if err != nil {
+			panic(err)
+		}
+		// Serialize the largest certificate actually produced to get true
+		// wire bytes.
+		wireBits := 0
+		for _, a := range res.Agents {
+			if c := a.MinCertificate(); c != nil {
+				if b := wire.EncodedBits(c); b > wireBits {
+					wireBits = b
+				}
+			}
+		}
+		t0.AddRow(I(n), I(p.Q), I(theory.Rounds(p)),
+			F(theory.ExpectedVotes(p, n)),
+			F(theory.GoodExecutionBound(p, n)),
+			I(theory.MaxMessageBits(p, n)),
+			I(res.Metrics.MaxMessageBits),
+			I(wireBits),
+			I(theory.MessageUpperBound(p, n)),
+			I(res.Metrics.Messages))
+	}
+	t0.AddNote("Pr[G] bound is the Lemma 3 union bound (loose); measured success rates in T5 must exceed it")
+	t0.AddNote("'wire' is the exact size of the largest minimal certificate under internal/wire's varint encoding")
+	return []*Table{t0}
+}

@@ -1,0 +1,230 @@
+package sim
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The experiment tests run the scaled-down (Quick) configurations and check
+// both structure (tables well-formed) and substance (the paper's claims hold
+// at test scale).
+
+func findTable(t *testing.T, tables []*Table, id string) *Table {
+	t.Helper()
+	for _, tb := range tables {
+		if tb.ID == id {
+			return tb
+		}
+	}
+	t.Fatalf("table %s not produced", id)
+	return nil
+}
+
+func cell(t *testing.T, tb *Table, row int, col string) string {
+	t.Helper()
+	for i, c := range tb.Columns {
+		if c == col {
+			return tb.Rows[row][i]
+		}
+	}
+	t.Fatalf("table %s has no column %q", tb.ID, col)
+	return ""
+}
+
+func parsePct(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(strings.TrimSuffix(s, "%"), 64)
+	if err != nil {
+		t.Fatalf("bad percentage %q", s)
+	}
+	return v / 100
+}
+
+func parseF(t *testing.T, s string) float64 {
+	t.Helper()
+	v, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		t.Fatalf("bad float %q", s)
+	}
+	return v
+}
+
+func TestT1RoundsLogarithmic(t *testing.T) {
+	tables := RunT1Rounds(QuickPerfOptions())
+	t1 := findTable(t, tables, "T1")
+	if len(t1.Rows) != len(QuickPerfOptions().Sizes) {
+		t.Fatalf("T1 rows = %d", len(t1.Rows))
+	}
+	// rounds/log₂n must be roughly constant (the O(log n) claim).
+	first := parseF(t, cell(t, t1, 0, "rounds/log₂n"))
+	last := parseF(t, cell(t, t1, len(t1.Rows)-1, "rounds/log₂n"))
+	if last > 2*first || first > 2*last {
+		t.Fatalf("rounds/log n drifted: %v → %v", first, last)
+	}
+	f1 := findTable(t, tables, "F1")
+	if !f1.Series || len(f1.Rows) == 0 {
+		t.Fatal("F1 series missing")
+	}
+}
+
+func TestT2MessageSizePolylog(t *testing.T) {
+	t2 := findTable(t, RunT2MessageSize(QuickPerfOptions()), "T2")
+	// bits/log₂²n must not grow with n.
+	first := parseF(t, cell(t, t2, 0, "bits/log₂²n"))
+	last := parseF(t, cell(t, t2, len(t2.Rows)-1, "bits/log₂²n"))
+	if last > 2*first {
+		t.Fatalf("message size growing faster than log²n: %v → %v", first, last)
+	}
+}
+
+func TestT3CommunicationSubquadratic(t *testing.T) {
+	t3 := findTable(t, RunT3Communication(QuickPerfOptions()), "T3")
+	// The P/LOCAL message ratio must shrink as n grows.
+	first := parseF(t, cell(t, t3, 0, "msg ratio P/LOCAL"))
+	last := parseF(t, cell(t, t3, len(t3.Rows)-1, "msg ratio P/LOCAL"))
+	if last >= first {
+		t.Fatalf("message ratio not shrinking: %v → %v", first, last)
+	}
+}
+
+func TestT4FairnessHolds(t *testing.T) {
+	tables := RunT4Fairness(QuickFairnessOptions())
+	t4 := findTable(t, tables, "T4")
+	for r := range t4.Rows {
+		if tv := parseF(t, cell(t, t4, r, "TV distance")); tv > 0.15 {
+			t.Errorf("row %d (%s): TV = %v", r, t4.Rows[r][0], tv)
+		}
+		if p := parseF(t, cell(t, t4, r, "chi² p-value")); p < 1e-4 {
+			t.Errorf("row %d (%s): fairness rejected, p = %v", r, t4.Rows[r][0], p)
+		}
+	}
+	f2 := findTable(t, tables, "F2")
+	if len(f2.Rows) == 0 {
+		t.Fatal("F2 empty")
+	}
+}
+
+func TestT5FaultsGammaMatters(t *testing.T) {
+	t5 := findTable(t, RunT5Faults(QuickFaultOptions()), "T5")
+	// With γ = 3 the protocol must succeed at α = 0 and α = 0.4.
+	ok := map[string]float64{}
+	for r := range t5.Rows {
+		key := cell(t, t5, r, "gamma") + "@" + cell(t, t5, r, "alpha")
+		ok[key] = parsePct(t, cell(t, t5, r, "success"))
+	}
+	if ok["3@0"] < 0.95 {
+		t.Errorf("γ=3 α=0 success = %v", ok["3@0"])
+	}
+	if ok["3@0.4"] < 0.9 {
+		t.Errorf("γ=3 α=0.4 success = %v", ok["3@0.4"])
+	}
+}
+
+func TestT6EquilibriumHoldsEverywhere(t *testing.T) {
+	tables := RunT6Equilibrium(QuickEquilibriumOptions())
+	t6 := findTable(t, tables, "T6")
+	for r := range t6.Rows {
+		if v := cell(t, t6, r, "equilibrium?"); v != "HOLDS" {
+			t.Errorf("row %d (%s, t=%s): %s", r, t6.Rows[r][0], t6.Rows[r][1], v)
+		}
+	}
+	if len(findTable(t, tables, "F3").Rows) != len(t6.Rows) {
+		t.Fatal("F3 rows mismatch")
+	}
+}
+
+func TestT7AblationShowsTheft(t *testing.T) {
+	t7 := findTable(t, RunT7Ablation(QuickAblationOptions()), "T7")
+	// Row 1: naive + liar — the liar owns the lottery.
+	if w := parsePct(t, cell(t, t7, 1, "liar-color win")); w < 0.95 {
+		t.Errorf("naive liar win = %v, expected ≈ 1", w)
+	}
+	// Row 2: Protocol P + liar — theft collapses.
+	if w := parsePct(t, cell(t, t7, 2, "liar-color win")); w > 0.25 {
+		t.Errorf("P liar win = %v, expected ≈ 0", w)
+	}
+}
+
+func TestT8BaselinesStructure(t *testing.T) {
+	t8 := findTable(t, RunT8Baselines(QuickBaselineOptions()), "T8")
+	if len(t8.Rows) != 4 {
+		t.Fatalf("T8 rows = %d, want 4", len(t8.Rows))
+	}
+	// The un-committed LOCAL baseline must be fully riggable...
+	if w := parsePct(t, cell(t, t8, 2, "cheater win")); w < 0.95 {
+		t.Errorf("rusher win without commitment = %v", w)
+	}
+	// ...while Protocol P resists its strongest single cheater.
+	if w := parsePct(t, cell(t, t8, 0, "cheater win")); w > 0.25 {
+		t.Errorf("P cheater win = %v", w)
+	}
+	// Polling is fully absorbed by a stubborn agent.
+	if w := parsePct(t, cell(t, t8, 3, "cheater win")); w < 0.9 {
+		t.Errorf("stubborn takeover of polling = %v", w)
+	}
+}
+
+func TestE9TopologiesExpanderVsRing(t *testing.T) {
+	e9 := findTable(t, RunE9Topologies(QuickTopologyOptions()), "E9")
+	rates := map[string]float64{}
+	for r := range e9.Rows {
+		rates[e9.Rows[r][0]] = parsePct(t, cell(t, e9, r, "success"))
+	}
+	if rates["complete"] < 0.95 {
+		t.Errorf("complete success = %v", rates["complete"])
+	}
+	if rates["regular-8"] < 0.8 {
+		t.Errorf("regular-8 success = %v", rates["regular-8"])
+	}
+	if rates["ring"] > rates["complete"] {
+		t.Errorf("ring (%v) outperformed complete (%v)?", rates["ring"], rates["complete"])
+	}
+}
+
+func TestE10AsyncMostlySucceedsAndFair(t *testing.T) {
+	e10 := findTable(t, RunE10Async(QuickAsyncOptions()), "E10")
+	for r := range e10.Rows {
+		if s := parsePct(t, cell(t, e10, r, "success")); s < 0.8 {
+			t.Errorf("async n=%s success = %v", e10.Rows[r][0], s)
+		}
+	}
+}
+
+func TestRunAllQuickProducesAllTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full quick-suite run skipped in -short mode")
+	}
+	tables := RunAllQuick(0)
+	want := []string{"T0", "T1", "F1", "T2", "T3", "T4", "F2", "T5", "T6", "F3", "T7", "T8", "E9", "E10", "E11"}
+	got := map[string]bool{}
+	for _, tb := range tables {
+		got[tb.ID] = true
+		if len(tb.Rows) == 0 {
+			t.Errorf("table %s is empty", tb.ID)
+		}
+	}
+	for _, id := range want {
+		if !got[id] {
+			t.Errorf("missing table %s", id)
+		}
+	}
+}
+
+func TestE11EquilibriumDegradesOnlyAtHugeCoalitions(t *testing.T) {
+	e11 := findTable(t, RunE11CoalitionScaling(QuickScalingOptions()), "E11")
+	// Small coalitions: neither forgery ever wins.
+	for r := 0; r < len(e11.Rows); r++ {
+		frac := parseF(t, cell(t, e11, r, "t/n"))
+		win := parsePct(t, cell(t, e11, r, "coalition win"))
+		if frac <= 0.15 && win > 0.05 {
+			t.Errorf("row %d: small coalition (%v) won %v", r, frac, win)
+		}
+		// Everywhere: a forgery either wins (huge coalitions only) or the
+		// run fails; honest-consensus-with-forgery-circulating is impossible.
+		fail := parsePct(t, cell(t, e11, r, "fail rate"))
+		if win+fail < 0.85 {
+			t.Errorf("row %d: win %v + fail %v leaves unexplained mass", r, win, fail)
+		}
+	}
+}

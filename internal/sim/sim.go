@@ -1,0 +1,47 @@
+package sim
+
+import (
+	"repro/internal/par"
+	"repro/internal/rng"
+)
+
+// ParallelTrials runs f for indices 0..trials-1 across workers goroutines and
+// collects the results in order. Each trial receives a seed derived
+// deterministically from (seed, i), so results are identical regardless of
+// the worker count — the property that lets experiments be both parallel and
+// reproducible.
+func ParallelTrials[T any](trials, workers int, seed uint64, f func(i int, trialSeed uint64) T) []T {
+	out := make([]T, trials)
+	base := rng.New(seed)
+	seeds := make([]uint64, trials)
+	for i := range seeds {
+		seeds[i] = base.Uint64()
+	}
+	par.ForN(workers, trials, func(i int) {
+		out[i] = f(i, seeds[i])
+	})
+	return out
+}
+
+// CountTrue returns how many elements are true.
+func CountTrue(xs []bool) int {
+	n := 0
+	for _, x := range xs {
+		if x {
+			n++
+		}
+	}
+	return n
+}
+
+// Means averages a slice of float64 samples.
+func Means(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := 0.0
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

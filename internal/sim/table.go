@@ -1,0 +1,108 @@
+// Package sim is the experiment harness: it regenerates, as tables and CSV
+// series, every empirical claim in the paper (see DESIGN.md's experiment
+// index T1–T8, E9–E10), running Monte-Carlo trials in parallel across CPUs
+// with per-trial deterministic seeds.
+package sim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is one experiment artifact: a titled grid with optional notes.
+// Series is set for figure data meant to be consumed as CSV (plotted), as
+// opposed to read as a table.
+type Table struct {
+	ID      string
+	Title   string
+	Columns []string
+	Rows    [][]string
+	Notes   []string
+	Series  bool
+}
+
+// AddRow appends a row; it panics if the cell count does not match the
+// column count (tables are experiment outputs — mismatches are bugs).
+func (t *Table) AddRow(cells ...string) {
+	if len(cells) != len(t.Columns) {
+		panic(fmt.Sprintf("sim: row has %d cells for %d columns in %s", len(cells), len(t.Columns), t.ID))
+	}
+	t.Rows = append(t.Rows, cells)
+}
+
+// AddNote appends a free-form footnote.
+func (t *Table) AddNote(format string, args ...any) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%s — %s\n", t.ID, t.Title)
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[i], cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	total := 0
+	for _, w := range widths {
+		total += w + 2
+	}
+	sb.WriteString(strings.Repeat("-", total))
+	sb.WriteByte('\n')
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&sb, "  note: %s\n", n)
+	}
+	return sb.String()
+}
+
+// CSV renders the table as comma-separated values (cells containing commas
+// or quotes are quoted).
+func (t *Table) CSV() string {
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, cell := range cells {
+			if i > 0 {
+				sb.WriteByte(',')
+			}
+			if strings.ContainsAny(cell, ",\"\n") {
+				cell = "\"" + strings.ReplaceAll(cell, "\"", "\"\"") + "\""
+			}
+			sb.WriteString(cell)
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(t.Columns)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return sb.String()
+}
+
+// F formats a float compactly for table cells.
+func F(v float64) string { return fmt.Sprintf("%.4g", v) }
+
+// Pct formats a rate as a percentage.
+func Pct(v float64) string { return fmt.Sprintf("%.1f%%", 100*v) }
+
+// I formats an int.
+func I(v int) string { return fmt.Sprintf("%d", v) }

@@ -1,0 +1,135 @@
+// Package theory computes the paper's analytical predictions so experiments
+// can print them next to measured values: the round schedule of Theorem 4,
+// the message-size bound, and the concrete bad-event probability bounds
+// behind Lemma 3's "good execution" argument (Definition 2), assembled from
+// the same Chernoff and union-bound steps the proof sketches use.
+//
+// These are upper bounds on failure probabilities, not exact values; the
+// experiments check that measured failure rates sit below them.
+package theory
+
+import (
+	"math"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// Rounds returns the protocol's deterministic round count, 4q + 1.
+func Rounds(p core.Params) int { return p.TotalRounds() }
+
+// ExpectedVotes returns the expected number of votes an active agent
+// receives in the Voting phase: active·q/n (each of the active agents casts
+// q votes to uniform targets).
+func ExpectedVotes(p core.Params, active int) float64 {
+	return float64(active) * float64(p.Q) / float64(p.N)
+}
+
+// UncoveredProb bounds the probability that some agent receives no
+// commitment pull from any honest agent (the bad event against Definition 5
+// property 1): n·(1−1/n)^(honest·q).
+func UncoveredProb(p core.Params, honest int) float64 {
+	perAgent := math.Exp(float64(honest*p.Q) * math.Log1p(-1.0/float64(p.N)))
+	return clampProb(float64(p.N) * perAgent)
+}
+
+// VoteBoundProb bounds the probability that some active agent's vote count
+// leaves [μ/4, 4μ] (the concrete (β₁, β₂) band used by the good-execution
+// checker), via the package's Chernoff helpers and a union bound.
+func VoteBoundProb(p core.Params, active int) float64 {
+	mu := ExpectedVotes(p, active)
+	if mu <= 0 {
+		return 1
+	}
+	// Upper tail: Pr[X > 4μ] = Pr[X > (1+3)μ] ≤ exp(−9μ/4) (Lemma 8.1, δ=3).
+	upper := ChernoffUpper(3, mu)
+	// Lower tail: Pr[X < μ/4] ≤ exp(−(3/4)²μ/2).
+	lower := ChernoffLower(0.75, mu)
+	return clampProb(float64(active) * (upper + lower))
+}
+
+// CollisionProb bounds the probability that two agents share a k value:
+// C(active, 2)/m (birthday union bound over uniform values in [m]).
+func CollisionProb(p core.Params, active int) float64 {
+	pairs := float64(active) * float64(active-1) / 2
+	return clampProb(pairs / float64(p.M))
+}
+
+// BroadcastIncompleteProb bounds the probability that pull-based broadcast
+// over the active agents has not completed after q rounds. After the rumor
+// reaches half the agents, each remaining agent independently misses it with
+// probability at most (1−a/(2n))^r over r rounds; the growth phase consumes
+// about log₂ n rounds. The bound is loose but captures the γ dependence.
+func BroadcastIncompleteProb(p core.Params, active int) float64 {
+	growth := math.Log2(float64(p.N))
+	rem := float64(p.Q) - growth
+	if rem <= 0 {
+		return 1
+	}
+	missProb := math.Exp(rem * math.Log1p(-float64(active)/(2*float64(p.N))))
+	return clampProb(float64(active) * missProb)
+}
+
+// GoodExecutionBound returns a lower bound on Pr[G] (Lemma 3): one minus the
+// union of the bad-event bounds above.
+func GoodExecutionBound(p core.Params, active int) float64 {
+	bad := UncoveredProb(p, active) +
+		VoteBoundProb(p, active) +
+		CollisionProb(p, active) +
+		BroadcastIncompleteProb(p, active)
+	if bad > 1 {
+		return 0
+	}
+	return 1 - bad
+}
+
+// MaxMessageBits bounds the largest message: a certificate holding up to 4μ
+// votes (the good-execution upper band) of (idBits + valueBits) each, plus
+// header, k, color and owner fields.
+func MaxMessageBits(p core.Params, active int) int {
+	mu := ExpectedVotes(p, active)
+	votes := int(math.Ceil(4 * mu))
+	idBits := metrics.BitsForValues(uint64(p.N))
+	valBits := metrics.BitsForValues(p.M)
+	colorBits := metrics.BitsForValues(uint64(p.NumColors))
+	return 2 + valBits + votes*(idBits+valBits) + colorBits + idBits
+}
+
+// MessageUpperBound bounds the total number of point-to-point messages: each
+// of the active agents performs one operation per round; a pull costs a
+// query and (at most) a reply, so at most 2·active messages per round over
+// 4q+1 rounds.
+func MessageUpperBound(p core.Params, active int) int {
+	return (4*p.Q + 1) * 2 * active
+}
+
+// ChernoffUpper is Lemma 8's upper-tail bound for X = Σ Bernoulli with mean
+// mu: Pr[X > (1+δ)μ] ≤ exp(−δ²μ/4) for δ ≤ 4, exp(−δμ) for δ > 4.
+func ChernoffUpper(delta, mu float64) float64 {
+	if delta <= 0 || mu <= 0 {
+		return 1
+	}
+	if delta <= 4 {
+		return clampProb(math.Exp(-delta * delta * mu / 4))
+	}
+	return clampProb(math.Exp(-delta * mu))
+}
+
+// ChernoffLower is the standard lower-tail bound Pr[X < (1−δ)μ] ≤
+// exp(−δ²μ/2) for 0 < δ < 1.
+func ChernoffLower(delta, mu float64) float64 {
+	if delta <= 0 || delta >= 1 || mu <= 0 {
+		return 1
+	}
+	return clampProb(math.Exp(-delta * delta * mu / 2))
+}
+
+func clampProb(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}

@@ -1,0 +1,134 @@
+package theory
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func TestRoundsSchedule(t *testing.T) {
+	p := core.MustParams(1024, 2, 3)
+	if Rounds(p) != 4*p.Q+1 {
+		t.Fatalf("Rounds = %d", Rounds(p))
+	}
+}
+
+func TestExpectedVotes(t *testing.T) {
+	p := core.MustParams(100, 2, 1)
+	if got := ExpectedVotes(p, 100); got != float64(p.Q) {
+		t.Fatalf("fault-free expected votes = %v, want q = %d", got, p.Q)
+	}
+	if got := ExpectedVotes(p, 50); got != float64(p.Q)/2 {
+		t.Fatalf("half-active expected votes = %v", got)
+	}
+}
+
+func TestProbabilitiesAreProbabilities(t *testing.T) {
+	f := func(nRaw, activeRaw uint16, gammaRaw uint8) bool {
+		n := int(nRaw)%2000 + 4
+		active := int(activeRaw)%n + 1
+		gamma := float64(gammaRaw%8) + 0.5
+		p := core.MustParams(n, 2, gamma)
+		for _, v := range []float64{
+			UncoveredProb(p, active),
+			VoteBoundProb(p, active),
+			CollisionProb(p, active),
+			BroadcastIncompleteProb(p, active),
+			GoodExecutionBound(p, active),
+		} {
+			if v < 0 || v > 1 || math.IsNaN(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBoundsImproveWithGamma(t *testing.T) {
+	// All bad-event bounds must shrink (weakly) as γ grows.
+	n, active := 512, 512
+	prevBad := math.Inf(1)
+	for _, gamma := range []float64{1, 2, 3, 5} {
+		p := core.MustParams(n, 2, gamma)
+		bad := UncoveredProb(p, active) + VoteBoundProb(p, active) + BroadcastIncompleteProb(p, active)
+		if bad > prevBad+1e-12 {
+			t.Fatalf("γ=%v made bounds worse: %v > %v", gamma, bad, prevBad)
+		}
+		prevBad = bad
+	}
+}
+
+func TestGoodExecutionBoundReasonable(t *testing.T) {
+	// At γ = 3 fault-free n = 512, the analytical bound should already be
+	// non-trivial, and the measured success rate (≈ 1 per T5) must exceed it.
+	p := core.MustParams(512, 2, 3)
+	if b := GoodExecutionBound(p, 512); b < 0.5 {
+		t.Fatalf("GoodExecutionBound = %v, expected a useful bound", b)
+	}
+	// At γ = 0.5 the bound collapses — consistent with observed failures.
+	p = core.MustParams(512, 2, 0.5)
+	if b := GoodExecutionBound(p, 512); b > 0.99 {
+		t.Fatalf("tiny-γ bound = %v, expected collapse", b)
+	}
+}
+
+func TestChernoffShapes(t *testing.T) {
+	if ChernoffUpper(1, 100) >= ChernoffUpper(1, 10) {
+		t.Fatal("upper bound not decreasing in μ")
+	}
+	if ChernoffUpper(5, 10) != clampProb(math.Exp(-50)) {
+		t.Fatal("large-δ branch wrong")
+	}
+	if ChernoffLower(0.5, 100) >= ChernoffLower(0.5, 10) {
+		t.Fatal("lower bound not decreasing in μ")
+	}
+	for _, bad := range []float64{ChernoffUpper(-1, 10), ChernoffLower(0, 10), ChernoffLower(1.5, 10), ChernoffUpper(1, 0)} {
+		if bad != 1 {
+			t.Fatal("degenerate inputs must return the trivial bound 1")
+		}
+	}
+}
+
+func TestMaxMessageBitsPolylog(t *testing.T) {
+	for _, n := range []int{256, 4096, 65536} {
+		p := core.MustParams(n, 2, 2)
+		logn := math.Log2(float64(n))
+		if got := float64(MaxMessageBits(p, n)); got > 40*logn*logn {
+			t.Errorf("n=%d: bound %v > 40 log²n", n, got)
+		}
+	}
+}
+
+func TestMessageUpperBoundSubquadratic(t *testing.T) {
+	p := core.MustParams(4096, 2, 3)
+	if MessageUpperBound(p, 4096) >= 4096*4096/4 {
+		t.Fatal("message bound not o(n²) at n=4096")
+	}
+}
+
+func TestMeasuredWithinTheoryBounds(t *testing.T) {
+	// Cross-check against a real execution: measured max message size and
+	// total messages must respect the analytical bounds.
+	const n = 256
+	p := core.MustParams(n, 2, 3)
+	res, err := core.Run(core.RunConfig{
+		Params: p, Colors: core.UniformColors(n, 2), Seed: 3,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.MaxMessageBits > MaxMessageBits(p, n) {
+		t.Errorf("measured max message %d bits > bound %d", res.Metrics.MaxMessageBits, MaxMessageBits(p, n))
+	}
+	if res.Metrics.Messages > MessageUpperBound(p, n) {
+		t.Errorf("measured messages %d > bound %d", res.Metrics.Messages, MessageUpperBound(p, n))
+	}
+	if res.Rounds > Rounds(p)+1 {
+		t.Errorf("measured rounds %d > schedule %d", res.Rounds, Rounds(p))
+	}
+}

@@ -1,0 +1,118 @@
+package topo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/rng"
+)
+
+// Adjacency graphs must satisfy the handshake lemma and symmetric CanSend.
+func TestAdjacencyInvariants(t *testing.T) {
+	graphs := []Topology{
+		NewRing(17),
+		NewRandomRegular(50, 4, 3),
+		NewRandomRegular(61, 6, 8),
+		NewErdosRenyi(40, 0.2, 5),
+	}
+	for _, g := range graphs {
+		n := g.N()
+		total := 0
+		for u := 0; u < n; u++ {
+			total += g.Degree(u)
+			for v := 0; v < n; v++ {
+				if u == v {
+					continue
+				}
+				if g.CanSend(u, v) != g.CanSend(v, u) {
+					t.Fatalf("%s: CanSend not symmetric at (%d,%d)", g.Name(), u, v)
+				}
+			}
+		}
+		if total%2 != 0 {
+			t.Fatalf("%s: odd degree sum %d (handshake lemma)", g.Name(), total)
+		}
+	}
+}
+
+func TestDegreeMatchesCanSend(t *testing.T) {
+	g := NewErdosRenyi(30, 0.3, 7)
+	for u := 0; u < 30; u++ {
+		count := 0
+		for v := 0; v < 30; v++ {
+			if v != u && g.CanSend(u, v) {
+				count++
+			}
+		}
+		if count != g.Degree(u) {
+			t.Fatalf("degree(%d) = %d but CanSend count = %d", u, g.Degree(u), count)
+		}
+	}
+}
+
+func TestSamplePeerAlwaysSendable(t *testing.T) {
+	r := rng.New(11)
+	f := func(seed uint64, which uint8) bool {
+		var g Topology
+		switch which % 4 {
+		case 0:
+			g = NewComplete(20)
+		case 1:
+			g = NewRing(20)
+		case 2:
+			g = NewRandomRegular(20, 4, seed)
+		default:
+			g = NewErdosRenyi(20, 0.3, seed)
+		}
+		for u := 0; u < g.N(); u++ {
+			for i := 0; i < 5; i++ {
+				v := g.SamplePeer(u, r)
+				if !g.CanSend(u, v) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandomRegularDifferentSeedsDiffer(t *testing.T) {
+	a := NewRandomRegular(60, 4, 1)
+	b := NewRandomRegular(60, 4, 2)
+	same := true
+	for u := 0; u < 60 && same; u++ {
+		for v := 0; v < 60; v++ {
+			if a.CanSend(u, v) != b.CanSend(u, v) {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func TestTopologyPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewRing(2) },
+		func() { NewRandomRegular(2, 4, 1) },
+		func() { NewRandomRegular(10, 1, 1) },
+		func() { NewErdosRenyi(0, 0.5, 1) },
+		func() { NewErdosRenyi(10, -0.1, 1) },
+		func() { NewErdosRenyi(10, 1.1, 1) },
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -1,0 +1,212 @@
+// Package topo defines the communication topologies agents gossip over.
+//
+// The paper analyzes Protocol P on the complete graph (Section 2); the other
+// topologies here (ring, random regular, Erdős–Rényi) exist to explore the
+// paper's first open problem — rational fair consensus on other graph
+// classes (Section 4).
+//
+// A Topology answers two questions for the engine and the agents: which peers
+// may node u contact (adjacency, enforced by the engine even for deviating
+// agents), and how an honest agent samples a peer "u.a.r." as the protocol
+// prescribes. On the complete graph the sample space is all of [n] including
+// u itself, exactly as the paper's "chosen u.a.r. in [n]"; on restricted
+// graphs it is the neighbor set.
+package topo
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// Topology describes who can talk to whom.
+type Topology interface {
+	// N is the number of nodes; nodes are identified by 0..N-1.
+	N() int
+	// CanSend reports whether u may address a message to v. Self-sends are
+	// always allowed (they are local no-ops).
+	CanSend(u, v int) bool
+	// SamplePeer returns a peer for u drawn uniformly from u's sample space
+	// (all of [n] on the complete graph, the neighbor list otherwise).
+	SamplePeer(u int, r *rng.Source) int
+	// Degree returns the number of distinct peers u may contact (excluding u).
+	Degree(u int) int
+	// Name identifies the topology in reports.
+	Name() string
+}
+
+// Complete is the complete graph on n nodes, the paper's setting. SamplePeer
+// draws uniformly from [n] including u, matching the protocol's "u.a.r. in
+// [n]" choices.
+type Complete struct{ n int }
+
+// NewComplete returns the complete graph on n nodes. It panics if n < 1.
+func NewComplete(n int) Complete {
+	if n < 1 {
+		panic("topo: NewComplete needs n >= 1")
+	}
+	return Complete{n: n}
+}
+
+// N returns the node count.
+func (c Complete) N() int { return c.n }
+
+// CanSend allows every pair.
+func (c Complete) CanSend(u, v int) bool {
+	return u >= 0 && u < c.n && v >= 0 && v < c.n
+}
+
+// SamplePeer draws uniformly from all n nodes, including u itself.
+func (c Complete) SamplePeer(u int, r *rng.Source) int { return r.Intn(c.n) }
+
+// Degree is n-1 on the complete graph.
+func (c Complete) Degree(u int) int { return c.n - 1 }
+
+// Name returns "complete".
+func (c Complete) Name() string { return "complete" }
+
+// adjacency is a shared implementation for explicit-neighbor-list graphs.
+type adjacency struct {
+	name  string
+	neigh [][]int32
+}
+
+func (a *adjacency) N() int { return len(a.neigh) }
+
+func (a *adjacency) CanSend(u, v int) bool {
+	if u < 0 || u >= len(a.neigh) || v < 0 || v >= len(a.neigh) {
+		return false
+	}
+	if u == v {
+		return true
+	}
+	ns := a.neigh[u]
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= int32(v) })
+	return i < len(ns) && ns[i] == int32(v)
+}
+
+func (a *adjacency) SamplePeer(u int, r *rng.Source) int {
+	ns := a.neigh[u]
+	if len(ns) == 0 {
+		return u // isolated node can only talk to itself
+	}
+	return int(ns[r.Intn(len(ns))])
+}
+
+func (a *adjacency) Degree(u int) int { return len(a.neigh[u]) }
+
+func (a *adjacency) Name() string { return a.name }
+
+// buildAdjacency converts an edge set into sorted neighbor lists.
+func buildAdjacency(name string, n int, edges map[[2]int32]struct{}) *adjacency {
+	a := &adjacency{name: name, neigh: make([][]int32, n)}
+	for e := range edges {
+		a.neigh[e[0]] = append(a.neigh[e[0]], e[1])
+		a.neigh[e[1]] = append(a.neigh[e[1]], e[0])
+	}
+	for u := range a.neigh {
+		ns := a.neigh[u]
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	}
+	return a
+}
+
+// NewRing returns the cycle graph on n nodes (each node adjacent to its two
+// ring neighbors). It panics if n < 3.
+func NewRing(n int) Topology {
+	if n < 3 {
+		panic("topo: NewRing needs n >= 3")
+	}
+	edges := make(map[[2]int32]struct{}, n)
+	for u := 0; u < n; u++ {
+		v := (u + 1) % n
+		edges[edgeKey(u, v)] = struct{}{}
+	}
+	return buildAdjacency(fmt.Sprintf("ring"), n, edges)
+}
+
+// NewRandomRegular returns a random (approximately) d-regular graph built as
+// the union of ⌈d/2⌉ uniformly random Hamiltonian cycles with duplicate edges
+// removed. For d ≪ n the result is d-regular except for the rare duplicate,
+// and is connected by construction. It panics if n < 3 or d < 2.
+func NewRandomRegular(n, d int, seed uint64) Topology {
+	if n < 3 || d < 2 {
+		panic("topo: NewRandomRegular needs n >= 3 and d >= 2")
+	}
+	r := rng.New(seed)
+	edges := make(map[[2]int32]struct{}, n*d/2)
+	cycles := (d + 1) / 2
+	for c := 0; c < cycles; c++ {
+		p := r.Perm(n)
+		for i := 0; i < n; i++ {
+			u, v := p[i], p[(i+1)%n]
+			edges[edgeKey(u, v)] = struct{}{}
+		}
+	}
+	return buildAdjacency(fmt.Sprintf("regular-%d", d), n, edges)
+}
+
+// NewErdosRenyi returns a G(n, p) random graph. Connectivity is not
+// guaranteed; isolated nodes can only message themselves. It panics for
+// invalid n or p outside [0, 1].
+func NewErdosRenyi(n int, p float64, seed uint64) Topology {
+	if n < 1 || p < 0 || p > 1 {
+		panic("topo: invalid Erdős–Rényi parameters")
+	}
+	r := rng.New(seed)
+	edges := make(map[[2]int32]struct{})
+	for u := 0; u < n; u++ {
+		for v := u + 1; v < n; v++ {
+			if r.Bool(p) {
+				edges[edgeKey(u, v)] = struct{}{}
+			}
+		}
+	}
+	return buildAdjacency(fmt.Sprintf("er-%.3f", p), n, edges)
+}
+
+func edgeKey(u, v int) [2]int32 {
+	if u > v {
+		u, v = v, u
+	}
+	return [2]int32{int32(u), int32(v)}
+}
+
+// IsConnected reports whether every node can reach node 0 (BFS). The complete
+// graph is always connected; random graphs may not be.
+func IsConnected(t Topology) bool {
+	n := t.N()
+	if n == 0 {
+		return true
+	}
+	// Use CanSend over explicit lists when available for speed.
+	adj, ok := t.(*adjacency)
+	visited := make([]bool, n)
+	queue := []int{0}
+	visited[0] = true
+	seen := 1
+	for len(queue) > 0 {
+		u := queue[0]
+		queue = queue[1:]
+		if ok {
+			for _, v32 := range adj.neigh[u] {
+				v := int(v32)
+				if !visited[v] {
+					visited[v] = true
+					seen++
+					queue = append(queue, v)
+				}
+			}
+			continue
+		}
+		for v := 0; v < n; v++ {
+			if v != u && !visited[v] && t.CanSend(u, v) {
+				visited[v] = true
+				seen++
+				queue = append(queue, v)
+			}
+		}
+	}
+	return seen == n
+}

@@ -1,0 +1,181 @@
+package topo
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func TestCompleteBasics(t *testing.T) {
+	c := NewComplete(10)
+	if c.N() != 10 || c.Name() != "complete" || c.Degree(3) != 9 {
+		t.Fatalf("Complete basics wrong: %+v", c)
+	}
+	for u := 0; u < 10; u++ {
+		for v := 0; v < 10; v++ {
+			if !c.CanSend(u, v) {
+				t.Fatalf("CanSend(%d,%d) = false on complete graph", u, v)
+			}
+		}
+	}
+	if c.CanSend(0, 10) || c.CanSend(-1, 0) {
+		t.Fatal("CanSend allowed out-of-range node")
+	}
+}
+
+func TestCompleteSamplePeerIncludesSelfAndIsUniform(t *testing.T) {
+	// The paper samples u.a.r. in [n] including the caller; check uniformity.
+	c := NewComplete(8)
+	r := rng.New(5)
+	counts := make([]int, 8)
+	const draws = 80000
+	for i := 0; i < draws; i++ {
+		counts[c.SamplePeer(3, r)]++
+	}
+	for v, cnt := range counts {
+		if cnt < 9000 || cnt > 11000 {
+			t.Fatalf("peer %d sampled %d times, want ~10000", v, cnt)
+		}
+	}
+	if counts[3] == 0 {
+		t.Fatal("self never sampled; complete graph must include self per the paper")
+	}
+}
+
+func TestCompletePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewComplete(0) did not panic")
+		}
+	}()
+	NewComplete(0)
+}
+
+func TestRingStructure(t *testing.T) {
+	g := NewRing(6)
+	if g.N() != 6 || g.Name() != "ring" {
+		t.Fatalf("ring basics: n=%d name=%s", g.N(), g.Name())
+	}
+	for u := 0; u < 6; u++ {
+		if g.Degree(u) != 2 {
+			t.Fatalf("ring degree(%d) = %d", u, g.Degree(u))
+		}
+		next := (u + 1) % 6
+		prev := (u + 5) % 6
+		if !g.CanSend(u, next) || !g.CanSend(u, prev) {
+			t.Fatalf("ring missing edge at %d", u)
+		}
+		far := (u + 3) % 6
+		if g.CanSend(u, far) && far != u {
+			t.Fatalf("ring has chord %d-%d", u, far)
+		}
+	}
+	if !g.CanSend(2, 2) {
+		t.Fatal("self-send must be allowed")
+	}
+	if !IsConnected(g) {
+		t.Fatal("ring not connected")
+	}
+}
+
+func TestRingSamplePeerOnlyNeighbors(t *testing.T) {
+	g := NewRing(10)
+	r := rng.New(7)
+	for i := 0; i < 1000; i++ {
+		v := g.SamplePeer(4, r)
+		if v != 3 && v != 5 {
+			t.Fatalf("ring SamplePeer(4) = %d", v)
+		}
+	}
+}
+
+func TestRandomRegularDegreeAndConnectivity(t *testing.T) {
+	for _, d := range []int{2, 4, 6} {
+		g := NewRandomRegular(100, d, 42)
+		if !IsConnected(g) {
+			t.Fatalf("regular-%d not connected", d)
+		}
+		total := 0
+		for u := 0; u < 100; u++ {
+			deg := g.Degree(u)
+			if deg > d || deg < 2 {
+				t.Fatalf("regular-%d degree(%d) = %d", d, u, deg)
+			}
+			total += deg
+		}
+		// Union of cycles with dedup: average degree close to d.
+		if avg := float64(total) / 100; avg < float64(d)-1 {
+			t.Fatalf("regular-%d average degree %.2f too low", d, avg)
+		}
+	}
+}
+
+func TestRandomRegularDeterministic(t *testing.T) {
+	a := NewRandomRegular(50, 4, 9)
+	b := NewRandomRegular(50, 4, 9)
+	for u := 0; u < 50; u++ {
+		for v := 0; v < 50; v++ {
+			if a.CanSend(u, v) != b.CanSend(u, v) {
+				t.Fatalf("same seed produced different graphs at (%d,%d)", u, v)
+			}
+		}
+	}
+}
+
+func TestErdosRenyiEdgeDensity(t *testing.T) {
+	const n, p = 200, 0.1
+	g := NewErdosRenyi(n, p, 11)
+	edges := 0
+	for u := 0; u < n; u++ {
+		edges += g.Degree(u)
+	}
+	edges /= 2
+	want := p * float64(n) * float64(n-1) / 2
+	if float64(edges) < 0.8*want || float64(edges) > 1.2*want {
+		t.Fatalf("ER edges = %d, want ~%.0f", edges, want)
+	}
+}
+
+func TestErdosRenyiExtremes(t *testing.T) {
+	empty := NewErdosRenyi(20, 0, 1)
+	for u := 0; u < 20; u++ {
+		if empty.Degree(u) != 0 {
+			t.Fatal("p=0 graph has edges")
+		}
+		// Isolated nodes sample themselves.
+		if v := empty.SamplePeer(u, rng.New(1)); v != u {
+			t.Fatalf("isolated SamplePeer = %d, want self", v)
+		}
+	}
+	full := NewErdosRenyi(20, 1, 1)
+	for u := 0; u < 20; u++ {
+		if full.Degree(u) != 19 {
+			t.Fatalf("p=1 degree(%d) = %d", u, full.Degree(u))
+		}
+	}
+	if !IsConnected(full) || IsConnected(empty) == true && empty.N() > 1 {
+		t.Fatal("connectivity misreported on extreme graphs")
+	}
+}
+
+func TestSamplePeerRespectsAdjacency(t *testing.T) {
+	g := NewRandomRegular(64, 4, 3)
+	r := rng.New(99)
+	for u := 0; u < 64; u++ {
+		for i := 0; i < 50; i++ {
+			v := g.SamplePeer(u, r)
+			if v != u && !g.CanSend(u, v) {
+				t.Fatalf("SamplePeer(%d) = %d not adjacent", u, v)
+			}
+		}
+	}
+}
+
+func TestIsConnectedOnComplete(t *testing.T) {
+	if !IsConnected(NewComplete(17)) {
+		t.Fatal("complete graph reported disconnected")
+	}
+	if !IsConnected(NewComplete(1)) {
+		t.Fatal("K1 reported disconnected")
+	}
+}

@@ -1,0 +1,128 @@
+// Package trace offers a lightweight structured event sink for debugging
+// protocol executions. The engine and protocol emit events through a Sink;
+// production runs use Null (zero overhead beyond an interface call guarded by
+// a nil check), tests and the CLI can install a Memory or Writer sink to see
+// exactly which agent did what in which round.
+package trace
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// Kind classifies trace events.
+type Kind int
+
+// Event kinds emitted by the engine and protocol.
+const (
+	KindRound  Kind = iota // a round boundary
+	KindPush               // a push delivery
+	KindPull               // a pull request/reply
+	KindPhase              // an agent changed protocol phase
+	KindDecide             // an agent decided a final color
+	KindFail               // an agent declared protocol failure
+	KindDrop               // engine dropped an illegal action
+	KindCustom             // free-form protocol event
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindRound:
+		return "round"
+	case KindPush:
+		return "push"
+	case KindPull:
+		return "pull"
+	case KindPhase:
+		return "phase"
+	case KindDecide:
+		return "decide"
+	case KindFail:
+		return "fail"
+	case KindDrop:
+		return "drop"
+	case KindCustom:
+		return "custom"
+	default:
+		return fmt.Sprintf("kind(%d)", int(k))
+	}
+}
+
+// Event is a single trace record.
+type Event struct {
+	Round int
+	Kind  Kind
+	From  int // acting agent, -1 if not applicable
+	To    int // peer agent, -1 if not applicable
+	Note  string
+}
+
+func (e Event) String() string {
+	return fmt.Sprintf("r=%d %s from=%d to=%d %s", e.Round, e.Kind, e.From, e.To, e.Note)
+}
+
+// Sink receives events. Implementations must be safe for concurrent use if
+// the engine runs agent steps in parallel.
+type Sink interface {
+	Emit(Event)
+}
+
+// Null is a Sink that discards everything.
+type Null struct{}
+
+// Emit discards the event.
+func (Null) Emit(Event) {}
+
+// Memory is a Sink that records all events in order of emission.
+type Memory struct {
+	mu     sync.Mutex
+	events []Event
+}
+
+// Emit appends the event.
+func (m *Memory) Emit(e Event) {
+	m.mu.Lock()
+	m.events = append(m.events, e)
+	m.mu.Unlock()
+}
+
+// Events returns a copy of the recorded events.
+func (m *Memory) Events() []Event {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return append([]Event(nil), m.events...)
+}
+
+// Len returns the number of recorded events.
+func (m *Memory) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.events)
+}
+
+// CountKind returns how many recorded events have the given kind.
+func (m *Memory) CountKind(k Kind) int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	n := 0
+	for _, e := range m.events {
+		if e.Kind == k {
+			n++
+		}
+	}
+	return n
+}
+
+// Writer is a Sink that formats each event on its own line.
+type Writer struct {
+	mu sync.Mutex
+	W  io.Writer
+}
+
+// Emit writes the event; write errors are ignored (tracing is best-effort).
+func (w *Writer) Emit(e Event) {
+	w.mu.Lock()
+	fmt.Fprintln(w.W, e.String())
+	w.mu.Unlock()
+}

@@ -1,0 +1,74 @@
+package trace
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestKindString(t *testing.T) {
+	names := map[Kind]string{
+		KindRound: "round", KindPush: "push", KindPull: "pull",
+		KindPhase: "phase", KindDecide: "decide", KindFail: "fail",
+		KindDrop: "drop", KindCustom: "custom", Kind(99): "kind(99)",
+	}
+	for k, want := range names {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestMemorySinkRecords(t *testing.T) {
+	var m Memory
+	m.Emit(Event{Round: 1, Kind: KindPush, From: 2, To: 3, Note: "x"})
+	m.Emit(Event{Round: 1, Kind: KindPull, From: 3, To: 2})
+	m.Emit(Event{Round: 2, Kind: KindPush, From: 0, To: 1})
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", m.Len())
+	}
+	if m.CountKind(KindPush) != 2 || m.CountKind(KindPull) != 1 || m.CountKind(KindFail) != 0 {
+		t.Fatal("CountKind wrong")
+	}
+	evs := m.Events()
+	if evs[0].Note != "x" || evs[2].Round != 2 {
+		t.Fatalf("Events = %v", evs)
+	}
+	// Events returns a copy.
+	evs[0].Note = "mutated"
+	if m.Events()[0].Note != "x" {
+		t.Fatal("Events did not copy")
+	}
+}
+
+func TestMemorySinkConcurrent(t *testing.T) {
+	var m Memory
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				m.Emit(Event{Kind: KindCustom})
+			}
+		}()
+	}
+	wg.Wait()
+	if m.Len() != 8000 {
+		t.Fatalf("Len = %d, want 8000", m.Len())
+	}
+}
+
+func TestWriterSink(t *testing.T) {
+	var sb strings.Builder
+	w := &Writer{W: &sb}
+	w.Emit(Event{Round: 5, Kind: KindDecide, From: 1, To: -1, Note: "color=2"})
+	out := sb.String()
+	if !strings.Contains(out, "r=5") || !strings.Contains(out, "decide") || !strings.Contains(out, "color=2") {
+		t.Fatalf("output = %q", out)
+	}
+}
+
+func TestNullSink(t *testing.T) {
+	Null{}.Emit(Event{}) // must not panic
+}

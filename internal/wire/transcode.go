@@ -1,0 +1,91 @@
+package wire
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/gossip"
+)
+
+// Transcoder wraps a gossip.Agent so that every payload it sends or receives
+// makes a round trip through the binary encoding. Running a full protocol
+// execution over transcoded agents proves the wire format carries everything
+// the protocol needs — the strongest possible serialization test.
+type Transcoder struct {
+	Inner  gossip.Agent
+	Params core.Params
+	// Errors collects transcoding failures (nil on a clean run).
+	Errors []error
+}
+
+// NewTranscoder wraps inner.
+func NewTranscoder(inner gossip.Agent, p core.Params) *Transcoder {
+	return &Transcoder{Inner: inner, Params: p}
+}
+
+func (t *Transcoder) transcode(p gossip.Payload) gossip.Payload {
+	if p == nil {
+		return nil
+	}
+	data, err := Encode(p)
+	if err != nil {
+		t.Errors = append(t.Errors, fmt.Errorf("encode %T: %w", p, err))
+		return p
+	}
+	back, err := Decode(data, t.Params)
+	if err != nil {
+		t.Errors = append(t.Errors, fmt.Errorf("decode %T: %w", p, err))
+		return p
+	}
+	pl, ok := back.(gossip.Payload)
+	if !ok {
+		t.Errors = append(t.Errors, fmt.Errorf("decoded %T is not a payload", back))
+		return p
+	}
+	return pl
+}
+
+// Act transcodes the outgoing payload.
+func (t *Transcoder) Act(round int) gossip.Action {
+	a := t.Inner.Act(round)
+	if a.Payload != nil {
+		a.Payload = t.transcode(a.Payload)
+	}
+	return a
+}
+
+// HandlePush transcodes the incoming payload.
+func (t *Transcoder) HandlePush(round, from int, p gossip.Payload) {
+	t.Inner.HandlePush(round, from, t.transcode(p))
+}
+
+// HandlePull transcodes both the query and the reply.
+func (t *Transcoder) HandlePull(round, from int, q gossip.Payload) gossip.Payload {
+	reply := t.Inner.HandlePull(round, from, t.transcode(q))
+	if reply == nil {
+		return nil
+	}
+	return t.transcode(reply)
+}
+
+// HandlePullReply transcodes the incoming reply.
+func (t *Transcoder) HandlePullReply(round, from int, reply gossip.Payload) {
+	if reply != nil {
+		reply = t.transcode(reply)
+	}
+	t.Inner.HandlePullReply(round, from, reply)
+}
+
+// Decided defers to the inner agent.
+func (t *Transcoder) Decided() bool {
+	d, ok := t.Inner.(gossip.Decider)
+	return ok && d.Decided()
+}
+
+// Output defers to the inner agent.
+func (t *Transcoder) Output() int {
+	if d, ok := t.Inner.(gossip.Decider); ok {
+		return d.Output()
+	}
+	return -1
+}

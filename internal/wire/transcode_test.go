@@ -1,0 +1,76 @@
+package wire
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gossip"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/topo"
+)
+
+// TestFullProtocolOverWire runs Protocol P end to end with every payload
+// round-tripping through the binary encoding, and checks the execution is
+// indistinguishable from a native one.
+func TestFullProtocolOverWire(t *testing.T) {
+	const n = 48
+	p := core.MustParams(n, 2, core.DefaultGamma)
+	colors := core.UniformColors(n, 2)
+	net := topo.NewComplete(n)
+
+	run := func(transcode bool) (core.Outcome, metrics.Snapshot) {
+		master := rng.New(2024)
+		agents := make([]gossip.Agent, n)
+		inner := make([]*core.Agent, n)
+		trans := make([]*Transcoder, 0, n)
+		for i := 0; i < n; i++ {
+			a := core.NewAgent(i, p, colors[i], net, master.Split(uint64(i)))
+			inner[i] = a
+			if transcode {
+				tr := NewTranscoder(a, p)
+				trans = append(trans, tr)
+				agents[i] = tr
+			} else {
+				agents[i] = a
+			}
+		}
+		var c metrics.Counters
+		eng := gossip.NewEngine(gossip.Config{Topology: net, Counters: &c, Workers: 1}, agents)
+		eng.Run(p.TotalRounds() + 1)
+		for _, tr := range trans {
+			for _, err := range tr.Errors {
+				t.Fatalf("transcoding error: %v", err)
+			}
+		}
+		parts := make([]core.Participant, n)
+		for i := range inner {
+			parts[i] = inner[i]
+		}
+		return core.CollectOutcome(parts, nil), c.Snapshot()
+	}
+
+	native, nm := run(false)
+	wired, wm := run(true)
+	if native.Failed || wired.Failed {
+		t.Fatalf("runs failed: native %v, wired %v", native, wired)
+	}
+	if native.Color != wired.Color {
+		t.Fatalf("outcome changed over the wire: %v vs %v", native, wired)
+	}
+	if nm.Messages != wm.Messages || nm.Rounds != wm.Rounds {
+		t.Fatalf("communication changed over the wire: %+v vs %+v", nm, wm)
+	}
+}
+
+func TestTranscoderDeciderPassthrough(t *testing.T) {
+	p := core.MustParams(8, 2, 1)
+	a := core.NewAgent(0, p, 0, topo.NewComplete(8), rng.New(1))
+	tr := NewTranscoder(a, p)
+	if tr.Decided() {
+		t.Fatal("decided before run")
+	}
+	if tr.Output() != int(core.ColorBot) {
+		t.Fatalf("Output = %d", tr.Output())
+	}
+}

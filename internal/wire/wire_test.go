@@ -1,0 +1,177 @@
+package wire
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/rng"
+)
+
+func roundtrip(t *testing.T, p core.Params, payload any) any {
+	t.Helper()
+	data, err := Encode(payload)
+	if err != nil {
+		t.Fatalf("Encode(%T): %v", payload, err)
+	}
+	got, err := Decode(data, p)
+	if err != nil {
+		t.Fatalf("Decode(%T): %v", payload, err)
+	}
+	return got
+}
+
+func TestRoundtripQueries(t *testing.T) {
+	p := core.MustParams(16, 2, 1)
+	if _, ok := roundtrip(t, p, core.IntentQuery{P: p}).(core.IntentQuery); !ok {
+		t.Fatal("intent query type lost")
+	}
+	if _, ok := roundtrip(t, p, core.CertQuery{P: p}).(core.CertQuery); !ok {
+		t.Fatal("cert query type lost")
+	}
+}
+
+func TestRoundtripVote(t *testing.T) {
+	p := core.MustParams(16, 2, 1)
+	got := roundtrip(t, p, core.Vote{P: p, Value: 4095}).(core.Vote)
+	if got.Value != 4095 {
+		t.Fatalf("vote value = %d", got.Value)
+	}
+}
+
+func TestRoundtripIntentions(t *testing.T) {
+	p := core.MustParams(16, 2, 1)
+	in := core.Intentions{P: p, Votes: []core.Intent{{H: 1, Z: 15}, {H: p.M, Z: 0}}}
+	got := roundtrip(t, p, in).(core.Intentions)
+	if len(got.Votes) != 2 || got.Votes[0] != in.Votes[0] || got.Votes[1] != in.Votes[1] {
+		t.Fatalf("intentions = %v", got.Votes)
+	}
+}
+
+func TestRoundtripCertificate(t *testing.T) {
+	p := core.MustParams(16, 2, 1)
+	cert := &core.Certificate{
+		P: p, K: 77,
+		W:     []core.WEntry{{Voter: 3, Value: 50}, {Voter: 9, Value: 27}},
+		Color: 1, Owner: 12,
+	}
+	got := roundtrip(t, p, cert).(*core.Certificate)
+	if !got.Equal(cert) {
+		t.Fatalf("certificate mismatch: %v vs %v", got, cert)
+	}
+	// ⊥ color survives the shift encoding.
+	cert.Color = core.ColorBot
+	got = roundtrip(t, p, cert).(*core.Certificate)
+	if got.Color != core.ColorBot {
+		t.Fatalf("⊥ color = %d", got.Color)
+	}
+}
+
+func TestRoundtripPropertyRandomCertificates(t *testing.T) {
+	p := core.MustParams(1024, 8, 2)
+	master := rng.New(5)
+	f := func(seed uint64) bool {
+		r := master.Split(seed)
+		w := make([]core.WEntry, r.Intn(20))
+		for i := range w {
+			w[i] = core.WEntry{Voter: int32(r.Intn(p.N)), Value: r.Uint64n(p.M) + 1}
+		}
+		cert := &core.Certificate{
+			P: p, K: r.Uint64n(p.M), W: w,
+			Color: core.Color(r.Intn(p.NumColors)), Owner: int32(r.Intn(p.N)),
+		}
+		data, err := Encode(cert)
+		if err != nil {
+			return false
+		}
+		back, err := Decode(data, p)
+		if err != nil {
+			return false
+		}
+		return back.(*core.Certificate).Equal(cert)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	p := core.MustParams(16, 2, 1)
+	cases := [][]byte{
+		nil,
+		{},
+		{99},            // unknown tag
+		{tagVote},       // missing varint
+		{tagVote, 0x80}, // truncated varint
+		{tagIntentions, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01}, // absurd length
+		append([]byte{tagVote, 1}, 0xAA),                                            // trailing byte
+	}
+	for i, data := range cases {
+		if _, err := Decode(data, p); err == nil {
+			t.Errorf("case %d decoded", i)
+		}
+	}
+}
+
+func TestEncodeRejectsUnsupported(t *testing.T) {
+	if _, err := Encode(42); err == nil {
+		t.Fatal("unsupported type encoded")
+	}
+	if _, err := Encode((*core.Certificate)(nil)); err == nil {
+		t.Fatal("nil certificate encoded")
+	}
+}
+
+func TestEncodedBitsTracksDeclaredSize(t *testing.T) {
+	// The simulator's SizeBits accounting and the real encoding must agree
+	// within a small constant factor across n — both are Θ(log² n) for the
+	// big payloads.
+	for _, n := range []int{64, 1024, 16384} {
+		p := core.MustParams(n, 2, 2)
+		r := rng.New(uint64(n))
+		votes := make([]core.Intent, p.Q)
+		for i := range votes {
+			votes[i] = core.Intent{H: r.Uint64n(p.M) + 1, Z: int32(r.Intn(p.N))}
+		}
+		in := core.Intentions{P: p, Votes: votes}
+		enc := float64(EncodedBits(in))
+		decl := float64(in.SizeBits())
+		if enc > 3*decl || decl > 3*enc {
+			t.Errorf("n=%d: encoded %v bits vs declared %v bits", n, enc, decl)
+		}
+
+		w := make([]core.WEntry, p.Q)
+		for i := range w {
+			w[i] = core.WEntry{Voter: int32(r.Intn(p.N)), Value: r.Uint64n(p.M) + 1}
+		}
+		cert := &core.Certificate{P: p, K: r.Uint64n(p.M), W: w, Color: 1, Owner: 5}
+		enc = float64(EncodedBits(cert))
+		decl = float64(cert.SizeBits())
+		if enc > 3*decl || decl > 3*enc {
+			t.Errorf("n=%d: cert encoded %v bits vs declared %v bits", n, enc, decl)
+		}
+	}
+}
+
+func TestEncodedBitsPolylog(t *testing.T) {
+	// Real encoded certificate bytes are O(log² n).
+	for _, n := range []int{256, 4096, 65536} {
+		p := core.MustParams(n, 2, 2)
+		w := make([]core.WEntry, p.Q)
+		for i := range w {
+			w[i] = core.WEntry{Voter: int32(i % p.N), Value: p.M - 1}
+		}
+		cert := &core.Certificate{P: p, K: p.M - 1, W: w, Color: 1, Owner: 5}
+		logn := math.Log2(float64(n))
+		if got := float64(EncodedBits(cert)); got > 25*logn*logn {
+			t.Errorf("n=%d: encoded cert %v bits > 25·log²n = %v", n, got, 25*logn*logn)
+		}
+	}
+}
+
+func TestEncodedBitsUnsupported(t *testing.T) {
+	if EncodedBits("nope") != -1 {
+		t.Fatal("EncodedBits of unsupported type")
+	}
+}
