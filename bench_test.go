@@ -13,6 +13,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/rational"
+	"repro/internal/scenario"
 	"repro/internal/topo"
 )
 
@@ -217,6 +218,36 @@ func BenchmarkE11Scaling(b *testing.B) {
 			b.Fatal(err)
 		}
 	}
+}
+
+// BenchmarkScenarioRunnerBatch times the scenario layer's seed-batched
+// Monte-Carlo path — the unit of work behind every sweep cell and experiment
+// table since the executors were unified. The per-op time is one 8-trial
+// batch at n = 256 (trial-parallel across all CPUs), the baseline future
+// perf work on the batch path must beat.
+func BenchmarkScenarioRunnerBatch(b *testing.B) {
+	const trialsPerBatch = 8
+	runner, err := scenario.NewRunner(scenario.Scenario{
+		N: 256, Colors: 2, Seed: 1,
+		Fault: scenario.FaultModel{Kind: scenario.FaultPermanent, Alpha: 0.3},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	fails := 0
+	for i := 0; i < b.N; i++ {
+		results, err := runner.Trials(trialsPerBatch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range results {
+			if r.Outcome.Failed {
+				fails++
+			}
+		}
+	}
+	b.ReportMetric(float64(fails)/float64(b.N*trialsPerBatch), "failRate")
 }
 
 // BenchmarkProtocolScaling provides the per-n cost curve behind T1–T3.

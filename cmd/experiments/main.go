@@ -9,25 +9,38 @@
 //	experiments -quick          # scaled-down run (seconds)
 //	experiments -only T4,T6     # a subset by table ID
 //	experiments -csv            # also print figure series as CSV
+//	experiments -scenario churn -trials 100  # Monte-Carlo over one registered scenario
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"strings"
 	"time"
 
+	"repro/internal/scenario"
 	"repro/internal/sim"
 )
 
 func main() {
 	var (
-		quick   = flag.Bool("quick", false, "run scaled-down experiment configurations")
-		workers = flag.Int("workers", 0, "trial-level parallelism (0 = all CPUs)")
-		only    = flag.String("only", "", "comma-separated table IDs to run (default: all)")
-		csv     = flag.Bool("csv", false, "print figure series as CSV blocks")
+		quick    = flag.Bool("quick", false, "run scaled-down experiment configurations")
+		workers  = flag.Int("workers", 0, "trial-level parallelism (0 = all CPUs)")
+		only     = flag.String("only", "", "comma-separated table IDs to run (default: all)")
+		csv      = flag.Bool("csv", false, "print figure series as CSV blocks")
+		scenName = flag.String("scenario", "", "run a registered scenario instead of the tables (see fairconsensus -list-scenarios)")
+		trials   = flag.Int("trials", 100, "trials for -scenario mode")
 	)
 	flag.Parse()
+
+	if *scenName != "" {
+		if err := runScenario(*scenName, *trials, *workers); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	wanted := map[string]bool{}
 	for _, id := range strings.Split(*only, ",") {
@@ -59,6 +72,60 @@ func main() {
 		fmt.Println(t.String())
 	}
 	fmt.Printf("regenerated %d artifacts in %s\n", len(tables), time.Since(start).Round(time.Millisecond))
+}
+
+// runScenario executes a Monte-Carlo batch of one registered scenario and
+// prints a compact summary — the quickest way to probe a new axis without
+// defining a table.
+func runScenario(name string, trials, workers int) error {
+	sc, ok := scenario.Lookup(name)
+	if !ok {
+		return fmt.Errorf("unknown scenario %q; registered: %s", name, strings.Join(scenario.Names(), ", "))
+	}
+	sc.Workers = workers
+	runner, err := scenario.NewRunner(sc)
+	if err != nil {
+		return err
+	}
+	start := time.Now()
+	results, err := runner.Trials(trials)
+	if err != nil {
+		return err
+	}
+	ok2, good, coalWins := 0, 0, 0
+	hasGood := false
+	var rounds, msgs float64
+	for _, r := range results {
+		if !r.Outcome.Failed {
+			ok2++
+		}
+		if r.HasGood {
+			hasGood = true
+			if r.Good.Good() {
+				good++
+			}
+		}
+		if r.CoalitionColorWon {
+			coalWins++
+		}
+		rounds += float64(r.Rounds)
+		msgs += float64(r.Metrics.Messages)
+	}
+	t := float64(trials)
+	p := runner.Params()
+	fmt.Printf("scenario %s: n=%d |Σ|=%d γ=%.1f topology=%s scheduler=%s fault=%s\n",
+		name, p.N, p.NumColors, p.Gamma, runner.Topology().Name(),
+		runner.Scenario().Scheduler, runner.Scenario().Fault.Kind)
+	fmt.Printf("trials=%d success=%.1f%%", trials, 100*float64(ok2)/t)
+	if hasGood {
+		fmt.Printf(" good-exec=%.1f%%", 100*float64(good)/t)
+	}
+	fmt.Printf(" rounds(mean)=%.1f msgs(mean)=%.0f", rounds/t, msgs/t)
+	if sc.Coalition > 0 {
+		fmt.Printf(" coalition-win=%.1f%%", 100*float64(coalWins)/t)
+	}
+	fmt.Printf(" (%s)\n", time.Since(start).Round(time.Millisecond))
+	return nil
 }
 
 // runSelected executes only the experiments producing the requested IDs.

@@ -1,5 +1,7 @@
 // Command fairconsensus runs one execution of the rational fair consensus
 // protocol (Protocol P) and reports the outcome and communication costs.
+// Every run is described by a declarative scenario (internal/scenario),
+// built either from the shape flags below or looked up by name.
 //
 // Examples:
 //
@@ -9,34 +11,43 @@
 //	fairconsensus -n 256 -async             # sequential GOSSIP adaptation
 //	fairconsensus -n 256 -topology regular8 # open-problem-1 exploration
 //	fairconsensus -n 128 -deviation min-k-liar -coalition 3 # rational attack
+//	fairconsensus -n 256 -alpha 0.25 -fault crash -fault-round 30
+//	fairconsensus -n 256 -colorinit zipf -zipf-s 1.5 -colors 4
+//	fairconsensus -scenario churn           # a registered scenario by name
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
-	"strings"
 
-	"repro/internal/core"
 	"repro/internal/rational"
-	"repro/internal/topo"
+	"repro/internal/scenario"
 	"repro/internal/trace"
 )
 
 func main() {
 	var (
-		n         = flag.Int("n", 256, "number of agents")
-		colors    = flag.Int("colors", 2, "number of colors |Σ|")
-		leader    = flag.Bool("leader", false, "fair leader election (every agent supports its own ID)")
-		gamma     = flag.Float64("gamma", core.DefaultGamma, "phase-length constant γ")
-		alpha     = flag.Float64("alpha", 0, "fraction of worst-case permanent faults")
-		seed      = flag.Uint64("seed", 1, "master random seed")
-		async     = flag.Bool("async", false, "run the sequential (one agent per tick) adaptation")
-		topoName  = flag.String("topology", "complete", "complete | ring | regular8 | er")
-		deviation = flag.String("deviation", "", "deviation name (see -list-deviations) for a rational coalition")
-		coalition = flag.Int("coalition", 0, "coalition size when -deviation is set")
-		list      = flag.Bool("list-deviations", false, "print the deviation library and exit")
-		traceRun  = flag.Bool("trace", false, "print every engine event (use with small -n)")
+		scenarioName = flag.String("scenario", "", "run a registered scenario by name (see -list-scenarios); shape flags are ignored")
+		listScen     = flag.Bool("list-scenarios", false, "print the scenario registry and exit")
+		n            = flag.Int("n", 256, "number of agents")
+		colors       = flag.Int("colors", 2, "number of colors |Σ|")
+		leader       = flag.Bool("leader", false, "fair leader election (every agent supports its own ID)")
+		colorInit    = flag.String("colorinit", "", "initial opinions: uniform | split | zipf | leader (default uniform)")
+		split        = flag.Float64("split", 0.5, "color-0 share for -colorinit split")
+		zipfS        = flag.Float64("zipf-s", 1.0, "Zipf exponent for -colorinit zipf")
+		gamma        = flag.Float64("gamma", 0, "phase-length constant γ (0 = protocol default)")
+		alpha        = flag.Float64("alpha", 0, "fraction of nodes affected by the fault model")
+		faultKind    = flag.String("fault", "", "fault model: none | permanent | crash | churn (default: permanent when -alpha > 0)")
+		faultRound   = flag.Int("fault-round", 30, "crash onset round for -fault crash")
+		churnPeriod  = flag.Int("churn-period", 8, "up/down interval in rounds for -fault churn")
+		seed         = flag.Uint64("seed", 1, "master random seed")
+		async        = flag.Bool("async", false, "run the sequential (one agent per tick) adaptation")
+		topoName     = flag.String("topology", "complete", "complete | ring | regular<d> | er")
+		deviation    = flag.String("deviation", "", "deviation name (see -list-deviations) for a rational coalition")
+		coalition    = flag.Int("coalition", 0, "coalition size when -deviation is set")
+		list         = flag.Bool("list-deviations", false, "print the deviation library and exit")
+		traceRun     = flag.Bool("trace", false, "print every engine event (use with small -n)")
 	)
 	flag.Parse()
 
@@ -46,94 +57,84 @@ func main() {
 		}
 		return
 	}
+	if *listScen {
+		for _, name := range scenario.Names() {
+			fmt.Println(name)
+		}
+		return
+	}
 
-	numColors := *colors
-	var colorVec []core.Color
-	if *leader {
-		numColors = *n
-		colorVec = core.LeaderElectionColors(*n)
+	var sc scenario.Scenario
+	if *scenarioName != "" {
+		reg, ok := scenario.Lookup(*scenarioName)
+		if !ok {
+			fatal(fmt.Errorf("unknown scenario %q (see -list-scenarios)", *scenarioName))
+		}
+		sc = reg
+		sc.Seed = *seed
 	} else {
-		colorVec = core.UniformColors(*n, numColors)
+		sc = scenario.Scenario{
+			N:             *n,
+			Colors:        *colors,
+			ColorInit:     scenario.ColorInit(*colorInit),
+			SplitFraction: *split,
+			ZipfS:         *zipfS,
+			Gamma:         *gamma,
+			Topology:      *topoName,
+			Seed:          *seed,
+		}
+		if *leader {
+			sc.ColorInit = scenario.ColorsLeader
+		}
+		if *async {
+			sc.Scheduler = scenario.SchedulerAsync
+		}
+		if *alpha > 0 {
+			kind := scenario.FaultKind(*faultKind)
+			if kind == "" {
+				kind = scenario.FaultPermanent
+			}
+			sc.Fault = scenario.FaultModel{
+				Kind: kind, Alpha: *alpha, Round: *faultRound, Period: *churnPeriod,
+			}
+		}
+		if *deviation != "" {
+			sc.Deviation = *deviation
+			sc.Coalition = *coalition
+			if sc.Coalition < 1 {
+				sc.Coalition = 1
+			}
+		}
 	}
-	g := *gamma
-	if *async && g == core.DefaultGamma {
-		g = core.DefaultAsyncGamma
-	}
-	p, err := core.NewParams(*n, numColors, g)
+
+	runner, err := scenario.NewRunner(sc)
 	if err != nil {
 		fatal(err)
 	}
-	var faulty []bool
-	if *alpha > 0 {
-		faulty = core.WorstCaseFaults(*n, *alpha)
+	if *traceRun {
+		runner.Trace = &trace.Writer{W: os.Stdout}
 	}
+	sc = runner.Scenario()
+	p := runner.Params()
+	fmt.Printf("protocol P: n=%d |Σ|=%d γ=%.1f q=%d m=%d rounds=%d topology=%s scheduler=%s fault=%s\n",
+		p.N, p.NumColors, p.Gamma, p.Q, p.M, p.TotalRounds(), runner.Topology().Name(),
+		sc.Scheduler, sc.Fault.Kind)
 
-	var net topo.Topology
-	switch strings.ToLower(*topoName) {
-	case "complete":
-		net = topo.NewComplete(*n)
-	case "ring":
-		net = topo.NewRing(*n)
-	case "regular8":
-		net = topo.NewRandomRegular(*n, 8, *seed)
-	case "er":
-		net = topo.NewErdosRenyi(*n, 16.0/float64(*n), *seed)
-	default:
-		fatal(fmt.Errorf("unknown topology %q", *topoName))
+	res, err := runner.Run()
+	if err != nil {
+		fatal(err)
 	}
-
-	fmt.Printf("protocol P: n=%d |Σ|=%d γ=%.1f q=%d m=%d rounds=%d topology=%s\n",
-		p.N, p.NumColors, p.Gamma, p.Q, p.M, p.TotalRounds(), net.Name())
-
 	switch {
-	case *async:
-		out, ticks, err := core.RunAsync(core.AsyncRunConfig{
-			Params: p, Colors: colorVec, Faulty: faulty, Seed: *seed,
-		})
-		if err != nil {
-			fatal(err)
-		}
+	case sc.Scheduler == scenario.SchedulerAsync:
 		fmt.Printf("outcome: %s after %d ticks (%.2f activations/agent)\n",
-			out, ticks, float64(ticks)/float64(*n))
+			res.Outcome, res.Rounds, float64(res.Rounds)/float64(p.N))
 
-	case *deviation != "":
-		dev, err := rational.DeviationByName(*deviation)
-		if err != nil {
-			fatal(err)
-		}
-		t := *coalition
-		if t < 1 {
-			t = 1
-		}
-		members := make([]int, t)
-		for i := range members {
-			members[i] = (i * *n) / t
-			if faulty != nil && faulty[members[i]] {
-				members[i] = *n - 1 - i // keep coalition members active
-			}
-		}
-		res, err := rational.RunGame(rational.GameConfig{
-			Params: p, Colors: colorVec, Faulty: faulty,
-			Coalition: members, Deviation: dev, Seed: *seed, Topology: net,
-		})
-		if err != nil {
-			fatal(err)
-		}
-		fmt.Printf("coalition: %v deviation: %s\n", members, dev.Name())
+	case sc.Coalition > 0:
+		fmt.Printf("coalition: %v deviation: %s\n", runner.CoalitionMembers(), sc.Deviation)
 		fmt.Printf("outcome: %s (coalition color won: %v)\n", res.Outcome, res.CoalitionColorWon)
 		fmt.Printf("communication: %s\n", res.Metrics)
 
 	default:
-		var sink trace.Sink
-		if *traceRun {
-			sink = &trace.Writer{W: os.Stdout}
-		}
-		res, err := core.Run(core.RunConfig{
-			Params: p, Colors: colorVec, Faulty: faulty, Seed: *seed, Topology: net, Trace: sink,
-		})
-		if err != nil {
-			fatal(err)
-		}
 		fmt.Printf("outcome: %s in %d rounds\n", res.Outcome, res.Rounds)
 		fmt.Printf("communication: %s\n", res.Metrics)
 		fmt.Printf("good execution (Definition 2): %v (votes per agent in [%d, %d], distinct k: %v, certs agree: %v)\n",

@@ -1,6 +1,7 @@
 // Command inspect runs one small protocol execution and prints a complete
 // transcript of its internal state: declarations, votes, lottery values, the
-// winning certificate, and every verifier's verdict.
+// winning certificate, and every verifier's verdict. The run is described by
+// a declarative scenario and executed through core.Run for full state access.
 //
 //	go run ./cmd/inspect -n 8 -seed 3
 package main
@@ -12,36 +13,37 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/inspect"
+	"repro/internal/scenario"
 )
 
 func main() {
 	var (
 		n      = flag.Int("n", 8, "number of agents (keep small; the transcript is per-agent)")
 		colors = flag.Int("colors", 2, "number of colors")
-		gamma  = flag.Float64("gamma", core.DefaultGamma, "phase-length constant")
+		gamma  = flag.Float64("gamma", 0, "phase-length constant (0 = protocol default)")
 		alpha  = flag.Float64("alpha", 0, "fault fraction")
 		seed   = flag.Uint64("seed", 1, "random seed")
 	)
 	flag.Parse()
 
-	p, err := core.NewParams(*n, *colors, *gamma)
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "inspect:", err)
-		os.Exit(1)
-	}
-	var faulty []bool
+	sc := scenario.Scenario{N: *n, Colors: *colors, Gamma: *gamma, Seed: *seed}
 	if *alpha > 0 {
-		faulty = core.WorstCaseFaults(*n, *alpha)
+		sc.Fault = scenario.FaultModel{Kind: scenario.FaultPermanent, Alpha: *alpha}
 	}
-	res, err := core.Run(core.RunConfig{
-		Params: p,
-		Colors: core.UniformColors(*n, *colors),
-		Faulty: faulty,
-		Seed:   *seed,
-	})
+	runner, err := scenario.NewRunner(sc)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "inspect:", err)
-		os.Exit(1)
+		fatal(err)
+	}
+	// The inspector needs core.Run's full result, so it executes the
+	// scenario's core-level configuration directly.
+	res, err := core.Run(runner.RunConfig(*seed))
+	if err != nil {
+		fatal(err)
 	}
 	inspect.Report(os.Stdout, res)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "inspect:", err)
+	os.Exit(1)
 }

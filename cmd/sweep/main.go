@@ -1,5 +1,8 @@
 // Command sweep runs a parameter sweep of Protocol P and emits one CSV row
 // per configuration × aggregate, convenient for plotting scaling behaviour.
+// Each (n, α) cell is a declarative scenario executed by scenario.Runner;
+// cell seeds are derived by rng splitting, so no two cells can share trial
+// seed streams (the additive seed+n+α·1e6 salt this replaces could collide).
 //
 // Example:
 //
@@ -9,11 +12,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 	"strconv"
 	"strings"
 
-	"repro/internal/core"
+	"repro/internal/scenario"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -22,7 +26,8 @@ func main() {
 	var (
 		sizes   = flag.String("sizes", "128,256,512,1024", "comma-separated network sizes")
 		alphas  = flag.String("alphas", "0", "comma-separated fault fractions")
-		gamma   = flag.Float64("gamma", core.DefaultGamma, "phase-length constant γ")
+		fault   = flag.String("fault", "permanent", "fault model applied at each α > 0: permanent | crash | churn")
+		gamma   = flag.Float64("gamma", 0, "phase-length constant γ (0 = protocol default)")
 		colors  = flag.Int("colors", 2, "number of colors")
 		trials  = flag.Int("trials", 50, "trials per configuration")
 		seed    = flag.Uint64("seed", 1, "master seed")
@@ -42,55 +47,42 @@ func main() {
 	fmt.Println("n,alpha,gamma,trials,success_rate,rounds_median,messages_mean,bits_mean,max_msg_bits_median,good_exec_rate")
 	for _, n := range ns {
 		for _, alpha := range as {
-			p, err := core.NewParams(n, *colors, *gamma)
+			sc := scenario.Scenario{
+				N: n, Colors: *colors, Gamma: *gamma,
+				Seed:    sim.ConfigSeed(*seed, uint64(n), math.Float64bits(alpha)),
+				Workers: *workers,
+			}
+			if alpha > 0 {
+				sc.Fault = scenario.FaultModel{
+					Kind: scenario.FaultKind(*fault), Alpha: alpha, Round: 30, Period: 8,
+				}
+			}
+			runner, err := scenario.NewRunner(sc)
 			if err != nil {
 				fatal(err)
 			}
-			colorVec := core.UniformColors(n, *colors)
-			var faulty []bool
-			if alpha > 0 {
-				faulty = core.WorstCaseFaults(n, alpha)
+			outs, err := runner.Trials(*trials)
+			if err != nil {
+				fatal(err)
 			}
-			type out struct {
-				ok, good      bool
-				rounds, maxMB float64
-				msgs, bits    float64
-			}
-			outs := sim.ParallelTrials(*trials, *workers, *seed+uint64(n)+uint64(alpha*1e6),
-				func(i int, s uint64) out {
-					res, err := core.Run(core.RunConfig{
-						Params: p, Colors: colorVec, Faulty: faulty, Seed: s, Workers: 1,
-					})
-					if err != nil {
-						panic(err)
-					}
-					return out{
-						ok:     !res.Outcome.Failed,
-						good:   res.Good.Good(),
-						rounds: float64(res.Rounds),
-						maxMB:  float64(res.Metrics.MaxMessageBits),
-						msgs:   float64(res.Metrics.Messages),
-						bits:   float64(res.Metrics.Bits),
-					}
-				})
 			okC, goodC := 0, 0
 			var rounds, maxMB []float64
 			var msgs, bits float64
 			for _, o := range outs {
-				if o.ok {
+				if !o.Outcome.Failed {
 					okC++
 				}
-				if o.good {
+				if o.HasGood && o.Good.Good() {
 					goodC++
 				}
-				rounds = append(rounds, o.rounds)
-				maxMB = append(maxMB, o.maxMB)
-				msgs += o.msgs
-				bits += o.bits
+				rounds = append(rounds, float64(o.Rounds))
+				maxMB = append(maxMB, float64(o.Metrics.MaxMessageBits))
+				msgs += float64(o.Metrics.Messages)
+				bits += float64(o.Metrics.Bits)
 			}
 			t := float64(*trials)
 			fmt.Printf("%d,%g,%g,%d,%.4f,%.0f,%.0f,%.0f,%.0f,%.4f\n",
-				n, alpha, *gamma, *trials,
+				n, alpha, runner.Params().Gamma, *trials,
 				float64(okC)/t,
 				stats.Summarize(rounds).Median,
 				msgs/t, bits/t,

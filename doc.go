@@ -5,19 +5,37 @@
 // any constant fraction of worst-case permanent faults, and is a whp
 // t-strong equilibrium against coalitions of t = o(n/log n) rational agents.
 //
-// The implementation lives under internal/:
+// The implementation lives under internal/, organized as three layers:
 //
-//	internal/gossip   — the synchronous (and sequential) GOSSIP engines
-//	internal/core     — Protocol P and its sequential-model adaptation
-//	internal/rational — utilities, coalitions, and the deviation library
-//	internal/baseline — LOCAL-model election, HP polling, naive ablation
-//	internal/sim      — the experiment harness (tables T1–T8, E9–E10)
-//	internal/topo     — complete / ring / regular / Erdős–Rényi topologies
-//	internal/rng, internal/stats, internal/metrics, internal/par,
-//	internal/trace    — supporting substrates
+// Engine layer. internal/gossip holds one executor implementing the GOSSIP
+// delivery semantics (push/pull, self-op short-circuiting, fault silence,
+// trace emission, bit accounting) exactly once, with two thin schedulers
+// over it: the synchronous Engine and the sequential (one random agent per
+// tick) AsyncEngine. Fault models are pluggable FaultSchedules: permanent
+// quiescence, crash-at-round-r, and periodic churn.
 //
-// Entry points: cmd/fairconsensus (single runs), cmd/experiments
-// (regenerate every table/figure), cmd/sweep (CSV scaling sweeps), and the
-// runnable walkthroughs under examples/. The root bench_test.go holds one
-// benchmark per experiment artifact.
+// Protocol layer. internal/core is Protocol P and its sequential-model
+// adaptation; internal/rational adds utilities, coalitions, and the
+// deviation library; internal/baseline holds the LOCAL-model election, HP
+// polling, and naive ablation comparators.
+//
+// Scenario layer. internal/scenario is the declarative front door: a
+// Scenario struct names the full setting (N, initial-opinion distribution —
+// uniform, split, Zipf-skewed, or leader-election —, γ, topology, fault
+// model, scheduler, coalition + deviation, seed), a registry holds named
+// settings, and a Runner executes single runs or seed-batched Monte-Carlo
+// trials through one code path. Every CLI, example, and experiment table
+// builds its runs from a Scenario; new axes are one-field additions.
+//
+// Supporting substrates: internal/sim (experiment tables T0–T8, E9–E11),
+// internal/topo (complete / ring / regular / Erdős–Rényi graphs),
+// internal/rng (splittable xoshiro256**), internal/stats, internal/metrics,
+// internal/par, internal/trace, internal/wire.
+//
+// Entry points: cmd/fairconsensus (single runs, -scenario by name),
+// cmd/experiments (regenerate every table/figure, or Monte-Carlo one
+// scenario), cmd/sweep (CSV scaling sweeps), cmd/inspect (per-agent
+// transcripts), and the runnable walkthroughs under examples/. The root
+// bench_test.go holds one benchmark per experiment artifact plus the
+// scenario batch baseline.
 package repro

@@ -1,8 +1,8 @@
 // Rational adversary: Theorem 7 says Protocol P is a whp t-strong
 // equilibrium — no coalition of t = o(n/log n) deviating agents can increase
-// every member's expected utility. This example pits a coalition running the
-// strongest forgery in the library (the min-k liar) against the protocol and
-// prints the paired honest-vs-deviating utility comparison.
+// every member's expected utility. This example declares one coalition
+// scenario per deviation, derives the paired honest-vs-deviating evaluation
+// from it, and prints the utility comparison.
 //
 //	go run ./examples/adversary
 package main
@@ -11,35 +11,31 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
 	"repro/internal/rational"
+	"repro/internal/scenario"
 )
 
 func main() {
 	const n = 128
 	const trials = 250
 
-	params, err := core.NewParams(n, 2, core.DefaultGamma)
-	if err != nil {
-		log.Fatal(err)
-	}
-	colors := core.UniformColors(n, 2)
-	coalition := []int{10, 40, 70, 100}
-
-	for _, dev := range []rational.Deviation{
-		rational.MinKLiar{},
-		rational.AdaptiveSelfVoter{},
-		rational.MinPromoter{Push: false},
-	} {
-		rep, err := rational.EvaluateEquilibrium(rational.EquilibriumConfig{
-			Params:    params,
-			Colors:    colors,
-			Coalition: coalition,
-			Deviation: dev,
-			Utility:   rational.Utility{Chi: 1}, // failing hurts: utility −1
-			Trials:    trials,
+	for _, devName := range []string{"min-k-liar", "adaptive-self-voter", "min-promoter-silent"} {
+		runner, err := scenario.NewRunner(scenario.Scenario{
+			N:         n,
+			Colors:    2,
+			Coalition: 4,
+			Deviation: devName,
 			Seed:      2024,
 		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		// Failing hurts: utility −1 (χ = 1).
+		cfg, err := runner.EquilibriumConfig(trials, 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rep, err := rational.EvaluateEquilibrium(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -1,7 +1,8 @@
 // Sequential GOSSIP: the paper's second open problem (Section 4) asks about
 // the asynchronous model where at each tick exactly one random agent wakes.
-// This example runs the library's local-clock adaptation of Protocol P and
-// reports ticks-to-consensus and the empirical fairness.
+// This example runs the library's local-clock adaptation of Protocol P —
+// declared as one async-scheduler scenario — and reports ticks-to-consensus
+// and the empirical fairness.
 //
 //	go run ./examples/asyncgossip
 package main
@@ -10,7 +11,7 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -18,29 +19,36 @@ func main() {
 	const trials = 150
 
 	// The async adaptation needs a larger phase constant: local activation
-	// clocks drift by Θ(√(q·log n)), so phases must outgrow the skew.
-	params, err := core.NewParams(n, 2, core.DefaultAsyncGamma)
+	// clocks drift by Θ(√(q·log n)), so phases must outgrow the skew. The
+	// scenario layer applies core.DefaultAsyncGamma automatically when the
+	// scheduler is async and γ is left at its default.
+	runner, err := scenario.NewRunner(scenario.Scenario{
+		N:             n,
+		Colors:        2,
+		ColorInit:     scenario.ColorsSplit,
+		SplitFraction: 0.7, // 70% color 0
+		Scheduler:     scenario.SchedulerAsync,
+		Seed:          1,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	colors := core.SplitColors(n, 0.7) // 70% color 0
+	params := runner.Params()
 
+	results, err := runner.Trials(trials)
+	if err != nil {
+		log.Fatal(err)
+	}
 	wins := make([]int, 2)
 	fails := 0
 	totalTicks := 0
-	for s := 0; s < trials; s++ {
-		out, ticks, err := core.RunAsync(core.AsyncRunConfig{
-			Params: params, Colors: colors, Seed: uint64(s) + 1,
-		})
-		if err != nil {
-			log.Fatal(err)
-		}
-		totalTicks += ticks
-		if out.Failed {
+	for _, res := range results {
+		totalTicks += res.Rounds
+		if res.Outcome.Failed {
 			fails++
 			continue
 		}
-		wins[out.Color]++
+		wins[res.Outcome.Color]++
 	}
 
 	fmt.Printf("sequential GOSSIP, n = %d, initial support 70%%/30%%, %d runs\n", n, trials)

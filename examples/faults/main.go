@@ -2,6 +2,7 @@
 // consensus w.h.p. as long as the number of active agents is Ω(n), for any
 // fault fraction α < 1 (with γ chosen accordingly). This example sweeps α
 // and shows the success rate, and how a too-small γ breaks down first.
+// Every (α, γ) cell is one scenario executed as a Monte-Carlo batch.
 //
 //	go run ./examples/faults
 package main
@@ -10,7 +11,7 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
+	"repro/internal/scenario"
 )
 
 func main() {
@@ -21,25 +22,24 @@ func main() {
 	fmt.Println("alpha  gamma=1    gamma=3")
 	for _, alpha := range []float64{0, 0.2, 0.4, 0.6, 0.8} {
 		fmt.Printf("%.1f  ", alpha)
-		for _, gamma := range []float64{1, 3} {
-			params, err := core.NewParams(n, 2, gamma)
+		for gi, gamma := range []float64{1, 3} {
+			sc := scenario.Scenario{
+				N: n, Colors: 2, Gamma: gamma,
+				Seed: uint64(alpha*100)*10 + uint64(gi) + 1,
+			}
+			if alpha > 0 {
+				sc.Fault = scenario.FaultModel{Kind: scenario.FaultPermanent, Alpha: alpha}
+			}
+			runner, err := scenario.NewRunner(sc)
 			if err != nil {
 				log.Fatal(err)
 			}
-			colors := core.UniformColors(n, 2)
-			var faulty []bool
-			if alpha > 0 {
-				faulty = core.WorstCaseFaults(n, alpha)
+			results, err := runner.Trials(trials)
+			if err != nil {
+				log.Fatal(err)
 			}
 			ok := 0
-			for s := 0; s < trials; s++ {
-				res, err := core.Run(core.RunConfig{
-					Params: params, Colors: colors, Faulty: faulty,
-					Seed: uint64(s)*7919 + uint64(alpha*100),
-				})
-				if err != nil {
-					log.Fatal(err)
-				}
+			for _, res := range results {
 				if !res.Outcome.Failed {
 					ok++
 				}

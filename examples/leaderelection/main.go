@@ -1,7 +1,8 @@
 // Leader election: the special case of fair consensus where every agent's
 // color is its own ID (Section 2), so consensus elects a uniformly random
-// active agent. This example runs many elections and shows the empirical
-// winner histogram converging to uniform.
+// active agent. This example declares the leader-election scenario, runs
+// many elections, and shows the empirical winner histogram converging to
+// uniform.
 //
 //	go run ./examples/leaderelection
 package main
@@ -11,7 +12,7 @@ import (
 	"log"
 	"strings"
 
-	"repro/internal/core"
+	"repro/internal/scenario"
 	"repro/internal/stats"
 )
 
@@ -19,19 +20,22 @@ func main() {
 	const n = 24
 	const trials = 1200
 
-	params, err := core.NewParams(n, n, core.DefaultGamma)
+	runner, err := scenario.NewRunner(scenario.Scenario{
+		N:         n,
+		ColorInit: scenario.ColorsLeader,
+		Seed:      1,
+	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	colors := core.LeaderElectionColors(n)
 
+	results, err := runner.Trials(trials)
+	if err != nil {
+		log.Fatal(err)
+	}
 	wins := make([]int, n)
 	fails := 0
-	for s := 0; s < trials; s++ {
-		res, err := core.Run(core.RunConfig{Params: params, Colors: colors, Seed: uint64(s) + 1})
-		if err != nil {
-			log.Fatal(err)
-		}
+	for _, res := range results {
 		if res.Outcome.Failed {
 			fails++
 			continue

@@ -1,5 +1,6 @@
 // Quickstart: run rational fair consensus once on a complete network of 128
-// agents split 60/40 between two colors, and inspect the result.
+// agents split 60/40 between two colors, and inspect the result. The whole
+// setting is one declarative scenario.Scenario value.
 //
 //	go run ./examples/quickstart
 package main
@@ -8,33 +9,31 @@ import (
 	"fmt"
 	"log"
 
-	"repro/internal/core"
+	"repro/internal/scenario"
 )
 
 func main() {
-	const n = 128
-
-	// Protocol parameters: n agents, |Σ| = 2 colors, phase length
-	// q = ⌈γ·log₂ n⌉ rounds with the library default γ.
-	params, err := core.NewParams(n, 2, core.DefaultGamma)
-	if err != nil {
-		log.Fatal(err)
-	}
-
-	// 60% of agents initially support color 0, 40% color 1. Fairness
+	// Protocol parameters: 128 agents, |Σ| = 2 colors, the library default
+	// γ, and 60% of agents initially supporting color 0. Fairness
 	// (Theorem 4) says color 0 should win with probability 0.6.
-	colors := core.SplitColors(n, 0.6)
-
-	res, err := core.Run(core.RunConfig{
-		Params: params,
-		Colors: colors,
-		Seed:   42,
+	runner, err := scenario.NewRunner(scenario.Scenario{
+		N:             128,
+		Colors:        2,
+		ColorInit:     scenario.ColorsSplit,
+		SplitFraction: 0.6,
+		Seed:          42,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
+	params := runner.Params()
 
-	fmt.Printf("agents: %d, colors: 60%%/40%%, q = %d rounds per phase\n", n, params.Q)
+	res, err := runner.Run()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("agents: %d, colors: 60%%/40%%, q = %d rounds per phase\n", params.N, params.Q)
 	fmt.Printf("outcome: %v (consensus on a single color; ⊥ would mean failure)\n", res.Outcome)
 	fmt.Printf("rounds: %d (schedule: 4q+1 = %d)\n", res.Rounds, params.TotalRounds())
 	fmt.Printf("communication: %d messages, %d bits total, largest message %d bits\n",

@@ -4,8 +4,10 @@ import (
 	"fmt"
 
 	"repro/internal/gossip"
+	"repro/internal/metrics"
 	"repro/internal/rng"
 	"repro/internal/topo"
+	"repro/internal/trace"
 )
 
 // AsyncAgent is an exploratory adaptation of Protocol P to the sequential
@@ -261,21 +263,50 @@ func (a *AsyncAgent) FinalColor() Color {
 // AsyncRunConfig configures one sequential-model execution.
 // MaxTicks of 0 defaults to 10·n·TotalActivations.
 type AsyncRunConfig struct {
-	Params   Params
-	Colors   []Color
-	Faulty   []bool
-	Seed     uint64
-	MaxTicks int
+	Params Params
+	Colors []Color
+	Faulty []bool
+	// Faults optionally adds a dynamic quiescence schedule on top of Faulty;
+	// affected nodes still get agents (see RunConfig.Faults).
+	Faults gossip.FaultSchedule
+	// Unreliable marks the nodes affected by Faults; they are excluded from
+	// the agreement requirement like faulty ones.
+	Unreliable []bool
+	Seed       uint64
+	MaxTicks   int
+	// Topology defaults to the complete graph on N nodes when nil.
+	Topology topo.Topology
+	// Trace optionally receives engine events.
+	Trace trace.Sink
 }
 
-// RunAsync executes one sequential-GOSSIP run of the adapted protocol and
-// returns the outcome and the number of ticks consumed.
-func RunAsync(cfg AsyncRunConfig) (Outcome, int, error) {
+// AsyncRunResult is the observable result of one sequential-model execution.
+type AsyncRunResult struct {
+	Outcome Outcome
+	Ticks   int
+	Metrics metrics.Snapshot
+}
+
+// RunAsyncResult executes one sequential-GOSSIP run of the adapted protocol
+// and returns the outcome, tick count, and communication accounting.
+func RunAsyncResult(cfg AsyncRunConfig) (AsyncRunResult, error) {
 	p := cfg.Params
 	if len(cfg.Colors) != p.N {
-		return Outcome{Failed: true}, 0, fmt.Errorf("core: %d colors for n = %d", len(cfg.Colors), p.N)
+		return AsyncRunResult{Outcome: Outcome{Failed: true}},
+			fmt.Errorf("core: %d colors for n = %d", len(cfg.Colors), p.N)
 	}
-	net := topo.NewComplete(p.N)
+	net := cfg.Topology
+	if net == nil {
+		net = topo.NewComplete(p.N)
+	}
+	if net.N() != p.N {
+		return AsyncRunResult{Outcome: Outcome{Failed: true}},
+			fmt.Errorf("core: topology has %d nodes, params n = %d", net.N(), p.N)
+	}
+	if cfg.Unreliable != nil && len(cfg.Unreliable) != p.N {
+		return AsyncRunResult{Outcome: Outcome{Failed: true}},
+			fmt.Errorf("core: unreliable mask has %d entries for n = %d", len(cfg.Unreliable), p.N)
+	}
 	master := rng.New(cfg.Seed)
 	agents := make([]gossip.Agent, p.N)
 	parts := make([]Participant, p.N)
@@ -291,9 +322,29 @@ func RunAsync(cfg AsyncRunConfig) (Outcome, int, error) {
 	if max == 0 {
 		max = 10 * p.N * p.TotalActivations()
 	}
+	var counters metrics.Counters
 	eng := gossip.NewAsyncEngine(gossip.Config{
-		Topology: net, Faulty: cfg.Faulty, Workers: 1,
+		Topology: net, Faulty: cfg.Faulty, Faults: cfg.Faults,
+		Counters: &counters, Trace: cfg.Trace, Workers: 1,
 	}, agents, master.Split(1<<61))
 	ticks := eng.Run(max)
-	return CollectOutcome(parts, cfg.Faulty), ticks, nil
+	excluded := cfg.Faulty
+	if cfg.Unreliable != nil {
+		excluded = make([]bool, p.N)
+		for i := range excluded {
+			excluded[i] = (cfg.Faulty != nil && cfg.Faulty[i]) || cfg.Unreliable[i]
+		}
+	}
+	return AsyncRunResult{
+		Outcome: CollectOutcome(parts, excluded),
+		Ticks:   ticks,
+		Metrics: counters.Snapshot(),
+	}, nil
+}
+
+// RunAsync executes one sequential-GOSSIP run of the adapted protocol and
+// returns the outcome and the number of ticks consumed.
+func RunAsync(cfg AsyncRunConfig) (Outcome, int, error) {
+	res, err := RunAsyncResult(cfg)
+	return res.Outcome, res.Ticks, err
 }

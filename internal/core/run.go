@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/gossip"
 	"repro/internal/metrics"
@@ -18,6 +19,14 @@ type RunConfig struct {
 	Colors []Color
 	// Faulty marks the worst-case permanent faults; nil = fault-free.
 	Faulty []bool
+	// Faults optionally adds a dynamic quiescence schedule (crash-at-round-r,
+	// churn) on top of Faulty. Nodes it affects still get honest agents and
+	// participate whenever the schedule lets them.
+	Faults gossip.FaultSchedule
+	// Unreliable marks the nodes affected by Faults. Like faulty nodes they
+	// are excluded from the agreement requirement and from the good-execution
+	// check, but unlike faulty nodes they run agents. nil = none.
+	Unreliable []bool
 	// Seed drives all randomness of the execution.
 	Seed uint64
 	// Topology defaults to the complete graph on N nodes when nil.
@@ -52,9 +61,13 @@ func Run(cfg RunConfig) (RunResult, error) {
 	if net.N() != p.N {
 		return RunResult{}, fmt.Errorf("core: topology has %d nodes, params n = %d", net.N(), p.N)
 	}
+	if cfg.Unreliable != nil && len(cfg.Unreliable) != p.N {
+		return RunResult{}, fmt.Errorf("core: unreliable mask has %d entries for n = %d", len(cfg.Unreliable), p.N)
+	}
 	master := rng.New(cfg.Seed)
 	agents := make([]gossip.Agent, p.N)
-	honest := make([]*Agent, 0, p.N)
+	honest := make([]*Agent, 0, p.N)   // every agent-bearing node, for inspection
+	reliable := make([]*Agent, 0, p.N) // nodes the good-execution check covers
 	for i := 0; i < p.N; i++ {
 		if cfg.Faulty != nil && cfg.Faulty[i] {
 			continue
@@ -65,17 +78,28 @@ func Run(cfg RunConfig) (RunResult, error) {
 		a := NewAgent(i, p, cfg.Colors[i], net, master.Split(uint64(i)))
 		agents[i] = a
 		honest = append(honest, a)
+		if cfg.Unreliable == nil || !cfg.Unreliable[i] {
+			reliable = append(reliable, a)
+		}
 	}
 	var counters metrics.Counters
 	eng := gossip.NewEngine(gossip.Config{
 		Topology: net,
 		Faulty:   cfg.Faulty,
+		Faults:   cfg.Faults,
 		Counters: &counters,
 		Trace:    cfg.Trace,
 		Workers:  cfg.Workers,
 	}, agents)
 	rounds := eng.Run(p.TotalRounds() + 1)
 
+	excluded := cfg.Faulty
+	if cfg.Unreliable != nil {
+		excluded = make([]bool, p.N)
+		for i := range excluded {
+			excluded[i] = (cfg.Faulty != nil && cfg.Faulty[i]) || cfg.Unreliable[i]
+		}
+	}
 	parts := make([]Participant, p.N)
 	for i, ag := range agents {
 		if ag != nil {
@@ -83,10 +107,10 @@ func Run(cfg RunConfig) (RunResult, error) {
 		}
 	}
 	return RunResult{
-		Outcome: CollectOutcome(parts, cfg.Faulty),
+		Outcome: CollectOutcome(parts, excluded),
 		Rounds:  rounds,
 		Metrics: counters.Snapshot(),
-		Good:    CheckGoodExecution(p, honest),
+		Good:    CheckGoodExecution(p, reliable),
 		Agents:  honest,
 	}, nil
 }
@@ -114,6 +138,34 @@ func SplitColors(n int, fraction float64) []Color {
 			out[i] = 0
 		} else {
 			out[i] = 1
+		}
+	}
+	return out
+}
+
+// ZipfColors assigns each node an independent color drawn from a Zipf
+// distribution over Σ: Pr[color = c] ∝ 1/(c+1)^s, so color 0 dominates and
+// the tail thins polynomially — the skewed-opinion workload. s = 0 recovers
+// the uniform distribution. All randomness comes from r.
+func ZipfColors(n, numColors int, s float64, r *rng.Source) []Color {
+	if numColors < 1 {
+		panic("core: ZipfColors needs numColors >= 1")
+	}
+	weights := make([]float64, numColors)
+	total := 0.0
+	for c := range weights {
+		weights[c] = math.Pow(float64(c+1), -s)
+		total += weights[c]
+	}
+	out := make([]Color, n)
+	for i := range out {
+		x := r.Float64() * total
+		for c, w := range weights {
+			x -= w
+			if x < 0 || c == numColors-1 {
+				out[i] = Color(c)
+				break
+			}
 		}
 	}
 	return out

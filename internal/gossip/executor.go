@@ -1,0 +1,153 @@
+package gossip
+
+import (
+	"fmt"
+
+	"repro/internal/metrics"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// executor is the single implementation of GOSSIP delivery semantics —
+// topology validation, push/pull delivery, self-operation short-circuiting,
+// fault silence, trace emission, and communication accounting — shared by
+// the synchronous Engine and the sequential AsyncEngine. The schedulers
+// decide when each agent acts; the executor decides what happens to the
+// chosen action. Keeping these semantics in exactly one place is what makes
+// the two execution models comparable experiment-for-experiment.
+type executor struct {
+	topo     topo.Topology
+	agents   []Agent
+	initial  []bool        // round-0 fault mask (governs agent existence)
+	faults   FaultSchedule // quiescence over time; never nil
+	counters *metrics.Counters
+	sink     trace.Sink
+	dropped  int
+}
+
+// newExecutor validates the configuration shared by both engines and panics
+// on size mismatches so misconfigured experiments fail loudly.
+func newExecutor(cfg Config, agents []Agent) *executor {
+	n := cfg.Topology.N()
+	if len(agents) != n {
+		panic(fmt.Sprintf("gossip: %d agents for %d nodes", len(agents), n))
+	}
+	faulty := cfg.Faulty
+	if faulty == nil {
+		faulty = make([]bool, n)
+	}
+	if len(faulty) != n {
+		panic(fmt.Sprintf("gossip: faulty mask has %d entries for %d nodes", len(faulty), n))
+	}
+	for i, a := range agents {
+		if a == nil && !faulty[i] {
+			panic(fmt.Sprintf("gossip: active node %d has no agent", i))
+		}
+	}
+	counters := cfg.Counters
+	if counters == nil {
+		counters = &metrics.Counters{}
+	}
+	var faults FaultSchedule = StaticFaults(faulty)
+	if cfg.Faults != nil {
+		faults = UnionFaults{faults, cfg.Faults}
+	}
+	return &executor{
+		topo:     cfg.Topology,
+		agents:   agents,
+		initial:  faulty,
+		faults:   faults,
+		counters: counters,
+		sink:     cfg.Trace,
+	}
+}
+
+// silent reports whether node u is quiescent at time r: silenced by the
+// fault schedule, or a faulty node that never had an agent.
+func (x *executor) silent(r, u int) bool {
+	return x.agents[u] == nil || x.faults.Silent(r, u)
+}
+
+// validate enforces the topology on one action: an action addressed to an
+// out-of-range node or a non-neighbor is dropped, traced, and replaced with
+// NoAction.
+func (x *executor) validate(round, u int, a *Action) {
+	if a.Kind == ActNone {
+		return
+	}
+	if a.To < 0 || a.To >= len(x.agents) || !x.topo.CanSend(u, a.To) {
+		x.dropped++
+		x.emit(trace.Event{Round: round, Kind: trace.KindDrop, From: u, To: a.To})
+		*a = NoAction()
+	}
+}
+
+// exec performs one validated action on behalf of node u.
+func (x *executor) exec(round, u int, a Action) {
+	switch a.Kind {
+	case ActPush:
+		x.deliverPush(round, u, a)
+	case ActPull:
+		x.resolvePull(round, u, a)
+	}
+}
+
+// deliverPush delivers one push. A push to a quiescent target is lost but
+// its cost is still incurred — the sender cannot know.
+func (x *executor) deliverPush(round, u int, a Action) {
+	if u == a.To {
+		// Self-push is a local operation: delivered, not counted.
+		x.agents[u].HandlePush(round, u, a.Payload)
+		return
+	}
+	x.counters.AddPush()
+	x.counters.AddMessage(payloadBits(a.Payload))
+	x.emit(trace.Event{Round: round, Kind: trace.KindPush, From: u, To: a.To})
+	if x.silent(round, a.To) {
+		return // pushed into the void; cost already incurred
+	}
+	x.agents[a.To].HandlePush(round, u, a.Payload)
+}
+
+// resolvePull resolves one pull: a query message followed by an optional
+// reply message, both counted when they cross a link. A quiescent target and
+// an agent that refuses to answer are indistinguishable at the puller.
+func (x *executor) resolvePull(round, u int, a Action) {
+	if u == a.To {
+		// Self-pull resolves locally, free of charge.
+		reply := x.agents[u].HandlePull(round, u, a.Payload)
+		x.agents[u].HandlePullReply(round, u, reply)
+		return
+	}
+	x.counters.AddMessage(payloadBits(a.Payload))
+	if x.silent(round, a.To) {
+		x.counters.AddPull(false)
+		x.emit(trace.Event{Round: round, Kind: trace.KindPull, From: u, To: a.To, Note: "no-reply"})
+		x.agents[u].HandlePullReply(round, a.To, nil)
+		return
+	}
+	reply := x.agents[a.To].HandlePull(round, u, a.Payload)
+	if reply == nil {
+		x.counters.AddPull(false)
+		x.emit(trace.Event{Round: round, Kind: trace.KindPull, From: u, To: a.To, Note: "refused"})
+		x.agents[u].HandlePullReply(round, a.To, nil)
+		return
+	}
+	x.counters.AddPull(true)
+	x.counters.AddMessage(payloadBits(reply))
+	x.emit(trace.Event{Round: round, Kind: trace.KindPull, From: u, To: a.To})
+	x.agents[u].HandlePullReply(round, a.To, reply)
+}
+
+func (x *executor) emit(ev trace.Event) {
+	if x.sink != nil {
+		x.sink.Emit(ev)
+	}
+}
+
+func payloadBits(p Payload) int {
+	if p == nil {
+		return 0
+	}
+	return p.SizeBits()
+}

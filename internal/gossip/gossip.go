@@ -6,19 +6,21 @@
 // payload content but never about who they are — exactly the paper's
 // assumption that peers "cannot cheat each other about their IDs".
 //
-// Permanent worst-case faults (Section 2) are first-class: a faulty node is
-// quiescent from round 0 — it never acts, never receives, and never answers a
-// pull. An active agent that deliberately ignores a pull is indistinguishable
-// from a faulty one at the puller, which is precisely the "pretend to be
+// Faults are first-class and pluggable (FaultSchedule): the paper's permanent
+// worst-case faults (a node quiescent from round 0 — it never acts, never
+// receives, and never answers a pull), crash-at-round-r faults, and periodic
+// churn. An active agent that deliberately ignores a pull is indistinguishable
+// from a quiescent one at the puller, which is precisely the "pretend to be
 // faulty" deviation the protocol must tolerate.
 //
-// The package also provides AsyncEngine, a sequential GOSSIP scheduler (one
-// random node awake per tick) for the paper's second open problem.
+// Both execution models are thin schedulers over one shared executor that
+// owns the delivery semantics exactly once: Engine runs synchronous rounds
+// (every agent acts, then pushes and pulls resolve in node-ID order) and
+// AsyncEngine runs the sequential GOSSIP model of the paper's second open
+// problem (one random node awake per tick).
 package gossip
 
 import (
-	"fmt"
-
 	"repro/internal/metrics"
 	"repro/internal/par"
 	"repro/internal/rng"
@@ -86,12 +88,16 @@ type Decider interface {
 	Output() int
 }
 
-// Config configures an Engine.
+// Config configures an Engine or AsyncEngine.
 type Config struct {
 	Topology topo.Topology
 	// Faulty marks permanently faulty nodes; nil means fault-free. The slice
-	// length must equal Topology.N().
+	// length must equal Topology.N(). Nodes in this mask may have no agent.
 	Faulty []bool
+	// Faults optionally adds a dynamic quiescence schedule (crash, churn) on
+	// top of Faulty. Nodes it silences must still have agents: they
+	// participate whenever the schedule lets them.
+	Faults FaultSchedule
 	// Counters receives communication accounting; nil allocates a private one.
 	Counters *metrics.Counters
 	// Trace receives events; nil disables tracing.
@@ -103,49 +109,20 @@ type Config struct {
 
 // Engine executes synchronous GOSSIP rounds over a set of agents.
 type Engine struct {
-	topo     topo.Topology
-	agents   []Agent
-	faulty   []bool
-	counters *metrics.Counters
-	sink     trace.Sink
-	workers  int
-	round    int
-	actions  []Action // scratch, reused across rounds
-	dropped  int      // actions dropped for violating the topology
+	x       *executor
+	workers int
+	round   int
+	actions []Action // scratch, reused across rounds
 }
 
 // NewEngine builds an engine for the given agents. agents[i] is the agent at
 // node i; entries for faulty nodes may be nil. It panics on size mismatches
 // so misconfigured experiments fail loudly.
 func NewEngine(cfg Config, agents []Agent) *Engine {
-	n := cfg.Topology.N()
-	if len(agents) != n {
-		panic(fmt.Sprintf("gossip: %d agents for %d nodes", len(agents), n))
-	}
-	faulty := cfg.Faulty
-	if faulty == nil {
-		faulty = make([]bool, n)
-	}
-	if len(faulty) != n {
-		panic(fmt.Sprintf("gossip: faulty mask has %d entries for %d nodes", len(faulty), n))
-	}
-	for i, a := range agents {
-		if a == nil && !faulty[i] {
-			panic(fmt.Sprintf("gossip: active node %d has no agent", i))
-		}
-	}
-	counters := cfg.Counters
-	if counters == nil {
-		counters = &metrics.Counters{}
-	}
 	return &Engine{
-		topo:     cfg.Topology,
-		agents:   agents,
-		faulty:   faulty,
-		counters: counters,
-		sink:     cfg.Trace,
-		workers:  cfg.Workers,
-		actions:  make([]Action, n),
+		x:       newExecutor(cfg, agents),
+		workers: cfg.Workers,
+		actions: make([]Action, len(agents)),
 	}
 }
 
@@ -153,98 +130,48 @@ func NewEngine(cfg Config, agents []Agent) *Engine {
 func (e *Engine) Round() int { return e.round }
 
 // Counters returns the engine's communication counters.
-func (e *Engine) Counters() *metrics.Counters { return e.counters }
+func (e *Engine) Counters() *metrics.Counters { return e.x.counters }
 
 // DroppedActions returns how many actions were discarded because they
 // addressed a non-neighbor or an out-of-range node.
-func (e *Engine) DroppedActions() int { return e.dropped }
+func (e *Engine) DroppedActions() int { return e.x.dropped }
 
 // Step executes one synchronous round: collect every active agent's action
 // (possibly in parallel), deliver pushes in node-ID order, then resolve pulls
 // in node-ID order. The fixed orders make executions deterministic for a
 // given seed assignment regardless of Workers.
 func (e *Engine) Step() {
-	n := len(e.agents)
+	n := len(e.x.agents)
 	round := e.round
 
 	// Decision phase: agents choose their one active operation. Safe to
 	// parallelize because Act only touches the agent's own state.
 	par.ForN(e.workers, n, func(i int) {
-		if e.faulty[i] || e.agents[i] == nil {
+		if e.x.silent(round, i) {
 			e.actions[i] = NoAction()
 			return
 		}
-		e.actions[i] = e.agents[i].Act(round)
+		e.actions[i] = e.x.agents[i].Act(round)
 	})
 
 	// Validate actions against the topology.
 	for u := range e.actions {
-		a := &e.actions[u]
-		if a.Kind == ActNone {
-			continue
-		}
-		if a.To < 0 || a.To >= n || !e.topo.CanSend(u, a.To) {
-			e.dropped++
-			e.emit(trace.Event{Round: round, Kind: trace.KindDrop, From: u, To: a.To})
-			*a = NoAction()
-		}
+		e.x.validate(round, u, &e.actions[u])
 	}
 
-	// Push delivery phase (node-ID order).
+	// Push delivery phase, then pull phase, both in node-ID order.
 	for u := 0; u < n; u++ {
-		a := e.actions[u]
-		if a.Kind != ActPush {
-			continue
+		if e.actions[u].Kind == ActPush {
+			e.x.deliverPush(round, u, e.actions[u])
 		}
-		if u == a.To {
-			// Self-push is a local operation: delivered, not counted.
-			e.agents[u].HandlePush(round, u, a.Payload)
-			continue
-		}
-		size := payloadBits(a.Payload)
-		e.counters.AddPush()
-		e.counters.AddMessage(size)
-		e.emit(trace.Event{Round: round, Kind: trace.KindPush, From: u, To: a.To})
-		if e.faulty[a.To] {
-			continue // pushed into the void; cost already incurred
-		}
-		e.agents[a.To].HandlePush(round, u, a.Payload)
 	}
-
-	// Pull phase (node-ID order). A pull is a query message followed by an
-	// optional reply message; both are counted when they cross a link.
 	for u := 0; u < n; u++ {
-		a := e.actions[u]
-		if a.Kind != ActPull {
-			continue
+		if e.actions[u].Kind == ActPull {
+			e.x.resolvePull(round, u, e.actions[u])
 		}
-		if u == a.To {
-			// Self-pull resolves locally, free of charge.
-			reply := e.agents[u].HandlePull(round, u, a.Payload)
-			e.agents[u].HandlePullReply(round, u, reply)
-			continue
-		}
-		e.counters.AddMessage(payloadBits(a.Payload))
-		if e.faulty[a.To] {
-			e.counters.AddPull(false)
-			e.emit(trace.Event{Round: round, Kind: trace.KindPull, From: u, To: a.To, Note: "no-reply"})
-			e.agents[u].HandlePullReply(round, a.To, nil)
-			continue
-		}
-		reply := e.agents[a.To].HandlePull(round, u, a.Payload)
-		if reply == nil {
-			e.counters.AddPull(false)
-			e.emit(trace.Event{Round: round, Kind: trace.KindPull, From: u, To: a.To, Note: "refused"})
-			e.agents[u].HandlePullReply(round, a.To, nil)
-			continue
-		}
-		e.counters.AddPull(true)
-		e.counters.AddMessage(payloadBits(reply))
-		e.emit(trace.Event{Round: round, Kind: trace.KindPull, From: u, To: a.To})
-		e.agents[u].HandlePullReply(round, a.To, reply)
 	}
 
-	e.counters.AddRound()
+	e.x.counters.AddRound()
 	e.round++
 }
 
@@ -262,8 +189,8 @@ func (e *Engine) Run(maxRounds int) int {
 }
 
 func (e *Engine) allDecided() bool {
-	for i, a := range e.agents {
-		if e.faulty[i] || a == nil {
+	for i, a := range e.x.agents {
+		if e.x.silent(e.round, i) || a == nil {
 			continue
 		}
 		d, ok := a.(Decider)
@@ -274,123 +201,47 @@ func (e *Engine) allDecided() bool {
 	return true
 }
 
-func (e *Engine) emit(ev trace.Event) {
-	if e.sink != nil {
-		e.sink.Emit(ev)
-	}
-}
-
-func payloadBits(p Payload) int {
-	if p == nil {
-		return 0
-	}
-	return p.SizeBits()
-}
-
 // AsyncEngine implements the sequential GOSSIP model from the paper's second
 // open problem: at every tick exactly one agent, chosen uniformly at random
 // among the active ones, wakes up and performs one push or pull. All other
-// semantics (secure channels, quiescent faults, accounting) match Engine.
+// semantics (secure channels, quiescent faults, accounting) are the shared
+// executor's and therefore match Engine exactly.
 type AsyncEngine struct {
-	topo     topo.Topology
-	agents   []Agent
-	faulty   []bool
-	active   []int // indices of active nodes, for uniform waking
-	counters *metrics.Counters
-	sink     trace.Sink
-	r        *rng.Source
-	tick     int
-	dropped  int
+	x      *executor
+	active []int // indices of round-0-active nodes, for uniform waking
+	r      *rng.Source
+	tick   int
 }
 
 // NewAsyncEngine builds a sequential-GOSSIP engine; sched drives the wake-up
 // choices. Panics mirror NewEngine's.
 func NewAsyncEngine(cfg Config, agents []Agent, sched *rng.Source) *AsyncEngine {
-	n := cfg.Topology.N()
-	if len(agents) != n {
-		panic(fmt.Sprintf("gossip: %d agents for %d nodes", len(agents), n))
-	}
-	faulty := cfg.Faulty
-	if faulty == nil {
-		faulty = make([]bool, n)
-	}
-	if len(faulty) != n {
-		panic(fmt.Sprintf("gossip: faulty mask has %d entries for %d nodes", len(faulty), n))
-	}
+	x := newExecutor(cfg, agents)
 	var active []int
-	for i := 0; i < n; i++ {
-		if !faulty[i] {
-			if agents[i] == nil {
-				panic(fmt.Sprintf("gossip: active node %d has no agent", i))
-			}
+	for i := range agents {
+		if !x.initial[i] {
 			active = append(active, i)
 		}
 	}
-	counters := cfg.Counters
-	if counters == nil {
-		counters = &metrics.Counters{}
-	}
-	return &AsyncEngine{
-		topo:     cfg.Topology,
-		agents:   agents,
-		faulty:   faulty,
-		active:   active,
-		counters: counters,
-		sink:     cfg.Trace,
-		r:        sched,
-	}
+	return &AsyncEngine{x: x, active: active, r: sched}
 }
 
-// Tick wakes one uniformly random active agent and executes its action.
-// The tick number is passed to the agent as its "round".
+// Tick wakes one uniformly random active agent and executes its action
+// through the shared executor. The tick number is passed to the agent as its
+// "round". A woken agent that the fault schedule currently silences sleeps
+// through its wake-up: the tick elapses with no action.
 func (e *AsyncEngine) Tick() {
 	if len(e.active) == 0 {
 		e.tick++
 		return
 	}
 	u := e.active[e.r.Intn(len(e.active))]
-	a := e.agents[u].Act(e.tick)
-	n := len(e.agents)
-	switch {
-	case a.Kind == ActNone:
-	case a.To < 0 || a.To >= n || !e.topo.CanSend(u, a.To):
-		e.dropped++
-		if e.sink != nil {
-			e.sink.Emit(trace.Event{Round: e.tick, Kind: trace.KindDrop, From: u, To: a.To})
-		}
-	case a.Kind == ActPush:
-		if u == a.To {
-			e.agents[u].HandlePush(e.tick, u, a.Payload)
-			break
-		}
-		e.counters.AddPush()
-		e.counters.AddMessage(payloadBits(a.Payload))
-		if !e.faulty[a.To] {
-			e.agents[a.To].HandlePush(e.tick, u, a.Payload)
-		}
-	case a.Kind == ActPull:
-		if u == a.To {
-			reply := e.agents[u].HandlePull(e.tick, u, a.Payload)
-			e.agents[u].HandlePullReply(e.tick, u, reply)
-			break
-		}
-		e.counters.AddMessage(payloadBits(a.Payload))
-		if e.faulty[a.To] {
-			e.counters.AddPull(false)
-			e.agents[u].HandlePullReply(e.tick, a.To, nil)
-			break
-		}
-		reply := e.agents[a.To].HandlePull(e.tick, u, a.Payload)
-		if reply == nil {
-			e.counters.AddPull(false)
-			e.agents[u].HandlePullReply(e.tick, a.To, nil)
-			break
-		}
-		e.counters.AddPull(true)
-		e.counters.AddMessage(payloadBits(reply))
-		e.agents[u].HandlePullReply(e.tick, a.To, reply)
+	if !e.x.silent(e.tick, u) {
+		a := e.x.agents[u].Act(e.tick)
+		e.x.validate(e.tick, u, &a)
+		e.x.exec(e.tick, u, a)
 	}
-	e.counters.AddRound()
+	e.x.counters.AddRound()
 	e.tick++
 }
 
@@ -401,7 +252,7 @@ func (e *AsyncEngine) Run(maxTicks int) int {
 	for e.tick-start < maxTicks {
 		done := true
 		for _, u := range e.active {
-			d, ok := e.agents[u].(Decider)
+			d, ok := e.x.agents[u].(Decider)
 			if !ok || !d.Decided() {
 				done = false
 				break
@@ -415,11 +266,11 @@ func (e *AsyncEngine) Run(maxTicks int) int {
 	return e.tick - start
 }
 
-// Tick returns the number of executed ticks.
+// TickCount returns the number of executed ticks.
 func (e *AsyncEngine) TickCount() int { return e.tick }
 
 // Counters returns the engine's communication counters.
-func (e *AsyncEngine) Counters() *metrics.Counters { return e.counters }
+func (e *AsyncEngine) Counters() *metrics.Counters { return e.x.counters }
 
 // DroppedActions returns how many actions violated the topology.
-func (e *AsyncEngine) DroppedActions() int { return e.dropped }
+func (e *AsyncEngine) DroppedActions() int { return e.x.dropped }

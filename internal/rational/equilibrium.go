@@ -8,6 +8,7 @@ import (
 	"repro/internal/par"
 	"repro/internal/rng"
 	"repro/internal/stats"
+	"repro/internal/topo"
 )
 
 // EquilibriumConfig describes one Theorem 7 experiment: T independent trials
@@ -20,6 +21,8 @@ type EquilibriumConfig struct {
 	Coalition []int
 	Deviation Deviation
 	Utility   Utility
+	// Topology defaults to the complete graph on N nodes when nil.
+	Topology topo.Topology
 	// Scheme optionally replaces Utility with a generalized payoff model
 	// (see Scheme); nil uses Utility.
 	Scheme Scheme
@@ -107,6 +110,7 @@ func EvaluateEquilibrium(cfg EquilibriumConfig) (EquilibriumReport, error) {
 				Deviation: dev,
 				Seed:      trialSeeds[i],
 				Workers:   1, // parallelism lives at the trial level
+				Topology:  cfg.Topology,
 			})
 			outs[i] = trialOut{outcome: res.Outcome, err: err}
 		})

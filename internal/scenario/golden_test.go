@@ -1,0 +1,81 @@
+package scenario_test
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"testing"
+
+	"repro/internal/scenario"
+	"repro/internal/trace"
+)
+
+// The fixtures under testdata/ were captured from the pre-refactor engines
+// (the seed tree's separate Engine.Step and AsyncEngine.Tick
+// implementations) with byte-exact trace and counter output. These tests
+// pin the unified executor — and the whole scenario → core → gossip stack
+// above it — to that behaviour: any drift in delivery order, fault
+// silencing, accounting, or trace emission shows up as a byte diff.
+//
+// Regenerate with GOLDEN_UPDATE=1 only when a semantic change is intended.
+
+func syncGoldenBytes(t *testing.T) []byte {
+	t.Helper()
+	r := scenario.MustRunner(scenario.Scenario{
+		N: 24, Colors: 3, Gamma: 2,
+		Fault:   scenario.FaultModel{Kind: scenario.FaultPermanent, Alpha: 0.25},
+		Seed:    12345,
+		Workers: 1,
+	})
+	var buf bytes.Buffer
+	r.Trace = &trace.Writer{W: &buf}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fmt.Fprintf(&buf, "rounds=%d outcome=%s\n", res.Rounds, res.Outcome)
+	fmt.Fprintf(&buf, "metrics=%+v\n", res.Metrics)
+	fmt.Fprintf(&buf, "good=%v minVotes=%d maxVotes=%d distinctK=%v certsAgree=%v\n",
+		res.Good.Good(), res.Good.MinVotes, res.Good.MaxVotes, res.Good.DistinctK, res.Good.CertsAgree)
+	return buf.Bytes()
+}
+
+func asyncGoldenBytes(t *testing.T) []byte {
+	t.Helper()
+	r := scenario.MustRunner(scenario.Scenario{
+		N: 16, Colors: 2,
+		Scheduler: scenario.SchedulerAsync,
+		Seed:      777,
+	})
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []byte(fmt.Sprintf("ticks=%d outcome=%s\n", res.Rounds, res.Outcome))
+}
+
+func checkGolden(t *testing.T, path string, got []byte) {
+	t.Helper()
+	if os.Getenv("GOLDEN_UPDATE") != "" {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("%s: unified executor output diverged from the pre-refactor fixture\n got %d bytes, want %d bytes",
+			path, len(got), len(want))
+	}
+}
+
+func TestGoldenSyncExecutorMatchesPreRefactorEngine(t *testing.T) {
+	checkGolden(t, "testdata/golden_sync.txt", syncGoldenBytes(t))
+}
+
+func TestGoldenAsyncExecutorMatchesPreRefactorEngine(t *testing.T) {
+	checkGolden(t, "testdata/golden_async.txt", asyncGoldenBytes(t))
+}

@@ -1,0 +1,89 @@
+package scenario
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// The registry maps scenario names to full declarative settings, so CLIs
+// can run `-scenario <name>` and experiments can share canonical settings.
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Scenario{}
+)
+
+// Register adds a named scenario to the registry. The scenario is validated
+// with defaults applied; registering an invalid or duplicate name fails.
+func Register(s Scenario) error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: cannot register a scenario without a name")
+	}
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[s.Name]; dup {
+		return fmt.Errorf("scenario: %q already registered", s.Name)
+	}
+	registry[s.Name] = s
+	return nil
+}
+
+// MustRegister is Register that panics on error, for init-time tables.
+func MustRegister(s Scenario) {
+	if err := Register(s); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the registered scenario by name.
+func Lookup(name string) (Scenario, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	s, ok := registry[name]
+	return s, ok
+}
+
+// Names lists every registered scenario in sorted order.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for name := range registry {
+		out = append(out, name)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// The built-in library: one named scenario per experiment axis the
+// repository exercises, including the newer crash / churn / zipf settings.
+func init() {
+	for _, s := range []Scenario{
+		{Name: "baseline", N: 256, Colors: 2, Seed: 1},
+		{Name: "faulty-third", N: 256, Colors: 2, Seed: 1,
+			Fault: FaultModel{Kind: FaultPermanent, Alpha: 1.0 / 3}},
+		{Name: "leader-election", N: 64, ColorInit: ColorsLeader, Seed: 1},
+		{Name: "split-70-30", N: 256, Colors: 2, ColorInit: ColorsSplit, SplitFraction: 0.7, Seed: 1},
+		{Name: "zipf-skew", N: 256, Colors: 4, ColorInit: ColorsZipf, ZipfS: 1.2, Seed: 1},
+		{Name: "ring", N: 128, Colors: 2, Topology: "ring", Seed: 1},
+		{Name: "expander", N: 256, Colors: 2, Topology: "regular8", Seed: 1},
+		{Name: "sequential", N: 96, Colors: 2, Scheduler: SchedulerAsync, Seed: 1},
+		// With n = 256, γ = 3 the phases are q = 24 rounds: Voting spans
+		// [24, 48). Crashing after it is tolerated; crashing inside it breaks
+		// verification (unfulfilled binding declarations) — the pair brackets
+		// the protocol's brittleness window.
+		{Name: "crash-after-voting", N: 256, Colors: 2, Seed: 1,
+			Fault: FaultModel{Kind: FaultCrash, Alpha: 0.25, Round: 50}},
+		{Name: "crash-mid-voting", N: 256, Colors: 2, Seed: 1,
+			Fault: FaultModel{Kind: FaultCrash, Alpha: 0.25, Round: 30}},
+		{Name: "churn", N: 256, Colors: 2, Seed: 1,
+			Fault: FaultModel{Kind: FaultChurn, Alpha: 0.3, Period: 8}},
+		{Name: "adversary-min-k", N: 128, Colors: 2, Seed: 1,
+			Coalition: 4, Deviation: "min-k-liar"},
+	} {
+		MustRegister(s)
+	}
+}

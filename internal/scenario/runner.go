@@ -1,0 +1,245 @@
+package scenario
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+	"repro/internal/par"
+	"repro/internal/rational"
+	"repro/internal/rng"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// Result is the outcome of one scenario execution, unified across the sync,
+// async, and game paths.
+type Result struct {
+	Outcome core.Outcome
+	// Rounds is the synchronous round count, or the tick count under the
+	// async scheduler.
+	Rounds  int
+	Metrics metrics.Snapshot
+	// Good is the Definition-2 check; valid only when HasGood (sync
+	// cooperative runs).
+	Good    core.GoodExecution
+	HasGood bool
+	// CoalitionColorWon reports whether a coalition member's color won
+	// (game runs only).
+	CoalitionColorWon bool
+	// Agents exposes the honest agents of sync runs for deeper inspection.
+	Agents []*core.Agent
+}
+
+// Runner executes a validated scenario. Construct with NewRunner; a Runner
+// is immutable except for Trace and safe to reuse across seeds.
+type Runner struct {
+	s       Scenario
+	params  core.Params
+	net     topo.Topology
+	dev     rational.Deviation // nil unless the scenario has a coalition
+	members []int
+
+	// Trace optionally receives engine events on every subsequent run.
+	Trace trace.Sink
+}
+
+// NewRunner validates s (after applying defaults) and prepares everything
+// shared across its runs: protocol parameters, the (seeded) topology, the
+// deviation, and the coalition placement.
+func NewRunner(s Scenario) (*Runner, error) {
+	s = s.WithDefaults()
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	params, err := s.Params()
+	if err != nil {
+		return nil, err
+	}
+	net, err := s.BuildTopology()
+	if err != nil {
+		return nil, err
+	}
+	r := &Runner{s: s, params: params, net: net}
+	if s.Coalition > 0 {
+		dev, err := rational.DeviationByName(s.Deviation)
+		if err != nil {
+			return nil, fmt.Errorf("scenario: %w", err)
+		}
+		r.dev = dev
+		r.members = s.CoalitionMembers()
+	}
+	return r, nil
+}
+
+// MustRunner is NewRunner that panics on error, for tests and examples.
+func MustRunner(s Scenario) *Runner {
+	r, err := NewRunner(s)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Scenario returns the defaults-applied scenario the runner executes.
+func (r *Runner) Scenario() Scenario { return r.s }
+
+// Params returns the derived protocol parameters.
+func (r *Runner) Params() core.Params { return r.params }
+
+// Topology returns the materialized communication graph.
+func (r *Runner) Topology() topo.Topology { return r.net }
+
+// CoalitionMembers returns the deviating agents' IDs (nil for cooperative
+// scenarios).
+func (r *Runner) CoalitionMembers() []int { return append([]int(nil), r.members...) }
+
+// RunConfig assembles the core-level configuration of one cooperative sync
+// execution at the given seed — the hook for callers that need core.Run's
+// full result (e.g. the transcript inspector).
+func (r *Runner) RunConfig(seed uint64) core.RunConfig {
+	faulty, sched, unreliable := r.s.BuildFaults()
+	return core.RunConfig{
+		Params:     r.params,
+		Colors:     r.s.BuildColors(),
+		Faulty:     faulty,
+		Faults:     sched,
+		Unreliable: unreliable,
+		Seed:       seed,
+		Topology:   r.net,
+		Workers:    r.s.Workers,
+		Trace:      r.Trace,
+	}
+}
+
+// GameConfig assembles the rational-layer configuration of one game
+// execution at the given seed.
+func (r *Runner) GameConfig(seed uint64) rational.GameConfig {
+	faulty, _, _ := r.s.BuildFaults()
+	return rational.GameConfig{
+		Params:    r.params,
+		Colors:    r.s.BuildColors(),
+		Faulty:    faulty,
+		Coalition: append([]int(nil), r.members...),
+		Deviation: r.dev,
+		Seed:      seed,
+		Workers:   r.s.Workers,
+		Topology:  r.net,
+	}
+}
+
+// EquilibriumConfig assembles a paired honest-vs-deviating evaluation
+// (Theorem 7) from a coalition scenario: trials runs of each profile with
+// the scenario's coalition, deviation, and fault model.
+func (r *Runner) EquilibriumConfig(trials int, chi float64) (rational.EquilibriumConfig, error) {
+	if r.dev == nil {
+		return rational.EquilibriumConfig{}, fmt.Errorf("scenario: %q has no coalition to evaluate", r.s.Name)
+	}
+	faulty, _, _ := r.s.BuildFaults()
+	return rational.EquilibriumConfig{
+		Params:    r.params,
+		Colors:    r.s.BuildColors(),
+		Faulty:    faulty,
+		Coalition: append([]int(nil), r.members...),
+		Deviation: r.dev,
+		Utility:   rational.Utility{Chi: chi},
+		Topology:  r.net,
+		Trials:    trials,
+		Seed:      r.s.Seed,
+		Workers:   r.s.Workers,
+	}, nil
+}
+
+// asyncConfig assembles the sequential-model configuration at a seed.
+func (r *Runner) asyncConfig(seed uint64) core.AsyncRunConfig {
+	faulty, sched, unreliable := r.s.BuildFaults()
+	return core.AsyncRunConfig{
+		Params:     r.params,
+		Colors:     r.s.BuildColors(),
+		Faulty:     faulty,
+		Faults:     sched,
+		Unreliable: unreliable,
+		Seed:       seed,
+		MaxTicks:   r.s.MaxTicks,
+		Topology:   r.net,
+		Trace:      r.Trace,
+	}
+}
+
+// Run executes the scenario once at its own seed.
+func (r *Runner) Run() (Result, error) { return r.RunSeed(r.s.Seed) }
+
+// RunSeed executes the scenario once at the given seed through the path its
+// scheduler and coalition select.
+func (r *Runner) RunSeed(seed uint64) (Result, error) {
+	switch {
+	case r.s.Scheduler == SchedulerAsync:
+		res, err := core.RunAsyncResult(r.asyncConfig(seed))
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{Outcome: res.Outcome, Rounds: res.Ticks, Metrics: res.Metrics}, nil
+
+	case r.dev != nil:
+		res, err := rational.RunGame(r.GameConfig(seed))
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{
+			Outcome:           res.Outcome,
+			Rounds:            r.params.TotalRounds(),
+			Metrics:           res.Metrics,
+			CoalitionColorWon: res.CoalitionColorWon,
+			Agents:            res.HonestAgents,
+		}, nil
+
+	default:
+		res, err := core.Run(r.RunConfig(seed))
+		if err != nil {
+			return Result{}, err
+		}
+		return Result{
+			Outcome: res.Outcome,
+			Rounds:  res.Rounds,
+			Metrics: res.Metrics,
+			Good:    res.Good,
+			HasGood: true,
+			Agents:  res.Agents,
+		}, nil
+	}
+}
+
+// TrialSeeds derives the seeds of a trials-sized Monte-Carlo batch by
+// splitting the scenario seed, so distinct scenarios (and distinct sweep
+// cells) get collision-free seed sets and results are independent of the
+// worker count.
+func (r *Runner) TrialSeeds(trials int) []uint64 {
+	base := rng.New(r.s.Seed)
+	seeds := make([]uint64, trials)
+	for i := range seeds {
+		seeds[i] = base.Split(uint64(i)).Uint64()
+	}
+	return seeds
+}
+
+// Trials executes a seed-batched Monte-Carlo experiment: trials independent
+// runs at split-off seeds, parallelized across the scenario's Workers. The
+// per-run engine parallelism is forced to 1 (trial-level parallelism
+// dominates and keeps runs deterministic).
+func (r *Runner) Trials(trials int) ([]Result, error) {
+	seeds := r.TrialSeeds(trials)
+	serial := *r
+	serial.s.Workers = 1
+	serial.Trace = nil
+	out := make([]Result, trials)
+	errs := make([]error, trials)
+	par.ForN(r.s.Workers, trials, func(i int) {
+		out[i], errs[i] = serial.RunSeed(seeds[i])
+	})
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}

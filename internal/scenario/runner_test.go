@@ -1,0 +1,155 @@
+package scenario
+
+import (
+	"testing"
+)
+
+func TestRunnerSyncCooperative(t *testing.T) {
+	r := MustRunner(Scenario{N: 64, Colors: 2, Seed: 5, Workers: 1})
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Outcome.Failed {
+		t.Fatal("cooperative fault-free run failed")
+	}
+	if !res.HasGood || !res.Good.Good() {
+		t.Fatalf("expected a good execution, got %+v", res.Good)
+	}
+	if res.Metrics.Messages == 0 || res.Rounds == 0 {
+		t.Fatalf("metrics not collected: %+v", res.Metrics)
+	}
+	if len(res.Agents) != 64 {
+		t.Fatalf("agents = %d", len(res.Agents))
+	}
+}
+
+func TestRunnerAsync(t *testing.T) {
+	r := MustRunner(Scenario{N: 32, Colors: 2, Scheduler: SchedulerAsync, Seed: 5})
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.HasGood {
+		t.Fatal("async run claims a good-execution check")
+	}
+	if res.Rounds == 0 || res.Metrics.Messages == 0 {
+		t.Fatalf("async run recorded nothing: rounds=%d metrics=%+v", res.Rounds, res.Metrics)
+	}
+}
+
+func TestRunnerGame(t *testing.T) {
+	r := MustRunner(Scenario{N: 64, Colors: 2, Coalition: 3, Deviation: "min-k-liar", Seed: 5})
+	if len(r.CoalitionMembers()) != 3 {
+		t.Fatalf("members = %v", r.CoalitionMembers())
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The min-k liar forges an inconsistent certificate; honest agents must
+	// not crown its color (the run fails or an honest color wins).
+	if res.CoalitionColorWon {
+		t.Fatal("min-k liar won against Protocol P")
+	}
+}
+
+func TestRunnerCrashStillSucceeds(t *testing.T) {
+	// A quarter of the network crashing after Commitment leaves Ω(n) active
+	// agents, so the protocol should still reach consensus among the rest.
+	ok := 0
+	r := MustRunner(Scenario{N: 96, Colors: 2, Seed: 6, Workers: 1,
+		Fault: FaultModel{Kind: FaultCrash, Alpha: 0.25, Round: 40}})
+	results, err := r.Trials(20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range results {
+		if !res.Outcome.Failed {
+			ok++
+		}
+	}
+	if ok < 15 {
+		t.Fatalf("crash-fault success %d/20, want >= 15", ok)
+	}
+}
+
+func TestRunnerChurnRuns(t *testing.T) {
+	r := MustRunner(Scenario{N: 96, Colors: 2, Seed: 6, Workers: 1, Gamma: 4,
+		Fault: FaultModel{Kind: FaultChurn, Alpha: 0.2, Period: 6}})
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics.Messages == 0 {
+		t.Fatal("churn run recorded no traffic")
+	}
+}
+
+func TestTrialsDeterministicAcrossWorkers(t *testing.T) {
+	base := Scenario{N: 48, Colors: 2, Seed: 11}
+	s1 := base
+	s1.Workers = 1
+	s4 := base
+	s4.Workers = 4
+	r1, err := MustRunner(s1).Trials(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r4, err := MustRunner(s4).Trials(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range r1 {
+		if r1[i].Outcome != r4[i].Outcome || r1[i].Metrics != r4[i].Metrics {
+			t.Fatalf("trial %d differs across worker counts", i)
+		}
+	}
+}
+
+func TestTrialSeedsDisjointAcrossScenarios(t *testing.T) {
+	// The collision-prone pattern this replaces (seed+n+α·1e6) repeated
+	// across sweep cells; split-derived seeds must not.
+	a := MustRunner(Scenario{N: 48, Seed: 1}).TrialSeeds(64)
+	b := MustRunner(Scenario{N: 48, Seed: 2}).TrialSeeds(64)
+	seen := map[uint64]bool{}
+	for _, s := range append(a, b...) {
+		if seen[s] {
+			t.Fatalf("seed %d repeats across scenarios", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestRunnerTopologyAndSeedStability(t *testing.T) {
+	r := MustRunner(Scenario{N: 64, Topology: "regular8", Seed: 3})
+	if r.Topology().Degree(0) != 8 {
+		t.Fatalf("degree = %d", r.Topology().Degree(0))
+	}
+	// Same scenario, same seed: identical outcome.
+	x, err := r.RunSeed(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	y, err := MustRunner(Scenario{N: 64, Topology: "regular8", Seed: 3}).RunSeed(42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if x.Outcome != y.Outcome || x.Metrics != y.Metrics {
+		t.Fatal("same scenario+seed produced different runs")
+	}
+}
+
+func TestEquilibriumConfigFromScenario(t *testing.T) {
+	r := MustRunner(Scenario{N: 64, Coalition: 2, Deviation: "cert-forger", Seed: 5})
+	cfg, err := r.EquilibriumConfig(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Deviation.Name() != "cert-forger" || len(cfg.Coalition) != 2 || cfg.Trials != 10 {
+		t.Fatalf("config malformed: %+v", cfg)
+	}
+	if _, err := MustRunner(Scenario{N: 64}).EquilibriumConfig(10, 1); err == nil {
+		t.Fatal("cooperative scenario produced an equilibrium config")
+	}
+}

@@ -1,0 +1,380 @@
+// Package scenario is the declarative experiment layer of the repository:
+// one Scenario value names everything that defines a protocol execution —
+// network size, initial-opinion distribution, phase-length constant,
+// topology, fault model, scheduler (synchronous rounds or sequential ticks),
+// and an optional rational coalition — and one Runner executes it, for a
+// single seed or as a seed-batched Monte-Carlo experiment, through a single
+// code path shared by every CLI, example, and experiment table.
+//
+// The point of the indirection is that new experiment axes become one-field
+// additions instead of new wiring: crash-at-round-r faults, periodic churn,
+// and Zipf-skewed initial opinions are all expressed here and flow through
+// the same unified gossip executor as the paper's original grid.
+package scenario
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/gossip"
+	"repro/internal/rng"
+	"repro/internal/topo"
+)
+
+// SchedulerKind selects the execution model.
+type SchedulerKind string
+
+// The two schedulers of the paper: synchronous rounds (Section 2) and the
+// sequential one-agent-per-tick model (Section 4, open problem 2).
+const (
+	SchedulerSync  SchedulerKind = "sync"
+	SchedulerAsync SchedulerKind = "async"
+)
+
+// ColorInit names the initial-opinion distribution.
+type ColorInit string
+
+// Supported initial color distributions.
+const (
+	// ColorsUniform assigns colors round-robin (core.UniformColors).
+	ColorsUniform ColorInit = "uniform"
+	// ColorsSplit gives the first ⌊SplitFraction·n⌋ nodes color 0, the rest
+	// color 1 (core.SplitColors).
+	ColorsSplit ColorInit = "split"
+	// ColorsZipf draws each node's color from a Zipf law with exponent ZipfS
+	// (core.ZipfColors) — the skewed-opinion workload.
+	ColorsZipf ColorInit = "zipf"
+	// ColorsLeader gives every node its own color, turning fair consensus
+	// into fair leader election (core.LeaderElectionColors).
+	ColorsLeader ColorInit = "leader"
+)
+
+// FaultKind names the fault model.
+type FaultKind string
+
+// Supported fault models.
+const (
+	FaultNone FaultKind = "none"
+	// FaultPermanent is the paper's model: the first ⌊α·n⌋ nodes are
+	// quiescent from round 0 and never get agents.
+	FaultPermanent FaultKind = "permanent"
+	// FaultCrash runs the first ⌊α·n⌋ nodes honestly until round Round, then
+	// silences them permanently. The protocol's binding declarations make the
+	// onset round decisive: a crash before the Voting phase behaves like a
+	// permanent fault and is tolerated, a crash after Voting is harmless, but
+	// a crash *during* Voting leaves declared votes unfulfilled and every
+	// verifier holding the crashed node's declaration rejects the winning
+	// certificate (VerifyCertificate's missing-vote direction) — success
+	// collapses. That brittleness window is the measurement this axis exists
+	// for.
+	FaultCrash FaultKind = "crash"
+	// FaultChurn alternates the first ⌊α·n⌋ nodes between Period rounds up
+	// and Period rounds down, staggered by node ID. Nodes down during their
+	// own Voting rounds leave declared votes unfulfilled, so churn spanning
+	// the Voting phase drives the failure rate toward 1 (see FaultCrash) —
+	// the honest-but-intermittent adversary is this protocol's worst case.
+	FaultChurn FaultKind = "churn"
+)
+
+// FaultModel describes which nodes misbehave and how.
+type FaultModel struct {
+	Kind FaultKind
+	// Alpha is the fraction of nodes affected, in [0, 1).
+	Alpha float64
+	// Round is the crash onset (FaultCrash only).
+	Round int
+	// Period is the up/down interval in rounds (FaultChurn only).
+	Period int
+}
+
+// Scenario is a complete declarative description of one experiment setting.
+// The zero value of every optional field means "the default": uniform
+// colors, the protocol's default γ, the complete graph, no faults, the
+// synchronous scheduler, no coalition.
+type Scenario struct {
+	// Name identifies the scenario in the registry and in reports.
+	Name string
+	// N is the network size.
+	N int
+	// Colors is |Σ|; 0 defaults to 2. Ignored (forced to N) under
+	// ColorsLeader.
+	Colors int
+	// ColorInit selects the initial-opinion distribution; "" = uniform.
+	ColorInit ColorInit
+	// SplitFraction is the color-0 share under ColorsSplit (default 0.5).
+	SplitFraction float64
+	// ZipfS is the Zipf exponent under ColorsZipf (default 1.0).
+	ZipfS float64
+	// Gamma is the phase-length constant γ; 0 defaults to core.DefaultGamma
+	// (core.DefaultAsyncGamma under the async scheduler).
+	Gamma float64
+	// Topology names the communication graph: "complete" (default), "ring",
+	// "regular<d>" (random d-regular, e.g. "regular8"), or "er" (Erdős–Rényi
+	// with average degree 16). Seeded graphs are built from Seed once and
+	// shared by every trial.
+	Topology string
+	// Fault is the fault model; the zero value means fault-free.
+	Fault FaultModel
+	// Scheduler is sync or async; "" = sync.
+	Scheduler SchedulerKind
+	// Coalition is the number of deviating agents; 0 = cooperative run.
+	Coalition int
+	// Deviation names the coalition's strategy (rational.DeviationByName);
+	// required when Coalition > 0.
+	Deviation string
+	// Seed drives all randomness; trial seeds are split off it.
+	Seed uint64
+	// Workers is the trial-level parallelism for Runner.Trials and the
+	// engine Act-phase parallelism for single runs (0 = GOMAXPROCS).
+	Workers int
+	// MaxTicks bounds async runs; 0 = the adaptation's default budget.
+	MaxTicks int
+}
+
+// WithDefaults returns a copy of s with every zero optional field replaced
+// by its documented default. Runner normalizes scenarios on construction;
+// this is exposed so callers can inspect the effective setting.
+func (s Scenario) WithDefaults() Scenario {
+	if s.Scheduler == "" {
+		s.Scheduler = SchedulerSync
+	}
+	if s.ColorInit == "" {
+		s.ColorInit = ColorsUniform
+	}
+	if s.ColorInit == ColorsSplit && s.SplitFraction == 0 {
+		s.SplitFraction = 0.5
+	}
+	if s.ColorInit == ColorsZipf && s.ZipfS == 0 {
+		s.ZipfS = 1.0
+	}
+	if s.ColorInit == ColorsLeader {
+		s.Colors = s.N
+	}
+	if s.Colors == 0 {
+		s.Colors = 2
+	}
+	if s.Gamma == 0 {
+		if s.Scheduler == SchedulerAsync {
+			s.Gamma = core.DefaultAsyncGamma
+		} else {
+			s.Gamma = core.DefaultGamma
+		}
+	}
+	if s.Topology == "" {
+		s.Topology = "complete"
+	}
+	if s.Fault.Kind == "" {
+		s.Fault.Kind = FaultNone
+	}
+	return s
+}
+
+// Validate checks a (defaults-applied) scenario for consistency. It returns
+// the first problem found, phrased for CLI users.
+func (s Scenario) Validate() error {
+	s = s.WithDefaults()
+	if s.N < 2 || s.N > core.MaxN {
+		return fmt.Errorf("scenario: n = %d out of range [2, %d]", s.N, core.MaxN)
+	}
+	if s.Colors < 1 || s.Colors > s.N {
+		return fmt.Errorf("scenario: colors = %d out of range [1, n]", s.Colors)
+	}
+	switch s.ColorInit {
+	case ColorsUniform, ColorsLeader:
+	case ColorsSplit:
+		if s.SplitFraction < 0 || s.SplitFraction > 1 {
+			return fmt.Errorf("scenario: split fraction %v outside [0, 1]", s.SplitFraction)
+		}
+		if s.Colors < 2 {
+			return fmt.Errorf("scenario: split colors need |Σ| >= 2")
+		}
+	case ColorsZipf:
+		if s.ZipfS < 0 {
+			return fmt.Errorf("scenario: zipf exponent %v must be >= 0", s.ZipfS)
+		}
+	default:
+		return fmt.Errorf("scenario: unknown color init %q (uniform|split|zipf|leader)", s.ColorInit)
+	}
+	if s.Gamma <= 0 {
+		return fmt.Errorf("scenario: gamma = %v must be positive", s.Gamma)
+	}
+	if _, err := parseTopology(s.Topology, s.N); err != nil {
+		return err
+	}
+	switch s.Fault.Kind {
+	case FaultNone:
+	case FaultPermanent, FaultCrash, FaultChurn:
+		if s.Fault.Alpha < 0 || s.Fault.Alpha >= 1 {
+			return fmt.Errorf("scenario: fault fraction %v outside [0, 1)", s.Fault.Alpha)
+		}
+		if s.Fault.Kind == FaultCrash && s.Fault.Round < 0 {
+			return fmt.Errorf("scenario: crash round %d must be >= 0", s.Fault.Round)
+		}
+		if s.Fault.Kind == FaultChurn && s.Fault.Period < 1 {
+			return fmt.Errorf("scenario: churn period %d must be >= 1", s.Fault.Period)
+		}
+	default:
+		return fmt.Errorf("scenario: unknown fault kind %q (none|permanent|crash|churn)", s.Fault.Kind)
+	}
+	switch s.Scheduler {
+	case SchedulerSync:
+	case SchedulerAsync:
+		if s.Coalition > 0 {
+			return fmt.Errorf("scenario: coalitions are only supported under the sync scheduler")
+		}
+	default:
+		return fmt.Errorf("scenario: unknown scheduler %q (sync|async)", s.Scheduler)
+	}
+	if s.Coalition > 0 {
+		if s.Deviation == "" {
+			return fmt.Errorf("scenario: coalition of %d needs a deviation name", s.Coalition)
+		}
+		if s.Fault.Kind == FaultCrash || s.Fault.Kind == FaultChurn {
+			return fmt.Errorf("scenario: coalition runs support only permanent faults")
+		}
+		active := s.N - permanentFaultCount(s)
+		if s.Coalition > active-1 {
+			return fmt.Errorf("scenario: coalition of %d leaves no honest active agent (active = %d)",
+				s.Coalition, active)
+		}
+	}
+	if s.Coalition < 0 {
+		return fmt.Errorf("scenario: coalition size %d must be >= 0", s.Coalition)
+	}
+	if s.MaxTicks < 0 {
+		return fmt.Errorf("scenario: max ticks %d must be >= 0", s.MaxTicks)
+	}
+	return nil
+}
+
+func permanentFaultCount(s Scenario) int {
+	if s.Fault.Kind != FaultPermanent {
+		return 0
+	}
+	return int(s.Fault.Alpha * float64(s.N))
+}
+
+// Params derives the protocol parameters of the (defaults-applied) scenario.
+func (s Scenario) Params() (core.Params, error) {
+	s = s.WithDefaults()
+	return core.NewParams(s.N, s.Colors, s.Gamma)
+}
+
+// colorStreamSalt separates the Zipf color stream from every other use of
+// the scenario seed.
+const colorStreamSalt = 0xc0104a11
+
+// BuildColors materializes the initial color vector of the
+// (defaults-applied) scenario. Zipf draws come from a private stream derived
+// from Seed, so they never perturb the execution's randomness.
+func (s Scenario) BuildColors() []core.Color {
+	s = s.WithDefaults()
+	switch s.ColorInit {
+	case ColorsSplit:
+		return core.SplitColors(s.N, s.SplitFraction)
+	case ColorsLeader:
+		return core.LeaderElectionColors(s.N)
+	case ColorsZipf:
+		return core.ZipfColors(s.N, s.Colors, s.ZipfS, rng.New(rng.Mix64(s.Seed, colorStreamSalt)))
+	default:
+		return core.UniformColors(s.N, s.Colors)
+	}
+}
+
+// BuildTopology materializes the communication graph of the
+// (defaults-applied) scenario. Seeded graph families use Seed, so every
+// trial of one scenario shares one graph.
+func (s Scenario) BuildTopology() (topo.Topology, error) {
+	s = s.WithDefaults()
+	build, err := parseTopology(s.Topology, s.N)
+	if err != nil {
+		return nil, err
+	}
+	return build(s.Seed), nil
+}
+
+// parseTopology validates a topology name against n and returns the builder,
+// without constructing the graph — Validate uses it so that validation stays
+// O(1) even for large seeded graph families.
+func parseTopology(name string, n int) (func(seed uint64) topo.Topology, error) {
+	switch low := strings.ToLower(name); {
+	case low == "complete" || low == "":
+		return func(uint64) topo.Topology { return topo.NewComplete(n) }, nil
+	case low == "ring":
+		if n < 3 {
+			return nil, fmt.Errorf("scenario: ring topology needs n >= 3")
+		}
+		return func(uint64) topo.Topology { return topo.NewRing(n) }, nil
+	case low == "er":
+		return func(seed uint64) topo.Topology {
+			return topo.NewErdosRenyi(n, 16.0/float64(n), seed)
+		}, nil
+	case strings.HasPrefix(low, "regular"):
+		d, err := strconv.Atoi(strings.TrimPrefix(low, "regular"))
+		if err != nil || d < 2 {
+			return nil, fmt.Errorf("scenario: bad regular topology %q (want e.g. regular8 with degree >= 2)", name)
+		}
+		if n < 3 {
+			return nil, fmt.Errorf("scenario: regular topology needs n >= 3")
+		}
+		return func(seed uint64) topo.Topology { return topo.NewRandomRegular(n, d, seed) }, nil
+	default:
+		return nil, fmt.Errorf("scenario: unknown topology %q (complete|ring|regular<d>|er)", name)
+	}
+}
+
+// BuildFaults materializes the fault model of the (defaults-applied)
+// scenario as the three pieces the protocol runners consume: the permanent
+// round-0 mask (agentless nodes), the dynamic quiescence schedule, and the
+// mask of agent-bearing nodes the schedule affects (excluded from agreement
+// like faulty ones).
+func (s Scenario) BuildFaults() (faulty []bool, sched gossip.FaultSchedule, unreliable []bool) {
+	s = s.WithDefaults()
+	if s.Fault.Kind == FaultNone || s.Fault.Alpha == 0 {
+		return nil, nil, nil
+	}
+	mask := core.WorstCaseFaults(s.N, s.Fault.Alpha)
+	switch s.Fault.Kind {
+	case FaultPermanent:
+		return mask, nil, nil
+	case FaultCrash:
+		return nil, gossip.CrashSchedule{Mask: mask, Round: s.Fault.Round}, mask
+	case FaultChurn:
+		return nil, gossip.ChurnSchedule{Mask: mask, Period: s.Fault.Period}, mask
+	default:
+		return nil, nil, nil
+	}
+}
+
+// CoalitionMembers spreads the (defaults-applied) scenario's coalition
+// deterministically across the active (non-faulty) ID space, matching the
+// experiment harness's historical placement.
+func (s Scenario) CoalitionMembers() []int {
+	s = s.WithDefaults()
+	if s.Coalition <= 0 {
+		return nil
+	}
+	faulty, _, _ := s.BuildFaults()
+	var active []int
+	for i := 0; i < s.N; i++ {
+		if faulty == nil || !faulty[i] {
+			active = append(active, i)
+		}
+	}
+	t := s.Coalition
+	if t > len(active) {
+		t = len(active)
+	}
+	members := make([]int, 0, t)
+	seen := map[int]bool{}
+	for i := 0; i < t; i++ {
+		id := active[(i*len(active))/t]
+		if !seen[id] {
+			seen[id] = true
+			members = append(members, id)
+		}
+	}
+	return members
+}

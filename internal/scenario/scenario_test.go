@@ -1,0 +1,205 @@
+package scenario
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+)
+
+func TestWithDefaults(t *testing.T) {
+	s := Scenario{N: 64}.WithDefaults()
+	if s.Scheduler != SchedulerSync || s.ColorInit != ColorsUniform ||
+		s.Colors != 2 || s.Gamma != core.DefaultGamma ||
+		s.Topology != "complete" || s.Fault.Kind != FaultNone {
+		t.Fatalf("unexpected defaults: %+v", s)
+	}
+	a := Scenario{N: 64, Scheduler: SchedulerAsync}.WithDefaults()
+	if a.Gamma != core.DefaultAsyncGamma {
+		t.Fatalf("async default gamma = %v", a.Gamma)
+	}
+	l := Scenario{N: 48, ColorInit: ColorsLeader}.WithDefaults()
+	if l.Colors != 48 {
+		t.Fatalf("leader colors = %d, want n", l.Colors)
+	}
+	sp := Scenario{N: 64, ColorInit: ColorsSplit}.WithDefaults()
+	if sp.SplitFraction != 0.5 {
+		t.Fatalf("split default fraction = %v", sp.SplitFraction)
+	}
+}
+
+func TestValidateErrors(t *testing.T) {
+	cases := []struct {
+		name string
+		s    Scenario
+		want string
+	}{
+		{"tiny n", Scenario{N: 1}, "out of range"},
+		{"too many colors", Scenario{N: 4, Colors: 9}, "colors"},
+		{"bad color init", Scenario{N: 64, ColorInit: "rainbow"}, "color init"},
+		{"bad split", Scenario{N: 64, ColorInit: ColorsSplit, SplitFraction: 1.5}, "split fraction"},
+		{"bad zipf", Scenario{N: 64, ColorInit: ColorsZipf, ZipfS: -1}, "zipf"},
+		{"negative gamma", Scenario{N: 64, Gamma: -2}, "gamma"},
+		{"bad topology", Scenario{N: 64, Topology: "torus"}, "topology"},
+		{"bad fault kind", Scenario{N: 64, Fault: FaultModel{Kind: "meteor"}}, "fault kind"},
+		{"bad alpha", Scenario{N: 64, Fault: FaultModel{Kind: FaultPermanent, Alpha: 1}}, "fault fraction"},
+		{"bad churn period", Scenario{N: 64, Fault: FaultModel{Kind: FaultChurn, Alpha: 0.2}}, "churn period"},
+		{"bad crash round", Scenario{N: 64, Fault: FaultModel{Kind: FaultCrash, Alpha: 0.2, Round: -1}}, "crash round"},
+		{"bad scheduler", Scenario{N: 64, Scheduler: "warp"}, "scheduler"},
+		{"async coalition", Scenario{N: 64, Scheduler: SchedulerAsync, Coalition: 2, Deviation: "min-k-liar"}, "sync"},
+		{"coalition without deviation", Scenario{N: 64, Coalition: 2}, "deviation"},
+		{"coalition with churn", Scenario{N: 64, Coalition: 2, Deviation: "min-k-liar",
+			Fault: FaultModel{Kind: FaultChurn, Alpha: 0.2, Period: 4}}, "permanent"},
+		{"oversized coalition", Scenario{N: 8, Coalition: 8, Deviation: "min-k-liar"}, "honest"},
+		{"negative max ticks", Scenario{N: 64, MaxTicks: -1}, "max ticks"},
+	}
+	for _, tc := range cases {
+		err := tc.s.Validate()
+		if err == nil {
+			t.Errorf("%s: expected error", tc.name)
+			continue
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+	if err := (Scenario{N: 64}).Validate(); err != nil {
+		t.Fatalf("minimal scenario invalid: %v", err)
+	}
+}
+
+func TestRegistryRoundTrip(t *testing.T) {
+	s := Scenario{Name: "test-roundtrip", N: 32, Colors: 2, Seed: 9}
+	if err := Register(s); err != nil {
+		t.Fatal(err)
+	}
+	got, ok := Lookup("test-roundtrip")
+	if !ok {
+		t.Fatal("registered scenario not found")
+	}
+	if got != s {
+		t.Fatalf("lookup = %+v, want %+v", got, s)
+	}
+	if err := Register(s); err == nil || !strings.Contains(err.Error(), "already registered") {
+		t.Fatalf("duplicate registration: %v", err)
+	}
+	if err := Register(Scenario{N: 32}); err == nil {
+		t.Fatal("nameless registration should fail")
+	}
+	if err := Register(Scenario{Name: "test-bad", N: 1}); err == nil {
+		t.Fatal("invalid scenario registration should fail")
+	}
+	found := false
+	for _, name := range Names() {
+		if name == "test-roundtrip" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("Names() misses registered scenario")
+	}
+}
+
+func TestBuiltinsAreRunnable(t *testing.T) {
+	for _, name := range Names() {
+		if strings.HasPrefix(name, "test-") {
+			continue
+		}
+		s, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("builtin %q vanished", name)
+		}
+		if _, err := NewRunner(s); err != nil {
+			t.Errorf("builtin %q does not construct: %v", name, err)
+		}
+	}
+}
+
+func TestBuildColorsDistributions(t *testing.T) {
+	u := Scenario{N: 10, Colors: 2}.BuildColors()
+	if len(u) != 10 || u[0] != 0 || u[1] != 1 {
+		t.Fatalf("uniform colors = %v", u)
+	}
+	sp := Scenario{N: 10, ColorInit: ColorsSplit, SplitFraction: 0.7}.BuildColors()
+	zeros := 0
+	for _, c := range sp {
+		if c == 0 {
+			zeros++
+		}
+	}
+	if zeros != 7 {
+		t.Fatalf("split 0.7 gave %d zeros", zeros)
+	}
+	z1 := Scenario{N: 400, Colors: 4, ColorInit: ColorsZipf, ZipfS: 1.5, Seed: 3}.BuildColors()
+	z2 := Scenario{N: 400, Colors: 4, ColorInit: ColorsZipf, ZipfS: 1.5, Seed: 3}.BuildColors()
+	for i := range z1 {
+		if z1[i] != z2[i] {
+			t.Fatal("zipf colors not deterministic in the seed")
+		}
+	}
+	counts := make([]int, 4)
+	for _, c := range z1 {
+		counts[c]++
+	}
+	if !(counts[0] > counts[1] && counts[1] > counts[3]) {
+		t.Fatalf("zipf skew not monotone: %v", counts)
+	}
+}
+
+func TestBuildFaultsShapes(t *testing.T) {
+	f, sched, unrel := Scenario{N: 100}.BuildFaults()
+	if f != nil || sched != nil || unrel != nil {
+		t.Fatal("fault-free scenario built faults")
+	}
+	f, sched, unrel = Scenario{N: 100, Fault: FaultModel{Kind: FaultPermanent, Alpha: 0.25}}.BuildFaults()
+	if sched != nil || unrel != nil || countTrue(f) != 25 {
+		t.Fatalf("permanent: %v %v %v", countTrue(f), sched, unrel)
+	}
+	f, sched, unrel = Scenario{N: 100, Fault: FaultModel{Kind: FaultCrash, Alpha: 0.25, Round: 10}}.BuildFaults()
+	if f != nil || sched == nil || countTrue(unrel) != 25 {
+		t.Fatal("crash faults malformed")
+	}
+	if sched.Silent(9, 0) || !sched.Silent(10, 0) || sched.Silent(10, 99) {
+		t.Fatal("crash schedule wrong onset")
+	}
+	f, sched, unrel = Scenario{N: 100, Fault: FaultModel{Kind: FaultChurn, Alpha: 0.2, Period: 4}}.BuildFaults()
+	if f != nil || sched == nil || countTrue(unrel) != 20 {
+		t.Fatal("churn faults malformed")
+	}
+	up, down := 0, 0
+	for r := 0; r < 32; r++ {
+		if sched.Silent(r, 0) {
+			down++
+		} else {
+			up++
+		}
+	}
+	if up != 16 || down != 16 {
+		t.Fatalf("churn duty cycle %d up / %d down, want 16/16", up, down)
+	}
+}
+
+func TestCoalitionMembersAvoidFaulty(t *testing.T) {
+	s := Scenario{N: 100, Coalition: 5, Deviation: "min-k-liar",
+		Fault: FaultModel{Kind: FaultPermanent, Alpha: 0.3}}
+	faulty, _, _ := s.BuildFaults()
+	members := s.CoalitionMembers()
+	if len(members) != 5 {
+		t.Fatalf("got %d members", len(members))
+	}
+	for _, m := range members {
+		if faulty[m] {
+			t.Fatalf("member %d is faulty", m)
+		}
+	}
+}
+
+func countTrue(xs []bool) int {
+	n := 0
+	for _, x := range xs {
+		if x {
+			n++
+		}
+	}
+	return n
+}

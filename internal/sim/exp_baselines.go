@@ -5,7 +5,7 @@ import (
 
 	"repro/internal/baseline"
 	"repro/internal/core"
-	"repro/internal/rational"
+	"repro/internal/scenario"
 	"repro/internal/stats"
 )
 
@@ -40,7 +40,6 @@ func RunT8Baselines(o BaselineOptions) []*Table {
 	}
 	n := o.N
 	colors := core.SplitColors(n, 0.5)
-	p := core.MustParams(n, 2, o.Gamma)
 	const cheater = 3 // supports color 0, fair share 50%
 
 	type out struct {
@@ -78,25 +77,31 @@ func RunT8Baselines(o BaselineOptions) []*Table {
 			Pct(float64(cheatWins)/float64(len(cheaterOuts))), note)
 	}
 
-	// Protocol P.
-	pHonest := ParallelTrials(o.Trials, o.Workers, o.Seed, func(i int, seed uint64) out {
-		res, err := core.Run(core.RunConfig{Params: p, Colors: colors, Seed: seed, Workers: 1})
-		if err != nil {
-			panic(err)
-		}
-		return out{failed: res.Outcome.Failed, color: res.Outcome.Color,
-			rounds: float64(res.Rounds), msgs: float64(res.Metrics.Messages), bits: float64(res.Metrics.Bits)}
-	})
-	pCheat := ParallelTrials(o.Trials, o.Workers, o.Seed+1, func(i int, seed uint64) out {
-		res, err := rational.RunGame(rational.GameConfig{
-			Params: p, Colors: colors, Coalition: []int{cheater},
-			Deviation: rational.MinKLiar{}, Seed: seed, Workers: 1,
-		})
-		if err != nil {
-			panic(err)
-		}
-		return out{cheatWon: res.CoalitionColorWon && !res.Outcome.Failed}
-	})
+	// Protocol P, via the scenario layer.
+	pRes, err := scenario.MustRunner(scenario.Scenario{
+		N: n, Colors: 2, ColorInit: scenario.ColorsSplit, SplitFraction: 0.5,
+		Gamma: o.Gamma, Seed: ConfigSeed(o.Seed, 0), Workers: o.Workers,
+	}).Trials(o.Trials)
+	if err != nil {
+		panic(err)
+	}
+	pHonest := make([]out, len(pRes))
+	for i, r := range pRes {
+		pHonest[i] = out{failed: r.Outcome.Failed, color: r.Outcome.Color,
+			rounds: float64(r.Rounds), msgs: float64(r.Metrics.Messages), bits: float64(r.Metrics.Bits)}
+	}
+	pCheatRes, err := scenario.MustRunner(scenario.Scenario{
+		N: n, Colors: 2, ColorInit: scenario.ColorsSplit, SplitFraction: 0.5,
+		Gamma: o.Gamma, Coalition: 1, Deviation: "min-k-liar",
+		Seed: ConfigSeed(o.Seed, 1), Workers: o.Workers,
+	}).Trials(o.Trials)
+	if err != nil {
+		panic(err)
+	}
+	pCheat := make([]out, len(pCheatRes))
+	for i, r := range pCheatRes {
+		pCheat[i] = out{cheatWon: r.CoalitionColorWon && !r.Outcome.Failed}
+	}
 	summarize("Protocol P", pHonest, pCheat, "whp t-strong equilibrium; o(n²) msgs")
 
 	// LOCAL modular-sum election (commit-reveal).

@@ -2,8 +2,10 @@ package sim
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/core"
+	"repro/internal/scenario"
 	"repro/internal/stats"
 )
 
@@ -37,16 +39,15 @@ func QuickFairnessOptions() FairnessOptions {
 }
 
 type fairnessCase struct {
-	name      string
-	colors    []core.Color
-	numColors int
+	name string
+	sc   scenario.Scenario
 }
 
 func (o FairnessOptions) cases() []fairnessCase {
 	return []fairnessCase{
-		{"50/50", core.SplitColors(o.N, 0.5), 2},
-		{"90/10", core.SplitColors(o.N, 0.9), 2},
-		{"uniform-8", core.UniformColors(o.N, 8), 8},
+		{"50/50", scenario.Scenario{N: o.N, Colors: 2, ColorInit: scenario.ColorsSplit, SplitFraction: 0.5}},
+		{"90/10", scenario.Scenario{N: o.N, Colors: 2, ColorInit: scenario.ColorsSplit, SplitFraction: 0.9}},
+		{"uniform-8", scenario.Scenario{N: o.N, Colors: 8}},
 	}
 }
 
@@ -65,31 +66,29 @@ func RunT4Fairness(o FairnessOptions) []*Table {
 		Series:  true,
 	}
 
-	runCase := func(name string, n int, colors []core.Color, numColors, trials int, seedSalt uint64) {
-		p := core.MustParams(n, numColors, o.Gamma)
-		type out struct {
-			failed bool
-			color  core.Color
+	runCase := func(name string, sc scenario.Scenario, trials int, seedSalt uint64) {
+		sc.Gamma = o.Gamma
+		sc.Seed = ConfigSeed(o.Seed, seedSalt)
+		sc.Workers = o.Workers
+		r := scenario.MustRunner(sc)
+		colors := r.Scenario().BuildColors()
+		numColors := r.Params().NumColors
+		results, err := r.Trials(trials)
+		if err != nil {
+			panic(err)
 		}
-		outs := ParallelTrials(trials, o.Workers, o.Seed+seedSalt, func(i int, seed uint64) out {
-			res, err := core.Run(core.RunConfig{Params: p, Colors: colors, Seed: seed, Workers: 1})
-			if err != nil {
-				panic(err)
-			}
-			return out{failed: res.Outcome.Failed, color: res.Outcome.Color}
-		})
 		wins := make([]int, numColors)
 		fails := 0
-		for _, r := range outs {
-			if r.failed {
+		for _, res := range results {
+			if res.Outcome.Failed {
 				fails++
 				continue
 			}
-			wins[r.color]++
+			wins[res.Outcome.Color]++
 		}
 		expected := make([]float64, numColors)
 		for _, c := range colors {
-			expected[c] += 1.0 / float64(n)
+			expected[c] += 1.0 / float64(len(colors))
 		}
 		gof, err := stats.ChiSquareGOF(wins, expected)
 		if err != nil {
@@ -104,10 +103,10 @@ func RunT4Fairness(o FairnessOptions) []*Table {
 	}
 
 	for i, fc := range o.cases() {
-		runCase(fc.name, o.N, fc.colors, fc.numColors, o.Trials, uint64(i)*97)
+		runCase(fc.name, fc.sc, o.Trials, uint64(i)*97)
 	}
-	runCase(fmt.Sprintf("leader-election (n=%d)", o.LeaderN), o.LeaderN,
-		core.LeaderElectionColors(o.LeaderN), o.LeaderN, o.LeaderTrials, 7777)
+	runCase(fmt.Sprintf("leader-election (n=%d)", o.LeaderN),
+		scenario.Scenario{N: o.LeaderN, ColorInit: scenario.ColorsLeader}, o.LeaderTrials, 7777)
 
 	t4.AddNote("expected: TV near 0 and p-value not small — the winner distribution matches initial support")
 	return []*Table{t4, f2}
@@ -156,42 +155,28 @@ func RunT5Faults(o FaultOptions) []*Table {
 	}
 	for _, gamma := range o.Gammas {
 		for _, alpha := range o.Alphas {
-			p := core.MustParams(o.N, 2, gamma)
-			colors := core.UniformColors(o.N, 2)
-			var faulty []bool
+			sc := scenario.Scenario{
+				N: o.N, Colors: 2, Gamma: gamma,
+				Seed:    ConfigSeed(o.Seed, math.Float64bits(gamma), math.Float64bits(alpha)),
+				Workers: o.Workers,
+			}
 			if alpha > 0 {
-				faulty = core.WorstCaseFaults(o.N, alpha)
+				sc.Fault = scenario.FaultModel{Kind: scenario.FaultPermanent, Alpha: alpha}
 			}
-			type out struct {
-				ok       bool
-				good     bool
-				minVotes int
+			results, err := scenario.MustRunner(sc).Trials(o.Trials)
+			if err != nil {
+				panic(err)
 			}
-			outs := ParallelTrials(o.Trials, o.Workers,
-				o.Seed+uint64(gamma*10)+uint64(alpha*1000)*13,
-				func(i int, seed uint64) out {
-					res, err := core.Run(core.RunConfig{
-						Params: p, Colors: colors, Faulty: faulty, Seed: seed, Workers: 1,
-					})
-					if err != nil {
-						panic(err)
-					}
-					return out{
-						ok:       !res.Outcome.Failed,
-						good:     res.Good.Good(),
-						minVotes: res.Good.MinVotes,
-					}
-				})
 			okCount, goodCount := 0, 0
 			var minVotes []float64
-			for _, r := range outs {
-				if r.ok {
+			for _, r := range results {
+				if !r.Outcome.Failed {
 					okCount++
 				}
-				if r.good {
+				if r.Good.Good() {
 					goodCount++
 				}
-				minVotes = append(minVotes, float64(r.minVotes))
+				minVotes = append(minVotes, float64(r.Good.MinVotes))
 			}
 			lo, hi := stats.WilsonCI95(okCount, o.Trials)
 			t5.AddRow(F(alpha), F(gamma),

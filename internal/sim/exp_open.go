@@ -4,8 +4,8 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/scenario"
 	"repro/internal/stats"
-	"repro/internal/topo"
 )
 
 // TopologyOptions configures E9, the first open problem of Section 4:
@@ -39,44 +39,32 @@ func RunE9Topologies(o TopologyOptions) []*Table {
 		Title:   fmt.Sprintf("Open problem 1 at n = %d: Protocol P beyond the complete graph", o.N),
 		Columns: []string{"topology", "degree", "success", "fairness TV", "trials"},
 	}
-	n := o.N
-	colors := core.SplitColors(n, 0.5)
-	p := core.MustParams(n, 2, o.Gamma)
-	topos := []topo.Topology{
-		topo.NewComplete(n),
-		topo.NewRandomRegular(n, 8, o.Seed),
-		topo.NewErdosRenyi(n, 16.0/float64(n), o.Seed),
-		topo.NewRing(n),
-	}
-	for _, tp := range topos {
-		type out struct {
-			failed bool
-			color  core.Color
-		}
-		outs := ParallelTrials(o.Trials, o.Workers, o.Seed+uint64(len(tp.Name())), func(i int, seed uint64) out {
-			res, err := core.Run(core.RunConfig{
-				Params: p, Colors: colors, Seed: seed, Workers: 1, Topology: tp,
-			})
-			if err != nil {
-				panic(err)
-			}
-			return out{failed: res.Outcome.Failed, color: res.Outcome.Color}
+	for i, name := range []string{"complete", "regular8", "er", "ring"} {
+		r := scenario.MustRunner(scenario.Scenario{
+			N: o.N, Colors: 2, ColorInit: scenario.ColorsSplit, SplitFraction: 0.5,
+			Gamma: o.Gamma, Topology: name,
+			Seed:    ConfigSeed(o.Seed, uint64(i)),
+			Workers: o.Workers,
 		})
+		results, err := r.Trials(o.Trials)
+		if err != nil {
+			panic(err)
+		}
 		wins := make([]int, 2)
 		fails := 0
-		for _, r := range outs {
-			if r.failed {
+		for _, res := range results {
+			if res.Outcome.Failed {
 				fails++
 				continue
 			}
-			wins[r.color]++
+			wins[res.Outcome.Color]++
 		}
 		tv := 1.0
 		if fails < o.Trials {
 			tv = stats.TotalVariation(stats.Normalize(wins), []float64{0.5, 0.5})
 		}
-		deg := tp.Degree(0)
-		e9.AddRow(tp.Name(), I(deg), Pct(float64(o.Trials-fails)/float64(o.Trials)), F(tv), I(o.Trials))
+		tp := r.Topology()
+		e9.AddRow(tp.Name(), I(tp.Degree(0)), Pct(float64(o.Trials-fails)/float64(o.Trials)), F(tv), I(o.Trials))
 	}
 	e9.AddNote("the paper proves P only on the complete graph; expander-like graphs retain it empirically, the ring starves Find-Min (diameter Θ(n) ≫ q rounds)")
 	return []*Table{e9}
@@ -113,31 +101,25 @@ func RunE10Async(o AsyncOptions) []*Table {
 	}
 	for _, n := range o.Sizes {
 		p := core.MustParams(n, 2, o.Gamma)
-		colors := core.SplitColors(n, 0.5)
-		type out struct {
-			failed bool
-			color  core.Color
-			ticks  int
+		results, err := scenario.MustRunner(scenario.Scenario{
+			N: n, Colors: 2, ColorInit: scenario.ColorsSplit, SplitFraction: 0.5,
+			Gamma: o.Gamma, Scheduler: scenario.SchedulerAsync,
+			Seed:    ConfigSeed(o.Seed, uint64(n)),
+			Workers: o.Workers,
+		}).Trials(o.Trials)
+		if err != nil {
+			panic(err)
 		}
-		outs := ParallelTrials(o.Trials, o.Workers, o.Seed+uint64(n), func(i int, seed uint64) out {
-			res, ticks, err := core.RunAsync(core.AsyncRunConfig{
-				Params: p, Colors: colors, Seed: seed,
-			})
-			if err != nil {
-				panic(err)
-			}
-			return out{failed: res.Failed, color: res.Color, ticks: ticks}
-		})
 		wins := make([]int, 2)
 		fails := 0
 		ticks := 0.0
-		for _, r := range outs {
-			ticks += float64(r.ticks)
-			if r.failed {
+		for _, r := range results {
+			ticks += float64(r.Rounds)
+			if r.Outcome.Failed {
 				fails++
 				continue
 			}
-			wins[r.color]++
+			wins[r.Outcome.Color]++
 		}
 		ticks /= float64(o.Trials)
 		tv := 1.0

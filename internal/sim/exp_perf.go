@@ -8,6 +8,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/scenario"
 	"repro/internal/stats"
 )
 
@@ -75,28 +76,29 @@ func (o PerfOptions) measure(n int, alpha float64) []perfSample {
 }
 
 func (o PerfOptions) measureUncached(n int, alpha float64) []perfSample {
-	p := core.MustParams(n, 2, o.Gamma)
-	colors := core.UniformColors(n, 2)
-	var faulty []bool
-	if alpha > 0 {
-		faulty = core.WorstCaseFaults(n, alpha)
+	sc := scenario.Scenario{
+		N: n, Colors: 2, Gamma: o.Gamma,
+		Seed:    ConfigSeed(o.Seed, uint64(n), math.Float64bits(alpha)),
+		Workers: o.Workers,
 	}
-	return ParallelTrials(o.Trials, o.Workers, o.Seed+uint64(n)*31+uint64(alpha*1000),
-		func(i int, seed uint64) perfSample {
-			res, err := core.Run(core.RunConfig{
-				Params: p, Colors: colors, Faulty: faulty, Seed: seed, Workers: 1,
-			})
-			if err != nil {
-				panic(err)
-			}
-			return perfSample{
-				rounds:  res.Rounds,
-				msgs:    res.Metrics.Messages,
-				bits:    res.Metrics.Bits,
-				maxBits: res.Metrics.MaxMessageBits,
-				failed:  res.Outcome.Failed,
-			}
-		})
+	if alpha > 0 {
+		sc.Fault = scenario.FaultModel{Kind: scenario.FaultPermanent, Alpha: alpha}
+	}
+	results, err := scenario.MustRunner(sc).Trials(o.Trials)
+	if err != nil {
+		panic(err)
+	}
+	samples := make([]perfSample, len(results))
+	for i, res := range results {
+		samples[i] = perfSample{
+			rounds:  res.Rounds,
+			msgs:    res.Metrics.Messages,
+			bits:    res.Metrics.Bits,
+			maxBits: res.Metrics.MaxMessageBits,
+			failed:  res.Outcome.Failed,
+		}
+	}
+	return samples
 }
 
 // RunT1Rounds regenerates T1 (Theorem 4: O(log n) rounds) and the F1 series.

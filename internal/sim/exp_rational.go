@@ -6,6 +6,7 @@ import (
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/rational"
+	"repro/internal/scenario"
 )
 
 // EquilibriumOptions configures T6 (Theorem 7) and the F3 series.
@@ -41,27 +42,6 @@ func QuickEquilibriumOptions() EquilibriumOptions {
 	}
 }
 
-// coalitionIDs spreads t members across the ID space deterministically.
-func coalitionIDs(n, t int) []int {
-	ids := make([]int, t)
-	for i := range ids {
-		ids[i] = (i*n)/t + 1
-		if ids[i] >= n {
-			ids[i] = n - 1
-		}
-	}
-	// Deduplicate defensively for tiny n.
-	seen := map[int]bool{}
-	out := ids[:0]
-	for _, id := range ids {
-		if !seen[id] {
-			seen[id] = true
-			out = append(out, id)
-		}
-	}
-	return out
-}
-
 // RunT6Equilibrium regenerates T6 (Theorem 7: whp t-strong equilibrium): for
 // every deviation and coalition size, the coalition's win rate stays at its
 // fair share and no member profits significantly. It also emits the F3
@@ -79,20 +59,19 @@ func RunT6Equilibrium(o EquilibriumOptions) []*Table {
 		Columns: []string{"deviation", "t", "maxGain", "minGain"},
 		Series:  true,
 	}
-	colors := core.UniformColors(o.N, 2)
-	p := core.MustParams(o.N, 2, o.Gamma)
-	for _, dev := range rational.AllDeviations() {
+	for devIdx, dev := range rational.AllDeviations() {
 		for _, t := range o.CoalitionSize {
-			rep, err := rational.EvaluateEquilibrium(rational.EquilibriumConfig{
-				Params:    p,
-				Colors:    colors,
-				Coalition: coalitionIDs(o.N, t),
-				Deviation: dev,
-				Utility:   rational.Utility{Chi: o.Chi},
-				Trials:    o.Trials,
-				Seed:      o.Seed + uint64(t)*1009,
-				Workers:   o.Workers,
+			r := scenario.MustRunner(scenario.Scenario{
+				N: o.N, Colors: 2, Gamma: o.Gamma,
+				Coalition: t, Deviation: dev.Name(),
+				Seed:    ConfigSeed(o.Seed, uint64(devIdx), uint64(t)),
+				Workers: o.Workers,
 			})
+			cfg, err := r.EquilibriumConfig(o.Trials, o.Chi)
+			if err != nil {
+				panic(err)
+			}
+			rep, err := rational.EvaluateEquilibrium(cfg)
 			if err != nil {
 				panic(err)
 			}
@@ -167,18 +146,21 @@ func RunT7Ablation(o AblationOptions) []*Table {
 		}
 		return out{failed: res.Outcome.Failed, liarWon: res.LiarWon}
 	})
-	// Protocol P with the same liar (as a MinKLiar coalition of one).
-	pLiar := ParallelTrials(o.Trials, o.Workers, o.Seed+2, func(i int, seed uint64) out {
-		res, err := rational.RunGame(rational.GameConfig{
-			Params: p, Colors: colors,
-			Coalition: []int{liar}, Deviation: rational.MinKLiar{},
-			Seed: seed, Workers: 1,
-		})
-		if err != nil {
-			panic(err)
-		}
-		return out{failed: res.Outcome.Failed, liarWon: res.CoalitionColorWon}
-	})
+	// Protocol P with the same kind of liar (a MinKLiar coalition of one,
+	// placed by the scenario layer).
+	pResults, err := scenario.MustRunner(scenario.Scenario{
+		N: o.N, Colors: 2, Gamma: o.Gamma,
+		Coalition: 1, Deviation: "min-k-liar",
+		Seed:    ConfigSeed(o.Seed, 2),
+		Workers: o.Workers,
+	}).Trials(o.Trials)
+	if err != nil {
+		panic(err)
+	}
+	pLiar := make([]out, len(pResults))
+	for i, res := range pResults {
+		pLiar[i] = out{failed: res.Outcome.Failed, liarWon: res.CoalitionColorWon}
+	}
 
 	row := func(name, adv string, outs []out) {
 		fails, wins := 0, 0

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/rational"
+	"repro/internal/scenario"
 )
 
 // ScalingOptions configures E11: how the equilibrium degrades as the
@@ -55,9 +56,8 @@ func RunE11CoalitionScaling(o ScalingOptions) []*Table {
 			"Pr[uncovered] (theory)"},
 	}
 	n := o.N
-	colors := core.UniformColors(n, 2)
 	p := core.MustParams(n, 2, o.Gamma)
-	for _, dev := range []rational.Deviation{rational.MinKLiar{}, rational.CertForger{}} {
+	for devIdx, dev := range []rational.Deviation{rational.MinKLiar{}, rational.CertForger{}} {
 		for _, frac := range o.Fractions {
 			t := int(frac * float64(n))
 			if t < 1 {
@@ -66,32 +66,21 @@ func RunE11CoalitionScaling(o ScalingOptions) []*Table {
 			if t > n-2 {
 				t = n - 2
 			}
-			coalition := make([]int, t)
-			for i := range coalition {
-				coalition[i] = i + 1 // ringleader = 1; agent 0 stays honest
+			results, err := scenario.MustRunner(scenario.Scenario{
+				N: n, Colors: 2, Gamma: o.Gamma,
+				Coalition: t, Deviation: dev.Name(),
+				Seed:    ConfigSeed(o.Seed, uint64(devIdx), uint64(t)),
+				Workers: o.Workers,
+			}).Trials(o.Trials)
+			if err != nil {
+				panic(err)
 			}
-			type out struct {
-				failed bool
-				won    bool
-			}
-			outs := ParallelTrials(o.Trials, o.Workers, o.Seed+uint64(t)+uint64(len(dev.Name())),
-				func(i int, seed uint64) out {
-					res, err := rational.RunGame(rational.GameConfig{
-						Params: p, Colors: colors,
-						Coalition: coalition, Deviation: dev,
-						Seed: seed, Workers: 1,
-					})
-					if err != nil {
-						panic(err)
-					}
-					return out{failed: res.Outcome.Failed, won: res.CoalitionColorWon}
-				})
 			fails, wins := 0, 0
-			for _, r := range outs {
-				if r.failed {
+			for _, r := range results {
+				if r.Outcome.Failed {
 					fails++
 				}
-				if r.won {
+				if r.CoalitionColorWon {
 					wins++
 				}
 			}

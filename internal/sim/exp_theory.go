@@ -2,6 +2,7 @@ package sim
 
 import (
 	"repro/internal/core"
+	"repro/internal/scenario"
 	"repro/internal/theory"
 	"repro/internal/wire"
 )
@@ -19,9 +20,9 @@ func RunT0Predictions(o PerfOptions) []*Table {
 	}
 	for _, n := range o.Sizes {
 		p := core.MustParams(n, 2, o.Gamma)
-		res, err := core.Run(core.RunConfig{
-			Params: p, Colors: core.UniformColors(n, 2), Seed: o.Seed, Workers: o.Workers,
-		})
+		res, err := scenario.MustRunner(scenario.Scenario{
+			N: n, Colors: 2, Gamma: o.Gamma, Seed: o.Seed, Workers: o.Workers,
+		}).Run()
 		if err != nil {
 			panic(err)
 		}

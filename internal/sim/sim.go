@@ -23,6 +23,17 @@ func ParallelTrials[T any](trials, workers int, seed uint64, f func(i int, trial
 	return out
 }
 
+// ConfigSeed derives a per-configuration seed from a master seed and the
+// cell's coordinates by hashing through the rng mixer, so no two sweep cells
+// share trial seed streams (additive salts like seed+n+α·1e6 can collide).
+func ConfigSeed(master uint64, coords ...uint64) uint64 {
+	s := master
+	for _, c := range coords {
+		s = rng.Mix64(s, c)
+	}
+	return s
+}
+
 // CountTrue returns how many elements are true.
 func CountTrue(xs []bool) int {
 	n := 0
