@@ -223,25 +223,38 @@ func BenchmarkE11Scaling(b *testing.B) {
 // BenchmarkScenarioRunnerBatch times the scenario layer's seed-batched
 // Monte-Carlo path — the unit of work behind every sweep cell and experiment
 // table since the executors were unified. The per-op time is one 8-trial
-// batch at n = 256 (trial-parallel across all CPUs), the baseline future
-// perf work on the batch path must beat.
+// batch at n = 256; the workers=N sub-table shows how trial-level parallelism
+// scales now that trial state is pooled per worker and counters are sharded.
+// The CI bench gate tracks the serial workers=1 sub-benchmark against
+// BENCH_BASELINE.json — its allocation counts are machine-independent,
+// unlike the parallel rows, whose per-chunk goroutine state scales with
+// GOMAXPROCS (workers=0 = all CPUs).
 func BenchmarkScenarioRunnerBatch(b *testing.B) {
+	for _, w := range []int{0, 1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			benchScenarioBatch(b, w)
+		})
+	}
+}
+
+func benchScenarioBatch(b *testing.B, workers int) {
 	const trialsPerBatch = 8
 	runner, err := scenario.NewRunner(scenario.Scenario{
-		N: 256, Colors: 2, Seed: 1,
+		N: 256, Colors: 2, Seed: 1, Workers: workers,
 		Fault: scenario.FaultModel{Kind: scenario.FaultPermanent, Alpha: 0.3},
 	})
 	if err != nil {
 		b.Fatal(err)
 	}
+	buf := make([]scenario.Result, trialsPerBatch)
 	b.ReportAllocs()
+	b.ResetTimer()
 	fails := 0
 	for i := 0; i < b.N; i++ {
-		results, err := runner.Trials(trialsPerBatch)
-		if err != nil {
+		if err := runner.TrialsInto(buf); err != nil {
 			b.Fatal(err)
 		}
-		for _, r := range results {
+		for _, r := range buf {
 			if r.Outcome.Failed {
 				fails++
 			}

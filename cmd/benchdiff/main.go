@@ -1,0 +1,300 @@
+// Command benchdiff compares `go test -bench` output against a committed
+// baseline and fails on regressions, giving CI a benchmark gate without
+// external dependencies.
+//
+// Usage:
+//
+//	go test -run='^$' -bench=ScenarioRunnerBatch -benchmem -count=5 . > bench.txt
+//	go run ./cmd/benchdiff -baseline BENCH_BASELINE.json bench.txt        # gate
+//	go run ./cmd/benchdiff -baseline BENCH_BASELINE.json -update bench.txt # refresh
+//
+// A refresh keeps exactly the benchmark set already pinned in the baseline
+// (updating their numbers); it never grows the set on its own, because bench
+// output routinely contains sub-benchmarks the gate must not pin — the
+// parallel workers>1 rows allocate GOMAXPROCS-dependent per-chunk state. Use
+// -update -filter '<regexp>' to add names deliberately (or to bootstrap a
+// baseline from nothing).
+//
+// Multiple -count runs of one benchmark are reduced to their median, which
+// is robust against the odd noisy run. Two classes of regression are gated
+// independently:
+//
+//   - allocations (allocs/op and B/op) are deterministic per code version and
+//     are compared unconditionally — exceeding the baseline by more than
+//     -alloc-threshold fails;
+//   - ns/op is hardware-dependent, so it is gated (at -ns-threshold) only
+//     when the measuring CPU matches the baseline's recorded CPU string; on
+//     different hardware the wall-clock comparison is reported but advisory,
+//     which keeps the gate meaningful on a developer machine that refreshed
+//     the baseline while preventing spurious CI failures on whatever runner
+//     class the CI provider hands out.
+//
+// Benchmarks present in the baseline but missing from the new output fail the
+// gate (a silently deleted benchmark is a silently dropped guarantee); new
+// benchmarks absent from the baseline are reported and skipped.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Baseline is the committed benchmark reference (BENCH_BASELINE.json).
+type Baseline struct {
+	// CPU is the `cpu:` line of the machine that produced the baseline;
+	// ns/op gating is conditional on it matching.
+	CPU        string               `json:"cpu"`
+	Benchmarks map[string]Benchmark `json:"benchmarks"`
+}
+
+// Benchmark is one benchmark's reference numbers (medians over -count runs).
+type Benchmark struct {
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+}
+
+func main() {
+	var (
+		baselinePath   = flag.String("baseline", "BENCH_BASELINE.json", "baseline JSON path")
+		update         = flag.Bool("update", false, "rewrite the baseline from the measured results instead of comparing")
+		filter         = flag.String("filter", "", "with -update, regexp of benchmark names to (also) include; by default a refresh keeps exactly the benchmark set already in the baseline")
+		nsThreshold    = flag.Float64("ns-threshold", 0.15, "maximum tolerated ns/op regression (fraction)")
+		allocThreshold = flag.Float64("alloc-threshold", 0.15, "maximum tolerated allocs/op and B/op regression (fraction)")
+	)
+	flag.Parse()
+
+	in := os.Stdin
+	if flag.NArg() > 0 && flag.Arg(0) != "-" {
+		f, err := os.Open(flag.Arg(0))
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		in = f
+	}
+	cpu, results, err := parseBench(in)
+	if err != nil {
+		fatal(err)
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no benchmark results in input"))
+	}
+
+	if *update {
+		med := medians(results)
+		// A refresh keeps the baseline's curated benchmark set: the bench
+		// output usually contains sub-benchmarks the gate deliberately
+		// excludes (the parallel workers>1 table allocates GOMAXPROCS-
+		// dependent per-chunk state), and blindly writing everything would
+		// re-introduce them. -filter opts names in explicitly; with no
+		// existing baseline the filter (default: everything) bootstraps it.
+		keep := med
+		var prev Baseline
+		if data, err := os.ReadFile(*baselinePath); err == nil {
+			if err := json.Unmarshal(data, &prev); err != nil {
+				fatal(fmt.Errorf("parsing existing %s: %w", *baselinePath, err))
+			}
+		}
+		var include *regexp.Regexp
+		if *filter != "" {
+			var err error
+			if include, err = regexp.Compile(*filter); err != nil {
+				fatal(fmt.Errorf("bad -filter: %w", err))
+			}
+		}
+		if prev.Benchmarks != nil {
+			keep = make(map[string]Benchmark)
+			for name, b := range med {
+				_, inPrev := prev.Benchmarks[name]
+				if inPrev || (include != nil && include.MatchString(name)) {
+					keep[name] = b
+				}
+			}
+			for name := range prev.Benchmarks {
+				if _, ok := keep[name]; !ok {
+					fmt.Printf("benchdiff: warning: %s in baseline but not in results; dropping it\n", name)
+				}
+			}
+		} else if include != nil {
+			keep = make(map[string]Benchmark)
+			for name, b := range med {
+				if include.MatchString(name) {
+					keep[name] = b
+				}
+			}
+		}
+		if len(keep) == 0 {
+			fatal(fmt.Errorf("refusing to write an empty baseline (no benchmark matched)"))
+		}
+		b := Baseline{CPU: cpu, Benchmarks: keep}
+		data, err := json.MarshalIndent(b, "", "  ")
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*baselinePath, append(data, '\n'), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("benchdiff: wrote %s (%d benchmarks, cpu %q)\n", *baselinePath, len(keep), cpu)
+		return
+	}
+
+	data, err := os.ReadFile(*baselinePath)
+	if err != nil {
+		fatal(err)
+	}
+	var base Baseline
+	if err := json.Unmarshal(data, &base); err != nil {
+		fatal(fmt.Errorf("parsing %s: %w", *baselinePath, err))
+	}
+	sameCPU := cpu != "" && cpu == base.CPU
+	if !sameCPU {
+		fmt.Printf("benchdiff: cpu %q != baseline cpu %q — ns/op is advisory on this machine\n", cpu, base.CPU)
+	}
+
+	med := medians(results)
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+
+	failed := false
+	for _, name := range names {
+		want := base.Benchmarks[name]
+		got, ok := med[name]
+		if !ok {
+			fmt.Printf("FAIL %s: present in baseline but missing from results\n", name)
+			failed = true
+			continue
+		}
+		nsBad := exceeded(got.NsPerOp, want.NsPerOp, *nsThreshold)
+		allocBad := exceeded(got.AllocsPerOp, want.AllocsPerOp, *allocThreshold)
+		bytesBad := exceeded(got.BytesPerOp, want.BytesPerOp, *allocThreshold)
+		status := "ok  "
+		if allocBad || bytesBad || (nsBad && sameCPU) {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("%s %s: ns/op %s  B/op %s  allocs/op %s\n", status, name,
+			delta(got.NsPerOp, want.NsPerOp, nsBad && sameCPU),
+			delta(got.BytesPerOp, want.BytesPerOp, bytesBad),
+			delta(got.AllocsPerOp, want.AllocsPerOp, allocBad))
+	}
+	for name := range med {
+		if _, ok := base.Benchmarks[name]; !ok {
+			fmt.Printf("note %s: not in baseline, not gated (benchdiff -update -filter can pin it)\n", name)
+		}
+	}
+	if failed {
+		fmt.Println("benchdiff: FAIL — regression past threshold (or missing benchmark)")
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: ok")
+}
+
+// exceeded reports whether got regressed past want by more than threshold.
+// A zero baseline only tolerates zero (relevant for allocs/op pinned at 0).
+func exceeded(got, want, threshold float64) bool {
+	if want == 0 {
+		return got > 0
+	}
+	return got > want*(1+threshold)
+}
+
+// delta renders "got (+x%)" against the baseline value.
+func delta(got, want float64, bad bool) string {
+	pct := 0.0
+	if want != 0 {
+		pct = (got - want) / want * 100
+	}
+	mark := ""
+	if bad {
+		mark = "!"
+	}
+	return fmt.Sprintf("%.4g (%+.1f%%%s)", got, pct, mark)
+}
+
+// medians reduces repeated runs of each benchmark to per-metric medians.
+func medians(results map[string][]Benchmark) map[string]Benchmark {
+	out := make(map[string]Benchmark, len(results))
+	for name, runs := range results {
+		out[name] = Benchmark{
+			NsPerOp:     median(runs, func(b Benchmark) float64 { return b.NsPerOp }),
+			BytesPerOp:  median(runs, func(b Benchmark) float64 { return b.BytesPerOp }),
+			AllocsPerOp: median(runs, func(b Benchmark) float64 { return b.AllocsPerOp }),
+		}
+	}
+	return out
+}
+
+func median(runs []Benchmark, get func(Benchmark) float64) float64 {
+	xs := make([]float64, len(runs))
+	for i, r := range runs {
+		xs[i] = get(r)
+	}
+	sort.Float64s(xs)
+	n := len(xs)
+	if n == 0 {
+		return 0
+	}
+	if n%2 == 1 {
+		return xs[n/2]
+	}
+	return (xs[n/2-1] + xs[n/2]) / 2
+}
+
+var benchLine = regexp.MustCompile(`^(Benchmark\S+?)(?:-\d+)?\s+\d+\s+([0-9.]+) ns/op(.*)$`)
+var metricRe = regexp.MustCompile(`([0-9.]+) (B/op|allocs/op)`)
+
+// parseBench reads `go test -bench` output: the cpu: header line and every
+// benchmark result line (one entry per -count repetition).
+func parseBench(r io.Reader) (cpu string, results map[string][]Benchmark, err error) {
+	results = make(map[string][]Benchmark)
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if rest, ok := strings.CutPrefix(line, "cpu: "); ok {
+			cpu = rest
+			continue
+		}
+		m := benchLine.FindStringSubmatch(line)
+		if m == nil {
+			continue
+		}
+		name := m[1][len("Benchmark"):]
+		ns, err := strconv.ParseFloat(m[2], 64)
+		if err != nil {
+			return "", nil, fmt.Errorf("bad ns/op in %q: %w", line, err)
+		}
+		b := Benchmark{NsPerOp: ns}
+		for _, mm := range metricRe.FindAllStringSubmatch(m[3], -1) {
+			v, err := strconv.ParseFloat(mm[1], 64)
+			if err != nil {
+				return "", nil, fmt.Errorf("bad metric in %q: %w", line, err)
+			}
+			switch mm[2] {
+			case "B/op":
+				b.BytesPerOp = v
+			case "allocs/op":
+				b.AllocsPerOp = v
+			}
+		}
+		results[name] = append(results[name], b)
+	}
+	return cpu, results, sc.Err()
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "benchdiff:", err)
+	os.Exit(1)
+}

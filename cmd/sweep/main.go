@@ -4,9 +4,20 @@
 // cell seeds are derived by rng splitting, so no two cells can share trial
 // seed streams (the additive seed+n+α·1e6 salt this replaces could collide).
 //
+// Two execution modes share the same CSV schema:
+//
+//   - batch (default): each cell's trials are materialized in memory —
+//     simple, fine up to ~10⁵ trials;
+//   - streaming (-stream): trials flow through bounded-memory running
+//     statistics (Welford moments, counting-histogram medians) in chunks of
+//     -chunk, so million-trial cells run in constant memory. -checkpoint K
+//     emits a partial aggregate row to stderr every K trials, making
+//     long cells observable and restart decisions cheap.
+//
 // Example:
 //
 //	sweep -sizes 128,256,512,1024 -alphas 0,0.3 -trials 50 > sweep.csv
+//	sweep -sizes 1024 -trials 1000000 -stream -checkpoint 100000 > sweep.csv
 package main
 
 import (
@@ -24,16 +35,23 @@ import (
 
 func main() {
 	var (
-		sizes   = flag.String("sizes", "128,256,512,1024", "comma-separated network sizes")
-		alphas  = flag.String("alphas", "0", "comma-separated fault fractions")
-		fault   = flag.String("fault", "permanent", "fault model applied at each α > 0: permanent | crash | churn")
-		gamma   = flag.Float64("gamma", 0, "phase-length constant γ (0 = protocol default)")
-		colors  = flag.Int("colors", 2, "number of colors")
-		trials  = flag.Int("trials", 50, "trials per configuration")
-		seed    = flag.Uint64("seed", 1, "master seed")
-		workers = flag.Int("workers", 0, "parallelism (0 = all CPUs)")
+		sizes      = flag.String("sizes", "128,256,512,1024", "comma-separated network sizes")
+		alphas     = flag.String("alphas", "0", "comma-separated fault fractions")
+		fault      = flag.String("fault", "permanent", "fault model applied at each α > 0: permanent | crash | churn")
+		gamma      = flag.Float64("gamma", 0, "phase-length constant γ (0 = protocol default)")
+		colors     = flag.Int("colors", 2, "number of colors")
+		trials     = flag.Int("trials", 50, "trials per configuration")
+		seed       = flag.Uint64("seed", 1, "master seed")
+		workers    = flag.Int("workers", 0, "parallelism (0 = all CPUs)")
+		stream     = flag.Bool("stream", false, "stream trials through bounded-memory running stats (for very large -trials)")
+		chunk      = flag.Int("chunk", 0, "streaming chunk size (0 = default)")
+		checkpoint = flag.Int("checkpoint", 0, "with -stream, emit a partial aggregate to stderr every K trials (0 = off)")
 	)
 	flag.Parse()
+
+	if !*stream && (*chunk > 0 || *checkpoint > 0) {
+		fatal(fmt.Errorf("-chunk and -checkpoint require -stream (batch mode materializes every trial)"))
+	}
 
 	ns, err := parseInts(*sizes)
 	if err != nil {
@@ -61,35 +79,64 @@ func main() {
 			if err != nil {
 				fatal(err)
 			}
-			outs, err := runner.Trials(*trials)
+			var agg cellAggregate
+			if *stream {
+				err = runner.Stream(scenario.StreamOptions{Trials: *trials, Chunk: *chunk},
+					func(i int, res *scenario.Result) {
+						agg.add(res)
+						if *checkpoint > 0 && (i+1)%*checkpoint == 0 {
+							fmt.Fprintf(os.Stderr, "# checkpoint n=%d alpha=%g %s\n",
+								n, alpha, agg.row(i+1))
+						}
+					})
+			} else {
+				var outs []scenario.Result
+				outs, err = runner.Trials(*trials)
+				for i := range outs {
+					agg.add(&outs[i])
+				}
+			}
 			if err != nil {
 				fatal(err)
 			}
-			okC, goodC := 0, 0
-			var rounds, maxMB []float64
-			var msgs, bits float64
-			for _, o := range outs {
-				if !o.Outcome.Failed {
-					okC++
-				}
-				if o.HasGood && o.Good.Good() {
-					goodC++
-				}
-				rounds = append(rounds, float64(o.Rounds))
-				maxMB = append(maxMB, float64(o.Metrics.MaxMessageBits))
-				msgs += float64(o.Metrics.Messages)
-				bits += float64(o.Metrics.Bits)
-			}
-			t := float64(*trials)
-			fmt.Printf("%d,%g,%g,%d,%.4f,%.0f,%.0f,%.0f,%.0f,%.4f\n",
-				n, alpha, runner.Params().Gamma, *trials,
-				float64(okC)/t,
-				stats.Summarize(rounds).Median,
-				msgs/t, bits/t,
-				stats.Summarize(maxMB).Median,
-				float64(goodC)/t)
+			fmt.Printf("%d,%g,%g,%d,%s\n", n, alpha, runner.Params().Gamma, *trials, agg.row(*trials))
 		}
 	}
+}
+
+// cellAggregate folds one cell's trials into the CSV aggregates in bounded
+// memory: counting histograms for the (integral) medians, running sums for
+// the means. Batch and streaming modes share it, so both emit identical rows.
+type cellAggregate struct {
+	ok, good   int
+	rounds     stats.IntMedian
+	maxMsgBits stats.IntMedian
+	msgs, bits stats.Running
+}
+
+func (a *cellAggregate) add(res *scenario.Result) {
+	if !res.Outcome.Failed {
+		a.ok++
+	}
+	if res.HasGood && res.Good.Good() {
+		a.good++
+	}
+	a.rounds.Add(res.Rounds)
+	a.maxMsgBits.Add(res.Metrics.MaxMessageBits)
+	a.msgs.Add(float64(res.Metrics.Messages))
+	a.bits.Add(float64(res.Metrics.Bits))
+}
+
+// row renders the aggregate columns over the first trials runs (the
+// success_rate … good_exec_rate tail of a CSV line).
+func (a *cellAggregate) row(trials int) string {
+	t := float64(trials)
+	return fmt.Sprintf("%.4f,%.0f,%.0f,%.0f,%.0f,%.4f",
+		float64(a.ok)/t,
+		a.rounds.Median(),
+		a.msgs.Mean(), a.bits.Mean(),
+		a.maxMsgBits.Median(),
+		float64(a.good)/t)
 }
 
 func parseInts(s string) ([]int, error) {

@@ -27,6 +27,27 @@
 // trials through one code path. Every CLI, example, and experiment table
 // builds its runs from a Scenario; new axes are one-field additions.
 //
+// Performance model. The Monte-Carlo hot path is pooled and (nearly)
+// allocation-free at steady state: published payloads are immutable, so the
+// Find-Min adopt path passes certificate pointers instead of deep-copying;
+// agents, their RNG streams (rng.Source.SplitInto), commitment logs, and the
+// engine's per-round buffers live in per-worker core.RunPools that
+// Runner.Trials/TrialsInto/Stream reset between trials; and metrics.Counters
+// is sharded into padded per-worker cells merged at Snapshot time, so
+// concurrent accounting never contends on a cache line. Ownership rule:
+// batched Results carry plain values only (never Agents — those are recycled
+// with the pool), while single Run/RunSeed results stay fully inspectable.
+// Allocation-budget tests (testing.AllocsPerRun) pin the steady state, and
+// CI gates `go test -bench=ScenarioRunnerBatch` against the committed
+// BENCH_BASELINE.json via cmd/benchdiff.
+//
+// For experiments too large to materialize, Runner.Stream executes trials in
+// bounded memory — chunked batches feeding an in-order observer — and
+// internal/stats provides the matching streaming statistics (Running Welford
+// moments, IntMedian counting histograms); `cmd/sweep -stream -checkpoint K`
+// runs million-trial cells in constant memory with periodic partial
+// aggregates on stderr.
+//
 // Supporting substrates: internal/sim (experiment tables T0–T8, E9–E11),
 // internal/topo (complete / ring / regular / Erdős–Rényi graphs),
 // internal/rng (splittable xoshiro256**), internal/stats, internal/metrics,
@@ -35,7 +56,7 @@
 // Entry points: cmd/fairconsensus (single runs, -scenario by name),
 // cmd/experiments (regenerate every table/figure, or Monte-Carlo one
 // scenario), cmd/sweep (CSV scaling sweeps), cmd/inspect (per-agent
-// transcripts), and the runnable walkthroughs under examples/. The root
-// bench_test.go holds one benchmark per experiment artifact plus the
-// scenario batch baseline.
+// transcripts), cmd/benchdiff (benchmark regression gate), and the runnable
+// walkthroughs under examples/. The root bench_test.go holds one benchmark
+// per experiment artifact plus the scenario batch baseline.
 package repro

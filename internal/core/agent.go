@@ -13,6 +13,10 @@ import (
 // The zero value is not usable; construct with NewAgent. An Agent is owned by
 // a single engine and is not safe for concurrent use except as the engine
 // prescribes (Act in parallel with other agents' Act only).
+//
+// Agents are pool-friendly: RunPool resets them in place between trials, so
+// everything an agent hands out (Intentions, VotesReceived, certificates) is
+// owned by the agent and valid only until the agent is reset for another run.
 type Agent struct {
 	id    int
 	p     Params
@@ -22,6 +26,16 @@ type Agent struct {
 
 	// Voting-Intention output, fixed at construction (round-0 local step).
 	intentions []Intent
+	// voteMsgs[i] is the preallocated Voting-phase payload for intentions[i];
+	// pushing &voteMsgs[i] boxes a pointer, which allocates nothing.
+	voteMsgs []Vote
+
+	// Boxed reusable payloads: queries depend only on Params and the
+	// intention answer's slice header never moves, so steady-state rounds
+	// re-send the same interface values instead of re-boxing per round.
+	intentQ    gossip.Payload
+	certQ      gossip.Payload
+	intentsMsg gossip.Payload
 
 	// Commitment state.
 	log *CommitmentLog
@@ -29,10 +43,17 @@ type Agent struct {
 	// Voting state.
 	w []WEntry
 
-	// Find-Min / Coherence state.
-	ownCert   *Certificate
-	minCert   *Certificate
-	replyCert *Certificate // snapshot answered to same-round pulls
+	// Find-Min / Coherence state. ownCertBuf is the backing storage for the
+	// agent's own certificate, reused across pooled runs; published
+	// certificates are immutable, so minCert may alias a peer's memory.
+	ownCert    *Certificate
+	ownCertBuf Certificate
+	minCert    *Certificate
+	replyCert  *Certificate // snapshot answered to same-round pulls
+
+	// vscratch backs the Verification phase's sort/compare buffers, reused
+	// across pooled runs.
+	vscratch verifyScratch
 
 	failed  bool
 	decided bool
@@ -42,29 +63,75 @@ type Agent struct {
 // NewAgent builds an honest agent with identity id supporting color,
 // drawing all randomness from r (which the agent takes ownership of).
 func NewAgent(id int, p Params, color Color, net topo.Topology, r *rng.Source) *Agent {
+	a := &Agent{r: r, log: NewCommitmentLog()}
+	a.init(id, p, color, net)
+	return a
+}
+
+// reset reinitializes the agent in place for a new run, reusing every buffer
+// it already owns. Reseeding with seed yields exactly the stream NewAgent
+// would draw from rng.New(seed), so pooled and fresh runs are byte-identical.
+func (a *Agent) reset(id int, p Params, color Color, net topo.Topology, seed uint64) {
+	if a.r == nil {
+		a.r = &rng.Source{}
+	}
+	a.r.Reseed(seed)
+	if a.log == nil {
+		a.log = NewCommitmentLog()
+	} else {
+		a.log.Reset()
+	}
+	a.w = a.w[:0]
+	a.ownCert, a.minCert, a.replyCert = nil, nil, nil
+	a.failed, a.decided = false, false
+	a.out = 0
+	a.init(id, p, color, net)
+}
+
+// init runs the round-0 local step shared by NewAgent and reset: it fixes the
+// identity fields, draws the Voting-Intention list from a.r, and (re)builds
+// the reusable payloads.
+func (a *Agent) init(id int, p Params, color Color, net topo.Topology) {
 	if !color.Valid(p.NumColors) {
 		panic("core: NewAgent with color outside Σ")
 	}
-	a := &Agent{
-		id:    id,
-		p:     p,
-		color: color,
-		r:     r,
-		net:   net,
-		log:   NewCommitmentLog(),
-	}
+	a.id = id
+	a.p = p
+	a.color = color
+	a.net = net
+
 	// Voting-Intention phase: q votes, values u.a.r. in [1, m], targets
 	// u.a.r. over the topology's sample space (all of [n] on the complete
 	// graph, exactly the paper's "u.a.r. in [n]"; the neighbor set on
 	// restricted graphs, where non-neighbors are unreachable).
-	a.intentions = make([]Intent, p.Q)
+	if cap(a.intentions) < p.Q {
+		a.intentions = make([]Intent, p.Q)
+	}
+	if cap(a.voteMsgs) < p.Q {
+		a.voteMsgs = make([]Vote, p.Q)
+	}
+	a.intentions = a.intentions[:p.Q]
+	a.voteMsgs = a.voteMsgs[:p.Q]
 	for i := range a.intentions {
 		a.intentions[i] = Intent{
 			H: a.r.Uint64n(p.M) + 1,
 			Z: int32(net.SamplePeer(id, a.r)),
 		}
+		a.voteMsgs[i] = Vote{P: p, Value: a.intentions[i].H}
 	}
-	return a
+
+	// Re-box the reusable payloads only when their contents actually moved;
+	// in steady-state pooled reuse all three survive from the previous run.
+	if q, ok := a.intentQ.(IntentQuery); !ok || q.P != p {
+		a.intentQ = IntentQuery{P: p}
+	}
+	if q, ok := a.certQ.(CertQuery); !ok || q.P != p {
+		a.certQ = CertQuery{P: p}
+	}
+	if m, ok := a.intentsMsg.(Intentions); !ok || m.P != p ||
+		len(m.Votes) != len(a.intentions) || &m.Votes[0] != &a.intentions[0] {
+		a.intentsMsg = Intentions{P: p, Votes: a.intentions}
+	}
 }
 
 // ID returns the agent's node identity.
@@ -93,10 +160,12 @@ func (a *Agent) EnsureCertificate() *Certificate {
 // InitialColor returns the color the agent supports at the onset.
 func (a *Agent) InitialColor() Color { return a.color }
 
-// Intentions exposes the declared vote list (test and analysis hook).
+// Intentions exposes the declared vote list (test and analysis hook). The
+// slice is agent-owned; it is valid until the agent is reset by a pool.
 func (a *Agent) Intentions() []Intent { return a.intentions }
 
-// VotesReceived exposes Wᵤ (test and analysis hook).
+// VotesReceived exposes Wᵤ (test and analysis hook). The slice is
+// agent-owned; it is valid until the agent is reset by a pool.
 func (a *Agent) VotesReceived() []WEntry { return a.w }
 
 // K returns the agent's vote sum kᵤ; valid once the Voting phase ended.
@@ -112,15 +181,14 @@ func (a *Agent) Log() *CommitmentLog { return a.log }
 func (a *Agent) Act(round int) gossip.Action {
 	switch a.p.PhaseOf(round) {
 	case PhaseCommitment:
-		return gossip.PullFrom(a.net.SamplePeer(a.id, a.r), IntentQuery{P: a.p})
+		return gossip.PullFrom(a.net.SamplePeer(a.id, a.r), a.intentQ)
 
 	case PhaseVoting:
 		i := round - a.p.Q
 		if i < 0 || i >= len(a.intentions) {
 			return gossip.NoAction()
 		}
-		in := a.intentions[i]
-		return gossip.PushTo(int(in.Z), Vote{P: a.p, Value: in.H})
+		return gossip.PushTo(int(a.intentions[i].Z), &a.voteMsgs[i])
 
 	case PhaseFindMin:
 		if a.ownCert == nil {
@@ -129,7 +197,7 @@ func (a *Agent) Act(round int) gossip.Action {
 		// Snapshot the certificate answered to pulls arriving this round, so
 		// information propagates one hop per round (synchronous semantics).
 		a.replyCert = a.minCert
-		return gossip.PullFrom(a.net.SamplePeer(a.id, a.r), CertQuery{P: a.p})
+		return gossip.PullFrom(a.net.SamplePeer(a.id, a.r), a.certQ)
 
 	case PhaseCoherence:
 		if a.ownCert == nil { // defensive: q rounds always precede, but keep safe
@@ -147,15 +215,17 @@ func (a *Agent) Act(round int) gossip.Action {
 }
 
 // finalizeOwnCertificate computes kᵤ and CEᵤ from the collected votes; it
-// runs once, at the first Find-Min round.
+// runs once, at the first Find-Min round. The certificate aliases a.w, which
+// is append-only during Voting and frozen afterwards, so no copy is needed.
 func (a *Agent) finalizeOwnCertificate() {
-	a.ownCert = &Certificate{
+	a.ownCertBuf = Certificate{
 		P:     a.p,
 		K:     SumVotesMod(a.w, a.p.M),
-		W:     append([]WEntry(nil), a.w...),
+		W:     a.w,
 		Color: a.color,
 		Owner: int32(a.id),
 	}
+	a.ownCert = &a.ownCertBuf
 	a.minCert = a.ownCert
 }
 
@@ -165,8 +235,16 @@ func (a *Agent) finalizeOwnCertificate() {
 func (a *Agent) HandlePush(round, from int, p gossip.Payload) {
 	switch a.p.PhaseOf(round) {
 	case PhaseVoting:
-		v, ok := p.(Vote)
-		if !ok {
+		var v Vote
+		switch m := p.(type) {
+		case Vote:
+			v = m
+		case *Vote:
+			if m == nil {
+				return
+			}
+			v = *m
+		default:
 			return
 		}
 		// Malformed values are discarded at receipt so an honest agent's W
@@ -197,7 +275,7 @@ func (a *Agent) HandlePush(round, from int, p gossip.Payload) {
 func (a *Agent) HandlePull(round, from int, query gossip.Payload) gossip.Payload {
 	switch a.p.PhaseOf(round) {
 	case PhaseCommitment:
-		return Intentions{P: a.p, Votes: a.intentions}
+		return a.intentsMsg
 	case PhaseFindMin, PhaseCoherence:
 		if a.replyCert != nil {
 			return a.replyCert
@@ -237,8 +315,10 @@ func (a *Agent) HandlePullReply(round, from int, reply gossip.Payload) {
 		if !ok || cert == nil {
 			return // silent or garbage peer: the pull simply fails
 		}
+		// Published certificates are immutable: adopt the pointer. This is
+		// the steady-state Find-Min path and it allocates nothing.
 		if a.minCert == nil || cert.Less(a.minCert) {
-			a.minCert = cert.Clone()
+			a.minCert = cert
 		}
 	}
 }
@@ -271,7 +351,7 @@ func (a *Agent) verify() {
 		a.out = ColorBot
 		return
 	}
-	if err := VerifyCertificate(a.p, a.minCert, a.log); err != nil {
+	if err := verifyCertificate(a.p, a.minCert, a.log, &a.vscratch); err != nil {
 		a.failNow()
 		a.out = ColorBot
 		return

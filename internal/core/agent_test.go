@@ -69,7 +69,7 @@ func TestActSchedule(t *testing.T) {
 		if act.Kind != gossip.ActPush {
 			t.Fatalf("round %d (voting): kind = %v, want push", r, act.Kind)
 		}
-		v, ok := act.Payload.(Vote)
+		v, ok := act.Payload.(*Vote)
 		if !ok {
 			t.Fatalf("round %d: payload type %T", r, act.Payload)
 		}

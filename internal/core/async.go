@@ -148,10 +148,12 @@ func (a *AsyncAgent) ensureCert() {
 	if a.ownCert != nil {
 		return
 	}
+	// a.w is frozen from here on (HandlePush drops votes once ownCert is
+	// set), so the certificate aliases it instead of copying.
 	a.ownCert = &Certificate{
 		P:     a.p,
 		K:     SumVotesMod(a.w, a.p.M),
-		W:     append([]WEntry(nil), a.w...),
+		W:     a.w,
 		Color: a.color,
 		Owner: int32(a.id),
 	}
@@ -160,25 +162,21 @@ func (a *AsyncAgent) ensureCert() {
 
 // HandlePush accepts votes until finalization and checks coherence after it.
 func (a *AsyncAgent) HandlePush(tick, from int, p gossip.Payload) {
+	if v, ok := p.(*Vote); ok && v != nil {
+		a.handleVote(from, *v)
+		return
+	}
 	switch m := p.(type) {
 	case Vote:
-		if a.ownCert != nil {
-			return // too late; the boundary effect E10 measures
-		}
-		if m.Value == 0 || m.Value > a.p.M {
-			return
-		}
-		if a.log.Faulty(int32(from)) {
-			return
-		}
-		a.w = append(a.w, WEntry{Voter: int32(from), Value: m.Value})
+		a.handleVote(from, m)
 	case *Certificate:
 		if a.activations < 6*a.p.Q {
 			// The pusher is ahead of this agent (phases overlap under local
 			// clocks); while still converging, a pushed certificate is
-			// information, not a coherence check.
+			// information, not a coherence check. Published certificates are
+			// immutable, so adopting the pointer is safe.
 			if a.ownCert != nil && m.Less(a.minCert) {
-				a.minCert = m.Clone()
+				a.minCert = m
 			}
 			return
 		}
@@ -186,6 +184,19 @@ func (a *AsyncAgent) HandlePush(tick, from int, p gossip.Payload) {
 			a.failed = true
 		}
 	}
+}
+
+func (a *AsyncAgent) handleVote(from int, m Vote) {
+	if a.ownCert != nil {
+		return // too late; the boundary effect E10 measures
+	}
+	if m.Value == 0 || m.Value > a.p.M {
+		return
+	}
+	if a.log.Faulty(int32(from)) {
+		return
+	}
+	a.w = append(a.w, WEntry{Voter: int32(from), Value: m.Value})
 }
 
 // HandlePull answers by query type (phases cannot be trusted to align).
@@ -224,7 +235,7 @@ func (a *AsyncAgent) HandlePullReply(tick, from int, reply gossip.Payload) {
 			return
 		}
 		if a.minCert == nil || cert.Less(a.minCert) {
-			a.minCert = cert.Clone()
+			a.minCert = cert // immutable once published; adopt the pointer
 		}
 	}
 }

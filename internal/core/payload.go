@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 	"strings"
 )
 
@@ -28,6 +28,12 @@ type Intent struct {
 // Intentions is the payload answering a Commitment-phase pull: the full
 // declared list Hᵤ. Its wire size is q·(|h| + |z|) = O(log² n) bits, the
 // protocol's largest regular message along with certificates.
+//
+// Like certificates, a published intention list is immutable: receivers
+// (CommitmentLog.Record) alias the Votes slice instead of copying it, so a
+// deviating agent that wants to show different declarations to different
+// peers must build fresh slices — which is exactly what makes the first
+// recorded declaration binding.
 type Intentions struct {
 	P     Params
 	Votes []Intent
@@ -40,7 +46,9 @@ func (in Intentions) SizeBits() int {
 
 // Vote is the payload pushed during the Voting phase: a single value in
 // [1, m]. The voter identity is supplied by the secure channel, not the
-// payload.
+// payload. Honest agents push *Vote pointers into per-agent preallocated
+// buffers (interface-boxing a pointer is allocation-free); handlers accept
+// both Vote and *Vote so hand-built payloads keep working.
 type Vote struct {
 	P     Params
 	Value uint64
@@ -72,6 +80,12 @@ type WEntry struct {
 // multiset of received votes backing it, the owner's color, and the owner's
 // identity. Certificates travel as data — the Owner field is a claim, which
 // is exactly why the Verification phase exists.
+//
+// Ownership: a certificate is immutable once published (handed to the engine
+// as a payload or returned from a pull). Receivers adopt the pointer directly
+// instead of deep-copying — the Find-Min hot path allocates nothing — so any
+// agent, honest or deviating, that wants to send different data must build a
+// new Certificate rather than mutate one it already published.
 type Certificate struct {
 	P     Params
 	K     uint64
@@ -89,23 +103,35 @@ func (c *Certificate) SizeBits() int {
 // Equal reports whether two certificates are identical, including the exact
 // multiset of votes (order-insensitive). The Coherence phase fails the
 // protocol on any inequality.
+//
+// The common cases — the very same (pointer-adopted) certificate, or two
+// certificates listing the votes in the same order — are decided without
+// allocating; only genuinely reordered vote lists fall back to sorting
+// copies.
 func (c *Certificate) Equal(o *Certificate) bool {
 	if c == nil || o == nil {
 		return c == o
 	}
+	if c == o {
+		return true
+	}
 	if c.K != o.K || c.Color != o.Color || c.Owner != o.Owner || len(c.W) != len(o.W) {
 		return false
 	}
+	sameOrder := true
+	for i := range c.W {
+		if c.W[i] != o.W[i] {
+			sameOrder = false
+			break
+		}
+	}
+	if sameOrder {
+		return true
+	}
 	a := append([]WEntry(nil), c.W...)
 	b := append([]WEntry(nil), o.W...)
-	less := func(x, y WEntry) bool {
-		if x.Voter != y.Voter {
-			return x.Voter < y.Voter
-		}
-		return x.Value < y.Value
-	}
-	sort.Slice(a, func(i, j int) bool { return less(a[i], a[j]) })
-	sort.Slice(b, func(i, j int) bool { return less(b[i], b[j]) })
+	sortWEntries(a)
+	sortWEntries(b)
 	for i := range a {
 		if a[i] != b[i] {
 			return false
@@ -114,8 +140,27 @@ func (c *Certificate) Equal(o *Certificate) bool {
 	return true
 }
 
-// Clone returns a deep copy, so agents can hold certificates without
-// aliasing a peer's memory.
+// sortWEntries orders entries by (voter, value). slices.SortFunc is
+// non-reflective and allocation-free, unlike the sort.Slice call it replaced.
+func sortWEntries(w []WEntry) {
+	slices.SortFunc(w, func(a, b WEntry) int {
+		if a.Voter != b.Voter {
+			return int(a.Voter) - int(b.Voter)
+		}
+		switch {
+		case a.Value < b.Value:
+			return -1
+		case a.Value > b.Value:
+			return 1
+		default:
+			return 0
+		}
+	})
+}
+
+// Clone returns a deep copy. The honest adopt path no longer needs it —
+// published certificates are immutable and adopted by pointer — but it
+// remains for callers that build mutated variants (tests, deviations).
 func (c *Certificate) Clone() *Certificate {
 	if c == nil {
 		return nil

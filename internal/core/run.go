@@ -35,6 +35,10 @@ type RunConfig struct {
 	Workers int
 	// Trace optionally receives engine events.
 	Trace trace.Sink
+	// Pool optionally supplies reusable per-run state. A pooled run produces
+	// byte-identical results but its RunResult aliases pool memory — see
+	// RunPool for the ownership rules. nil runs with private state.
+	Pool *RunPool
 }
 
 // RunResult is the observable result of one execution.
@@ -43,7 +47,10 @@ type RunResult struct {
 	Rounds  int
 	Metrics metrics.Snapshot
 	Good    GoodExecution
-	// Agents exposes the honest agents for deeper inspection.
+	// Agents exposes the honest agents for deeper inspection. For a pooled
+	// run (RunConfig.Pool set) the agents live in the pool and are only valid
+	// until the pool's next run; Outcome, Rounds, Metrics, and Good are plain
+	// values and always safe to retain.
 	Agents []*Agent
 }
 
@@ -64,54 +71,55 @@ func Run(cfg RunConfig) (RunResult, error) {
 	if cfg.Unreliable != nil && len(cfg.Unreliable) != p.N {
 		return RunResult{}, fmt.Errorf("core: unreliable mask has %d entries for n = %d", len(cfg.Unreliable), p.N)
 	}
-	master := rng.New(cfg.Seed)
-	agents := make([]gossip.Agent, p.N)
-	honest := make([]*Agent, 0, p.N)   // every agent-bearing node, for inspection
-	reliable := make([]*Agent, 0, p.N) // nodes the good-execution check covers
+	pl := cfg.Pool
+	if pl == nil {
+		pl = &RunPool{} // private, thrown away with the result
+	}
+	pl.ensure(p.N)
+	pl.master.Reseed(cfg.Seed)
 	for i := 0; i < p.N; i++ {
 		if cfg.Faulty != nil && cfg.Faulty[i] {
+			pl.gagents[i] = nil
+			pl.parts[i] = nil
 			continue
 		}
 		if !cfg.Colors[i].Valid(p.NumColors) {
 			return RunResult{}, fmt.Errorf("core: node %d has color %d outside Σ", i, cfg.Colors[i])
 		}
-		a := NewAgent(i, p, cfg.Colors[i], net, master.Split(uint64(i)))
-		agents[i] = a
-		honest = append(honest, a)
+		a := &pl.store[i]
+		a.reset(i, p, cfg.Colors[i], net, pl.master.SplitSeed(uint64(i)))
+		pl.gagents[i] = a
+		pl.parts[i] = a
+		pl.honest = append(pl.honest, a)
 		if cfg.Unreliable == nil || !cfg.Unreliable[i] {
-			reliable = append(reliable, a)
+			pl.reliable = append(pl.reliable, a)
 		}
 	}
-	var counters metrics.Counters
+	pl.counters.Reset()
 	eng := gossip.NewEngine(gossip.Config{
 		Topology: net,
 		Faulty:   cfg.Faulty,
 		Faults:   cfg.Faults,
-		Counters: &counters,
+		Counters: &pl.counters,
 		Trace:    cfg.Trace,
 		Workers:  cfg.Workers,
-	}, agents)
+		Mem:      &pl.mem,
+	}, pl.gagents)
 	rounds := eng.Run(p.TotalRounds() + 1)
 
 	excluded := cfg.Faulty
 	if cfg.Unreliable != nil {
-		excluded = make([]bool, p.N)
+		excluded = pl.ensureExcluded(p.N)
 		for i := range excluded {
 			excluded[i] = (cfg.Faulty != nil && cfg.Faulty[i]) || cfg.Unreliable[i]
 		}
 	}
-	parts := make([]Participant, p.N)
-	for i, ag := range agents {
-		if ag != nil {
-			parts[i] = ag.(*Agent)
-		}
-	}
 	return RunResult{
-		Outcome: CollectOutcome(parts, excluded),
+		Outcome: CollectOutcome(pl.parts, excluded),
 		Rounds:  rounds,
-		Metrics: counters.Snapshot(),
-		Good:    CheckGoodExecution(p, reliable),
-		Agents:  honest,
+		Metrics: pl.counters.Snapshot(),
+		Good:    CheckGoodExecution(p, pl.reliable),
+		Agents:  pl.honest,
 	}, nil
 }
 

@@ -2,7 +2,7 @@ package core
 
 import (
 	"fmt"
-	"sort"
+	"slices"
 )
 
 // CommitmentLog is an agent's Lᵤ: the vote intentions it collected during
@@ -25,13 +25,25 @@ func NewCommitmentLog() *CommitmentLog {
 	}
 }
 
+// Reset empties the log in place, keeping the map storage so pooled agents
+// can reuse it across runs without reallocating.
+func (l *CommitmentLog) Reset() {
+	clear(l.declared)
+	clear(l.faulty)
+}
+
 // Record stores voter's declared intentions if this is the first information
 // about voter; it reports whether the declaration was recorded.
+//
+// The log aliases intents rather than copying: published intention lists are
+// immutable (see Intentions), and binding means the first slice recorded
+// stays the slice consulted — a deviator varying its declarations must hand
+// out distinct slices, which the log then distinguishes per recorder.
 func (l *CommitmentLog) Record(voter int32, intents []Intent) bool {
 	if l.Known(voter) {
 		return false
 	}
-	l.declared[voter] = append([]Intent(nil), intents...)
+	l.declared[voter] = intents
 	return true
 }
 
@@ -68,17 +80,24 @@ func (l *CommitmentLog) Size() int { return len(l.declared) + len(l.faulty) }
 // ExpectedVotesFor returns the multiset (sorted) of values voter committed
 // to push to target. A faulty-marked voter commits to nothing.
 func (l *CommitmentLog) ExpectedVotesFor(voter, target int32) []uint64 {
+	return l.appendExpectedVotesFor(voter, target, nil)
+}
+
+// appendExpectedVotesFor appends voter's committed values for target to buf
+// (sorted), reusing buf's capacity — the allocation-free form VerifyCertificate
+// runs in a loop.
+func (l *CommitmentLog) appendExpectedVotesFor(voter, target int32, buf []uint64) []uint64 {
 	if l.faulty[voter] {
-		return nil
+		return buf
 	}
-	var out []uint64
+	start := len(buf)
 	for _, in := range l.declared[voter] {
 		if in.Z == target {
-			out = append(out, in.H)
+			buf = append(buf, in.H)
 		}
 	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	slices.Sort(buf[start:])
+	return buf
 }
 
 // VerifyCertificate implements the Verification phase of Algorithm 1: it
@@ -101,6 +120,17 @@ func (l *CommitmentLog) ExpectedVotesFor(voter, target int32) []uint64 {
 // A nil error means the verifier supports cert.Color; any error means the
 // verifier makes the protocol fail.
 func VerifyCertificate(p Params, cert *Certificate, log *CommitmentLog) error {
+	return verifyCertificate(p, cert, log, &verifyScratch{})
+}
+
+// verifyScratch holds the two buffers verification needs, so pooled agents
+// verify without allocating.
+type verifyScratch struct {
+	w   []WEntry
+	exp []uint64
+}
+
+func verifyCertificate(p Params, cert *Certificate, log *CommitmentLog, sc *verifyScratch) error {
 	if cert == nil {
 		return fmt.Errorf("verify: no certificate")
 	}
@@ -125,53 +155,72 @@ func VerifyCertificate(p Params, cert *Certificate, log *CommitmentLog) error {
 		return fmt.Errorf("verify: k = %d but ΣW mod m = %d", cert.K, got)
 	}
 
-	// Group W's values by voter.
-	byVoter := make(map[int32][]uint64)
-	for _, e := range cert.W {
-		byVoter[e.Voter] = append(byVoter[e.Voter], e.Value)
-	}
-	checked := make(map[int32]bool)
-	for voter, actual := range byVoter {
-		if !log.Known(voter) {
-			continue // no commitment information; nothing to check
+	// Group W's values by voter: sort a copy by (voter, value) and walk the
+	// runs. The sorted copy and the expectation buffer both come from the
+	// caller's scratch, so a pooled verifier allocates nothing here.
+	w := append(sc.w[:0], cert.W...)
+	sc.w = w
+	sortWEntries(w)
+	for i := 0; i < len(w); {
+		voter := w[i].Voter
+		j := i
+		for j < len(w) && w[j].Voter == voter {
+			j++
 		}
-		checked[voter] = true
-		expected := log.ExpectedVotesFor(voter, cert.Owner)
-		if !equalMultisets(actual, expected) {
-			return fmt.Errorf("verify: voter %d votes to %d are %v, committed %v",
-				voter, cert.Owner, sortedCopy(actual), expected)
+		if log.Known(voter) {
+			// Run values are ascending (sortWEntries orders by value within a
+			// voter), matching the sorted expectation list.
+			sc.exp = log.appendExpectedVotesFor(voter, cert.Owner, sc.exp[:0])
+			if !runEqualsSorted(w[i:j], sc.exp) {
+				actual := make([]uint64, 0, j-i)
+				for _, e := range w[i:j] {
+					actual = append(actual, e.Value)
+				}
+				return fmt.Errorf("verify: voter %d votes to %d are %v, committed %v",
+					voter, cert.Owner, actual, sc.exp)
+			}
 		}
+		i = j
 	}
 	// Voters the verifier knows about but that are absent from W must have
 	// committed no votes for the owner.
 	for voter := range log.declared {
-		if checked[voter] {
-			continue
+		if hasVoter(w, voter) {
+			continue // already checked above
 		}
-		if exp := log.ExpectedVotesFor(voter, cert.Owner); len(exp) > 0 {
+		if sc.exp = log.appendExpectedVotesFor(voter, cert.Owner, sc.exp[:0]); len(sc.exp) > 0 {
 			return fmt.Errorf("verify: voter %d committed votes %v to %d but W has none",
-				voter, exp, cert.Owner)
+				voter, sc.exp, cert.Owner)
 		}
 	}
 	return nil
 }
 
-func equalMultisets(a, b []uint64) bool {
-	if len(a) != len(b) {
+// runEqualsSorted compares a (value-ascending) run of W entries against a
+// sorted expectation list.
+func runEqualsSorted(run []WEntry, expected []uint64) bool {
+	if len(run) != len(expected) {
 		return false
 	}
-	as := sortedCopy(a)
-	bs := sortedCopy(b)
-	for i := range as {
-		if as[i] != bs[i] {
+	for i := range run {
+		if run[i].Value != expected[i] {
 			return false
 		}
 	}
 	return true
 }
 
-func sortedCopy(xs []uint64) []uint64 {
-	out := append([]uint64(nil), xs...)
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+// hasVoter reports whether the (voter-sorted) entries contain voter, by
+// binary search.
+func hasVoter(w []WEntry, voter int32) bool {
+	lo, hi := 0, len(w)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if w[mid].Voter < voter {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo < len(w) && w[lo].Voter == voter
 }

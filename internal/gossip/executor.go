@@ -15,26 +15,38 @@ import (
 // decide when each agent acts; the executor decides what happens to the
 // chosen action. Keeping these semantics in exactly one place is what makes
 // the two execution models comparable experiment-for-experiment.
+//
+// Accounting goes through a plain (non-atomic) Delta tally: delivery always
+// runs on one goroutine, so per-message atomics would be pure overhead. The
+// tally is flushed into the shared Counters once per round/tick (endRound),
+// keeping Counters reads exact at round granularity.
 type executor struct {
 	topo     topo.Topology
 	agents   []Agent
 	initial  []bool        // round-0 fault mask (governs agent existence)
 	faults   FaultSchedule // quiescence over time; never nil
 	counters *metrics.Counters
+	tally    metrics.Delta
 	sink     trace.Sink
 	dropped  int
+
+	noFaults StaticFaults // scratch all-false mask, reused across runs
+	union    UnionFaults  // scratch for combining static + dynamic faults
 }
 
-// newExecutor validates the configuration shared by both engines and panics
-// on size mismatches so misconfigured experiments fail loudly.
-func newExecutor(cfg Config, agents []Agent) *executor {
+// init validates the configuration shared by both engines and panics on size
+// mismatches so misconfigured experiments fail loudly. It fully reinitializes
+// x, so a pooled executor can be reused across runs; slice capacity is the
+// only state that survives.
+func (x *executor) init(cfg Config, agents []Agent) {
 	n := cfg.Topology.N()
 	if len(agents) != n {
 		panic(fmt.Sprintf("gossip: %d agents for %d nodes", len(agents), n))
 	}
 	faulty := cfg.Faulty
 	if faulty == nil {
-		faulty = make([]bool, n)
+		x.noFaults = resizeBools(x.noFaults, n)
+		faulty = x.noFaults
 	}
 	if len(faulty) != n {
 		panic(fmt.Sprintf("gossip: faulty mask has %d entries for %d nodes", len(faulty), n))
@@ -50,16 +62,29 @@ func newExecutor(cfg Config, agents []Agent) *executor {
 	}
 	var faults FaultSchedule = StaticFaults(faulty)
 	if cfg.Faults != nil {
-		faults = UnionFaults{faults, cfg.Faults}
+		x.union = append(x.union[:0], faults, cfg.Faults)
+		faults = x.union
 	}
-	return &executor{
-		topo:     cfg.Topology,
-		agents:   agents,
-		initial:  faulty,
-		faults:   faults,
-		counters: counters,
-		sink:     cfg.Trace,
+	x.topo = cfg.Topology
+	x.agents = agents
+	x.initial = faulty
+	x.faults = faults
+	x.counters = counters
+	x.tally = metrics.Delta{}
+	x.sink = cfg.Trace
+	x.dropped = 0
+}
+
+// resizeBools returns a false-filled slice of length n, reusing capacity.
+func resizeBools(s []bool, n int) []bool {
+	if cap(s) < n {
+		return make([]bool, n)
 	}
+	s = s[:n]
+	for i := range s {
+		s[i] = false
+	}
+	return s
 }
 
 // silent reports whether node u is quiescent at time r: silenced by the
@@ -92,6 +117,14 @@ func (x *executor) exec(round, u int, a Action) {
 	}
 }
 
+// endRound accounts one completed round/tick and flushes the delivery tally
+// into the shared counters (shard 0: delivery is single-goroutine).
+func (x *executor) endRound() {
+	x.tally.AddRound()
+	x.counters.AddDelta(0, x.tally)
+	x.tally = metrics.Delta{}
+}
+
 // deliverPush delivers one push. A push to a quiescent target is lost but
 // its cost is still incurred — the sender cannot know.
 func (x *executor) deliverPush(round, u int, a Action) {
@@ -100,8 +133,8 @@ func (x *executor) deliverPush(round, u int, a Action) {
 		x.agents[u].HandlePush(round, u, a.Payload)
 		return
 	}
-	x.counters.AddPush()
-	x.counters.AddMessage(payloadBits(a.Payload))
+	x.tally.AddPush()
+	x.tally.AddMessage(payloadBits(a.Payload))
 	x.emit(trace.Event{Round: round, Kind: trace.KindPush, From: u, To: a.To})
 	if x.silent(round, a.To) {
 		return // pushed into the void; cost already incurred
@@ -119,22 +152,22 @@ func (x *executor) resolvePull(round, u int, a Action) {
 		x.agents[u].HandlePullReply(round, u, reply)
 		return
 	}
-	x.counters.AddMessage(payloadBits(a.Payload))
+	x.tally.AddMessage(payloadBits(a.Payload))
 	if x.silent(round, a.To) {
-		x.counters.AddPull(false)
+		x.tally.AddPull(false)
 		x.emit(trace.Event{Round: round, Kind: trace.KindPull, From: u, To: a.To, Note: "no-reply"})
 		x.agents[u].HandlePullReply(round, a.To, nil)
 		return
 	}
 	reply := x.agents[a.To].HandlePull(round, u, a.Payload)
 	if reply == nil {
-		x.counters.AddPull(false)
+		x.tally.AddPull(false)
 		x.emit(trace.Event{Round: round, Kind: trace.KindPull, From: u, To: a.To, Note: "refused"})
 		x.agents[u].HandlePullReply(round, a.To, nil)
 		return
 	}
-	x.counters.AddPull(true)
-	x.counters.AddMessage(payloadBits(reply))
+	x.tally.AddPull(true)
+	x.tally.AddMessage(payloadBits(reply))
 	x.emit(trace.Event{Round: round, Kind: trace.KindPull, From: u, To: a.To})
 	x.agents[u].HandlePullReply(round, a.To, reply)
 }

@@ -105,25 +105,56 @@ type Config struct {
 	// Workers is the parallelism for the Act phase; 0 means GOMAXPROCS,
 	// 1 forces sequential.
 	Workers int
+	// Mem optionally supplies reusable engine memory, so a trial loop can run
+	// many engines without reallocating per-round buffers. See EngineMem.
+	Mem *EngineMem
+}
+
+// EngineMem holds an Engine plus its per-round scratch (action buffer,
+// push/pull delivery order, fault-mask scratch) for reuse across runs. Pass
+// the same EngineMem to successive NewEngine calls — never to two live
+// engines at once — and the whole engine setup becomes allocation-free. The
+// zero value is ready to use.
+type EngineMem struct {
+	engine Engine
 }
 
 // Engine executes synchronous GOSSIP rounds over a set of agents.
 type Engine struct {
-	x       *executor
+	x       executor
 	workers int
 	round   int
 	actions []Action // scratch, reused across rounds
+	pushes  []int32  // node IDs pushing this round, ascending
+	pulls   []int32  // node IDs pulling this round, ascending
 }
 
 // NewEngine builds an engine for the given agents. agents[i] is the agent at
 // node i; entries for faulty nodes may be nil. It panics on size mismatches
-// so misconfigured experiments fail loudly.
+// so misconfigured experiments fail loudly. When cfg.Mem is set the returned
+// engine reuses that memory instead of allocating.
 func NewEngine(cfg Config, agents []Agent) *Engine {
-	return &Engine{
-		x:       newExecutor(cfg, agents),
-		workers: cfg.Workers,
-		actions: make([]Action, len(agents)),
+	e := &Engine{}
+	if cfg.Mem != nil {
+		e = &cfg.Mem.engine
+		e.round = 0
 	}
+	e.x.init(cfg, agents)
+	e.workers = cfg.Workers
+	if cap(e.actions) < len(agents) {
+		e.actions = make([]Action, len(agents))
+	}
+	e.actions = e.actions[:len(agents)]
+	return e
+}
+
+// act records node i's action for the round (NoAction when silenced).
+func (e *Engine) act(round, i int) {
+	if e.x.silent(round, i) {
+		e.actions[i] = NoAction()
+		return
+	}
+	e.actions[i] = e.x.agents[i].Act(round)
 }
 
 // Round returns the number of rounds executed so far.
@@ -145,33 +176,41 @@ func (e *Engine) Step() {
 	round := e.round
 
 	// Decision phase: agents choose their one active operation. Safe to
-	// parallelize because Act only touches the agent's own state.
-	par.ForN(e.workers, n, func(i int) {
-		if e.x.silent(round, i) {
-			e.actions[i] = NoAction()
-			return
+	// parallelize because Act only touches the agent's own state. The serial
+	// path is open-coded: a closure capturing the changing round would
+	// otherwise be this loop's only allocation.
+	if e.workers == 1 || n < 32 {
+		for i := 0; i < n; i++ {
+			e.act(round, i)
 		}
-		e.actions[i] = e.x.agents[i].Act(round)
-	})
+	} else {
+		par.ForN(e.workers, n, func(i int) { e.act(round, i) })
+	}
 
-	// Validate actions against the topology.
+	// Validate actions against the topology while collecting this round's
+	// delivery order into the reused push/pull index slices (ascending node
+	// ID, exactly the order the scans they replace produced).
+	e.pushes = e.pushes[:0]
+	e.pulls = e.pulls[:0]
 	for u := range e.actions {
 		e.x.validate(round, u, &e.actions[u])
+		switch e.actions[u].Kind {
+		case ActPush:
+			e.pushes = append(e.pushes, int32(u))
+		case ActPull:
+			e.pulls = append(e.pulls, int32(u))
+		}
 	}
 
 	// Push delivery phase, then pull phase, both in node-ID order.
-	for u := 0; u < n; u++ {
-		if e.actions[u].Kind == ActPush {
-			e.x.deliverPush(round, u, e.actions[u])
-		}
+	for _, u := range e.pushes {
+		e.x.deliverPush(round, int(u), e.actions[u])
 	}
-	for u := 0; u < n; u++ {
-		if e.actions[u].Kind == ActPull {
-			e.x.resolvePull(round, u, e.actions[u])
-		}
+	for _, u := range e.pulls {
+		e.x.resolvePull(round, int(u), e.actions[u])
 	}
 
-	e.x.counters.AddRound()
+	e.x.endRound()
 	e.round++
 }
 
@@ -207,7 +246,7 @@ func (e *Engine) allDecided() bool {
 // semantics (secure channels, quiescent faults, accounting) are the shared
 // executor's and therefore match Engine exactly.
 type AsyncEngine struct {
-	x      *executor
+	x      executor
 	active []int // indices of round-0-active nodes, for uniform waking
 	r      *rng.Source
 	tick   int
@@ -216,14 +255,14 @@ type AsyncEngine struct {
 // NewAsyncEngine builds a sequential-GOSSIP engine; sched drives the wake-up
 // choices. Panics mirror NewEngine's.
 func NewAsyncEngine(cfg Config, agents []Agent, sched *rng.Source) *AsyncEngine {
-	x := newExecutor(cfg, agents)
-	var active []int
+	e := &AsyncEngine{r: sched}
+	e.x.init(cfg, agents)
 	for i := range agents {
-		if !x.initial[i] {
-			active = append(active, i)
+		if !e.x.initial[i] {
+			e.active = append(e.active, i)
 		}
 	}
-	return &AsyncEngine{x: x, active: active, r: sched}
+	return e
 }
 
 // Tick wakes one uniformly random active agent and executes its action
@@ -241,7 +280,7 @@ func (e *AsyncEngine) Tick() {
 		e.x.validate(e.tick, u, &a)
 		e.x.exec(e.tick, u, a)
 	}
-	e.x.counters.AddRound()
+	e.x.endRound()
 	e.tick++
 }
 

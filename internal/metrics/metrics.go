@@ -11,65 +11,222 @@ import (
 	"sync/atomic"
 )
 
-// Counters accumulates communication costs. All methods are safe for
-// concurrent use; the engine may deliver from multiple goroutines.
-type Counters struct {
+// ShardCount is the number of independent counter cells inside a Counters.
+// Writers that know their worker index should spread across shards with
+// Shard(worker); everything else lands on shard 0.
+const ShardCount = 16
+
+// cell is one shard of a Counters, padded out to its own pair of cache lines
+// so concurrent writers on different shards never ping-pong a line between
+// cores. All fields are atomics, so a cell is race-free even when two writers
+// collide on one shard (they only lose the padding benefit, not correctness).
+type cell struct {
 	rounds     atomic.Int64
 	messages   atomic.Int64
 	bits       atomic.Int64
 	maxMsgBits atomic.Int64
 	pushes     atomic.Int64
 	pulls      atomic.Int64
-	pullFails  atomic.Int64 // pulls that received no reply (faulty/silent peer)
+	pullFails  atomic.Int64
+	_          [128 - 7*8]byte
 }
 
-// AddRound records the completion of one synchronous round.
-func (c *Counters) AddRound() { c.rounds.Add(1) }
-
-// AddMessage records one delivered message of the given size in bits.
-func (c *Counters) AddMessage(bits int) {
-	c.messages.Add(1)
-	c.bits.Add(int64(bits))
+func (c *cell) add(d Delta) {
+	if d.Rounds != 0 {
+		c.rounds.Add(d.Rounds)
+	}
+	if d.Messages != 0 {
+		c.messages.Add(d.Messages)
+	}
+	if d.Bits != 0 {
+		c.bits.Add(d.Bits)
+	}
+	if d.Pushes != 0 {
+		c.pushes.Add(d.Pushes)
+	}
+	if d.Pulls != 0 {
+		c.pulls.Add(d.Pulls)
+	}
+	if d.PullFails != 0 {
+		c.pullFails.Add(d.PullFails)
+	}
 	for {
 		cur := c.maxMsgBits.Load()
-		if int64(bits) <= cur || c.maxMsgBits.CompareAndSwap(cur, int64(bits)) {
+		if d.MaxMsgBits <= cur || c.maxMsgBits.CompareAndSwap(cur, d.MaxMsgBits) {
 			return
 		}
 	}
 }
 
+// Counters accumulates communication costs. All methods are safe for
+// concurrent use; the engine may deliver from multiple goroutines.
+//
+// Internally a Counters is sharded into ShardCount padded cells merged at
+// Snapshot time. The single-writer convenience methods (AddRound, AddMessage,
+// ...) all write shard 0; concurrent writers — e.g. Monte-Carlo trial workers
+// folding per-trial results into one aggregate — should each write through
+// their own Shard so the hot path never contends on a cache line. Because
+// every quantity is a sum (or a max), the merged Snapshot is byte-identical
+// regardless of how writes were spread across shards or interleaved in time.
+type Counters struct {
+	cells [ShardCount]cell
+}
+
+// Delta is a plain, non-atomic batch of counter increments. Single-threaded
+// hot loops (the executor's delivery phase) tally into a Delta with ordinary
+// stores and flush it into a Counters shard once per round, replacing
+// per-message atomics with a handful per round.
+type Delta struct {
+	Rounds     int64
+	Messages   int64
+	Bits       int64
+	MaxMsgBits int64
+	Pushes     int64
+	Pulls      int64
+	PullFails  int64
+}
+
+// AddRound records the completion of one synchronous round.
+func (d *Delta) AddRound() { d.Rounds++ }
+
+// AddMessage records one delivered message of the given size in bits.
+func (d *Delta) AddMessage(bits int) {
+	d.Messages++
+	d.Bits += int64(bits)
+	if int64(bits) > d.MaxMsgBits {
+		d.MaxMsgBits = int64(bits)
+	}
+}
+
 // AddPush records a push operation (in addition to its AddMessage).
-func (c *Counters) AddPush() { c.pushes.Add(1) }
+func (d *Delta) AddPush() { d.Pushes++ }
+
+// AddPull records a pull operation; answered reports whether the target
+// replied.
+func (d *Delta) AddPull(answered bool) {
+	d.Pulls++
+	if !answered {
+		d.PullFails++
+	}
+}
+
+// DeltaOf converts a finished trial's Snapshot into a Delta, so aggregation
+// layers can fold whole trials into a shared Counters with one call.
+func DeltaOf(s Snapshot) Delta {
+	return Delta{
+		Rounds:     int64(s.Rounds),
+		Messages:   int64(s.Messages),
+		Bits:       s.Bits,
+		MaxMsgBits: int64(s.MaxMessageBits),
+		Pushes:     int64(s.Pushes),
+		Pulls:      int64(s.Pulls),
+		PullFails:  int64(s.UnansweredPulls),
+	}
+}
+
+// Shard is a writer handle bound to one cell of a Counters. Handles for
+// distinct shard indices write disjoint cache lines, so per-worker handles
+// make concurrent accounting contention-free.
+type Shard struct{ c *cell }
+
+// Shard returns the writer handle for shard i (taken modulo ShardCount, so
+// any worker index is a valid argument).
+func (c *Counters) Shard(i int) Shard {
+	return Shard{c: &c.cells[uintptr(i)%ShardCount]}
+}
+
+// Add folds a Delta into the shard.
+func (s Shard) Add(d Delta) { s.c.add(d) }
+
+// AddRound records the completion of one synchronous round.
+func (s Shard) AddRound() { s.c.rounds.Add(1) }
+
+// AddRound records the completion of one synchronous round.
+func (c *Counters) AddRound() { c.cells[0].rounds.Add(1) }
+
+// AddMessage records one delivered message of the given size in bits.
+func (c *Counters) AddMessage(bits int) {
+	c.cells[0].add(Delta{Messages: 1, Bits: int64(bits), MaxMsgBits: int64(bits)})
+}
+
+// AddPush records a push operation (in addition to its AddMessage).
+func (c *Counters) AddPush() { c.cells[0].pushes.Add(1) }
 
 // AddPull records a pull operation; answered reports whether the target
 // replied.
 func (c *Counters) AddPull(answered bool) {
-	c.pulls.Add(1)
+	c.cells[0].pulls.Add(1)
 	if !answered {
-		c.pullFails.Add(1)
+		c.cells[0].pullFails.Add(1)
 	}
 }
 
+// AddDelta folds a batch of increments into shard i.
+func (c *Counters) AddDelta(i int, d Delta) { c.Shard(i).Add(d) }
+
+// Reset zeroes every shard, so pooled runs can reuse one Counters. It must
+// not race with writers.
+func (c *Counters) Reset() {
+	for i := range c.cells {
+		cl := &c.cells[i]
+		cl.rounds.Store(0)
+		cl.messages.Store(0)
+		cl.bits.Store(0)
+		cl.maxMsgBits.Store(0)
+		cl.pushes.Store(0)
+		cl.pulls.Store(0)
+		cl.pullFails.Store(0)
+	}
+}
+
+func (c *Counters) sum(f func(*cell) int64) int64 {
+	var t int64
+	for i := range c.cells {
+		t += f(&c.cells[i])
+	}
+	return t
+}
+
 // Rounds returns the number of completed rounds.
-func (c *Counters) Rounds() int { return int(c.rounds.Load()) }
+func (c *Counters) Rounds() int {
+	return int(c.sum(func(cl *cell) int64 { return cl.rounds.Load() }))
+}
 
 // Messages returns the number of delivered messages.
-func (c *Counters) Messages() int { return int(c.messages.Load()) }
+func (c *Counters) Messages() int {
+	return int(c.sum(func(cl *cell) int64 { return cl.messages.Load() }))
+}
 
 // Bits returns the total delivered payload size in bits.
-func (c *Counters) Bits() int64 { return c.bits.Load() }
+func (c *Counters) Bits() int64 {
+	return c.sum(func(cl *cell) int64 { return cl.bits.Load() })
+}
 
 // MaxMessageBits returns the size of the largest single delivered message.
-func (c *Counters) MaxMessageBits() int { return int(c.maxMsgBits.Load()) }
+func (c *Counters) MaxMessageBits() int {
+	var m int64
+	for i := range c.cells {
+		if v := c.cells[i].maxMsgBits.Load(); v > m {
+			m = v
+		}
+	}
+	return int(m)
+}
 
 // Pushes returns the number of push operations performed.
-func (c *Counters) Pushes() int { return int(c.pushes.Load()) }
+func (c *Counters) Pushes() int {
+	return int(c.sum(func(cl *cell) int64 { return cl.pushes.Load() }))
+}
 
 // Pulls returns the number of pull operations performed.
-func (c *Counters) Pulls() int { return int(c.pulls.Load()) }
+func (c *Counters) Pulls() int {
+	return int(c.sum(func(cl *cell) int64 { return cl.pulls.Load() }))
+}
 
 // UnansweredPulls returns the number of pulls that got no reply.
-func (c *Counters) UnansweredPulls() int { return int(c.pullFails.Load()) }
+func (c *Counters) UnansweredPulls() int {
+	return int(c.sum(func(cl *cell) int64 { return cl.pullFails.Load() }))
+}
 
 // Snapshot is an immutable copy of the counters, convenient for aggregation
 // after a trial finishes.
@@ -83,7 +240,7 @@ type Snapshot struct {
 	UnansweredPulls int
 }
 
-// Snapshot captures the current counter values.
+// Snapshot merges every shard into the current counter values.
 func (c *Counters) Snapshot() Snapshot {
 	return Snapshot{
 		Rounds:          c.Rounds(),

@@ -117,3 +117,83 @@ func TestSnapshotString(t *testing.T) {
 		t.Fatal("empty String()")
 	}
 }
+
+// TestShardedWritesMergeIdentically drives the same logical workload through
+// different shard spreads — all on shard 0, striped across shards serially,
+// and striped concurrently — and requires byte-identical snapshots: sums and
+// maxes are commutative, so sharding must never be observable in the merge.
+func TestShardedWritesMergeIdentically(t *testing.T) {
+	deltas := make([]Delta, 64)
+	for i := range deltas {
+		deltas[i] = Delta{
+			Rounds:     1,
+			Messages:   int64(2 + i%5),
+			Bits:       int64(100 * (i + 1)),
+			MaxMsgBits: int64(50 + (i*37)%200),
+			Pushes:     int64(i % 3),
+			Pulls:      int64(i % 4),
+			PullFails:  int64(i % 2),
+		}
+	}
+	var flat Counters
+	for _, d := range deltas {
+		flat.AddDelta(0, d)
+	}
+	want := flat.Snapshot()
+
+	var striped Counters
+	for i, d := range deltas {
+		striped.AddDelta(i, d)
+	}
+	if got := striped.Snapshot(); got != want {
+		t.Fatalf("serial striping diverged: %+v != %+v", got, want)
+	}
+
+	for _, workers := range []int{2, 4, 16} {
+		var conc Counters
+		var wg sync.WaitGroup
+		per := len(deltas) / workers
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func(w int) {
+				defer wg.Done()
+				sh := conc.Shard(w)
+				for _, d := range deltas[w*per : (w+1)*per] {
+					sh.Add(d)
+				}
+			}(w)
+		}
+		wg.Wait()
+		if got := conc.Snapshot(); got != want {
+			t.Fatalf("workers=%d: concurrent striping diverged: %+v != %+v", workers, got, want)
+		}
+	}
+}
+
+func TestDeltaOfRoundTrip(t *testing.T) {
+	var c Counters
+	c.AddRound()
+	c.AddPush()
+	c.AddMessage(64)
+	c.AddPull(true)
+	c.AddMessage(128)
+	c.AddPull(false)
+	want := c.Snapshot()
+
+	var folded Counters
+	folded.AddDelta(7, DeltaOf(want))
+	if got := folded.Snapshot(); got != want {
+		t.Fatalf("DeltaOf round trip: %+v != %+v", got, want)
+	}
+}
+
+func TestCountersReset(t *testing.T) {
+	var c Counters
+	for i := 0; i < ShardCount+3; i++ {
+		c.AddDelta(i, Delta{Rounds: 1, Messages: 2, Bits: 3, MaxMsgBits: 9, Pushes: 1, Pulls: 1, PullFails: 1})
+	}
+	c.Reset()
+	if got := c.Snapshot(); got != (Snapshot{}) {
+		t.Fatalf("Reset left %+v", got)
+	}
+}

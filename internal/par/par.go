@@ -53,6 +53,48 @@ func ForN(workers, n int, fn func(i int)) {
 	wg.Wait()
 }
 
+// Chunks partitions [0, n) into up to workers contiguous blocks and invokes
+// fn(w, lo, hi) with the block's worker index, one goroutine per block (the
+// caller's goroutine when a single block suffices). Unlike ForN it has no
+// small-n sequential cutoff: even a handful of expensive items (Monte-Carlo
+// trials) spread across workers. The worker index lets the callee pick
+// per-worker resources — a pooled arena, a counter shard — without locking.
+// The partition is deterministic: block w always covers the same index range
+// for a given (workers, n).
+func Chunks(workers, n int, fn func(worker, lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		fn(0, 0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	block := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * block
+		if lo >= n {
+			break
+		}
+		hi := lo + block
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			fn(w, lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+}
+
 // ForNChunked is like ForN but hands each worker whole (lo, hi) ranges,
 // letting the callee amortize per-chunk setup (e.g. a scratch buffer).
 func ForNChunked(workers, n int, fn func(lo, hi int)) {

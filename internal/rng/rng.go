@@ -67,10 +67,26 @@ func (r *Source) Reseed(seed uint64) {
 // the parent stream is not advanced, so splitting is itself deterministic and
 // order-independent.
 func (r *Source) Split(index uint64) *Source {
+	var dst Source
+	r.SplitInto(index, &dst)
+	return &dst
+}
+
+// SplitSeed returns the seed that Split(index) expands: deriving a stream via
+// New(r.SplitSeed(i)) or dst.Reseed(r.SplitSeed(i)) is byte-identical to
+// Split(i). It exists so pooled callers can re-derive per-agent streams into
+// reused Sources without allocating.
+func (r *Source) SplitSeed(index uint64) uint64 {
 	// Combine the full parent state so streams split from different parents
 	// differ even for equal indices.
 	h := Mix64(r.s[0]^bits.RotateLeft64(r.s[2], 17), r.s[1]^bits.RotateLeft64(r.s[3], 31))
-	return New(Mix64(h, index))
+	return Mix64(h, index)
+}
+
+// SplitInto reseeds dst in place to the exact stream Split(index) would
+// return, without allocating. The parent stream is not advanced.
+func (r *Source) SplitInto(index uint64, dst *Source) {
+	dst.Reseed(r.SplitSeed(index))
 }
 
 // Uint64 returns the next 64 uniformly distributed bits.

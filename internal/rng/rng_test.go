@@ -339,3 +339,22 @@ func BenchmarkUint64n(b *testing.B) {
 	}
 	_ = sink
 }
+
+func TestSplitIntoMatchesSplit(t *testing.T) {
+	parent := New(42)
+	for idx := uint64(0); idx < 8; idx++ {
+		want := parent.Split(idx)
+		var got Source
+		parent.SplitInto(idx, &got)
+		viaSeed := New(parent.SplitSeed(idx))
+		for i := 0; i < 64; i++ {
+			w := want.Uint64()
+			if g := got.Uint64(); g != w {
+				t.Fatalf("index %d draw %d: SplitInto diverged from Split", idx, i)
+			}
+			if g := viaSeed.Uint64(); g != w {
+				t.Fatalf("index %d draw %d: New(SplitSeed) diverged from Split", idx, i)
+			}
+		}
+	}
+}

@@ -2,8 +2,10 @@ package scenario
 
 import (
 	"fmt"
+	"sync"
 
 	"repro/internal/core"
+	"repro/internal/gossip"
 	"repro/internal/metrics"
 	"repro/internal/par"
 	"repro/internal/rational"
@@ -27,12 +29,18 @@ type Result struct {
 	// CoalitionColorWon reports whether a coalition member's color won
 	// (game runs only).
 	CoalitionColorWon bool
-	// Agents exposes the honest agents of sync runs for deeper inspection.
+	// Agents exposes the honest agents of single sync runs (Run / RunSeed)
+	// for deeper inspection. Batched paths (Trials, TrialsInto, Stream) run
+	// over pooled per-worker state whose agents are recycled trial to trial,
+	// so their Results never carry Agents — everything else in a Result is a
+	// plain value and safe to retain.
 	Agents []*core.Agent
 }
 
 // Runner executes a validated scenario. Construct with NewRunner; a Runner
-// is immutable except for Trace and safe to reuse across seeds.
+// is immutable except for Trace, safe to reuse across seeds, and safe for
+// concurrent batched calls (each batch worker draws a private run pool from
+// the runner's free list).
 type Runner struct {
 	s       Scenario
 	params  core.Params
@@ -40,13 +48,47 @@ type Runner struct {
 	dev     rational.Deviation // nil unless the scenario has a coalition
 	members []int
 
+	// Materialized once: every trial of a scenario shares the same colors and
+	// fault model, and all three are read-only during runs.
+	colors     []core.Color
+	faulty     []bool
+	sched      gossip.FaultSchedule
+	unreliable []bool
+
+	pools *poolList // reusable core.RunPool free list for batched trials
+
 	// Trace optionally receives engine events on every subsequent run.
 	Trace trace.Sink
 }
 
+// poolList is a concurrency-safe free list of run pools. It lives behind a
+// pointer so the Runner value stays trivially copyable.
+type poolList struct {
+	mu   sync.Mutex
+	free []*core.RunPool
+}
+
+func (l *poolList) get() *core.RunPool {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n := len(l.free); n > 0 {
+		p := l.free[n-1]
+		l.free = l.free[:n-1]
+		return p
+	}
+	return &core.RunPool{}
+}
+
+func (l *poolList) put(p *core.RunPool) {
+	l.mu.Lock()
+	l.free = append(l.free, p)
+	l.mu.Unlock()
+}
+
 // NewRunner validates s (after applying defaults) and prepares everything
 // shared across its runs: protocol parameters, the (seeded) topology, the
-// deviation, and the coalition placement.
+// initial colors, the fault model, the deviation, and the coalition
+// placement.
 func NewRunner(s Scenario) (*Runner, error) {
 	s = s.WithDefaults()
 	if err := s.Validate(); err != nil {
@@ -60,7 +102,9 @@ func NewRunner(s Scenario) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &Runner{s: s, params: params, net: net}
+	r := &Runner{s: s, params: params, net: net, pools: &poolList{}}
+	r.colors = s.BuildColors()
+	r.faulty, r.sched, r.unreliable = s.BuildFaults()
 	if s.Coalition > 0 {
 		dev, err := rational.DeviationByName(s.Deviation)
 		if err != nil {
@@ -217,29 +261,159 @@ func (r *Runner) TrialSeeds(trials int) []uint64 {
 	base := rng.New(r.s.Seed)
 	seeds := make([]uint64, trials)
 	for i := range seeds {
-		seeds[i] = base.Split(uint64(i)).Uint64()
+		seeds[i] = trialSeed(base, i)
 	}
 	return seeds
+}
+
+// trialSeed derives the seed of trial i without allocating; it equals
+// TrialSeeds(i+1)[i].
+func trialSeed(base *rng.Source, i int) uint64 {
+	var s rng.Source
+	base.SplitInto(uint64(i), &s)
+	return s.Uint64()
 }
 
 // Trials executes a seed-batched Monte-Carlo experiment: trials independent
 // runs at split-off seeds, parallelized across the scenario's Workers. The
 // per-run engine parallelism is forced to 1 (trial-level parallelism
-// dominates and keeps runs deterministic).
+// dominates and keeps runs deterministic). Results carry no Agents — see
+// Result — but are otherwise identical to running RunSeed per trial seed.
 func (r *Runner) Trials(trials int) ([]Result, error) {
-	seeds := r.TrialSeeds(trials)
-	serial := *r
-	serial.s.Workers = 1
-	serial.Trace = nil
 	out := make([]Result, trials)
-	errs := make([]error, trials)
-	par.ForN(r.s.Workers, trials, func(i int) {
-		out[i], errs[i] = serial.RunSeed(seeds[i])
+	if err := r.TrialsInto(out); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// TrialsInto is Trials writing into a caller-owned slice (len(dst) trials),
+// so a loop that re-aggregates batches can reuse one buffer. Each worker
+// draws a reusable run pool from the runner, so steady-state batches allocate
+// almost nothing.
+func (r *Runner) TrialsInto(dst []Result) error {
+	return r.runBatch(rng.New(r.s.Seed), 0, dst, nil)
+}
+
+// runBatch executes trials start..start+len(dst) of the scenario's seed
+// stream into dst, spread over the scenario's Workers. Per-trial metrics are
+// optionally folded into agg, each worker writing its own counter shard.
+func (r *Runner) runBatch(base *rng.Source, start int, dst []Result, agg *metrics.Counters) error {
+	if len(dst) == 0 {
+		return nil
+	}
+	pooled := r.dev == nil && r.s.Scheduler != SchedulerAsync
+	errs := make([]error, len(dst))
+	par.Chunks(r.s.Workers, len(dst), func(worker, lo, hi int) {
+		var pool *core.RunPool
+		if pooled {
+			pool = r.pools.get()
+			defer r.pools.put(pool)
+		}
+		for i := lo; i < hi; i++ {
+			seed := trialSeed(base, start+i)
+			if pooled {
+				dst[i], errs[i] = r.runPooled(seed, pool)
+			} else {
+				serial := *r
+				serial.s.Workers = 1
+				serial.Trace = nil
+				dst[i], errs[i] = serial.RunSeed(seed)
+			}
+			dst[i].Agents = nil // batched results must not alias pool reuse
+			if agg != nil && errs[i] == nil {
+				agg.AddDelta(worker, metrics.DeltaOf(dst[i].Metrics))
+			}
+		}
 	})
 	for _, err := range errs {
 		if err != nil {
-			return nil, err
+			return err
 		}
 	}
-	return out, nil
+	return nil
+}
+
+// runPooled is the cooperative-sync trial path: one core.Run over the
+// runner's cached colors/faults and the worker's reusable pool.
+func (r *Runner) runPooled(seed uint64, pool *core.RunPool) (Result, error) {
+	res, err := core.Run(core.RunConfig{
+		Params:     r.params,
+		Colors:     r.colors,
+		Faulty:     r.faulty,
+		Faults:     r.sched,
+		Unreliable: r.unreliable,
+		Seed:       seed,
+		Topology:   r.net,
+		Workers:    1,
+		Pool:       pool,
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Outcome: res.Outcome,
+		Rounds:  res.Rounds,
+		Metrics: res.Metrics,
+		Good:    res.Good,
+		HasGood: true,
+	}, nil
+}
+
+// StreamOptions configures Runner.Stream.
+type StreamOptions struct {
+	// Trials is the total number of Monte-Carlo trials.
+	Trials int
+	// Chunk is how many trials are executed (and buffered) at a time; the
+	// stream's memory footprint is O(Chunk), independent of Trials. 0 picks a
+	// default that keeps every worker busy.
+	Chunk int
+	// Aggregate optionally accumulates every trial's communication metrics
+	// into one sharded Counters: each batch worker writes its own shard, so
+	// aggregation never contends, and the merged Snapshot is identical
+	// regardless of the worker count.
+	Aggregate *metrics.Counters
+}
+
+// DefaultStreamChunk is the Stream chunk size when StreamOptions.Chunk is 0.
+const DefaultStreamChunk = 256
+
+// Stream executes a bounded-memory Monte-Carlo experiment: exactly
+// opts.Trials runs at the same split-off seeds Trials would use, buffered
+// opts.Chunk at a time, with observe invoked sequentially in trial order
+// (observe may therefore accumulate running statistics without locking).
+// The Result passed to observe is only valid during the call — it is reused
+// for a later trial — and, like every batched result, carries no Agents.
+// Million-trial cells run in memory constant in Trials.
+func (r *Runner) Stream(opts StreamOptions, observe func(trial int, res *Result)) error {
+	if opts.Trials < 0 {
+		return fmt.Errorf("scenario: stream of %d trials", opts.Trials)
+	}
+	chunk := opts.Chunk
+	if chunk <= 0 {
+		chunk = DefaultStreamChunk
+	}
+	if chunk > opts.Trials {
+		chunk = opts.Trials
+	}
+	if chunk == 0 {
+		return nil
+	}
+	buf := make([]Result, chunk)
+	base := rng.New(r.s.Seed)
+	for start := 0; start < opts.Trials; start += chunk {
+		n := chunk
+		if rest := opts.Trials - start; n > rest {
+			n = rest
+		}
+		if err := r.runBatch(base, start, buf[:n], opts.Aggregate); err != nil {
+			return err
+		}
+		if observe != nil {
+			for i := range buf[:n] {
+				observe(start+i, &buf[i])
+			}
+		}
+	}
+	return nil
 }

@@ -1,0 +1,117 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/metrics"
+)
+
+// The batched paths (Trials / TrialsInto / Stream) run over pooled per-worker
+// state; these tests pin the contract that pooling must not be observable:
+// same results as per-seed RunSeed, in any chunking, at any worker count.
+
+func TestTrialsMatchesRunSeed(t *testing.T) {
+	s := Scenario{N: 64, Colors: 2, Seed: 9, Workers: 2,
+		Fault: FaultModel{Kind: FaultPermanent, Alpha: 0.25}}
+	r := MustRunner(s)
+	batch, err := r.Trials(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seeds := r.TrialSeeds(10)
+	for i, seed := range seeds {
+		single, err := MustRunner(s).RunSeed(seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if batch[i].Outcome != single.Outcome || batch[i].Metrics != single.Metrics ||
+			batch[i].Rounds != single.Rounds || batch[i].Good != single.Good {
+			t.Fatalf("trial %d: pooled batch result diverged from RunSeed", i)
+		}
+		if batch[i].Agents != nil {
+			t.Fatalf("trial %d: batched result leaked pooled agents", i)
+		}
+	}
+}
+
+func TestStreamMatchesTrials(t *testing.T) {
+	s := Scenario{N: 48, Colors: 2, Seed: 4, Workers: 3}
+	want, err := MustRunner(s).Trials(11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, chunk := range []int{1, 3, 11, 64} {
+		next := 0
+		err := MustRunner(s).Stream(StreamOptions{Trials: 11, Chunk: chunk},
+			func(i int, res *Result) {
+				if i != next {
+					t.Fatalf("chunk %d: observed trial %d, want %d (order broken)", chunk, i, next)
+				}
+				next++
+				if res.Outcome != want[i].Outcome || res.Metrics != want[i].Metrics {
+					t.Fatalf("chunk %d trial %d: stream result diverged from batch", chunk, i)
+				}
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if next != 11 {
+			t.Fatalf("chunk %d: observed %d trials, want 11", chunk, next)
+		}
+	}
+}
+
+// TestStreamAggregateDeterministicAcrossWorkers is the sharded-counter
+// determinism check: workers write disjoint metrics shards concurrently, and
+// the merged Snapshot must be byte-identical for any worker count — and equal
+// to the scalar sum of the per-trial snapshots.
+func TestStreamAggregateDeterministicAcrossWorkers(t *testing.T) {
+	base := Scenario{N: 64, Colors: 2, Seed: 21,
+		Fault: FaultModel{Kind: FaultPermanent, Alpha: 0.25}}
+	const trials = 24
+
+	var wantAgg metrics.Counters
+	results, err := MustRunner(base).Trials(trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, res := range results {
+		wantAgg.AddDelta(0, metrics.DeltaOf(res.Metrics))
+	}
+	want := wantAgg.Snapshot()
+
+	for _, workers := range []int{1, 2, 4} {
+		s := base
+		s.Workers = workers
+		var agg metrics.Counters
+		err := MustRunner(s).Stream(StreamOptions{Trials: trials, Chunk: 8, Aggregate: &agg}, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := agg.Snapshot(); got != want {
+			t.Fatalf("workers=%d: aggregate snapshot %+v, want %+v", workers, got, want)
+		}
+	}
+}
+
+func TestTrialsAllocBudget(t *testing.T) {
+	r := MustRunner(Scenario{N: 256, Colors: 2, Seed: 1, Workers: 1,
+		Fault: FaultModel{Kind: FaultPermanent, Alpha: 0.3}})
+	buf := make([]Result, 8)
+	// Warm the worker pool.
+	if err := r.TrialsInto(buf); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(3, func() {
+		if err := r.TrialsInto(buf); err != nil {
+			t.Fatal(err)
+		}
+	})
+	// One warmed 8-trial n=256 batch allocated ~444k objects before the
+	// overhaul and ~100 after; the budget pins the new steady state with
+	// headroom for map rehashing and Go-version variance.
+	const budget = 1024
+	if allocs > budget {
+		t.Fatalf("warmed 8-trial batch allocates %v objects, budget %d", allocs, budget)
+	}
+}

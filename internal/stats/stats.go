@@ -24,6 +24,157 @@ type Summary struct {
 	Median float64
 }
 
+// Running is a bounded-memory (Welford) accumulator for streaming samples:
+// count, mean, variance, min, and max in O(1) space, numerically stable over
+// millions of observations. The zero value is an empty accumulator. Use it
+// where Summarize would require materializing the whole sample.
+type Running struct {
+	n    int64
+	mean float64
+	m2   float64 // sum of squared deviations from the running mean
+	min  float64
+	max  float64
+}
+
+// Add folds one observation into the accumulator.
+func (r *Running) Add(x float64) {
+	if r.n == 0 {
+		r.min, r.max = x, x
+	} else {
+		if x < r.min {
+			r.min = x
+		}
+		if x > r.max {
+			r.max = x
+		}
+	}
+	r.n++
+	d := x - r.mean
+	r.mean += d / float64(r.n)
+	r.m2 += d * (x - r.mean)
+}
+
+// Merge folds another accumulator into this one (Chan et al. parallel
+// variance combination), so per-worker accumulators can be reduced.
+func (r *Running) Merge(o Running) {
+	if o.n == 0 {
+		return
+	}
+	if r.n == 0 {
+		*r = o
+		return
+	}
+	n := r.n + o.n
+	d := o.mean - r.mean
+	r.mean += d * float64(o.n) / float64(n)
+	r.m2 += o.m2 + d*d*float64(r.n)*float64(o.n)/float64(n)
+	r.n = n
+	if o.min < r.min {
+		r.min = o.min
+	}
+	if o.max > r.max {
+		r.max = o.max
+	}
+}
+
+// N returns the number of observations.
+func (r *Running) N() int { return int(r.n) }
+
+// Mean returns the running mean (0 for an empty accumulator).
+func (r *Running) Mean() float64 { return r.mean }
+
+// Var returns the unbiased sample variance.
+func (r *Running) Var() float64 {
+	if r.n < 2 {
+		return 0
+	}
+	return r.m2 / float64(r.n-1)
+}
+
+// Std returns the sample standard deviation.
+func (r *Running) Std() float64 { return math.Sqrt(r.Var()) }
+
+// Min returns the smallest observation (0 when empty).
+func (r *Running) Min() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.min
+}
+
+// Max returns the largest observation (0 when empty).
+func (r *Running) Max() float64 {
+	if r.n == 0 {
+		return 0
+	}
+	return r.max
+}
+
+// Summary converts the accumulator into a Summary. Median is not available
+// from a bounded-memory stream of arbitrary values and is reported as NaN;
+// use IntMedian when the observable is integral.
+func (r *Running) Summary() Summary {
+	return Summary{
+		N:      int(r.n),
+		Mean:   r.Mean(),
+		Var:    r.Var(),
+		Std:    r.Std(),
+		Min:    r.Min(),
+		Max:    r.Max(),
+		Median: math.NaN(),
+	}
+}
+
+// IntMedian computes exact order statistics of a stream of integers in
+// memory proportional to the number of *distinct* values — constant for
+// bounded observables like round counts or message sizes, regardless of how
+// many trials stream through. The zero value is ready to use.
+type IntMedian struct {
+	counts map[int]int64
+	n      int64
+}
+
+// Add folds one observation into the counting histogram.
+func (m *IntMedian) Add(x int) {
+	if m.counts == nil {
+		m.counts = make(map[int]int64)
+	}
+	m.counts[x]++
+	m.n++
+}
+
+// N returns the number of observations.
+func (m *IntMedian) N() int { return int(m.n) }
+
+// Median returns the exact sample median (mean of the two middle order
+// statistics for even counts; 0 when empty).
+func (m *IntMedian) Median() float64 {
+	if m.n == 0 {
+		return 0
+	}
+	keys := make([]int, 0, len(m.counts))
+	for k := range m.counts {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	lo := (m.n - 1) / 2 // 0-based ranks of the middle pair
+	hi := m.n / 2
+	var vlo, vhi float64
+	var seen int64
+	for _, k := range keys {
+		c := m.counts[k]
+		if seen <= lo && lo < seen+c {
+			vlo = float64(k)
+		}
+		if seen <= hi && hi < seen+c {
+			vhi = float64(k)
+			break
+		}
+		seen += c
+	}
+	return (vlo + vhi) / 2
+}
+
 // Summarize computes a Summary of xs. It returns a zero Summary for an empty
 // sample.
 func Summarize(xs []float64) Summary {

@@ -317,3 +317,83 @@ func TestKSUniformEdgeCases(t *testing.T) {
 		t.Fatalf("single-sample p = %v", p)
 	}
 }
+
+func TestRunningMatchesSummarize(t *testing.T) {
+	xs := make([]float64, 0, 1000)
+	r := 1.0
+	var run Running
+	for i := 0; i < 1000; i++ {
+		r = math.Mod(r*997.13+0.7, 37.0) // deterministic, uneven stream
+		xs = append(xs, r)
+		run.Add(r)
+	}
+	want := Summarize(xs)
+	if run.N() != want.N {
+		t.Fatalf("N = %d, want %d", run.N(), want.N)
+	}
+	for _, c := range []struct {
+		name      string
+		got, want float64
+	}{
+		{"mean", run.Mean(), want.Mean},
+		{"var", run.Var(), want.Var},
+		{"std", run.Std(), want.Std},
+		{"min", run.Min(), want.Min},
+		{"max", run.Max(), want.Max},
+	} {
+		if math.Abs(c.got-c.want) > 1e-9*math.Max(1, math.Abs(c.want)) {
+			t.Fatalf("%s = %v, want %v", c.name, c.got, c.want)
+		}
+	}
+}
+
+func TestRunningMerge(t *testing.T) {
+	var whole, a, b Running
+	for i := 0; i < 500; i++ {
+		x := float64((i*31)%97) / 7.0
+		whole.Add(x)
+		if i%3 == 0 {
+			a.Add(x)
+		} else {
+			b.Add(x)
+		}
+	}
+	a.Merge(b)
+	if a.N() != whole.N() {
+		t.Fatalf("merged N = %d, want %d", a.N(), whole.N())
+	}
+	if math.Abs(a.Mean()-whole.Mean()) > 1e-9 || math.Abs(a.Var()-whole.Var()) > 1e-9 {
+		t.Fatalf("merged moments (%v, %v) != whole (%v, %v)", a.Mean(), a.Var(), whole.Mean(), whole.Var())
+	}
+	if a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Fatalf("merged extremes diverged")
+	}
+
+	var empty Running
+	empty.Merge(a)
+	if empty.N() != a.N() || empty.Mean() != a.Mean() {
+		t.Fatal("merge into empty lost data")
+	}
+}
+
+func TestIntMedianMatchesSummarize(t *testing.T) {
+	for _, n := range []int{1, 2, 7, 100, 101} {
+		var m IntMedian
+		xs := make([]float64, 0, n)
+		for i := 0; i < n; i++ {
+			v := (i * 13) % 23
+			m.Add(v)
+			xs = append(xs, float64(v))
+		}
+		if got, want := m.Median(), Summarize(xs).Median; got != want {
+			t.Fatalf("n=%d: IntMedian = %v, Summarize median = %v", n, got, want)
+		}
+		if m.N() != n {
+			t.Fatalf("n=%d: N = %d", n, m.N())
+		}
+	}
+	var empty IntMedian
+	if empty.Median() != 0 || empty.N() != 0 {
+		t.Fatal("empty IntMedian not zero")
+	}
+}

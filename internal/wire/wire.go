@@ -42,6 +42,11 @@ func Encode(p any) ([]byte, error) {
 		buf := make([]byte, 1, 1+binary.MaxVarintLen64)
 		buf[0] = tagVote
 		return binary.AppendUvarint(buf, m.Value), nil
+	case *core.Vote:
+		if m == nil {
+			return nil, fmt.Errorf("wire: nil vote")
+		}
+		return Encode(*m)
 	case core.Intentions:
 		buf := make([]byte, 1, 1+2+len(m.Votes)*2*binary.MaxVarintLen64)
 		buf[0] = tagIntentions
