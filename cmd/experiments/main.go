@@ -13,13 +13,16 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
-	"repro/internal/scenario"
+	"repro/fairgossip"
 	"repro/internal/sim"
 )
 
@@ -35,7 +38,9 @@ func main() {
 	flag.Parse()
 
 	if *scenName != "" {
-		if err := runScenario(*scenName, *trials, *workers); err != nil {
+		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+		defer stop()
+		if err := runScenario(ctx, *scenName, *trials, *workers); err != nil {
 			fmt.Fprintln(os.Stderr, "experiments:", err)
 			os.Exit(1)
 		}
@@ -74,55 +79,39 @@ func main() {
 	fmt.Printf("regenerated %d artifacts in %s\n", len(tables), time.Since(start).Round(time.Millisecond))
 }
 
-// runScenario executes a Monte-Carlo batch of one registered scenario and
-// prints a compact summary — the quickest way to probe a new axis without
-// defining a table.
-func runScenario(name string, trials, workers int) error {
-	sc, ok := scenario.Lookup(name)
-	if !ok {
-		return fmt.Errorf("unknown scenario %q; registered: %s", name, strings.Join(scenario.Names(), ", "))
+// runScenario executes a Monte-Carlo batch of one registered scenario
+// through the public fairgossip API and prints a compact summary — the
+// quickest way to probe a new axis without defining a table.
+func runScenario(ctx context.Context, name string, trials, workers int) error {
+	sc, err := fairgossip.Lookup(name)
+	if err != nil {
+		return fmt.Errorf("%v; registered: %s", err, strings.Join(fairgossip.Names(), ", "))
 	}
 	sc.Workers = workers
-	runner, err := scenario.NewRunner(sc)
+	runner, err := fairgossip.NewRunner(sc)
 	if err != nil {
 		return err
 	}
 	start := time.Now()
-	results, err := runner.Trials(trials)
-	if err != nil {
+	var sum fairgossip.Summary
+	if err := runner.Stream(ctx, fairgossip.StreamOptions{Trials: trials},
+		func(_ int, res fairgossip.Result) { sum.Add(res) }); err != nil {
 		return err
 	}
-	ok2, good, coalWins := 0, 0, 0
-	hasGood := false
-	var rounds, msgs float64
-	for _, r := range results {
-		if !r.Outcome.Failed {
-			ok2++
-		}
-		if r.HasGood {
-			hasGood = true
-			if r.Good.Good() {
-				good++
-			}
-		}
-		if r.CoalitionColorWon {
-			coalWins++
-		}
-		rounds += float64(r.Rounds)
-		msgs += float64(r.Metrics.Messages)
-	}
-	t := float64(trials)
 	p := runner.Params()
-	fmt.Printf("scenario %s: n=%d |Σ|=%d γ=%.1f topology=%s scheduler=%s fault=%s\n",
-		name, p.N, p.NumColors, p.Gamma, runner.Topology().Name(),
-		runner.Scenario().Scheduler, runner.Scenario().Fault.Kind)
-	fmt.Printf("trials=%d success=%.1f%%", trials, 100*float64(ok2)/t)
-	if hasGood {
-		fmt.Printf(" good-exec=%.1f%%", 100*float64(good)/t)
+	fault := string(sc.Fault.Kind)
+	if sc.Fault.Drop > 0 {
+		fault = fmt.Sprintf("%s+drop(%g)", sc.Fault.Kind, sc.Fault.Drop)
 	}
-	fmt.Printf(" rounds(mean)=%.1f msgs(mean)=%.0f", rounds/t, msgs/t)
+	fmt.Printf("scenario %s: n=%d |Σ|=%d γ=%.1f topology=%s scheduler=%s fault=%s\n",
+		name, p.N, p.Colors, p.Gamma, sc.Topology, sc.Scheduler, fault)
+	fmt.Printf("trials=%d success=%.1f%%", sum.Trials, 100*sum.SuccessRate())
+	if sum.HasGood {
+		fmt.Printf(" good-exec=%.1f%%", 100*sum.GoodRate())
+	}
+	fmt.Printf(" rounds(mean)=%.1f msgs(mean)=%.0f", sum.MeanRounds(), sum.MeanMessages())
 	if sc.Coalition > 0 {
-		fmt.Printf(" coalition-win=%.1f%%", 100*float64(coalWins)/t)
+		fmt.Printf(" coalition-win=%.1f%%", 100*sum.CoalitionWinRate())
 	}
 	fmt.Printf(" (%s)\n", time.Since(start).Round(time.Millisecond))
 	return nil

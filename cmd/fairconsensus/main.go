@@ -1,7 +1,8 @@
 // Command fairconsensus runs one execution of the rational fair consensus
 // protocol (Protocol P) and reports the outcome and communication costs.
-// Every run is described by a declarative scenario (internal/scenario),
-// built either from the shape flags below or looked up by name.
+// Every run is described by a public fairgossip.Scenario, built from the
+// shape flags below, looked up by name, or decoded from a version-1 JSON
+// document.
 //
 // Examples:
 //
@@ -12,24 +13,31 @@
 //	fairconsensus -n 256 -topology regular8 # open-problem-1 exploration
 //	fairconsensus -n 128 -deviation min-k-liar -coalition 3 # rational attack
 //	fairconsensus -n 256 -alpha 0.25 -fault crash -fault-round 30
-//	fairconsensus -n 256 -colorinit zipf -zipf-s 1.5 -colors 4
+//	fairconsensus -n 256 -drop 0.05         # 5% probabilistic message loss
 //	fairconsensus -scenario churn           # a registered scenario by name
+//	fairconsensus -scenario-json run.json   # a version-1 scenario document
+//	fairconsensus -n 256 -dump-scenario     # print the canonical JSON and exit
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 
+	"repro/fairgossip"
+	"repro/internal/bridge"
 	"repro/internal/rational"
-	"repro/internal/scenario"
 	"repro/internal/trace"
 )
 
 func main() {
 	var (
 		scenarioName = flag.String("scenario", "", "run a registered scenario by name (see -list-scenarios); shape flags are ignored")
+		scenarioJSON = flag.String("scenario-json", "", "run a version-1 scenario JSON document from this file (- for stdin)")
 		listScen     = flag.Bool("list-scenarios", false, "print the scenario registry and exit")
+		dump         = flag.Bool("dump-scenario", false, "print the canonical scenario JSON instead of running")
 		n            = flag.Int("n", 256, "number of agents")
 		colors       = flag.Int("colors", 2, "number of colors |Σ|")
 		leader       = flag.Bool("leader", false, "fair leader election (every agent supports its own ID)")
@@ -41,6 +49,7 @@ func main() {
 		faultKind    = flag.String("fault", "", "fault model: none | permanent | crash | churn (default: permanent when -alpha > 0)")
 		faultRound   = flag.Int("fault-round", 30, "crash onset round for -fault crash")
 		churnPeriod  = flag.Int("churn-period", 8, "up/down interval in rounds for -fault churn")
+		drop         = flag.Float64("drop", 0, "probabilistic per-message loss rate in [0, 1)")
 		seed         = flag.Uint64("seed", 1, "master random seed")
 		async        = flag.Bool("async", false, "run the sequential (one agent per tick) adaptation")
 		topoName     = flag.String("topology", "complete", "complete | ring | regular<d> | er")
@@ -58,25 +67,43 @@ func main() {
 		return
 	}
 	if *listScen {
-		for _, name := range scenario.Names() {
+		for _, name := range fairgossip.Names() {
 			fmt.Println(name)
 		}
 		return
 	}
 
-	var sc scenario.Scenario
-	if *scenarioName != "" {
-		reg, ok := scenario.Lookup(*scenarioName)
-		if !ok {
-			fatal(fmt.Errorf("unknown scenario %q (see -list-scenarios)", *scenarioName))
+	var sc fairgossip.Scenario
+	switch {
+	case *scenarioName != "":
+		reg, err := fairgossip.Lookup(*scenarioName)
+		if err != nil {
+			fatal(fmt.Errorf("%v (see -list-scenarios)", err))
 		}
 		sc = reg
 		sc.Seed = *seed
-	} else {
-		sc = scenario.Scenario{
+
+	case *scenarioJSON != "":
+		doc, err := readDoc(*scenarioJSON)
+		if err != nil {
+			fatal(err)
+		}
+		sc, err = fairgossip.Decode(doc)
+		if err != nil {
+			fatal(err)
+		}
+		// An explicit -seed overrides the document's, mirroring the
+		// -scenario branch and cmd/serve's per-request override; the
+		// document's own seed stands otherwise.
+		if seedSet() {
+			sc.Seed = *seed
+		}
+
+	default:
+		sc = fairgossip.Scenario{
 			N:             *n,
 			Colors:        *colors,
-			ColorInit:     scenario.ColorInit(*colorInit),
+			ColorInit:     fairgossip.ColorInit(*colorInit),
 			SplitFraction: *split,
 			ZipfS:         *zipfS,
 			Gamma:         *gamma,
@@ -84,18 +111,18 @@ func main() {
 			Seed:          *seed,
 		}
 		if *leader {
-			sc.ColorInit = scenario.ColorsLeader
+			sc.ColorInit = fairgossip.ColorsLeader
 		}
 		if *async {
-			sc.Scheduler = scenario.SchedulerAsync
+			sc.Scheduler = fairgossip.SchedulerAsync
 		}
-		if *alpha > 0 {
-			kind := scenario.FaultKind(*faultKind)
-			if kind == "" {
-				kind = scenario.FaultPermanent
+		if *alpha > 0 || *drop > 0 {
+			kind := fairgossip.FaultKind(*faultKind)
+			if kind == "" && *alpha > 0 {
+				kind = fairgossip.FaultPermanent
 			}
-			sc.Fault = scenario.FaultModel{
-				Kind: kind, Alpha: *alpha, Round: *faultRound, Period: *churnPeriod,
+			sc.Fault = fairgossip.FaultModel{
+				Kind: kind, Alpha: *alpha, Round: *faultRound, Period: *churnPeriod, Drop: *drop,
 			}
 		}
 		if *deviation != "" {
@@ -107,39 +134,101 @@ func main() {
 		}
 	}
 
-	runner, err := scenario.NewRunner(sc)
+	if *dump {
+		doc, err := fairgossip.Encode(sc)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("%s\n", doc)
+		return
+	}
+
+	runner, err := fairgossip.NewRunner(sc)
 	if err != nil {
 		fatal(err)
 	}
-	if *traceRun {
-		runner.Trace = &trace.Writer{W: os.Stdout}
-	}
 	sc = runner.Scenario()
 	p := runner.Params()
-	fmt.Printf("protocol P: n=%d |Σ|=%d γ=%.1f q=%d m=%d rounds=%d topology=%s scheduler=%s fault=%s\n",
-		p.N, p.NumColors, p.Gamma, p.Q, p.M, p.TotalRounds(), runner.Topology().Name(),
-		sc.Scheduler, sc.Fault.Kind)
+	fmt.Printf("protocol P: n=%d |Σ|=%d γ=%.1f q=%d rounds=%d topology=%s scheduler=%s fault=%s\n",
+		p.N, p.Colors, p.Gamma, p.Q, p.Rounds, sc.Topology, sc.Scheduler, faultLabel(sc.Fault))
 
-	res, err := runner.Run()
+	res, err := runScenario(runner, sc, *traceRun)
 	if err != nil {
 		fatal(err)
 	}
 	switch {
-	case sc.Scheduler == scenario.SchedulerAsync:
+	case sc.Scheduler == fairgossip.SchedulerAsync:
 		fmt.Printf("outcome: %s after %d ticks (%.2f activations/agent)\n",
-			res.Outcome, res.Rounds, float64(res.Rounds)/float64(p.N))
+			outcome(res), res.Rounds, float64(res.Rounds)/float64(p.N))
 
 	case sc.Coalition > 0:
 		fmt.Printf("coalition: %v deviation: %s\n", runner.CoalitionMembers(), sc.Deviation)
-		fmt.Printf("outcome: %s (coalition color won: %v)\n", res.Outcome, res.CoalitionColorWon)
-		fmt.Printf("communication: %s\n", res.Metrics)
+		fmt.Printf("outcome: %s (coalition color won: %v)\n", outcome(res), res.CoalitionColorWon)
+		fmt.Printf("communication: %s\n", metrics(res))
 
 	default:
-		fmt.Printf("outcome: %s in %d rounds\n", res.Outcome, res.Rounds)
-		fmt.Printf("communication: %s\n", res.Metrics)
+		fmt.Printf("outcome: %s in %d rounds\n", outcome(res), res.Rounds)
+		fmt.Printf("communication: %s\n", metrics(res))
 		fmt.Printf("good execution (Definition 2): %v (votes per agent in [%d, %d], distinct k: %v, certs agree: %v)\n",
 			res.Good.Good(), res.Good.MinVotes, res.Good.MaxVotes, res.Good.DistinctK, res.Good.CertsAgree)
 	}
+}
+
+// seedSet reports whether -seed was given explicitly on the command line.
+func seedSet() bool {
+	set := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "seed" {
+			set = true
+		}
+	})
+	return set
+}
+
+// runScenario executes through the public API, or — for -trace, which needs
+// an engine event sink the public surface does not expose — through the
+// internal runner, snapshotting into the same public Result shape.
+func runScenario(runner *fairgossip.Runner, sc fairgossip.Scenario, traced bool) (fairgossip.Result, error) {
+	if !traced {
+		return runner.Run(context.Background())
+	}
+	inner, err := bridge.NewRunner(sc)
+	if err != nil {
+		return fairgossip.Result{}, err
+	}
+	inner.Trace = &trace.Writer{W: os.Stdout}
+	res, err := inner.Run()
+	if err != nil {
+		return fairgossip.Result{}, err
+	}
+	return bridge.ResultToPublic(res), nil
+}
+
+func faultLabel(f fairgossip.FaultModel) string {
+	if f.Drop > 0 {
+		return fmt.Sprintf("%s+drop(%g)", f.Kind, f.Drop)
+	}
+	return string(f.Kind)
+}
+
+func outcome(res fairgossip.Result) string {
+	if res.Failed {
+		return "⊥"
+	}
+	return fmt.Sprintf("color(%d)", res.Color)
+}
+
+func metrics(res fairgossip.Result) string {
+	m := res.Metrics
+	return fmt.Sprintf("rounds=%d msgs=%d bits=%d maxMsgBits=%d pushes=%d pulls=%d unanswered=%d",
+		m.Rounds, m.Messages, m.Bits, m.MaxMessageBits, m.Pushes, m.Pulls, m.UnansweredPulls)
+}
+
+func readDoc(path string) ([]byte, error) {
+	if path == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(path)
 }
 
 func fatal(err error) {

@@ -1,9 +1,12 @@
 // Command inspect runs one small protocol execution and prints a complete
 // transcript of its internal state: declarations, votes, lottery values, the
 // winning certificate, and every verifier's verdict. The run is described by
-// a declarative scenario and executed through core.Run for full state access.
+// a public fairgossip scenario (by shape flags, name, or JSON document) and
+// executed through internal/bridge + core.Run for full state access — the
+// one thing the public API deliberately does not expose.
 //
 //	go run ./cmd/inspect -n 8 -seed 3
+//	go run ./cmd/inspect -scenario-json run.json
 package main
 
 import (
@@ -11,32 +14,48 @@ import (
 	"fmt"
 	"os"
 
+	"repro/fairgossip"
+	"repro/internal/bridge"
 	"repro/internal/core"
 	"repro/internal/inspect"
-	"repro/internal/scenario"
 )
 
 func main() {
 	var (
-		n      = flag.Int("n", 8, "number of agents (keep small; the transcript is per-agent)")
-		colors = flag.Int("colors", 2, "number of colors")
-		gamma  = flag.Float64("gamma", 0, "phase-length constant (0 = protocol default)")
-		alpha  = flag.Float64("alpha", 0, "fault fraction")
-		seed   = flag.Uint64("seed", 1, "random seed")
+		n            = flag.Int("n", 8, "number of agents (keep small; the transcript is per-agent)")
+		colors       = flag.Int("colors", 2, "number of colors")
+		gamma        = flag.Float64("gamma", 0, "phase-length constant (0 = protocol default)")
+		alpha        = flag.Float64("alpha", 0, "fault fraction")
+		drop         = flag.Float64("drop", 0, "probabilistic per-message loss rate in [0, 1)")
+		seed         = flag.Uint64("seed", 1, "random seed")
+		scenarioJSON = flag.String("scenario-json", "", "inspect a version-1 scenario JSON document from this file instead of the shape flags")
 	)
 	flag.Parse()
 
-	sc := scenario.Scenario{N: *n, Colors: *colors, Gamma: *gamma, Seed: *seed}
-	if *alpha > 0 {
-		sc.Fault = scenario.FaultModel{Kind: scenario.FaultPermanent, Alpha: *alpha}
+	var sc fairgossip.Scenario
+	if *scenarioJSON != "" {
+		doc, err := os.ReadFile(*scenarioJSON)
+		if err != nil {
+			fatal(err)
+		}
+		if sc, err = fairgossip.Decode(doc); err != nil {
+			fatal(err)
+		}
+	} else {
+		sc = fairgossip.Scenario{N: *n, Colors: *colors, Gamma: *gamma, Seed: *seed}
+		if *alpha > 0 {
+			sc.Fault = fairgossip.FaultModel{Kind: fairgossip.FaultPermanent, Alpha: *alpha}
+		}
+		sc.Fault.Drop = *drop
 	}
-	runner, err := scenario.NewRunner(sc)
+	runner, err := bridge.NewRunner(sc)
 	if err != nil {
 		fatal(err)
 	}
-	// The inspector needs core.Run's full result, so it executes the
-	// scenario's core-level configuration directly.
-	res, err := core.Run(runner.RunConfig(*seed))
+	// The inspector needs core.Run's full result (agents and their
+	// transcripts), so it executes the scenario's core-level configuration
+	// directly through the bridge.
+	res, err := core.Run(runner.RunConfig(runner.Scenario().Seed))
 	if err != nil {
 		fatal(err)
 	}

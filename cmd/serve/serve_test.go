@@ -1,0 +1,172 @@
+package main
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/fairgossip"
+)
+
+func testServer(t *testing.T) *httptest.Server {
+	t.Helper()
+	srv := httptest.NewServer(newHandler(options{maxTrials: 10_000}))
+	t.Cleanup(srv.Close)
+	return srv
+}
+
+func postRun(t *testing.T, srv *httptest.Server, body string) (*http.Response, []byte) {
+	t.Helper()
+	resp, err := http.Post(srv.URL+"/v1/runs", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp, out
+}
+
+// TestRunByName is the basic happy path: schedule a registered scenario.
+func TestRunByName(t *testing.T) {
+	srv := testServer(t)
+	resp, body := postRun(t, srv, `{"name":"baseline","trials":5,"workers":2}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var rr runResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatalf("bad response %s: %v", body, err)
+	}
+	if rr.Trials != 5 || rr.Successes < 1 || rr.SuccessRate != float64(rr.Successes)/5 {
+		t.Fatalf("implausible summary: %s", body)
+	}
+	if rr.GoodExecutions == nil || rr.MeanRounds <= 0 || rr.MeanMessages <= 0 {
+		t.Fatalf("summary missing aggregates: %s", body)
+	}
+}
+
+// TestRunInlineScenarioRoundTrips is the e2e acceptance pin: an inline
+// version-1 scenario document is executed and echoed back in canonical
+// form, and that echo decodes to exactly the defaults-applied request.
+func TestRunInlineScenarioRoundTrips(t *testing.T) {
+	srv := testServer(t)
+	inline := fairgossip.Scenario{
+		N: 64, Colors: 2, Seed: 5,
+		Fault: fairgossip.FaultModel{Kind: fairgossip.FaultPermanent, Alpha: 0.25, Drop: 0.02},
+	}
+	doc, err := fairgossip.Encode(inline)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, body := postRun(t, srv, `{"scenario":`+string(doc)+`,"trials":4}`)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var rr runResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fairgossip.Decode(rr.Scenario)
+	if err != nil {
+		t.Fatalf("response scenario does not decode: %v\n%s", err, rr.Scenario)
+	}
+	if want := inline.WithDefaults(); !reflect.DeepEqual(got, want) {
+		t.Fatalf("scenario did not round-trip:\ngot  %+v\nwant %+v", got, want)
+	}
+	if rr.Trials != 4 {
+		t.Fatalf("ran %d trials, want 4", rr.Trials)
+	}
+}
+
+// TestRunSeedOverride pins the per-request override and determinism: the
+// same request twice is byte-identical, a different seed may differ.
+func TestRunSeedOverride(t *testing.T) {
+	srv := testServer(t)
+	_, a := postRun(t, srv, `{"name":"baseline","trials":3,"seed":42}`)
+	_, b := postRun(t, srv, `{"name":"baseline","trials":3,"seed":42}`)
+	a2, b2 := stripElapsed(t, a), stripElapsed(t, b)
+	if !reflect.DeepEqual(a2, b2) {
+		t.Fatalf("identical requests diverged:\n%s\n%s", a, b)
+	}
+	var rr runResponse
+	if err := json.Unmarshal(a, &rr); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fairgossip.Decode(rr.Scenario)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Seed != 42 {
+		t.Fatalf("seed override ignored: ran seed %d", got.Seed)
+	}
+}
+
+func stripElapsed(t *testing.T, body []byte) map[string]any {
+	t.Helper()
+	var m map[string]any
+	if err := json.Unmarshal(body, &m); err != nil {
+		t.Fatal(err)
+	}
+	delete(m, "elapsed_ms")
+	return m
+}
+
+// TestRunErrors pins the error taxonomy → status code mapping.
+func TestRunErrors(t *testing.T) {
+	srv := testServer(t)
+	cases := []struct {
+		name   string
+		body   string
+		status int
+		want   string
+	}{
+		{"unknown name", `{"name":"no-such","trials":3}`, http.StatusNotFound, "unknown scenario"},
+		{"invalid inline", `{"scenario":{"version":1,"n":1,"seed":1},"trials":3}`, http.StatusBadRequest, "invalid scenario"},
+		{"unversioned inline", `{"scenario":{"n":64,"seed":1},"trials":3}`, http.StatusBadRequest, "version"},
+		{"both name and scenario", `{"name":"baseline","scenario":{"version":1,"n":64,"seed":1},"trials":3}`, http.StatusBadRequest, "not both"},
+		{"neither", `{"trials":3}`, http.StatusBadRequest, "needs"},
+		{"no trials", `{"name":"baseline"}`, http.StatusBadRequest, "trials"},
+		{"trials over cap", `{"name":"baseline","trials":999999999}`, http.StatusBadRequest, "cap"},
+		{"unknown request field", `{"name":"baseline","trials":3,"bogus":1}`, http.StatusBadRequest, "bogus"},
+	}
+	for _, tc := range cases {
+		resp, body := postRun(t, srv, tc.body)
+		if resp.StatusCode != tc.status {
+			t.Errorf("%s: status %d, want %d (%s)", tc.name, resp.StatusCode, tc.status, body)
+		}
+		if !strings.Contains(string(body), tc.want) {
+			t.Errorf("%s: body %s does not mention %q", tc.name, body, tc.want)
+		}
+	}
+}
+
+// TestScenarioList pins GET /v1/scenarios: every registered scenario comes
+// back as a decodable canonical document.
+func TestScenarioList(t *testing.T) {
+	srv := testServer(t)
+	resp, err := http.Get(srv.URL + "/v1/scenarios")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var out map[string]json.RawMessage
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"baseline", "churn", "lossy-links"} {
+		doc, ok := out[name]
+		if !ok {
+			t.Fatalf("scenario list misses %q", name)
+		}
+		if _, err := fairgossip.Decode(doc); err != nil {
+			t.Errorf("%s: listed document does not decode: %v", name, err)
+		}
+	}
+}

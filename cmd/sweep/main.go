@@ -1,8 +1,9 @@
 // Command sweep runs a parameter sweep of Protocol P and emits one CSV row
 // per configuration × aggregate, convenient for plotting scaling behaviour.
-// Each (n, α) cell is a declarative scenario executed by scenario.Runner;
-// cell seeds are derived by rng splitting, so no two cells can share trial
-// seed streams (the additive seed+n+α·1e6 salt this replaces could collide).
+// Each (n, α) cell is a declarative scenario executed through the public
+// fairgossip API; cell seeds are derived by rng splitting, so no two cells
+// can share trial seed streams. Interrupting the process (SIGINT/SIGTERM)
+// cancels the in-flight cell promptly mid-batch via context cancellation.
 //
 // Two execution modes share the same CSV schema:
 //
@@ -21,14 +22,17 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"math"
 	"os"
+	"os/signal"
 	"strconv"
 	"strings"
+	"syscall"
 
-	"repro/internal/scenario"
+	"repro/fairgossip"
 	"repro/internal/sim"
 	"repro/internal/stats"
 )
@@ -38,6 +42,7 @@ func main() {
 		sizes      = flag.String("sizes", "128,256,512,1024", "comma-separated network sizes")
 		alphas     = flag.String("alphas", "0", "comma-separated fault fractions")
 		fault      = flag.String("fault", "permanent", "fault model applied at each α > 0: permanent | crash | churn")
+		drop       = flag.Float64("drop", 0, "probabilistic per-message loss rate applied to every cell")
 		gamma      = flag.Float64("gamma", 0, "phase-length constant γ (0 = protocol default)")
 		colors     = flag.Int("colors", 2, "number of colors")
 		trials     = flag.Int("trials", 50, "trials per configuration")
@@ -48,6 +53,9 @@ func main() {
 		checkpoint = flag.Int("checkpoint", 0, "with -stream, emit a partial aggregate to stderr every K trials (0 = off)")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	if !*stream && (*chunk > 0 || *checkpoint > 0) {
 		fatal(fmt.Errorf("-chunk and -checkpoint require -stream (batch mode materializes every trial)"))
@@ -65,24 +73,26 @@ func main() {
 	fmt.Println("n,alpha,gamma,trials,success_rate,rounds_median,messages_mean,bits_mean,max_msg_bits_median,good_exec_rate")
 	for _, n := range ns {
 		for _, alpha := range as {
-			sc := scenario.Scenario{
+			sc := fairgossip.Scenario{
 				N: n, Colors: *colors, Gamma: *gamma,
 				Seed:    sim.ConfigSeed(*seed, uint64(n), math.Float64bits(alpha)),
 				Workers: *workers,
+				Fault:   fairgossip.FaultModel{Drop: *drop},
 			}
 			if alpha > 0 {
-				sc.Fault = scenario.FaultModel{
-					Kind: scenario.FaultKind(*fault), Alpha: alpha, Round: 30, Period: 8,
-				}
+				sc.Fault.Kind = fairgossip.FaultKind(*fault)
+				sc.Fault.Alpha = alpha
+				sc.Fault.Round = 30
+				sc.Fault.Period = 8
 			}
-			runner, err := scenario.NewRunner(sc)
+			runner, err := fairgossip.NewRunner(sc)
 			if err != nil {
 				fatal(err)
 			}
 			var agg cellAggregate
 			if *stream {
-				err = runner.Stream(scenario.StreamOptions{Trials: *trials, Chunk: *chunk},
-					func(i int, res *scenario.Result) {
+				err = runner.Stream(ctx, fairgossip.StreamOptions{Trials: *trials, Chunk: *chunk},
+					func(i int, res fairgossip.Result) {
 						agg.add(res)
 						if *checkpoint > 0 && (i+1)%*checkpoint == 0 {
 							fmt.Fprintf(os.Stderr, "# checkpoint n=%d alpha=%g %s\n",
@@ -90,10 +100,10 @@ func main() {
 						}
 					})
 			} else {
-				var outs []scenario.Result
-				outs, err = runner.Trials(*trials)
+				var outs []fairgossip.Result
+				outs, err = runner.Trials(ctx, *trials)
 				for i := range outs {
-					agg.add(&outs[i])
+					agg.add(outs[i])
 				}
 			}
 			if err != nil {
@@ -114,8 +124,8 @@ type cellAggregate struct {
 	msgs, bits stats.Running
 }
 
-func (a *cellAggregate) add(res *scenario.Result) {
-	if !res.Outcome.Failed {
+func (a *cellAggregate) add(res fairgossip.Result) {
+	if res.Success() {
 		a.ok++
 	}
 	if res.HasGood && res.Good.Good() {

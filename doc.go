@@ -5,58 +5,77 @@
 // any constant fraction of worst-case permanent faults, and is a whp
 // t-strong equilibrium against coalitions of t = o(n/log n) rational agents.
 //
+// # Public API
+//
+// The supported surface is the fairgossip package — a versioned, public
+// re-export of the scenario layer. It offers the declarative Scenario type
+// (network size, initial-opinion distribution, γ, topology, fault model
+// including probabilistic message loss, scheduler, coalition, seed), a
+// strict version-1 JSON wire format (Encode / Decode, with the invariant
+// Decode(Encode(s)) == s.WithDefaults()), a registry of named settings, a
+// typed error taxonomy (ErrInvalidScenario, ErrUnknownScenario, wrapped
+// context errors), and context-aware execution: Runner.Run, Trials, and
+// Stream all take a Context and cancel promptly mid-batch. Results are
+// detached snapshots of plain values that never alias pooled memory.
+// fairgossip's exported signatures mention no internal types; everything
+// under internal/ remains free to change.
+//
+// cmd/serve is the API's first external consumer: an HTTP front end whose
+// POST /v1/runs takes scenario JSON (or a registered name) plus a trial
+// count and returns the aggregate summary, with the request context
+// cancelling abandoned batches.
+//
+// # Internal architecture
+//
 // The implementation lives under internal/, organized as three layers:
 //
 // Engine layer. internal/gossip holds one executor implementing the GOSSIP
 // delivery semantics (push/pull, self-op short-circuiting, fault silence,
-// trace emission, bit accounting) exactly once, with two thin schedulers
-// over it: the synchronous Engine and the sequential (one random agent per
-// tick) AsyncEngine. Fault models are pluggable FaultSchedules: permanent
-// quiescence, crash-at-round-r, and periodic churn.
+// probabilistic per-message loss, trace emission, bit accounting) exactly
+// once, with two thin schedulers over it: the synchronous Engine and the
+// sequential (one random agent per tick) AsyncEngine. Fault models are
+// pluggable FaultSchedules — permanent quiescence, crash-at-round-r,
+// periodic churn — and the orthogonal Drop rate loses any message crossing
+// a link with fixed probability from a seed-derived stream.
 //
 // Protocol layer. internal/core is Protocol P and its sequential-model
 // adaptation; internal/rational adds utilities, coalitions, and the
 // deviation library; internal/baseline holds the LOCAL-model election, HP
 // polling, and naive ablation comparators.
 //
-// Scenario layer. internal/scenario is the declarative front door: a
-// Scenario struct names the full setting (N, initial-opinion distribution —
-// uniform, split, Zipf-skewed, or leader-election —, γ, topology, fault
-// model, scheduler, coalition + deviation, seed), a registry holds named
-// settings, and a Runner executes single runs or seed-batched Monte-Carlo
-// trials through one code path. Every CLI, example, and experiment table
-// builds its runs from a Scenario; new axes are one-field additions.
+// Scenario layer. internal/scenario is the execution home of the
+// declarative front door fairgossip re-exports: the Scenario struct, the
+// registry (scenarios are stored defaults-applied at Register time), and
+// the Runner with single runs, pooled Monte-Carlo batches, and
+// bounded-memory streams (TrialsIntoContext / StreamContext carry the
+// cancellation the public API exposes). internal/bridge converts public
+// scenarios to internal ones for tools that need full-state access (the
+// inspector's agent transcripts, trace sinks, the equilibrium evaluator).
 //
 // Performance model. The Monte-Carlo hot path is pooled and (nearly)
 // allocation-free at steady state: published payloads are immutable, so the
 // Find-Min adopt path passes certificate pointers instead of deep-copying;
 // agents, their RNG streams (rng.Source.SplitInto), commitment logs, and the
-// engine's per-round buffers live in per-worker core.RunPools that
-// Runner.Trials/TrialsInto/Stream reset between trials; and metrics.Counters
-// is sharded into padded per-worker cells merged at Snapshot time, so
-// concurrent accounting never contends on a cache line. Ownership rule:
-// batched Results carry plain values only (never Agents — those are recycled
-// with the pool), while single Run/RunSeed results stay fully inspectable.
-// Allocation-budget tests (testing.AllocsPerRun) pin the steady state, and
-// CI gates `go test -bench=ScenarioRunnerBatch` against the committed
-// BENCH_BASELINE.json via cmd/benchdiff.
+// engine's per-round buffers live in per-worker core.RunPools that batched
+// runs reset between trials; and metrics.Counters is sharded into padded
+// per-worker cells merged at Snapshot time. Ownership rule: batched results
+// carry plain values only, and the public Result type makes that structural
+// (no reference fields at all). Allocation-budget tests pin the steady
+// state, and CI gates `go test -bench=ScenarioRunnerBatch` against the
+// committed BENCH_BASELINE.json via cmd/benchdiff.
 //
-// For experiments too large to materialize, Runner.Stream executes trials in
-// bounded memory — chunked batches feeding an in-order observer — and
-// internal/stats provides the matching streaming statistics (Running Welford
-// moments, IntMedian counting histograms); `cmd/sweep -stream -checkpoint K`
-// runs million-trial cells in constant memory with periodic partial
-// aggregates on stderr.
+// Supporting substrates: internal/sim (experiment tables T0–T8, E9–E11, now
+// built on the public API), internal/topo, internal/rng (splittable
+// xoshiro256**), internal/stats (streaming Welford moments, counting-
+// histogram medians), internal/metrics, internal/par, internal/trace,
+// internal/wire.
 //
-// Supporting substrates: internal/sim (experiment tables T0–T8, E9–E11),
-// internal/topo (complete / ring / regular / Erdős–Rényi graphs),
-// internal/rng (splittable xoshiro256**), internal/stats, internal/metrics,
-// internal/par, internal/trace, internal/wire.
-//
-// Entry points: cmd/fairconsensus (single runs, -scenario by name),
-// cmd/experiments (regenerate every table/figure, or Monte-Carlo one
-// scenario), cmd/sweep (CSV scaling sweeps), cmd/inspect (per-agent
-// transcripts), cmd/benchdiff (benchmark regression gate), and the runnable
-// walkthroughs under examples/. The root bench_test.go holds one benchmark
-// per experiment artifact plus the scenario batch baseline.
+// Entry points: cmd/serve (HTTP front end), cmd/fairconsensus (single runs;
+// -scenario by name, -scenario-json documents, -dump-scenario canonical
+// JSON), cmd/experiments (regenerate every table/figure, or Monte-Carlo one
+// scenario), cmd/sweep (CSV scaling sweeps; SIGINT cancels mid-cell),
+// cmd/inspect (per-agent transcripts), cmd/benchdiff (benchmark regression
+// gate), and the runnable walkthroughs under examples/ — all built on
+// fairgossip. The root bench_test.go holds one benchmark per experiment
+// artifact plus the scenario batch baseline.
 package repro

@@ -1,58 +1,74 @@
 // Rational adversary: Theorem 7 says Protocol P is a whp t-strong
-// equilibrium — no coalition of t = o(n/log n) deviating agents can increase
-// every member's expected utility. This example declares one coalition
-// scenario per deviation, derives the paired honest-vs-deviating evaluation
-// from it, and prints the utility comparison.
+// equilibrium — no coalition of t = o(n/log n) deviating agents can
+// increase every member's expected utility. This example declares one
+// coalition scenario per deviation through the public fairgossip API and
+// compares each against the honest profile: does deviating win the
+// coalition's color more often, and what does it cost in failed runs?
+//
+// (The full per-member utility evaluation with confidence intervals lives
+// in the T6 experiment table: `go run ./cmd/experiments -only T6`.)
 //
 //	go run ./examples/adversary
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/rational"
-	"repro/internal/scenario"
+	"repro/fairgossip"
 )
 
 func main() {
 	const n = 128
+	const coalition = 4
 	const trials = 250
+	ctx := context.Background()
+
+	// The honest profile: the same network with nobody deviating. A fair
+	// protocol should hand the coalition's colors their initial share.
+	honest, err := fairgossip.MustRunner(fairgossip.Scenario{
+		N: n, Colors: 2, Seed: 2024,
+	}).Trials(ctx, trials)
+	if err != nil {
+		log.Fatal(err)
+	}
+	honestFails := 0
+	for _, res := range honest {
+		if res.Failed {
+			honestFails++
+		}
+	}
+	fmt.Printf("honest profile: n = %d, %d trials, failure rate %.1f%%\n\n",
+		n, trials, 100*float64(honestFails)/trials)
 
 	for _, devName := range []string{"min-k-liar", "adaptive-self-voter", "min-promoter-silent"} {
-		runner, err := scenario.NewRunner(scenario.Scenario{
+		runner, err := fairgossip.NewRunner(fairgossip.Scenario{
 			N:         n,
 			Colors:    2,
-			Coalition: 4,
+			Coalition: coalition,
 			Deviation: devName,
 			Seed:      2024,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		// Failing hurts: utility −1 (χ = 1).
-		cfg, err := runner.EquilibriumConfig(trials, 1)
+		var sum fairgossip.Summary
+		err = runner.Stream(ctx, fairgossip.StreamOptions{Trials: trials},
+			func(_ int, res fairgossip.Result) { sum.Add(res) })
 		if err != nil {
 			log.Fatal(err)
 		}
-		rep, err := rational.EvaluateEquilibrium(cfg)
-		if err != nil {
-			log.Fatal(err)
-		}
-
-		fmt.Printf("deviation: %s (coalition %v, %d paired trials)\n", rep.Deviation, rep.Coalition, rep.Trials)
-		fmt.Printf("  coalition-color win rate: honest %.1f%% vs deviating %.1f%% (fair share %.1f%%)\n",
-			100*rep.HonestCoalitionWinRate, 100*rep.DevCoalitionWinRate, 100*rep.FairShare)
-		fmt.Printf("  failure rate:             honest %.1f%% vs deviating %.1f%%\n",
-			100*rep.HonestFailRate, 100*rep.DevFailRate)
-		for _, m := range rep.Members {
-			fmt.Printf("  member %3d: E[util] honest %+.3f, deviating %+.3f, gain %+.3f ± %.3f\n",
-				m.ID, m.HonestMean, m.DevMean, m.Gain, m.GainCI95)
-		}
-		if rep.SomeMemberDoesNotProfit() {
-			fmt.Println("  => equilibrium holds: no member profits significantly")
-		} else {
-			fmt.Println("  => WARNING: every member profited — equilibrium violated")
+		fmt.Printf("deviation: %s (coalition %v, %d trials)\n",
+			devName, runner.CoalitionMembers(), sum.Trials)
+		fmt.Printf("  coalition-color win rate: %.1f%%\n", 100*sum.CoalitionWinRate())
+		fmt.Printf("  failure rate:             %.1f%% (honest profile: %.1f%%)\n",
+			100*(1-sum.SuccessRate()), 100*float64(honestFails)/trials)
+		switch {
+		case sum.SuccessRate() < 0.99:
+			fmt.Println("  => deviating mostly burns the run — failing hurts every member")
+		default:
+			fmt.Println("  => no failure penalty; see T6 for the per-member utility comparison")
 		}
 		fmt.Println()
 	}

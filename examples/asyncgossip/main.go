@@ -1,17 +1,18 @@
 // Sequential GOSSIP: the paper's second open problem (Section 4) asks about
 // the asynchronous model where at each tick exactly one random agent wakes.
 // This example runs the library's local-clock adaptation of Protocol P —
-// declared as one async-scheduler scenario — and reports ticks-to-consensus
-// and the empirical fairness.
+// declared as one async-scheduler fairgossip scenario — and reports
+// ticks-to-consensus and the empirical fairness.
 //
 //	go run ./examples/asyncgossip
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/scenario"
+	"repro/fairgossip"
 )
 
 func main() {
@@ -20,14 +21,14 @@ func main() {
 
 	// The async adaptation needs a larger phase constant: local activation
 	// clocks drift by Θ(√(q·log n)), so phases must outgrow the skew. The
-	// scenario layer applies core.DefaultAsyncGamma automatically when the
+	// scenario layer applies the async default automatically when the
 	// scheduler is async and γ is left at its default.
-	runner, err := scenario.NewRunner(scenario.Scenario{
+	runner, err := fairgossip.NewRunner(fairgossip.Scenario{
 		N:             n,
 		Colors:        2,
-		ColorInit:     scenario.ColorsSplit,
+		ColorInit:     fairgossip.ColorsSplit,
 		SplitFraction: 0.7, // 70% color 0
-		Scheduler:     scenario.SchedulerAsync,
+		Scheduler:     fairgossip.SchedulerAsync,
 		Seed:          1,
 	})
 	if err != nil {
@@ -35,7 +36,7 @@ func main() {
 	}
 	params := runner.Params()
 
-	results, err := runner.Trials(trials)
+	results, err := runner.Trials(context.Background(), trials)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -44,19 +45,19 @@ func main() {
 	totalTicks := 0
 	for _, res := range results {
 		totalTicks += res.Rounds
-		if res.Outcome.Failed {
+		if res.Failed {
 			fails++
 			continue
 		}
-		wins[res.Outcome.Color]++
+		wins[res.Color]++
 	}
 
 	fmt.Printf("sequential GOSSIP, n = %d, initial support 70%%/30%%, %d runs\n", n, trials)
 	fmt.Printf("schedule: %d activations per agent (7q+1 with q = %d)\n",
-		params.TotalActivations(), params.Q)
+		params.Activations, params.Q)
 	fmt.Printf("mean ticks to consensus: %d (%.2f × n·activations)\n",
 		totalTicks/trials,
-		float64(totalTicks)/float64(trials)/float64(n*params.TotalActivations()))
+		float64(totalTicks)/float64(trials)/float64(n*params.Activations))
 	fmt.Printf("failures: %d/%d\n", fails, trials)
 	ok := trials - fails
 	fmt.Printf("color 0 won %.1f%% (fair: 70%%), color 1 won %.1f%% (fair: 30%%)\n",

@@ -2,49 +2,48 @@
 // consensus w.h.p. as long as the number of active agents is Ω(n), for any
 // fault fraction α < 1 (with γ chosen accordingly). This example sweeps α
 // and shows the success rate, and how a too-small γ breaks down first.
-// Every (α, γ) cell is one scenario executed as a Monte-Carlo batch.
+// Every (α, γ) cell is one fairgossip scenario executed as a Monte-Carlo
+// batch through the public API.
 //
 //	go run ./examples/faults
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/scenario"
+	"repro/fairgossip"
 )
 
 func main() {
 	const n = 192
 	const trials = 100
+	ctx := context.Background()
 
 	fmt.Printf("Protocol P under worst-case permanent faults (n = %d, %d trials each)\n\n", n, trials)
 	fmt.Println("alpha  gamma=1    gamma=3")
 	for _, alpha := range []float64{0, 0.2, 0.4, 0.6, 0.8} {
 		fmt.Printf("%.1f  ", alpha)
 		for gi, gamma := range []float64{1, 3} {
-			sc := scenario.Scenario{
+			sc := fairgossip.Scenario{
 				N: n, Colors: 2, Gamma: gamma,
 				Seed: uint64(alpha*100)*10 + uint64(gi) + 1,
 			}
 			if alpha > 0 {
-				sc.Fault = scenario.FaultModel{Kind: scenario.FaultPermanent, Alpha: alpha}
+				sc.Fault = fairgossip.FaultModel{Kind: fairgossip.FaultPermanent, Alpha: alpha}
 			}
-			runner, err := scenario.NewRunner(sc)
+			runner, err := fairgossip.NewRunner(sc)
 			if err != nil {
 				log.Fatal(err)
 			}
-			results, err := runner.Trials(trials)
+			var sum fairgossip.Summary
+			err = runner.Stream(ctx, fairgossip.StreamOptions{Trials: trials},
+				func(_ int, res fairgossip.Result) { sum.Add(res) })
 			if err != nil {
 				log.Fatal(err)
 			}
-			ok := 0
-			for _, res := range results {
-				if !res.Outcome.Failed {
-					ok++
-				}
-			}
-			fmt.Printf("   %3d%%    ", ok*100/trials)
+			fmt.Printf("   %3.0f%%    ", 100*sum.SuccessRate())
 		}
 		fmt.Println()
 	}

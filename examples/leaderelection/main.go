@@ -1,18 +1,19 @@
 // Leader election: the special case of fair consensus where every agent's
 // color is its own ID (Section 2), so consensus elects a uniformly random
-// active agent. This example declares the leader-election scenario, runs
-// many elections, and shows the empirical winner histogram converging to
-// uniform.
+// active agent. This example declares the leader-election scenario through
+// the public fairgossip API, runs many elections, and shows the empirical
+// winner histogram converging to uniform.
 //
 //	go run ./examples/leaderelection
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"strings"
 
-	"repro/internal/scenario"
+	"repro/fairgossip"
 	"repro/internal/stats"
 )
 
@@ -20,27 +21,29 @@ func main() {
 	const n = 24
 	const trials = 1200
 
-	runner, err := scenario.NewRunner(scenario.Scenario{
+	runner, err := fairgossip.NewRunner(fairgossip.Scenario{
 		N:         n,
-		ColorInit: scenario.ColorsLeader,
+		ColorInit: fairgossip.ColorsLeader,
 		Seed:      1,
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	results, err := runner.Trials(trials)
-	if err != nil {
-		log.Fatal(err)
-	}
+	// Stream rather than materialize: the histogram is the only state, so
+	// the election count could grow unbounded without growing memory.
 	wins := make([]int, n)
 	fails := 0
-	for _, res := range results {
-		if res.Outcome.Failed {
-			fails++
-			continue
-		}
-		wins[res.Outcome.Color]++
+	err = runner.Stream(context.Background(), fairgossip.StreamOptions{Trials: trials},
+		func(_ int, res fairgossip.Result) {
+			if res.Failed {
+				fails++
+				return
+			}
+			wins[res.Color]++
+		})
+	if err != nil {
+		log.Fatal(err)
 	}
 
 	fmt.Printf("fair leader election: n = %d agents, %d elections (%d failed)\n", n, trials, fails)

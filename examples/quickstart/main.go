@@ -1,25 +1,27 @@
 // Quickstart: run rational fair consensus once on a complete network of 128
 // agents split 60/40 between two colors, and inspect the result. The whole
-// setting is one declarative scenario.Scenario value.
+// setting is one declarative fairgossip.Scenario value executed through the
+// public API.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
-	"repro/internal/scenario"
+	"repro/fairgossip"
 )
 
 func main() {
 	// Protocol parameters: 128 agents, |Σ| = 2 colors, the library default
 	// γ, and 60% of agents initially supporting color 0. Fairness
 	// (Theorem 4) says color 0 should win with probability 0.6.
-	runner, err := scenario.NewRunner(scenario.Scenario{
+	runner, err := fairgossip.NewRunner(fairgossip.Scenario{
 		N:             128,
 		Colors:        2,
-		ColorInit:     scenario.ColorsSplit,
+		ColorInit:     fairgossip.ColorsSplit,
 		SplitFraction: 0.6,
 		Seed:          42,
 	})
@@ -28,21 +30,23 @@ func main() {
 	}
 	params := runner.Params()
 
-	res, err := runner.Run()
+	res, err := runner.Run(context.Background())
 	if err != nil {
 		log.Fatal(err)
 	}
 
 	fmt.Printf("agents: %d, colors: 60%%/40%%, q = %d rounds per phase\n", params.N, params.Q)
-	fmt.Printf("outcome: %v (consensus on a single color; ⊥ would mean failure)\n", res.Outcome)
-	fmt.Printf("rounds: %d (schedule: 4q+1 = %d)\n", res.Rounds, params.TotalRounds())
+	fmt.Printf("outcome: %v (consensus on a single color; ⊥ would mean failure)\n", res)
+	fmt.Printf("rounds: %d (schedule: 4q+1 = %d)\n", res.Rounds, params.Rounds)
 	fmt.Printf("communication: %d messages, %d bits total, largest message %d bits\n",
 		res.Metrics.Messages, res.Metrics.Bits, res.Metrics.MaxMessageBits)
 	fmt.Printf("good execution (Definition 2): %v\n", res.Good.Good())
 
-	// Every honest agent decided the same color:
-	for _, a := range res.Agents[:3] {
-		fmt.Printf("  agent %d decided color %d\n", a.ID(), a.FinalColor())
+	// The same Scenario has a canonical JSON wire form — the document
+	// cmd/serve accepts over HTTP:
+	doc, err := fairgossip.Encode(runner.Scenario())
+	if err != nil {
+		log.Fatal(err)
 	}
-	fmt.Println("  ...")
+	fmt.Printf("wire form:\n%s\n", doc)
 }

@@ -1,0 +1,127 @@
+package fairgossip_test
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/fairgossip"
+	"repro/internal/scenario"
+)
+
+// TestNoInternalTypesInPublicSignatures is the acceptance pin of the API
+// redesign: nothing reachable from fairgossip's exported surface — struct
+// fields, method parameters, method results — may mention a type from an
+// internal package. The walk covers every exported type transitively, so a
+// leak cannot hide behind one level of indirection.
+func TestNoInternalTypesInPublicSignatures(t *testing.T) {
+	roots := []reflect.Type{
+		reflect.TypeOf(fairgossip.Scenario{}),
+		reflect.TypeOf(fairgossip.FaultModel{}),
+		reflect.TypeOf(fairgossip.Result{}),
+		reflect.TypeOf(fairgossip.Metrics{}),
+		reflect.TypeOf(fairgossip.GoodExecution{}),
+		reflect.TypeOf(fairgossip.Params{}),
+		reflect.TypeOf(fairgossip.Summary{}),
+		reflect.TypeOf(fairgossip.StreamOptions{}),
+		reflect.TypeOf(&fairgossip.Runner{}),
+		reflect.TypeOf(fairgossip.Encode),
+		reflect.TypeOf(fairgossip.Decode),
+		reflect.TypeOf(fairgossip.Register),
+		reflect.TypeOf(fairgossip.Lookup),
+		reflect.TypeOf(fairgossip.Names),
+		reflect.TypeOf(fairgossip.NewRunner),
+	}
+	seen := map[reflect.Type]bool{}
+	var check func(typ reflect.Type, path string)
+	check = func(typ reflect.Type, path string) {
+		if typ == nil || seen[typ] {
+			return
+		}
+		seen[typ] = true
+		if strings.Contains(typ.PkgPath(), "internal") {
+			t.Errorf("%s: internal type %v leaks into the public surface", path, typ)
+			return
+		}
+		switch typ.Kind() {
+		case reflect.Ptr, reflect.Slice, reflect.Array, reflect.Chan:
+			check(typ.Elem(), path+"/elem")
+		case reflect.Map:
+			check(typ.Key(), path+"/key")
+			check(typ.Elem(), path+"/elem")
+		case reflect.Func:
+			for i := 0; i < typ.NumIn(); i++ {
+				check(typ.In(i), path+"/in")
+			}
+			for i := 0; i < typ.NumOut(); i++ {
+				check(typ.Out(i), path+"/out")
+			}
+		case reflect.Struct:
+			for i := 0; i < typ.NumField(); i++ {
+				f := typ.Field(i)
+				if !f.IsExported() {
+					continue // unexported fields are not part of the surface
+				}
+				check(f.Type, path+"."+f.Name)
+			}
+		}
+		// Exported methods are part of the surface wherever they hang.
+		for i := 0; i < typ.NumMethod(); i++ {
+			m := typ.Method(i)
+			if m.IsExported() {
+				check(m.Type, path+"."+m.Name+"()")
+			}
+		}
+	}
+	for _, root := range roots {
+		check(root, root.String())
+	}
+}
+
+// TestResultIsDetached pins the ownership contract structurally: a Result
+// (and everything in it) is built from plain values only — no pointers,
+// slices, maps, or interfaces — so it cannot alias the pooled per-worker
+// state recycled between trials.
+func TestResultIsDetached(t *testing.T) {
+	var check func(typ reflect.Type, path string)
+	check = func(typ reflect.Type, path string) {
+		switch typ.Kind() {
+		case reflect.Bool, reflect.Int, reflect.Int8, reflect.Int16, reflect.Int32, reflect.Int64,
+			reflect.Uint, reflect.Uint8, reflect.Uint16, reflect.Uint32, reflect.Uint64,
+			reflect.Float32, reflect.Float64, reflect.String:
+		case reflect.Struct:
+			for i := 0; i < typ.NumField(); i++ {
+				f := typ.Field(i)
+				check(f.Type, path+"."+f.Name)
+			}
+		default:
+			t.Errorf("%s: kind %v can alias shared memory; Result must be plain values", path, typ.Kind())
+		}
+	}
+	check(reflect.TypeOf(fairgossip.Result{}), "Result")
+	check(reflect.TypeOf(fairgossip.Summary{}), "Summary")
+}
+
+// TestScenarioFieldParity pins that the public Scenario and the internal
+// execution-layer Scenario stay field-for-field identical, so the private
+// conversions (and internal/bridge's) cannot silently drop an axis.
+func TestScenarioFieldParity(t *testing.T) {
+	fieldSet := func(typ reflect.Type) map[string]string {
+		out := map[string]string{}
+		for i := 0; i < typ.NumField(); i++ {
+			f := typ.Field(i)
+			out[f.Name] = f.Type.Kind().String()
+		}
+		return out
+	}
+	pub := fieldSet(reflect.TypeOf(fairgossip.Scenario{}))
+	inte := fieldSet(reflect.TypeOf(scenario.Scenario{}))
+	if !reflect.DeepEqual(pub, inte) {
+		t.Errorf("Scenario field sets diverged:\npublic:   %v\ninternal: %v", pub, inte)
+	}
+	pubF := fieldSet(reflect.TypeOf(fairgossip.FaultModel{}))
+	inteF := fieldSet(reflect.TypeOf(scenario.FaultModel{}))
+	if !reflect.DeepEqual(pubF, inteF) {
+		t.Errorf("FaultModel field sets diverged:\npublic:   %v\ninternal: %v", pubF, inteF)
+	}
+}

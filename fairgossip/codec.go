@@ -1,0 +1,59 @@
+package fairgossip
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+)
+
+// Version is the wire-format version this build writes and the only one it
+// accepts. Version-1 documents are a compatibility promise: they keep
+// decoding in every future release, new optional fields may appear, and a
+// field's meaning or default never changes within the version.
+const Version = 1
+
+// wireScenario is the flat version-1 document: the version field alongside
+// the scenario's own fields.
+type wireScenario struct {
+	Version int `json:"version"`
+	Scenario
+}
+
+// Encode renders a scenario as its canonical version-1 JSON document. The
+// scenario is validated and defaults-applied first, so the wire form always
+// spells out the fully effective setting — Decode(Encode(s)) equals
+// s.WithDefaults() for every valid s.
+func Encode(s Scenario) ([]byte, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return json.MarshalIndent(wireScenario{Version: Version, Scenario: s.WithDefaults()}, "", "  ")
+}
+
+// Decode parses a version-1 scenario document, strictly: unknown fields,
+// trailing data, missing or unsupported versions, and inconsistent field
+// values are all rejected with an error wrapping ErrInvalidScenario. On
+// success the returned scenario is defaults-applied and validated.
+func Decode(data []byte) (Scenario, error) {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var w wireScenario
+	if err := dec.Decode(&w); err != nil {
+		return Scenario{}, invalidf("%v", err)
+	}
+	if _, err := dec.Token(); !errors.Is(err, io.EOF) {
+		return Scenario{}, invalidf("trailing data after the scenario document")
+	}
+	if w.Version != Version {
+		if w.Version == 0 {
+			return Scenario{}, invalidf(`missing "version" field (this build speaks version %d)`, Version)
+		}
+		return Scenario{}, invalidf("unsupported version %d (this build speaks version %d)", w.Version, Version)
+	}
+	s := w.Scenario.WithDefaults()
+	if err := s.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return s, nil
+}

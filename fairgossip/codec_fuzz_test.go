@@ -1,0 +1,62 @@
+package fairgossip_test
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/fairgossip"
+)
+
+// FuzzDecode drives the strict codec with arbitrary documents. Anything
+// Decode accepts must satisfy the public contract: the result validates,
+// re-encodes canonically, and the canonical form round-trips to an
+// identical scenario (idempotence). Everything else must be rejected
+// without panicking.
+func FuzzDecode(f *testing.F) {
+	for _, name := range fairgossip.Names() {
+		s, err := fairgossip.Lookup(name)
+		if err != nil {
+			f.Fatal(err)
+		}
+		data, err := fairgossip.Encode(s)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"version":1,"n":64,"seed":3}`))
+	f.Add([]byte(`{"version":1,"n":64,"seed":1,"fault":{"kind":"crash","alpha":0.25,"round":30}}`))
+	f.Add([]byte(`{"version":1,"n":64,"seed":1,"fault":{"drop":0.2}}`))
+	f.Add([]byte(`{"version":1,"n":96,"seed":1,"scheduler":"async","gamma":9.5}`))
+	f.Add([]byte(`{"version":2,"n":64,"seed":1}`))
+	f.Add([]byte(`{"n":64}`))
+	f.Add([]byte(`{"version":1,"n":64,"seed":1} trailing`))
+	f.Add([]byte(`{"version":1,"n":64,"seed":1,"unknown_field":true}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`null`))
+	f.Add([]byte(``))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		s, err := fairgossip.Decode(data)
+		if err != nil {
+			return // rejected without panicking — fine
+		}
+		if err := s.Validate(); err != nil {
+			t.Fatalf("Decode accepted an invalid scenario %+v: %v", s, err)
+		}
+		if !reflect.DeepEqual(s, s.WithDefaults()) {
+			t.Fatalf("Decode returned a non-defaulted scenario %+v", s)
+		}
+		enc, err := fairgossip.Encode(s)
+		if err != nil {
+			t.Fatalf("decoded scenario %+v does not re-encode: %v", s, err)
+		}
+		s2, err := fairgossip.Decode(enc)
+		if err != nil {
+			t.Fatalf("canonical form of %+v does not decode: %v\n%s", s, err, enc)
+		}
+		if !reflect.DeepEqual(s, s2) {
+			t.Fatalf("codec not idempotent: %+v != %+v", s, s2)
+		}
+	})
+}

@@ -1,0 +1,184 @@
+package fairgossip_test
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/fairgossip"
+)
+
+// TestCodecRoundTripRegistry pins the codec's core invariant on every
+// built-in scenario: Decode(Encode(s)) == s.WithDefaults().
+func TestCodecRoundTripRegistry(t *testing.T) {
+	names := fairgossip.Names()
+	if len(names) < 12 {
+		t.Fatalf("registry suspiciously small: %v", names)
+	}
+	for _, name := range names {
+		s, err := fairgossip.Lookup(name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		data, err := fairgossip.Encode(s)
+		if err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		got, err := fairgossip.Decode(data)
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if want := s.WithDefaults(); !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: Decode(Encode(s)) = %+v, want %+v", name, got, want)
+		}
+	}
+}
+
+// TestCodecRoundTripSparse checks the invariant on sparse literals, where
+// defaults actually do work on decode.
+func TestCodecRoundTripSparse(t *testing.T) {
+	for _, s := range []fairgossip.Scenario{
+		{N: 64},
+		{N: 64, Seed: 42},
+		{N: 64, ColorInit: fairgossip.ColorsSplit},
+		{N: 64, ColorInit: fairgossip.ColorsZipf, Colors: 4},
+		{N: 96, Scheduler: fairgossip.SchedulerAsync},
+		{N: 64, Fault: fairgossip.FaultModel{Kind: fairgossip.FaultPermanent, Alpha: 0.25}},
+		{N: 64, Fault: fairgossip.FaultModel{Drop: 0.1}},
+		{N: 128, Coalition: 3, Deviation: "min-k-liar"},
+	} {
+		data, err := fairgossip.Encode(s)
+		if err != nil {
+			t.Fatalf("%+v: encode: %v", s, err)
+		}
+		got, err := fairgossip.Decode(data)
+		if err != nil {
+			t.Fatalf("%+v: decode: %v", s, err)
+		}
+		if want := s.WithDefaults(); !reflect.DeepEqual(got, want) {
+			t.Errorf("Decode(Encode(%+v)) = %+v, want %+v", s, got, want)
+		}
+	}
+}
+
+// TestDecodeStrictness pins the rejection side of the codec: unknown
+// fields, bad versions, trailing data, malformed JSON, and inconsistent
+// values all fail with ErrInvalidScenario.
+func TestDecodeStrictness(t *testing.T) {
+	cases := []struct {
+		name string
+		doc  string
+		want string // substring of the error
+	}{
+		{"unknown top-level field", `{"version":1,"n":64,"seed":1,"bogus":3}`, "bogus"},
+		{"unknown fault field", `{"version":1,"n":64,"seed":1,"fault":{"kindd":"crash"}}`, "kindd"},
+		{"missing version", `{"n":64,"seed":1}`, "version"},
+		{"future version", `{"version":2,"n":64,"seed":1}`, "unsupported version 2"},
+		{"trailing data", `{"version":1,"n":64,"seed":1} {}`, "trailing"},
+		{"not json", `not a scenario`, "invalid"},
+		{"wrong field type", `{"version":1,"n":"sixty-four","seed":1}`, "cannot unmarshal"},
+		{"negative seed", `{"version":1,"n":64,"seed":-1}`, "cannot unmarshal"},
+		{"invalid n", `{"version":1,"n":1,"seed":1}`, "out of range"},
+		{"invalid drop", `{"version":1,"n":64,"seed":1,"fault":{"drop":1.5}}`, "drop probability"},
+		{"unknown color init", `{"version":1,"n":64,"seed":1,"color_init":"striped"}`, "color init"},
+		{"unknown fault kind", `{"version":1,"n":64,"seed":1,"fault":{"kind":"byzantine"}}`, "fault kind"},
+	}
+	for _, tc := range cases {
+		_, err := fairgossip.Decode([]byte(tc.doc))
+		if err == nil {
+			t.Errorf("%s: decode accepted %s", tc.name, tc.doc)
+			continue
+		}
+		if !errors.Is(err, fairgossip.ErrInvalidScenario) {
+			t.Errorf("%s: error %v does not wrap ErrInvalidScenario", tc.name, err)
+		}
+		if !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: error %q does not mention %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestEncodeRejectsInvalid pins that the canonical wire form only ever
+// carries valid scenarios.
+func TestEncodeRejectsInvalid(t *testing.T) {
+	if _, err := fairgossip.Encode(fairgossip.Scenario{N: 1}); !errors.Is(err, fairgossip.ErrInvalidScenario) {
+		t.Fatalf("encode of invalid scenario: %v", err)
+	}
+}
+
+// TestGoldenWireFixtures pins the exact version-1 byte representation of
+// every built-in scenario. A diff here means the wire format changed —
+// which, within version 1, must only ever happen by adding fields whose
+// absence keeps old documents decoding identically. Regenerate with
+// GOLDEN_UPDATE=1 only alongside a deliberate, compatible schema addition.
+func TestGoldenWireFixtures(t *testing.T) {
+	dir := filepath.Join("testdata", "golden")
+	update := os.Getenv("GOLDEN_UPDATE") != ""
+	if update {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fixtures := map[string]bool{}
+	for _, name := range fairgossip.Names() {
+		fixtures[name+".json"] = true
+		s, err := fairgossip.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := fairgossip.Encode(s)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		got = append(got, '\n')
+		path := filepath.Join(dir, name+".json")
+		if update {
+			if err := os.WriteFile(path, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("%s: missing golden fixture (run with GOLDEN_UPDATE=1): %v", name, err)
+		}
+		if string(got) != string(want) {
+			t.Errorf("%s: wire form drifted from golden fixture:\ngot:\n%s\nwant:\n%s", name, got, want)
+		}
+	}
+	// Stale fixtures are as suspicious as missing ones.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if !fixtures[e.Name()] {
+			t.Errorf("stale fixture %s has no registered scenario", e.Name())
+		}
+	}
+}
+
+// TestGoldenFixturesDecode makes each committed fixture double as a
+// compatibility corpus: every one must decode to the registered scenario.
+func TestGoldenFixturesDecode(t *testing.T) {
+	for _, name := range fairgossip.Names() {
+		data, err := os.ReadFile(filepath.Join("testdata", "golden", name+".json"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := fairgossip.Decode(data)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		want, err := fairgossip.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s: fixture decodes to %+v, want %+v", name, got, want)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+// Package fairgossip is the public, versioned API of the rational fair
+// consensus reproduction (Clementi, Gualà, Proietti, Scornavacca, IPDPS
+// 2017): declarative scenarios, a strict JSON wire format for them, and
+// context-aware execution — single runs, Monte-Carlo batches, and
+// bounded-memory streams that cancel promptly mid-batch.
+//
+// # Scenarios
+//
+// A Scenario is a complete declarative description of one experiment
+// setting: network size, initial-opinion distribution, phase-length
+// constant γ, topology, fault model (permanent / crash / churn quiescence
+// plus probabilistic per-link message loss), scheduler, optional rational
+// coalition, and the master seed. Zero optional fields mean the documented
+// defaults; WithDefaults returns the fully effective setting and Validate
+// reports the first inconsistency, wrapping ErrInvalidScenario.
+//
+// Named settings live in a process-wide registry: Register stores a
+// defaults-applied scenario, Lookup retrieves it (ErrUnknownScenario when
+// absent), and the built-in library covers one scenario per experiment axis
+// of the reproduction (run Names to list them).
+//
+// # Wire format
+//
+// Encode and Decode convert scenarios to and from a flat, versioned JSON
+// document:
+//
+//	{
+//	  "version": 1,
+//	  "name": "baseline",
+//	  "n": 256,
+//	  "colors": 2,
+//	  ...
+//	  "fault": {"kind": "none"},
+//	  "scheduler": "sync",
+//	  "seed": 1
+//	}
+//
+// The codec is strict — unknown fields, trailing data, and unsupported
+// versions are rejected — and normalizing: Encode writes the
+// defaults-applied scenario, Decode applies defaults and validates, so
+// Decode(Encode(s)) equals s.WithDefaults() for every valid s. The version
+// field is this package's compatibility promise: version-1 documents keep
+// decoding in every future release; new optional fields may appear, but a
+// field's meaning or default never changes within version 1.
+//
+// # Execution
+//
+// NewRunner validates a scenario and prepares everything its runs share.
+// Run and RunSeed execute once; Trials runs a seed-split Monte-Carlo batch
+// parallelized across Scenario.Workers; Stream runs an arbitrarily large
+// experiment in memory bounded by the chunk size, invoking the observer in
+// trial order. All of them take a Context, and the batch workers re-check
+// it between trials, so cancelling a million-trial stream stops it promptly
+// (the returned error wraps context.Canceled).
+//
+// Every Result is a detached snapshot of plain values — nothing in it
+// aliases the pooled execution state reused between trials, so results are
+// always safe to retain. Summary folds results into the aggregate the HTTP
+// front end (cmd/serve) reports.
+//
+// The implementation lives under internal/; this package is the supported
+// surface, and none of its exported signatures mention internal types.
+package fairgossip

@@ -1,0 +1,16 @@
+package fairgossip
+
+import "errors"
+
+// The package's error taxonomy. Execution errors surface as one of these
+// sentinels (match with errors.Is), a context error (context.Canceled or
+// context.DeadlineExceeded, wrapped, when a run was cancelled mid-flight),
+// or a plain error for internal failures.
+var (
+	// ErrInvalidScenario wraps every scenario-consistency failure: bad field
+	// values from Validate, malformed or unversioned wire documents from
+	// Decode, and rejected registrations.
+	ErrInvalidScenario = errors.New("fairgossip: invalid scenario")
+	// ErrUnknownScenario reports a registry Lookup of an unregistered name.
+	ErrUnknownScenario = errors.New("fairgossip: unknown scenario")
+)

@@ -1,0 +1,107 @@
+package fairgossip_test
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"log"
+
+	"repro/fairgossip"
+)
+
+// A single run: declare the setting, execute it once, inspect the detached
+// result.
+func ExampleRunner_Run() {
+	runner, err := fairgossip.NewRunner(fairgossip.Scenario{
+		N:             64,
+		Colors:        2,
+		ColorInit:     fairgossip.ColorsSplit,
+		SplitFraction: 0.75,
+		Seed:          7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := runner.Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := runner.Params()
+	fmt.Printf("schedule: 4q+1 = %d rounds (q = %d)\n", p.Rounds, p.Q)
+	fmt.Printf("outcome: %s, good execution: %v\n", res, res.Good.Good())
+	// Output:
+	// schedule: 4q+1 = 73 rounds (q = 18)
+	// outcome: color(0) in 73 rounds, good execution: true
+}
+
+// A Monte-Carlo batch: run a registered scenario many times and fold the
+// results into a Summary.
+func ExampleRunner_Trials() {
+	sc, err := fairgossip.Lookup("baseline")
+	if err != nil {
+		log.Fatal(err)
+	}
+	sc.N = 64 // shrink the registered setting for a quick experiment
+	results, err := fairgossip.MustRunner(sc).Trials(context.Background(), 20)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var sum fairgossip.Summary
+	for _, res := range results {
+		sum.Add(res)
+	}
+	fmt.Printf("trials: %d, success rate: %.2f, mean rounds: %.0f\n",
+		sum.Trials, sum.SuccessRate(), sum.MeanRounds())
+	// Output:
+	// trials: 20, success rate: 1.00, mean rounds: 73
+}
+
+// A streaming experiment with cancellation: the stream runs in memory
+// bounded by the chunk size, the observer sees trials in order, and
+// cancelling the context stops the run promptly mid-batch — here after the
+// first chunk of what would otherwise be a million trials.
+func ExampleRunner_Stream() {
+	runner := fairgossip.MustRunner(fairgossip.Scenario{
+		N: 32, Colors: 2, Seed: 9, Workers: 1,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	observed := 0
+	err := runner.Stream(ctx, fairgossip.StreamOptions{Trials: 1_000_000, Chunk: 4},
+		func(trial int, res fairgossip.Result) {
+			observed++
+			if observed == 4 {
+				cancel() // seen enough
+			}
+		})
+	fmt.Printf("observed %d of 1000000 trials, cancelled: %v\n",
+		observed, errors.Is(err, context.Canceled))
+	// Output:
+	// observed 4 of 1000000 trials, cancelled: true
+}
+
+// The wire format: a version-1 JSON document decodes into a validated,
+// defaults-applied scenario ready to run.
+func ExampleDecode() {
+	doc := []byte(`{
+	  "version": 1,
+	  "n": 64,
+	  "fault": {"kind": "permanent", "alpha": 0.25},
+	  "seed": 3
+	}`)
+	sc, err := fairgossip.Decode(doc)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("defaults applied: colors=%d gamma=%g topology=%s scheduler=%s\n",
+		sc.Colors, sc.Gamma, sc.Topology, sc.Scheduler)
+	res, err := fairgossip.MustRunner(sc).Run(context.Background())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("outcome: %s\n", res)
+	// Output:
+	// defaults applied: colors=2 gamma=3 topology=complete scheduler=sync
+	// outcome: color(1) in 73 rounds
+}

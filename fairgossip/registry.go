@@ -1,0 +1,48 @@
+package fairgossip
+
+import (
+	"fmt"
+
+	"repro/internal/scenario"
+)
+
+// Register adds a named scenario to the process-wide registry. The scenario
+// is validated and stored with defaults applied, so Lookup always returns
+// the fully effective setting. Registering an invalid scenario or a
+// duplicate name fails; invalid scenarios wrap ErrInvalidScenario.
+//
+// The registry is shared with the repository's own tooling: the built-in
+// library (one scenario per experiment axis, e.g. "baseline", "churn",
+// "lossy-links") is pre-registered at init time.
+func Register(s Scenario) error {
+	if s.Name == "" {
+		return invalidf("registry scenarios need a name")
+	}
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if err := scenario.Register(s.internal()); err != nil {
+		return fmt.Errorf("fairgossip: %s", trimInternal(err))
+	}
+	return nil
+}
+
+// MustRegister is Register that panics on error, for init-time tables.
+func MustRegister(s Scenario) {
+	if err := Register(s); err != nil {
+		panic(err)
+	}
+}
+
+// Lookup returns the registered scenario by name, defaults applied. An
+// unregistered name yields an error wrapping ErrUnknownScenario.
+func Lookup(name string) (Scenario, error) {
+	s, ok := scenario.Lookup(name)
+	if !ok {
+		return Scenario{}, fmt.Errorf("%w: %q", ErrUnknownScenario, name)
+	}
+	return scenarioFromInternal(s), nil
+}
+
+// Names lists every registered scenario in sorted order.
+func Names() []string { return scenario.Names() }

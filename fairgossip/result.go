@@ -1,0 +1,187 @@
+package fairgossip
+
+import (
+	"fmt"
+
+	"repro/internal/scenario"
+)
+
+// Metrics is the communication accounting of one execution: message and bit
+// totals over every link crossing, the largest single message, and the
+// push/pull operation counts.
+type Metrics struct {
+	// Rounds is the number of accounted rounds (ticks under async).
+	Rounds int
+	// Messages counts every message that crossed a link, including lost ones
+	// — the sender pays whether or not delivery succeeds.
+	Messages int
+	// Bits is the total wire volume of those messages.
+	Bits int64
+	// MaxMessageBits is the largest single message (the paper's O(log² n)
+	// bound is on this).
+	MaxMessageBits int
+	// Pushes and Pulls count active operations; UnansweredPulls are pulls
+	// whose target was quiescent, refused, or whose exchange was lost.
+	Pushes          int
+	Pulls           int
+	UnansweredPulls int
+}
+
+// GoodExecution is the Definition-2 check of one cooperative synchronous
+// run: per-agent vote-count bounds, distinct lottery values, and
+// certificate agreement.
+type GoodExecution struct {
+	VoteLowerOK  bool // every active agent got ≥ expected/4 votes
+	VoteUpperOK  bool // every active agent got ≤ 4·expected votes
+	DistinctK    bool // the k lowest lottery values are distinct
+	CertsAgree   bool // all verifiers accept the same certificate
+	MinVotes     int  // smallest vote count over active agents
+	MaxVotes     int  // largest vote count over active agents
+	ActiveAgents int
+}
+
+// Good reports whether all Definition-2 properties hold.
+func (g GoodExecution) Good() bool {
+	return g.VoteLowerOK && g.VoteUpperOK && g.DistinctK && g.CertsAgree
+}
+
+// Result is the outcome of one scenario execution — a detached snapshot of
+// plain values. Nothing in a Result aliases the pooled per-worker state the
+// batched paths recycle between trials, so results from Run, Trials, and
+// Stream alike are always safe to retain, compare, and serialize.
+type Result struct {
+	// Failed reports the ⊥ outcome: some active agent failed, disagreed, or
+	// never decided. When false, Color is the agreed color.
+	Failed bool
+	Color  int
+	// Rounds is the synchronous round count, or the tick count under the
+	// async scheduler.
+	Rounds int
+	// Metrics is the execution's communication accounting.
+	Metrics Metrics
+	// Good is the Definition-2 check; valid only when HasGood (cooperative
+	// synchronous runs).
+	Good    GoodExecution
+	HasGood bool
+	// CoalitionColorWon reports whether a coalition member's color won
+	// (coalition runs only).
+	CoalitionColorWon bool
+}
+
+// Success reports whether the execution reached consensus.
+func (r Result) Success() bool { return !r.Failed }
+
+// String renders the result compactly.
+func (r Result) String() string {
+	if r.Failed {
+		return fmt.Sprintf("⊥ after %d rounds", r.Rounds)
+	}
+	return fmt.Sprintf("color(%d) in %d rounds", r.Color, r.Rounds)
+}
+
+// resultFromInternal snapshots an execution-layer result into the detached
+// public form. The internal Agents field is deliberately not carried over:
+// it may alias pooled memory, and the public contract is alias-free.
+func resultFromInternal(res scenario.Result) Result {
+	return Result{
+		Failed: res.Outcome.Failed,
+		Color:  int(res.Outcome.Color),
+		Rounds: res.Rounds,
+		Metrics: Metrics{
+			Rounds:          res.Metrics.Rounds,
+			Messages:        res.Metrics.Messages,
+			Bits:            res.Metrics.Bits,
+			MaxMessageBits:  res.Metrics.MaxMessageBits,
+			Pushes:          res.Metrics.Pushes,
+			Pulls:           res.Metrics.Pulls,
+			UnansweredPulls: res.Metrics.UnansweredPulls,
+		},
+		Good: GoodExecution{
+			VoteLowerOK:  res.Good.VoteLowerOK,
+			VoteUpperOK:  res.Good.VoteUpperOK,
+			DistinctK:    res.Good.DistinctK,
+			CertsAgree:   res.Good.CertsAgree,
+			MinVotes:     res.Good.MinVotes,
+			MaxVotes:     res.Good.MaxVotes,
+			ActiveAgents: res.Good.ActiveAgents,
+		},
+		HasGood:           res.HasGood,
+		CoalitionColorWon: res.CoalitionColorWon,
+	}
+}
+
+// Summary folds results into the aggregate a Monte-Carlo experiment
+// reports. The zero value is ready to use; Add it one Result at a time (it
+// is not safe for concurrent use — Stream's in-order observer is).
+type Summary struct {
+	Trials         int
+	Successes      int
+	GoodExecutions int
+	// HasGood reports whether any folded result carried a Definition-2
+	// check; GoodExecutions is meaningful only then.
+	HasGood       bool
+	CoalitionWins int
+	MinRounds     int
+	MaxRounds     int
+	TotalRounds   int64
+	TotalMessages int64
+	TotalBits     int64
+}
+
+// Add folds one result into the summary.
+func (s *Summary) Add(r Result) {
+	if s.Trials == 0 || r.Rounds < s.MinRounds {
+		s.MinRounds = r.Rounds
+	}
+	if r.Rounds > s.MaxRounds {
+		s.MaxRounds = r.Rounds
+	}
+	s.Trials++
+	if r.Success() {
+		s.Successes++
+	}
+	if r.HasGood {
+		s.HasGood = true
+		if r.Good.Good() {
+			s.GoodExecutions++
+		}
+	}
+	if r.CoalitionColorWon {
+		s.CoalitionWins++
+	}
+	s.TotalRounds += int64(r.Rounds)
+	s.TotalMessages += int64(r.Metrics.Messages)
+	s.TotalBits += r.Metrics.Bits
+}
+
+// SuccessRate is the fraction of successful trials (0 when empty).
+func (s Summary) SuccessRate() float64 { return s.rate(s.Successes) }
+
+// GoodRate is the fraction of good executions (0 when empty or !HasGood).
+func (s Summary) GoodRate() float64 { return s.rate(s.GoodExecutions) }
+
+// CoalitionWinRate is the fraction of trials a coalition color won.
+func (s Summary) CoalitionWinRate() float64 { return s.rate(s.CoalitionWins) }
+
+// MeanRounds is the mean round (or tick) count (0 when empty).
+func (s Summary) MeanRounds() float64 {
+	if s.Trials == 0 {
+		return 0
+	}
+	return float64(s.TotalRounds) / float64(s.Trials)
+}
+
+// MeanMessages is the mean message count (0 when empty).
+func (s Summary) MeanMessages() float64 {
+	if s.Trials == 0 {
+		return 0
+	}
+	return float64(s.TotalMessages) / float64(s.Trials)
+}
+
+func (s Summary) rate(count int) float64 {
+	if s.Trials == 0 {
+		return 0
+	}
+	return float64(count) / float64(s.Trials)
+}

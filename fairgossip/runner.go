@@ -1,0 +1,148 @@
+package fairgossip
+
+import (
+	"context"
+
+	"repro/internal/scenario"
+)
+
+// Params are the derived protocol parameters of a scenario — the quantities
+// Protocol P computes from (n, |Σ|, γ).
+type Params struct {
+	// N and Colors restate the scenario's network size and |Σ|.
+	N      int
+	Colors int
+	// Gamma is the effective phase-length constant.
+	Gamma float64
+	// Q is the phase length in rounds: ⌈γ·log₂ n⌉, at least 1.
+	Q int
+	// M is the vote-space size n³.
+	M uint64
+	// Rounds is the synchronous schedule length 4q+1.
+	Rounds int
+	// Activations is the per-agent schedule length 7q+1 of the sequential
+	// adaptation.
+	Activations int
+}
+
+// Runner executes a validated scenario. Construct with NewRunner; a Runner
+// is immutable, safe to reuse across seeds, and safe for concurrent calls
+// (each batch worker draws private pooled state).
+type Runner struct {
+	s     Scenario
+	inner *scenario.Runner
+}
+
+// NewRunner validates s (after applying defaults) and prepares everything
+// shared across its runs: protocol parameters, the seeded topology, initial
+// colors, the fault model, and the coalition placement. Invalid scenarios
+// yield an error wrapping ErrInvalidScenario.
+func NewRunner(s Scenario) (*Runner, error) {
+	inner, err := scenario.NewRunner(s.internal())
+	if err != nil {
+		return nil, invalidf("%s", trimInternal(err))
+	}
+	return &Runner{s: scenarioFromInternal(inner.Scenario()), inner: inner}, nil
+}
+
+// MustRunner is NewRunner that panics on error, for tests and examples.
+func MustRunner(s Scenario) *Runner {
+	r, err := NewRunner(s)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// Scenario returns the defaults-applied scenario the runner executes.
+func (r *Runner) Scenario() Scenario { return r.s }
+
+// Params returns the derived protocol parameters.
+func (r *Runner) Params() Params {
+	p := r.inner.Params()
+	return Params{
+		N:           p.N,
+		Colors:      p.NumColors,
+		Gamma:       p.Gamma,
+		Q:           p.Q,
+		M:           p.M,
+		Rounds:      p.TotalRounds(),
+		Activations: p.TotalActivations(),
+	}
+}
+
+// CoalitionMembers returns the deviating agents' IDs (nil for cooperative
+// scenarios).
+func (r *Runner) CoalitionMembers() []int { return r.inner.CoalitionMembers() }
+
+// Run executes the scenario once at its own seed. A nil ctx is treated as
+// context.Background(); a ctx already done returns its error immediately.
+func (r *Runner) Run(ctx context.Context) (Result, error) {
+	return r.RunSeed(ctx, r.s.Seed)
+}
+
+// RunSeed executes the scenario once at the given seed through the path its
+// scheduler and coalition select.
+func (r *Runner) RunSeed(ctx context.Context, seed uint64) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if err := ctx.Err(); err != nil {
+		return Result{}, err
+	}
+	res, err := r.inner.RunSeed(seed)
+	if err != nil {
+		return Result{}, err
+	}
+	return resultFromInternal(res), nil
+}
+
+// Trials executes a seed-batched Monte-Carlo experiment: trials independent
+// runs at seeds split off the scenario seed (so results are independent of
+// the worker count), parallelized across Scenario.Workers. Cancelling ctx
+// stops the batch promptly mid-flight; the partial results are discarded
+// and the returned error wraps context.Canceled.
+func (r *Runner) Trials(ctx context.Context, trials int) ([]Result, error) {
+	if trials < 0 {
+		return nil, invalidf("%d trials", trials)
+	}
+	out := make([]Result, 0, trials)
+	err := r.Stream(ctx, StreamOptions{Trials: trials}, func(_ int, res Result) {
+		out = append(out, res)
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// StreamOptions configures Runner.Stream.
+type StreamOptions struct {
+	// Trials is the total number of Monte-Carlo trials.
+	Trials int
+	// Chunk is how many trials are executed (and buffered) at a time; the
+	// stream's memory footprint is O(Chunk), independent of Trials. 0 picks
+	// a default that keeps every worker busy.
+	Chunk int
+}
+
+// Stream executes a bounded-memory Monte-Carlo experiment: exactly
+// opts.Trials runs at the same seeds Trials would use, buffered opts.Chunk
+// at a time, with observe invoked sequentially in trial order (observe may
+// therefore accumulate running statistics — e.g. a Summary — without
+// locking). Each observed Result is a detached snapshot, safe to retain.
+//
+// Cancelling ctx stops the stream promptly: batch workers re-check the
+// context between trials, no further chunks start, and the returned error
+// wraps context.Canceled (or context.DeadlineExceeded). Million-trial
+// experiments run in memory constant in Trials.
+func (r *Runner) Stream(ctx context.Context, opts StreamOptions, observe func(trial int, res Result)) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var inner func(int, *scenario.Result)
+	if observe != nil {
+		inner = func(i int, res *scenario.Result) { observe(i, resultFromInternal(*res)) }
+	}
+	return r.inner.StreamContext(ctx, scenario.StreamOptions{Trials: opts.Trials, Chunk: opts.Chunk}, inner)
+}

@@ -1,0 +1,164 @@
+package fairgossip_test
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/fairgossip"
+	"repro/internal/scenario"
+)
+
+// TestPublicResultsMatchInternal pins that the public surface is a faithful
+// view of the execution layer: every Result field equals the corresponding
+// internal one, trial for trial.
+func TestPublicResultsMatchInternal(t *testing.T) {
+	pub := fairgossip.Scenario{
+		N: 64, Colors: 2, Seed: 11, Workers: 2,
+		Fault: fairgossip.FaultModel{Kind: fairgossip.FaultPermanent, Alpha: 0.25},
+	}
+	got, err := fairgossip.MustRunner(pub).Trials(context.Background(), 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := scenario.MustRunner(scenario.Scenario{
+		N: 64, Colors: 2, Seed: 11, Workers: 2,
+		Fault: scenario.FaultModel{Kind: scenario.FaultPermanent, Alpha: 0.25},
+	}).Trials(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("got %d trials, want %d", len(got), len(want))
+	}
+	for i := range got {
+		w := want[i]
+		g := got[i]
+		if g.Failed != w.Outcome.Failed || g.Color != int(w.Outcome.Color) ||
+			g.Rounds != w.Rounds || g.HasGood != w.HasGood ||
+			g.Good.Good() != w.Good.Good() || g.Good.MinVotes != w.Good.MinVotes ||
+			g.Metrics.Messages != w.Metrics.Messages || g.Metrics.Bits != w.Metrics.Bits ||
+			g.Metrics.MaxMessageBits != w.Metrics.MaxMessageBits {
+			t.Errorf("trial %d: public %+v diverged from internal %+v", i, g, w)
+		}
+	}
+}
+
+// TestStreamCancelsPromptly is the cancellation pin: cancelling mid-stream
+// must stop a practically-unbounded run after at most a couple of chunks,
+// with the context error surfaced through errors.Is.
+func TestStreamCancelsPromptly(t *testing.T) {
+	r := fairgossip.MustRunner(fairgossip.Scenario{N: 32, Colors: 2, Seed: 5, Workers: 2})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	const chunk = 8
+	observed := 0
+	err := r.Stream(ctx, fairgossip.StreamOptions{Trials: 1 << 30, Chunk: chunk}, func(i int, res fairgossip.Result) {
+		observed++
+		if observed == 3 {
+			cancel()
+		}
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("stream error = %v, want context.Canceled", err)
+	}
+	// The cancel lands mid-chunk; the chunk in flight is abandoned, so a
+	// prompt stop observes at most the chunk that was already buffered.
+	if observed > 2*chunk {
+		t.Fatalf("observed %d trials after cancellation, want ≤ %d (stream did not stop promptly)", observed, 2*chunk)
+	}
+}
+
+// TestTrialsHonorPreCancelledContext pins the fast path: a context that is
+// already done never starts work.
+func TestTrialsHonorPreCancelledContext(t *testing.T) {
+	r := fairgossip.MustRunner(fairgossip.Scenario{N: 32, Colors: 2, Seed: 5})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := r.Trials(ctx, 100); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Trials error = %v, want context.Canceled", err)
+	}
+	if _, err := r.Run(ctx); !errors.Is(err, context.Canceled) {
+		t.Fatalf("Run error = %v, want context.Canceled", err)
+	}
+}
+
+// TestLossyScenario pins the message-loss axis end to end through the
+// public API: lossy runs are deterministic for a seed, observably lossier
+// than the fault-free setting, and still mostly succeed at a mild rate.
+func TestLossyScenario(t *testing.T) {
+	lossy := fairgossip.Scenario{N: 64, Colors: 2, Seed: 3, Fault: fairgossip.FaultModel{Drop: 0.1}}
+	a, err := fairgossip.MustRunner(lossy).Trials(context.Background(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := fairgossip.MustRunner(lossy).Trials(context.Background(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	clean, err := fairgossip.MustRunner(fairgossip.Scenario{N: 64, Colors: 2, Seed: 3}).Trials(context.Background(), 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lossyUnanswered, cleanUnanswered int
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trial %d: lossy run not reproducible: %+v vs %+v", i, a[i], b[i])
+		}
+		lossyUnanswered += a[i].Metrics.UnansweredPulls
+		cleanUnanswered += clean[i].Metrics.UnansweredPulls
+	}
+	if lossyUnanswered <= cleanUnanswered {
+		t.Fatalf("drop=0.1 produced %d unanswered pulls vs %d without loss — loss not taking effect",
+			lossyUnanswered, cleanUnanswered)
+	}
+}
+
+// TestSummary pins the aggregate arithmetic the HTTP front end reports.
+func TestSummary(t *testing.T) {
+	var s fairgossip.Summary
+	s.Add(fairgossip.Result{Rounds: 10, HasGood: true, Metrics: fairgossip.Metrics{Messages: 100, Bits: 1000}})
+	s.Add(fairgossip.Result{Failed: true, Rounds: 20, Metrics: fairgossip.Metrics{Messages: 300, Bits: 3000}})
+	if s.Trials != 2 || s.Successes != 1 || s.SuccessRate() != 0.5 {
+		t.Fatalf("summary counts wrong: %+v", s)
+	}
+	if s.MinRounds != 10 || s.MaxRounds != 20 || s.MeanRounds() != 15 {
+		t.Fatalf("summary rounds wrong: %+v", s)
+	}
+	if s.MeanMessages() != 200 || s.TotalBits != 4000 {
+		t.Fatalf("summary volume wrong: %+v", s)
+	}
+	if !s.HasGood || s.GoodRate() != 0 {
+		t.Fatalf("summary good-execution wrong: %+v", s)
+	}
+}
+
+// TestLookupUnknown pins the error taxonomy of the registry.
+func TestLookupUnknown(t *testing.T) {
+	if _, err := fairgossip.Lookup("no-such-scenario"); !errors.Is(err, fairgossip.ErrUnknownScenario) {
+		t.Fatalf("lookup error = %v, want ErrUnknownScenario", err)
+	}
+	if err := fairgossip.Register(fairgossip.Scenario{Name: "test-bad-public", N: 1}); !errors.Is(err, fairgossip.ErrInvalidScenario) {
+		t.Fatalf("register error = %v, want ErrInvalidScenario", err)
+	}
+	if _, err := fairgossip.NewRunner(fairgossip.Scenario{N: 0}); !errors.Is(err, fairgossip.ErrInvalidScenario) {
+		t.Fatalf("NewRunner error = %v, want ErrInvalidScenario", err)
+	}
+}
+
+// TestRegisterReturnsDefaulted pins the registry contract: Lookup hands
+// back the fully effective setting, not the sparse literal.
+func TestRegisterReturnsDefaulted(t *testing.T) {
+	if err := fairgossip.Register(fairgossip.Scenario{Name: "test-public-defaulted", N: 48}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := fairgossip.Lookup("test-public-defaulted")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Colors != 2 || got.Scheduler != fairgossip.SchedulerSync ||
+		got.ColorInit != fairgossip.ColorsUniform || got.Topology != "complete" ||
+		got.Fault.Kind != fairgossip.FaultNone || got.Gamma == 0 {
+		t.Fatalf("lookup returned non-defaulted scenario: %+v", got)
+	}
+}

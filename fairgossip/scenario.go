@@ -1,0 +1,200 @@
+package fairgossip
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/scenario"
+)
+
+// SchedulerKind selects the execution model.
+type SchedulerKind string
+
+// The two schedulers of the paper: synchronous rounds (Section 2) and the
+// sequential one-agent-per-tick model (Section 4, open problem 2).
+const (
+	SchedulerSync  SchedulerKind = "sync"
+	SchedulerAsync SchedulerKind = "async"
+)
+
+// ColorInit names the initial-opinion distribution.
+type ColorInit string
+
+// Supported initial color distributions.
+const (
+	// ColorsUniform assigns colors round-robin.
+	ColorsUniform ColorInit = "uniform"
+	// ColorsSplit gives the first ⌊SplitFraction·n⌋ nodes color 0, the rest
+	// color 1.
+	ColorsSplit ColorInit = "split"
+	// ColorsZipf draws each node's color from a Zipf law with exponent ZipfS
+	// — the skewed-opinion workload.
+	ColorsZipf ColorInit = "zipf"
+	// ColorsLeader gives every node its own color, turning fair consensus
+	// into fair leader election.
+	ColorsLeader ColorInit = "leader"
+)
+
+// FaultKind names the fault model.
+type FaultKind string
+
+// Supported fault models.
+const (
+	FaultNone FaultKind = "none"
+	// FaultPermanent is the paper's model: the first ⌊α·n⌋ nodes are
+	// quiescent from round 0.
+	FaultPermanent FaultKind = "permanent"
+	// FaultCrash runs the first ⌊α·n⌋ nodes honestly until round Round, then
+	// silences them permanently.
+	FaultCrash FaultKind = "crash"
+	// FaultChurn alternates the first ⌊α·n⌋ nodes between Period rounds up
+	// and Period rounds down, staggered by node ID.
+	FaultChurn FaultKind = "churn"
+)
+
+// FaultModel describes which nodes misbehave and how, plus the link-level
+// loss model.
+type FaultModel struct {
+	// Kind selects the quiescence model; "" and "none" mean fault-free.
+	Kind FaultKind `json:"kind,omitempty"`
+	// Alpha is the fraction of nodes affected, in [0, 1).
+	Alpha float64 `json:"alpha,omitempty"`
+	// Round is the crash onset (FaultCrash only).
+	Round int `json:"round,omitempty"`
+	// Period is the up/down interval in rounds (FaultChurn only).
+	Period int `json:"period,omitempty"`
+	// Drop is the probabilistic message-loss rate, orthogonal to Kind: every
+	// message crossing a link (push, pull query, pull reply) is lost
+	// independently with this probability. Senders still pay the
+	// communication cost, and a puller cannot distinguish a lost exchange
+	// from a quiescent target. Must be in [0, 1); 0 disables loss. Not
+	// supported in coalition runs.
+	Drop float64 `json:"drop,omitempty"`
+}
+
+// Scenario is a complete declarative description of one experiment setting.
+// The zero value of every optional field means "the default": uniform
+// colors, the protocol's default γ, the complete graph, no faults, the
+// synchronous scheduler, no coalition. The json tags define the version-1
+// wire format (see Encode and Decode).
+type Scenario struct {
+	// Name identifies the scenario in the registry and in reports.
+	Name string `json:"name,omitempty"`
+	// N is the network size.
+	N int `json:"n"`
+	// Colors is |Σ|; 0 defaults to 2. Ignored (forced to N) under
+	// ColorsLeader.
+	Colors int `json:"colors,omitempty"`
+	// ColorInit selects the initial-opinion distribution; "" = uniform.
+	ColorInit ColorInit `json:"color_init,omitempty"`
+	// SplitFraction is the color-0 share under ColorsSplit (default 0.5).
+	SplitFraction float64 `json:"split_fraction,omitempty"`
+	// ZipfS is the Zipf exponent under ColorsZipf (default 1.0).
+	ZipfS float64 `json:"zipf_s,omitempty"`
+	// Gamma is the phase-length constant γ; 0 defaults to the protocol's
+	// default (a larger one under the async scheduler).
+	Gamma float64 `json:"gamma,omitempty"`
+	// Topology names the communication graph: "complete" (default), "ring",
+	// "regular<d>" (random d-regular, e.g. "regular8"), or "er" (Erdős–Rényi
+	// with average degree 16). Seeded graphs are built from Seed once and
+	// shared by every trial.
+	Topology string `json:"topology,omitempty"`
+	// Fault is the fault model; the zero value means fault-free.
+	Fault FaultModel `json:"fault"`
+	// Scheduler is sync or async; "" = sync.
+	Scheduler SchedulerKind `json:"scheduler,omitempty"`
+	// Coalition is the number of deviating agents; 0 = cooperative run.
+	Coalition int `json:"coalition,omitempty"`
+	// Deviation names the coalition's strategy; required when Coalition > 0.
+	Deviation string `json:"deviation,omitempty"`
+	// Seed drives all randomness; trial seeds are split off it.
+	Seed uint64 `json:"seed"`
+	// Workers is the trial-level parallelism for batches and the engine
+	// Act-phase parallelism for single runs (0 = GOMAXPROCS).
+	Workers int `json:"workers,omitempty"`
+	// MaxTicks bounds async runs; 0 = the adaptation's default budget.
+	MaxTicks int `json:"max_ticks,omitempty"`
+}
+
+// WithDefaults returns a copy of s with every zero optional field replaced
+// by its documented default — the fully effective setting.
+func (s Scenario) WithDefaults() Scenario {
+	return scenarioFromInternal(s.internal().WithDefaults())
+}
+
+// Validate checks the (defaults-applied) scenario for consistency. It
+// returns nil or an error wrapping ErrInvalidScenario that names the first
+// problem found.
+func (s Scenario) Validate() error {
+	if err := s.internal().Validate(); err != nil {
+		return invalidf("%s", trimInternal(err))
+	}
+	return nil
+}
+
+// internal converts the public scenario to the execution-layer type. The
+// two structs are intentionally field-for-field identical;
+// internal/bridge's tests pin that correspondence.
+func (s Scenario) internal() scenario.Scenario {
+	return scenario.Scenario{
+		Name:          s.Name,
+		N:             s.N,
+		Colors:        s.Colors,
+		ColorInit:     scenario.ColorInit(s.ColorInit),
+		SplitFraction: s.SplitFraction,
+		ZipfS:         s.ZipfS,
+		Gamma:         s.Gamma,
+		Topology:      s.Topology,
+		Fault: scenario.FaultModel{
+			Kind:   scenario.FaultKind(s.Fault.Kind),
+			Alpha:  s.Fault.Alpha,
+			Round:  s.Fault.Round,
+			Period: s.Fault.Period,
+			Drop:   s.Fault.Drop,
+		},
+		Scheduler: scenario.SchedulerKind(s.Scheduler),
+		Coalition: s.Coalition,
+		Deviation: s.Deviation,
+		Seed:      s.Seed,
+		Workers:   s.Workers,
+		MaxTicks:  s.MaxTicks,
+	}
+}
+
+// scenarioFromInternal is the inverse of Scenario.internal.
+func scenarioFromInternal(s scenario.Scenario) Scenario {
+	return Scenario{
+		Name:          s.Name,
+		N:             s.N,
+		Colors:        s.Colors,
+		ColorInit:     ColorInit(s.ColorInit),
+		SplitFraction: s.SplitFraction,
+		ZipfS:         s.ZipfS,
+		Gamma:         s.Gamma,
+		Topology:      s.Topology,
+		Fault: FaultModel{
+			Kind:   FaultKind(s.Fault.Kind),
+			Alpha:  s.Fault.Alpha,
+			Round:  s.Fault.Round,
+			Period: s.Fault.Period,
+			Drop:   s.Fault.Drop,
+		},
+		Scheduler: SchedulerKind(s.Scheduler),
+		Coalition: s.Coalition,
+		Deviation: s.Deviation,
+		Seed:      s.Seed,
+		Workers:   s.Workers,
+		MaxTicks:  s.MaxTicks,
+	}
+}
+
+// trimInternal strips the internal package prefix from an error so public
+// messages don't stutter ("invalid scenario: scenario: ...").
+func trimInternal(err error) string {
+	return strings.TrimPrefix(err.Error(), "scenario: ")
+}
+
+// invalidf builds an error wrapping ErrInvalidScenario.
+func invalidf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrInvalidScenario, fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,85 @@
+// Package bridge converts between the public fairgossip API types and the
+// internal execution-layer types, for tooling that needs both: commands
+// like inspect and fairconsensus -trace resolve and validate scenarios
+// through the public surface, then drop to internal/scenario for full-state
+// access (core.RunConfig, trace sinks, agent transcripts) that the public
+// API deliberately does not expose.
+//
+// fairgossip cannot export this conversion itself — its public signatures
+// must not mention internal types — so it lives here, one way, with tests
+// pinning it against the package-private conversion drifting.
+package bridge
+
+import (
+	"repro/fairgossip"
+	"repro/internal/scenario"
+)
+
+// ToInternal converts a public scenario to the execution-layer type. The
+// structs are field-for-field identical (fairgossip's api tests pin that),
+// so the conversion is a plain copy.
+func ToInternal(s fairgossip.Scenario) scenario.Scenario {
+	return scenario.Scenario{
+		Name:          s.Name,
+		N:             s.N,
+		Colors:        s.Colors,
+		ColorInit:     scenario.ColorInit(s.ColorInit),
+		SplitFraction: s.SplitFraction,
+		ZipfS:         s.ZipfS,
+		Gamma:         s.Gamma,
+		Topology:      s.Topology,
+		Fault: scenario.FaultModel{
+			Kind:   scenario.FaultKind(s.Fault.Kind),
+			Alpha:  s.Fault.Alpha,
+			Round:  s.Fault.Round,
+			Period: s.Fault.Period,
+			Drop:   s.Fault.Drop,
+		},
+		Scheduler: scenario.SchedulerKind(s.Scheduler),
+		Coalition: s.Coalition,
+		Deviation: s.Deviation,
+		Seed:      s.Seed,
+		Workers:   s.Workers,
+		MaxTicks:  s.MaxTicks,
+	}
+}
+
+// NewRunner builds an internal runner for a public scenario — the deep-
+// access analogue of fairgossip.NewRunner.
+func NewRunner(s fairgossip.Scenario) (*scenario.Runner, error) {
+	return scenario.NewRunner(ToInternal(s))
+}
+
+// ResultToPublic snapshots an internal result into the public detached
+// form, exactly as the fairgossip execution paths do — for tools that run
+// through the internal runner (e.g. traced runs) but report through the
+// public shape. Agents are deliberately dropped: the public contract is
+// alias-free. Pinned against fairgossip's own conversion by this package's
+// tests.
+func ResultToPublic(res scenario.Result) fairgossip.Result {
+	return fairgossip.Result{
+		Failed: res.Outcome.Failed,
+		Color:  int(res.Outcome.Color),
+		Rounds: res.Rounds,
+		Metrics: fairgossip.Metrics{
+			Rounds:          res.Metrics.Rounds,
+			Messages:        res.Metrics.Messages,
+			Bits:            res.Metrics.Bits,
+			MaxMessageBits:  res.Metrics.MaxMessageBits,
+			Pushes:          res.Metrics.Pushes,
+			Pulls:           res.Metrics.Pulls,
+			UnansweredPulls: res.Metrics.UnansweredPulls,
+		},
+		Good: fairgossip.GoodExecution{
+			VoteLowerOK:  res.Good.VoteLowerOK,
+			VoteUpperOK:  res.Good.VoteUpperOK,
+			DistinctK:    res.Good.DistinctK,
+			CertsAgree:   res.Good.CertsAgree,
+			MinVotes:     res.Good.MinVotes,
+			MaxVotes:     res.Good.MaxVotes,
+			ActiveAgents: res.Good.ActiveAgents,
+		},
+		HasGood:           res.HasGood,
+		CoalitionColorWon: res.CoalitionColorWon,
+	}
+}

@@ -1,0 +1,72 @@
+package bridge
+
+import (
+	"context"
+	"testing"
+
+	"repro/fairgossip"
+	"repro/internal/scenario"
+)
+
+// TestBridgeMatchesRegistry pins the conversion against the one fairgossip
+// performs internally: since the public registry delegates to the internal
+// one, looking a name up through both surfaces and converting must agree
+// exactly, for every built-in scenario. A field the bridge forgets to copy
+// shows up as a mismatch on whichever scenario exercises it.
+func TestBridgeMatchesRegistry(t *testing.T) {
+	for _, name := range fairgossip.Names() {
+		pub, err := fairgossip.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, ok := scenario.Lookup(name)
+		if !ok {
+			t.Fatalf("%s: registered publicly but not internally", name)
+		}
+		if got := ToInternal(pub); got != want {
+			t.Errorf("%s: bridge conversion = %+v, want %+v", name, got, want)
+		}
+	}
+}
+
+// TestResultToPublicMatchesFairgossip pins the bridge's result conversion
+// against the one inside fairgossip: running the same scenario at the same
+// seed through both surfaces must produce identical public Results. A field
+// added to Result/Metrics/GoodExecution but forgotten here shows up as a
+// zero-value mismatch.
+func TestResultToPublicMatchesFairgossip(t *testing.T) {
+	pub := fairgossip.Scenario{
+		N: 48, Colors: 2, Seed: 13,
+		Fault: fairgossip.FaultModel{Kind: fairgossip.FaultPermanent, Alpha: 0.25, Drop: 0.05},
+	}
+	want, err := fairgossip.MustRunner(pub).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := NewRunner(pub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := inner.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := ResultToPublic(res); got != want {
+		t.Fatalf("bridge result conversion diverged:\ngot  %+v\nwant %+v", got, want)
+	}
+}
+
+// TestBridgeRunnerExecutes sanity-checks the deep-access path end to end.
+func TestBridgeRunnerExecutes(t *testing.T) {
+	r, err := NewRunner(fairgossip.Scenario{N: 16, Colors: 2, Seed: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := r.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Agents) == 0 {
+		t.Fatal("deep-access run carries no agents — that is its whole point")
+	}
+}

@@ -285,6 +285,8 @@ type AsyncRunConfig struct {
 	Unreliable []bool
 	Seed       uint64
 	MaxTicks   int
+	// Drop is the probabilistic message-loss rate; see RunConfig.Drop.
+	Drop float64
 	// Topology defaults to the complete graph on N nodes when nil.
 	Topology topo.Topology
 	// Trace optionally receives engine events.
@@ -333,10 +335,19 @@ func RunAsyncResult(cfg AsyncRunConfig) (AsyncRunResult, error) {
 	if max == 0 {
 		max = 10 * p.N * p.TotalActivations()
 	}
+	if cfg.Drop < 0 || cfg.Drop >= 1 {
+		return AsyncRunResult{Outcome: Outcome{Failed: true}},
+			fmt.Errorf("core: drop probability %v outside [0, 1)", cfg.Drop)
+	}
+	var dropRand *rng.Source
+	if cfg.Drop > 0 {
+		dropRand = rng.New(rng.Mix64(cfg.Seed, dropStreamSalt))
+	}
 	var counters metrics.Counters
 	eng := gossip.NewAsyncEngine(gossip.Config{
 		Topology: net, Faulty: cfg.Faulty, Faults: cfg.Faults,
 		Counters: &counters, Trace: cfg.Trace, Workers: 1,
+		Drop: cfg.Drop, DropRand: dropRand,
 	}, agents, master.Split(1<<61))
 	ticks := eng.Run(max)
 	excluded := cfg.Faulty

@@ -27,6 +27,7 @@ type RunPool struct {
 	parts    []Participant
 	excluded []bool
 	counters metrics.Counters
+	droprng  rng.Source // message-loss stream, reseeded per lossy run
 	mem      gossip.EngineMem
 }
 

@@ -29,6 +29,11 @@ type RunConfig struct {
 	Unreliable []bool
 	// Seed drives all randomness of the execution.
 	Seed uint64
+	// Drop is the probabilistic message-loss rate: every message crossing a
+	// link is lost independently with this probability (gossip.Config.Drop).
+	// The loss stream is derived from Seed, so lossy runs stay reproducible.
+	// Must be in [0, 1); 0 disables loss.
+	Drop float64
 	// Topology defaults to the complete graph on N nodes when nil.
 	Topology topo.Topology
 	// Workers is the engine Act-phase parallelism (0 = GOMAXPROCS, 1 = serial).
@@ -54,6 +59,10 @@ type RunResult struct {
 	Agents []*Agent
 }
 
+// dropStreamSalt separates the message-loss stream from every other use of
+// the run seed.
+const dropStreamSalt = 0xd10bab1e
+
 // Run executes Protocol P with all agents honest and returns the outcome.
 // It is the cooperative-setting experiment of Section 3.1.
 func Run(cfg RunConfig) (RunResult, error) {
@@ -70,6 +79,9 @@ func Run(cfg RunConfig) (RunResult, error) {
 	}
 	if cfg.Unreliable != nil && len(cfg.Unreliable) != p.N {
 		return RunResult{}, fmt.Errorf("core: unreliable mask has %d entries for n = %d", len(cfg.Unreliable), p.N)
+	}
+	if cfg.Drop < 0 || cfg.Drop >= 1 {
+		return RunResult{}, fmt.Errorf("core: drop probability %v outside [0, 1)", cfg.Drop)
 	}
 	pl := cfg.Pool
 	if pl == nil {
@@ -96,6 +108,14 @@ func Run(cfg RunConfig) (RunResult, error) {
 		}
 	}
 	pl.counters.Reset()
+	var dropRand *rng.Source
+	if cfg.Drop > 0 {
+		// A private stream derived from the run seed keeps lossy executions
+		// reproducible without perturbing the agents' randomness; the pool
+		// slot keeps the hot batch path allocation-free.
+		pl.droprng.Reseed(rng.Mix64(cfg.Seed, dropStreamSalt))
+		dropRand = &pl.droprng
+	}
 	eng := gossip.NewEngine(gossip.Config{
 		Topology: net,
 		Faulty:   cfg.Faulty,
@@ -103,6 +123,8 @@ func Run(cfg RunConfig) (RunResult, error) {
 		Counters: &pl.counters,
 		Trace:    cfg.Trace,
 		Workers:  cfg.Workers,
+		Drop:     cfg.Drop,
+		DropRand: dropRand,
 		Mem:      &pl.mem,
 	}, pl.gagents)
 	rounds := eng.Run(p.TotalRounds() + 1)

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/metrics"
+	"repro/internal/rng"
 	"repro/internal/topo"
 	"repro/internal/trace"
 )
@@ -29,6 +30,8 @@ type executor struct {
 	tally    metrics.Delta
 	sink     trace.Sink
 	dropped  int
+	drop     float64     // per-message loss probability; 0 disables
+	dropRand *rng.Source // loss randomness; non-nil iff drop > 0
 
 	noFaults StaticFaults // scratch all-false mask, reused across runs
 	union    UnionFaults  // scratch for combining static + dynamic faults
@@ -65,6 +68,12 @@ func (x *executor) init(cfg Config, agents []Agent) {
 		x.union = append(x.union[:0], faults, cfg.Faults)
 		faults = x.union
 	}
+	if cfg.Drop < 0 || cfg.Drop >= 1 {
+		panic(fmt.Sprintf("gossip: drop probability %v outside [0, 1)", cfg.Drop))
+	}
+	if cfg.Drop > 0 && cfg.DropRand == nil {
+		panic("gossip: Drop > 0 requires a DropRand source")
+	}
 	x.topo = cfg.Topology
 	x.agents = agents
 	x.initial = faulty
@@ -73,6 +82,16 @@ func (x *executor) init(cfg Config, agents []Agent) {
 	x.tally = metrics.Delta{}
 	x.sink = cfg.Trace
 	x.dropped = 0
+	x.drop = cfg.Drop
+	x.dropRand = cfg.DropRand
+}
+
+// lost draws one link crossing against the probabilistic message-loss model.
+// It must be called exactly once per non-self message so that, for a fixed
+// DropRand stream, executions remain deterministic. Loss is drawn on the
+// single delivery goroutine only.
+func (x *executor) lost() bool {
+	return x.drop > 0 && x.dropRand.Bool(x.drop)
 }
 
 // resizeBools returns a false-filled slice of length n, reusing capacity.
@@ -135,6 +154,10 @@ func (x *executor) deliverPush(round, u int, a Action) {
 	}
 	x.tally.AddPush()
 	x.tally.AddMessage(payloadBits(a.Payload))
+	if x.lost() {
+		x.emit(trace.Event{Round: round, Kind: trace.KindPush, From: u, To: a.To, Note: "lost"})
+		return // lost on the link; cost already incurred
+	}
 	x.emit(trace.Event{Round: round, Kind: trace.KindPush, From: u, To: a.To})
 	if x.silent(round, a.To) {
 		return // pushed into the void; cost already incurred
@@ -153,6 +176,12 @@ func (x *executor) resolvePull(round, u int, a Action) {
 		return
 	}
 	x.tally.AddMessage(payloadBits(a.Payload))
+	if x.lost() {
+		x.tally.AddPull(false)
+		x.emit(trace.Event{Round: round, Kind: trace.KindPull, From: u, To: a.To, Note: "query-lost"})
+		x.agents[u].HandlePullReply(round, a.To, nil)
+		return
+	}
 	if x.silent(round, a.To) {
 		x.tally.AddPull(false)
 		x.emit(trace.Event{Round: round, Kind: trace.KindPull, From: u, To: a.To, Note: "no-reply"})
@@ -166,8 +195,14 @@ func (x *executor) resolvePull(round, u int, a Action) {
 		x.agents[u].HandlePullReply(round, a.To, nil)
 		return
 	}
-	x.tally.AddPull(true)
 	x.tally.AddMessage(payloadBits(reply))
+	if x.lost() {
+		x.tally.AddPull(false)
+		x.emit(trace.Event{Round: round, Kind: trace.KindPull, From: u, To: a.To, Note: "reply-lost"})
+		x.agents[u].HandlePullReply(round, a.To, nil)
+		return
+	}
+	x.tally.AddPull(true)
 	x.emit(trace.Event{Round: round, Kind: trace.KindPull, From: u, To: a.To})
 	x.agents[u].HandlePullReply(round, a.To, reply)
 }

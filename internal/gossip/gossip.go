@@ -105,6 +105,17 @@ type Config struct {
 	// Workers is the parallelism for the Act phase; 0 means GOMAXPROCS,
 	// 1 forces sequential.
 	Workers int
+	// Drop is the probabilistic message-loss rate: every message that crosses
+	// a link — a push, a pull query, or a pull reply — is lost independently
+	// with this probability. Self-operations are local and never lost. The
+	// sender always pays the communication cost: it cannot know the message
+	// was lost, and a puller whose query or reply is lost observes the same
+	// silence a quiescent target would produce. Must be in [0, 1).
+	Drop float64
+	// DropRand supplies the loss randomness; required when Drop > 0. Loss is
+	// drawn once per non-self message on the single delivery goroutine, so
+	// executions stay deterministic for a given source.
+	DropRand *rng.Source
 	// Mem optionally supplies reusable engine memory, so a trial loop can run
 	// many engines without reallocating per-round buffers. See EngineMem.
 	Mem *EngineMem

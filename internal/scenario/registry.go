@@ -14,7 +14,9 @@ var (
 )
 
 // Register adds a named scenario to the registry. The scenario is validated
-// with defaults applied; registering an invalid or duplicate name fails.
+// and stored with defaults applied, so Lookup always returns the fully
+// effective setting — callers never have to remember WithDefaults themselves.
+// Registering an invalid or duplicate name fails.
 func Register(s Scenario) error {
 	if s.Name == "" {
 		return fmt.Errorf("scenario: cannot register a scenario without a name")
@@ -22,6 +24,7 @@ func Register(s Scenario) error {
 	if err := s.Validate(); err != nil {
 		return err
 	}
+	s = s.WithDefaults()
 	regMu.Lock()
 	defer regMu.Unlock()
 	if _, dup := registry[s.Name]; dup {
@@ -81,6 +84,10 @@ func init() {
 			Fault: FaultModel{Kind: FaultCrash, Alpha: 0.25, Round: 30}},
 		{Name: "churn", N: 256, Colors: 2, Seed: 1,
 			Fault: FaultModel{Kind: FaultChurn, Alpha: 0.3, Period: 8}},
+		// Every node honest and always up, but every message crossing a link
+		// is lost with probability 5% — the probabilistic message-loss axis.
+		{Name: "lossy-links", N: 256, Colors: 2, Seed: 1,
+			Fault: FaultModel{Drop: 0.05}},
 		{Name: "adversary-min-k", N: 128, Colors: 2, Seed: 1,
 			Coalition: 4, Deviation: "min-k-liar"},
 	} {

@@ -1,6 +1,8 @@
 package scenario
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"sync"
 
@@ -150,6 +152,7 @@ func (r *Runner) RunConfig(seed uint64) core.RunConfig {
 		Faults:     sched,
 		Unreliable: unreliable,
 		Seed:       seed,
+		Drop:       r.s.Fault.Drop,
 		Topology:   r.net,
 		Workers:    r.s.Workers,
 		Trace:      r.Trace,
@@ -205,6 +208,7 @@ func (r *Runner) asyncConfig(seed uint64) core.AsyncRunConfig {
 		Unreliable: unreliable,
 		Seed:       seed,
 		MaxTicks:   r.s.MaxTicks,
+		Drop:       r.s.Fault.Drop,
 		Topology:   r.net,
 		Trace:      r.Trace,
 	}
@@ -292,13 +296,24 @@ func (r *Runner) Trials(trials int) ([]Result, error) {
 // draws a reusable run pool from the runner, so steady-state batches allocate
 // almost nothing.
 func (r *Runner) TrialsInto(dst []Result) error {
-	return r.runBatch(rng.New(r.s.Seed), 0, dst, nil)
+	return r.TrialsIntoContext(context.Background(), dst)
+}
+
+// TrialsIntoContext is TrialsInto with cancellation: every batch worker
+// checks ctx before each trial, so cancellation stops the batch promptly
+// mid-flight regardless of the worker count. A cancelled batch returns an
+// error wrapping ctx's error (errors.Is(err, context.Canceled) holds) and
+// leaves dst partially written.
+func (r *Runner) TrialsIntoContext(ctx context.Context, dst []Result) error {
+	return r.runBatch(ctx, rng.New(r.s.Seed), 0, dst, nil)
 }
 
 // runBatch executes trials start..start+len(dst) of the scenario's seed
 // stream into dst, spread over the scenario's Workers. Per-trial metrics are
 // optionally folded into agg, each worker writing its own counter shard.
-func (r *Runner) runBatch(base *rng.Source, start int, dst []Result, agg *metrics.Counters) error {
+// Each worker re-checks ctx between trials and abandons its chunk once the
+// context is done.
+func (r *Runner) runBatch(ctx context.Context, base *rng.Source, start int, dst []Result, agg *metrics.Counters) error {
 	if len(dst) == 0 {
 		return nil
 	}
@@ -311,6 +326,10 @@ func (r *Runner) runBatch(base *rng.Source, start int, dst []Result, agg *metric
 			defer r.pools.put(pool)
 		}
 		for i := lo; i < hi; i++ {
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
 			seed := trialSeed(base, start+i)
 			if pooled {
 				dst[i], errs[i] = r.runPooled(seed, pool)
@@ -326,10 +345,20 @@ func (r *Runner) runBatch(base *rng.Source, start int, dst []Result, agg *metric
 			}
 		}
 	})
+	// Report a real execution error over a cancellation: the former names
+	// the trial that broke, the latter only that the caller gave up.
+	var ctxErr error
 	for _, err := range errs {
-		if err != nil {
+		switch {
+		case err == nil:
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			ctxErr = err
+		default:
 			return err
 		}
+	}
+	if ctxErr != nil {
+		return fmt.Errorf("scenario: trials interrupted: %w", ctxErr)
 	}
 	return nil
 }
@@ -344,6 +373,7 @@ func (r *Runner) runPooled(seed uint64, pool *core.RunPool) (Result, error) {
 		Faults:     r.sched,
 		Unreliable: r.unreliable,
 		Seed:       seed,
+		Drop:       r.s.Fault.Drop,
 		Topology:   r.net,
 		Workers:    1,
 		Pool:       pool,
@@ -386,6 +416,14 @@ const DefaultStreamChunk = 256
 // for a later trial — and, like every batched result, carries no Agents.
 // Million-trial cells run in memory constant in Trials.
 func (r *Runner) Stream(opts StreamOptions, observe func(trial int, res *Result)) error {
+	return r.StreamContext(context.Background(), opts, observe)
+}
+
+// StreamContext is Stream with cancellation: the batch workers re-check ctx
+// between trials, so cancelling stops the stream promptly mid-chunk — no
+// further chunks start, observe is not called for the abandoned chunk, and
+// the returned error wraps ctx's error (errors.Is(err, context.Canceled)).
+func (r *Runner) StreamContext(ctx context.Context, opts StreamOptions, observe func(trial int, res *Result)) error {
 	if opts.Trials < 0 {
 		return fmt.Errorf("scenario: stream of %d trials", opts.Trials)
 	}
@@ -406,7 +444,7 @@ func (r *Runner) Stream(opts StreamOptions, observe func(trial int, res *Result)
 		if rest := opts.Trials - start; n > rest {
 			n = rest
 		}
-		if err := r.runBatch(base, start, buf[:n], opts.Aggregate); err != nil {
+		if err := r.runBatch(ctx, base, start, buf[:n], opts.Aggregate); err != nil {
 			return err
 		}
 		if observe != nil {

@@ -78,7 +78,8 @@ const (
 	FaultChurn FaultKind = "churn"
 )
 
-// FaultModel describes which nodes misbehave and how.
+// FaultModel describes which nodes misbehave and how, plus the link-level
+// loss model.
 type FaultModel struct {
 	Kind FaultKind
 	// Alpha is the fraction of nodes affected, in [0, 1).
@@ -87,6 +88,14 @@ type FaultModel struct {
 	Round int
 	// Period is the up/down interval in rounds (FaultChurn only).
 	Period int
+	// Drop is the probabilistic message-loss rate, orthogonal to Kind: every
+	// message crossing a link (push, pull query, pull reply) is lost
+	// independently with this probability, generalizing per-node quiescence
+	// to unreliable links. Senders still pay the communication cost, and a
+	// puller cannot distinguish a lost exchange from a quiescent target. The
+	// loss stream is derived from the run seed, so lossy runs reproduce.
+	// Must be in [0, 1); 0 disables loss. Not supported in coalition runs.
+	Drop float64
 }
 
 // Scenario is a complete declarative description of one experiment setting.
@@ -218,6 +227,9 @@ func (s Scenario) Validate() error {
 	default:
 		return fmt.Errorf("scenario: unknown fault kind %q (none|permanent|crash|churn)", s.Fault.Kind)
 	}
+	if s.Fault.Drop < 0 || s.Fault.Drop >= 1 {
+		return fmt.Errorf("scenario: drop probability %v outside [0, 1)", s.Fault.Drop)
+	}
 	switch s.Scheduler {
 	case SchedulerSync:
 	case SchedulerAsync:
@@ -233,6 +245,9 @@ func (s Scenario) Validate() error {
 		}
 		if s.Fault.Kind == FaultCrash || s.Fault.Kind == FaultChurn {
 			return fmt.Errorf("scenario: coalition runs support only permanent faults")
+		}
+		if s.Fault.Drop > 0 {
+			return fmt.Errorf("scenario: coalition runs do not support message loss")
 		}
 		active := s.N - permanentFaultCount(s)
 		if s.Coalition > active-1 {

@@ -77,8 +77,10 @@ func TestRegistryRoundTrip(t *testing.T) {
 	if !ok {
 		t.Fatal("registered scenario not found")
 	}
-	if got != s {
-		t.Fatalf("lookup = %+v, want %+v", got, s)
+	// Register stores the defaults-applied scenario, so Lookup hands back the
+	// fully effective setting — not the sparse literal that was registered.
+	if got != s.WithDefaults() {
+		t.Fatalf("lookup = %+v, want %+v", got, s.WithDefaults())
 	}
 	if err := Register(s); err == nil || !strings.Contains(err.Error(), "already registered") {
 		t.Fatalf("duplicate registration: %v", err)

@@ -1,11 +1,12 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
+	"repro/fairgossip"
 	"repro/internal/baseline"
 	"repro/internal/core"
-	"repro/internal/scenario"
 	"repro/internal/stats"
 )
 
@@ -78,29 +79,29 @@ func RunT8Baselines(o BaselineOptions) []*Table {
 	}
 
 	// Protocol P, via the scenario layer.
-	pRes, err := scenario.MustRunner(scenario.Scenario{
-		N: n, Colors: 2, ColorInit: scenario.ColorsSplit, SplitFraction: 0.5,
+	pRes, err := fairgossip.MustRunner(fairgossip.Scenario{
+		N: n, Colors: 2, ColorInit: fairgossip.ColorsSplit, SplitFraction: 0.5,
 		Gamma: o.Gamma, Seed: ConfigSeed(o.Seed, 0), Workers: o.Workers,
-	}).Trials(o.Trials)
+	}).Trials(context.Background(), o.Trials)
 	if err != nil {
 		panic(err)
 	}
 	pHonest := make([]out, len(pRes))
 	for i, r := range pRes {
-		pHonest[i] = out{failed: r.Outcome.Failed, color: r.Outcome.Color,
+		pHonest[i] = out{failed: r.Failed, color: core.Color(r.Color),
 			rounds: float64(r.Rounds), msgs: float64(r.Metrics.Messages), bits: float64(r.Metrics.Bits)}
 	}
-	pCheatRes, err := scenario.MustRunner(scenario.Scenario{
-		N: n, Colors: 2, ColorInit: scenario.ColorsSplit, SplitFraction: 0.5,
+	pCheatRes, err := fairgossip.MustRunner(fairgossip.Scenario{
+		N: n, Colors: 2, ColorInit: fairgossip.ColorsSplit, SplitFraction: 0.5,
 		Gamma: o.Gamma, Coalition: 1, Deviation: "min-k-liar",
 		Seed: ConfigSeed(o.Seed, 1), Workers: o.Workers,
-	}).Trials(o.Trials)
+	}).Trials(context.Background(), o.Trials)
 	if err != nil {
 		panic(err)
 	}
 	pCheat := make([]out, len(pCheatRes))
 	for i, r := range pCheatRes {
-		pCheat[i] = out{cheatWon: r.CoalitionColorWon && !r.Outcome.Failed}
+		pCheat[i] = out{cheatWon: r.CoalitionColorWon && r.Success()}
 	}
 	summarize("Protocol P", pHonest, pCheat, "whp t-strong equilibrium; o(n²) msgs")
 

@@ -1,11 +1,13 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"repro/fairgossip"
+	"repro/internal/bridge"
 	"repro/internal/core"
-	"repro/internal/scenario"
 	"repro/internal/stats"
 )
 
@@ -40,14 +42,14 @@ func QuickFairnessOptions() FairnessOptions {
 
 type fairnessCase struct {
 	name string
-	sc   scenario.Scenario
+	sc   fairgossip.Scenario
 }
 
 func (o FairnessOptions) cases() []fairnessCase {
 	return []fairnessCase{
-		{"50/50", scenario.Scenario{N: o.N, Colors: 2, ColorInit: scenario.ColorsSplit, SplitFraction: 0.5}},
-		{"90/10", scenario.Scenario{N: o.N, Colors: 2, ColorInit: scenario.ColorsSplit, SplitFraction: 0.9}},
-		{"uniform-8", scenario.Scenario{N: o.N, Colors: 8}},
+		{"50/50", fairgossip.Scenario{N: o.N, Colors: 2, ColorInit: fairgossip.ColorsSplit, SplitFraction: 0.5}},
+		{"90/10", fairgossip.Scenario{N: o.N, Colors: 2, ColorInit: fairgossip.ColorsSplit, SplitFraction: 0.9}},
+		{"uniform-8", fairgossip.Scenario{N: o.N, Colors: 8}},
 	}
 }
 
@@ -66,25 +68,27 @@ func RunT4Fairness(o FairnessOptions) []*Table {
 		Series:  true,
 	}
 
-	runCase := func(name string, sc scenario.Scenario, trials int, seedSalt uint64) {
+	runCase := func(name string, sc fairgossip.Scenario, trials int, seedSalt uint64) {
 		sc.Gamma = o.Gamma
 		sc.Seed = ConfigSeed(o.Seed, seedSalt)
 		sc.Workers = o.Workers
-		r := scenario.MustRunner(sc)
-		colors := r.Scenario().BuildColors()
-		numColors := r.Params().NumColors
-		results, err := r.Trials(trials)
+		r := fairgossip.MustRunner(sc)
+		// The expected distribution needs the materialized color vector,
+		// which the public API does not expose — go through the bridge.
+		colors := bridge.ToInternal(r.Scenario()).BuildColors()
+		numColors := r.Params().Colors
+		results, err := r.Trials(context.Background(), trials)
 		if err != nil {
 			panic(err)
 		}
 		wins := make([]int, numColors)
 		fails := 0
 		for _, res := range results {
-			if res.Outcome.Failed {
+			if res.Failed {
 				fails++
 				continue
 			}
-			wins[res.Outcome.Color]++
+			wins[res.Color]++
 		}
 		expected := make([]float64, numColors)
 		for _, c := range colors {
@@ -106,7 +110,7 @@ func RunT4Fairness(o FairnessOptions) []*Table {
 		runCase(fc.name, fc.sc, o.Trials, uint64(i)*97)
 	}
 	runCase(fmt.Sprintf("leader-election (n=%d)", o.LeaderN),
-		scenario.Scenario{N: o.LeaderN, ColorInit: scenario.ColorsLeader}, o.LeaderTrials, 7777)
+		fairgossip.Scenario{N: o.LeaderN, ColorInit: fairgossip.ColorsLeader}, o.LeaderTrials, 7777)
 
 	t4.AddNote("expected: TV near 0 and p-value not small — the winner distribution matches initial support")
 	return []*Table{t4, f2}
@@ -155,22 +159,22 @@ func RunT5Faults(o FaultOptions) []*Table {
 	}
 	for _, gamma := range o.Gammas {
 		for _, alpha := range o.Alphas {
-			sc := scenario.Scenario{
+			sc := fairgossip.Scenario{
 				N: o.N, Colors: 2, Gamma: gamma,
 				Seed:    ConfigSeed(o.Seed, math.Float64bits(gamma), math.Float64bits(alpha)),
 				Workers: o.Workers,
 			}
 			if alpha > 0 {
-				sc.Fault = scenario.FaultModel{Kind: scenario.FaultPermanent, Alpha: alpha}
+				sc.Fault = fairgossip.FaultModel{Kind: fairgossip.FaultPermanent, Alpha: alpha}
 			}
-			results, err := scenario.MustRunner(sc).Trials(o.Trials)
+			results, err := fairgossip.MustRunner(sc).Trials(context.Background(), o.Trials)
 			if err != nil {
 				panic(err)
 			}
 			okCount, goodCount := 0, 0
 			var minVotes []float64
 			for _, r := range results {
-				if !r.Outcome.Failed {
+				if r.Success() {
 					okCount++
 				}
 				if r.Good.Good() {

@@ -1,10 +1,12 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
+	"repro/fairgossip"
+	"repro/internal/bridge"
 	"repro/internal/core"
-	"repro/internal/scenario"
 	"repro/internal/stats"
 )
 
@@ -40,30 +42,35 @@ func RunE9Topologies(o TopologyOptions) []*Table {
 		Columns: []string{"topology", "degree", "success", "fairness TV", "trials"},
 	}
 	for i, name := range []string{"complete", "regular8", "er", "ring"} {
-		r := scenario.MustRunner(scenario.Scenario{
-			N: o.N, Colors: 2, ColorInit: scenario.ColorsSplit, SplitFraction: 0.5,
+		r := fairgossip.MustRunner(fairgossip.Scenario{
+			N: o.N, Colors: 2, ColorInit: fairgossip.ColorsSplit, SplitFraction: 0.5,
 			Gamma: o.Gamma, Topology: name,
 			Seed:    ConfigSeed(o.Seed, uint64(i)),
 			Workers: o.Workers,
 		})
-		results, err := r.Trials(o.Trials)
+		results, err := r.Trials(context.Background(), o.Trials)
 		if err != nil {
 			panic(err)
 		}
 		wins := make([]int, 2)
 		fails := 0
 		for _, res := range results {
-			if res.Outcome.Failed {
+			if res.Failed {
 				fails++
 				continue
 			}
-			wins[res.Outcome.Color]++
+			wins[res.Color]++
 		}
 		tv := 1.0
 		if fails < o.Trials {
 			tv = stats.TotalVariation(stats.Normalize(wins), []float64{0.5, 0.5})
 		}
-		tp := r.Topology()
+		// Degree/name come from the materialized graph, which the public API
+		// does not expose — rebuild it through the bridge.
+		tp, err := bridge.ToInternal(r.Scenario()).BuildTopology()
+		if err != nil {
+			panic(err)
+		}
 		e9.AddRow(tp.Name(), I(tp.Degree(0)), Pct(float64(o.Trials-fails)/float64(o.Trials)), F(tv), I(o.Trials))
 	}
 	e9.AddNote("the paper proves P only on the complete graph; expander-like graphs retain it empirically, the ring starves Find-Min (diameter Θ(n) ≫ q rounds)")
@@ -101,12 +108,12 @@ func RunE10Async(o AsyncOptions) []*Table {
 	}
 	for _, n := range o.Sizes {
 		p := core.MustParams(n, 2, o.Gamma)
-		results, err := scenario.MustRunner(scenario.Scenario{
-			N: n, Colors: 2, ColorInit: scenario.ColorsSplit, SplitFraction: 0.5,
-			Gamma: o.Gamma, Scheduler: scenario.SchedulerAsync,
+		results, err := fairgossip.MustRunner(fairgossip.Scenario{
+			N: n, Colors: 2, ColorInit: fairgossip.ColorsSplit, SplitFraction: 0.5,
+			Gamma: o.Gamma, Scheduler: fairgossip.SchedulerAsync,
 			Seed:    ConfigSeed(o.Seed, uint64(n)),
 			Workers: o.Workers,
-		}).Trials(o.Trials)
+		}).Trials(context.Background(), o.Trials)
 		if err != nil {
 			panic(err)
 		}
@@ -115,11 +122,11 @@ func RunE10Async(o AsyncOptions) []*Table {
 		ticks := 0.0
 		for _, r := range results {
 			ticks += float64(r.Rounds)
-			if r.Outcome.Failed {
+			if r.Failed {
 				fails++
 				continue
 			}
-			wins[r.Outcome.Color]++
+			wins[r.Color]++
 		}
 		ticks /= float64(o.Trials)
 		tv := 1.0

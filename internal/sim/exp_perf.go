@@ -1,14 +1,15 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
 
+	"repro/fairgossip"
 	"repro/internal/baseline"
 	"repro/internal/core"
 	"repro/internal/metrics"
-	"repro/internal/scenario"
 	"repro/internal/stats"
 )
 
@@ -76,15 +77,15 @@ func (o PerfOptions) measure(n int, alpha float64) []perfSample {
 }
 
 func (o PerfOptions) measureUncached(n int, alpha float64) []perfSample {
-	sc := scenario.Scenario{
+	sc := fairgossip.Scenario{
 		N: n, Colors: 2, Gamma: o.Gamma,
 		Seed:    ConfigSeed(o.Seed, uint64(n), math.Float64bits(alpha)),
 		Workers: o.Workers,
 	}
 	if alpha > 0 {
-		sc.Fault = scenario.FaultModel{Kind: scenario.FaultPermanent, Alpha: alpha}
+		sc.Fault = fairgossip.FaultModel{Kind: fairgossip.FaultPermanent, Alpha: alpha}
 	}
-	results, err := scenario.MustRunner(sc).Trials(o.Trials)
+	results, err := fairgossip.MustRunner(sc).Trials(context.Background(), o.Trials)
 	if err != nil {
 		panic(err)
 	}
@@ -95,7 +96,7 @@ func (o PerfOptions) measureUncached(n int, alpha float64) []perfSample {
 			msgs:    res.Metrics.Messages,
 			bits:    res.Metrics.Bits,
 			maxBits: res.Metrics.MaxMessageBits,
-			failed:  res.Outcome.Failed,
+			failed:  res.Failed,
 		}
 	}
 	return samples

@@ -1,12 +1,14 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 
+	"repro/fairgossip"
 	"repro/internal/baseline"
+	"repro/internal/bridge"
 	"repro/internal/core"
 	"repro/internal/rational"
-	"repro/internal/scenario"
 )
 
 // EquilibriumOptions configures T6 (Theorem 7) and the F3 series.
@@ -61,12 +63,18 @@ func RunT6Equilibrium(o EquilibriumOptions) []*Table {
 	}
 	for devIdx, dev := range rational.AllDeviations() {
 		for _, t := range o.CoalitionSize {
-			r := scenario.MustRunner(scenario.Scenario{
+			// The paired honest-vs-deviating utility evaluation needs the
+			// rational layer's full config, so T6 declares publicly and
+			// derives through the bridge.
+			r, err := bridge.NewRunner(fairgossip.Scenario{
 				N: o.N, Colors: 2, Gamma: o.Gamma,
 				Coalition: t, Deviation: dev.Name(),
 				Seed:    ConfigSeed(o.Seed, uint64(devIdx), uint64(t)),
 				Workers: o.Workers,
 			})
+			if err != nil {
+				panic(err)
+			}
 			cfg, err := r.EquilibriumConfig(o.Trials, o.Chi)
 			if err != nil {
 				panic(err)
@@ -148,18 +156,18 @@ func RunT7Ablation(o AblationOptions) []*Table {
 	})
 	// Protocol P with the same kind of liar (a MinKLiar coalition of one,
 	// placed by the scenario layer).
-	pResults, err := scenario.MustRunner(scenario.Scenario{
+	pResults, err := fairgossip.MustRunner(fairgossip.Scenario{
 		N: o.N, Colors: 2, Gamma: o.Gamma,
 		Coalition: 1, Deviation: "min-k-liar",
 		Seed:    ConfigSeed(o.Seed, 2),
 		Workers: o.Workers,
-	}).Trials(o.Trials)
+	}).Trials(context.Background(), o.Trials)
 	if err != nil {
 		panic(err)
 	}
 	pLiar := make([]out, len(pResults))
 	for i, res := range pResults {
-		pLiar[i] = out{failed: res.Outcome.Failed, liarWon: res.CoalitionColorWon}
+		pLiar[i] = out{failed: res.Failed, liarWon: res.CoalitionColorWon}
 	}
 
 	row := func(name, adv string, outs []out) {

@@ -1,12 +1,13 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
+	"repro/fairgossip"
 	"repro/internal/core"
 	"repro/internal/rational"
-	"repro/internal/scenario"
 )
 
 // ScalingOptions configures E11: how the equilibrium degrades as the
@@ -66,18 +67,18 @@ func RunE11CoalitionScaling(o ScalingOptions) []*Table {
 			if t > n-2 {
 				t = n - 2
 			}
-			results, err := scenario.MustRunner(scenario.Scenario{
+			results, err := fairgossip.MustRunner(fairgossip.Scenario{
 				N: n, Colors: 2, Gamma: o.Gamma,
 				Coalition: t, Deviation: dev.Name(),
 				Seed:    ConfigSeed(o.Seed, uint64(devIdx), uint64(t)),
 				Workers: o.Workers,
-			}).Trials(o.Trials)
+			}).Trials(context.Background(), o.Trials)
 			if err != nil {
 				panic(err)
 			}
 			fails, wins := 0, 0
 			for _, r := range results {
-				if r.Outcome.Failed {
+				if r.Failed {
 					fails++
 				}
 				if r.CoalitionColorWon {

@@ -1,8 +1,9 @@
 package sim
 
 import (
+	"repro/fairgossip"
+	"repro/internal/bridge"
 	"repro/internal/core"
-	"repro/internal/scenario"
 	"repro/internal/theory"
 	"repro/internal/wire"
 )
@@ -20,9 +21,15 @@ func RunT0Predictions(o PerfOptions) []*Table {
 	}
 	for _, n := range o.Sizes {
 		p := core.MustParams(n, 2, o.Gamma)
-		res, err := scenario.MustRunner(scenario.Scenario{
+		// The wire cross-check needs the agents' actual certificates, so this
+		// table runs through the bridge (public scenario, internal result).
+		runner, err := bridge.NewRunner(fairgossip.Scenario{
 			N: n, Colors: 2, Gamma: o.Gamma, Seed: o.Seed, Workers: o.Workers,
-		}).Run()
+		})
+		if err != nil {
+			panic(err)
+		}
+		res, err := runner.Run()
 		if err != nil {
 			panic(err)
 		}
