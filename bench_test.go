@@ -263,6 +263,37 @@ func benchScenarioBatch(b *testing.B, workers int) {
 	b.ReportMetric(float64(fails)/float64(b.N*trialsPerBatch), "failRate")
 }
 
+// BenchmarkDynamicScenarioBatch times the dynamic-topology batch path: the
+// same 8-trial unit of work as BenchmarkScenarioRunnerBatch, but with the
+// edge-Markovian graph process advancing every round (n=256 flips 32640
+// potential edges per round). Not gated — it exists so the cost of the
+// dynamics axis relative to the static batch is visible in every bench run.
+func BenchmarkDynamicScenarioBatch(b *testing.B) {
+	const trialsPerBatch = 8
+	runner, err := scenario.NewRunner(scenario.Scenario{
+		N: 256, Colors: 2, Seed: 1, Workers: 1,
+		Dynamics: scenario.Dynamics{Kind: scenario.DynamicsEdgeMarkovian, Birth: 0.02, Death: 0.1},
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	buf := make([]scenario.Result, trialsPerBatch)
+	b.ReportAllocs()
+	b.ResetTimer()
+	fails := 0
+	for i := 0; i < b.N; i++ {
+		if err := runner.TrialsInto(buf); err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range buf {
+			if r.Outcome.Failed {
+				fails++
+			}
+		}
+	}
+	b.ReportMetric(float64(fails)/float64(b.N*trialsPerBatch), "failRate")
+}
+
 // BenchmarkProtocolScaling provides the per-n cost curve behind T1–T3.
 func BenchmarkProtocolScaling(b *testing.B) {
 	for _, n := range []int{128, 256, 512, 1024, 2048} {

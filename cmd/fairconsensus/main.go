@@ -150,7 +150,7 @@ func main() {
 	sc = runner.Scenario()
 	p := runner.Params()
 	fmt.Printf("protocol P: n=%d |Σ|=%d γ=%.1f q=%d rounds=%d topology=%s scheduler=%s fault=%s\n",
-		p.N, p.Colors, p.Gamma, p.Q, p.Rounds, sc.Topology, sc.Scheduler, faultLabel(sc.Fault))
+		p.N, p.Colors, p.Gamma, p.Q, p.Rounds, topologyLabel(sc), sc.Scheduler, faultLabel(sc.Fault))
 
 	res, err := runScenario(runner, sc, *traceRun)
 	if err != nil {
@@ -202,6 +202,20 @@ func runScenario(runner *fairgossip.Runner, sc fairgossip.Scenario, traced bool)
 		return fairgossip.Result{}, err
 	}
 	return bridge.ResultToPublic(res), nil
+}
+
+// topologyLabel names the communication graph: the static topology, or the
+// graph process (with its rates) when the scenario is dynamic.
+func topologyLabel(sc fairgossip.Scenario) string {
+	d := sc.Dynamics
+	switch {
+	case d.Kind == fairgossip.DynamicsEdgeMarkovian:
+		return fmt.Sprintf("%s(birth=%g,death=%g)", d.Kind, d.Birth, d.Death)
+	case d.Kind == fairgossip.DynamicsRewireRing:
+		return fmt.Sprintf("%s(beta=%g)", d.Kind, d.Beta)
+	default:
+		return sc.Topology
+	}
 }
 
 func faultLabel(f fairgossip.FaultModel) string {

@@ -85,6 +85,49 @@ func TestRunInlineScenarioRoundTrips(t *testing.T) {
 	}
 }
 
+// TestRunInlineDynamicScenario runs a dynamic-topology scenario end to end
+// through the HTTP surface: the raw version-1 document (with the additive
+// "dynamics" field) is accepted, the batch executes deterministically, and
+// the canonical echo carries the graph process so the run can be replayed.
+func TestRunInlineDynamicScenario(t *testing.T) {
+	srv := testServer(t)
+	req := `{"scenario":{"version":1,"n":48,"seed":7,` +
+		`"dynamics":{"kind":"edge-markovian","birth":0.01,"death":0.03}},"trials":6,"workers":2}`
+	resp, body := postRun(t, srv, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var rr runResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Trials != 6 {
+		t.Fatalf("ran %d trials, want 6", rr.Trials)
+	}
+	got, err := fairgossip.Decode(rr.Scenario)
+	if err != nil {
+		t.Fatalf("response scenario does not decode: %v\n%s", err, rr.Scenario)
+	}
+	want := fairgossip.Dynamics{Kind: fairgossip.DynamicsEdgeMarkovian, Birth: 0.01, Death: 0.03}
+	if got.Dynamics != want {
+		t.Fatalf("echoed scenario lost the graph process: %+v", got.Dynamics)
+	}
+	// Same request again: dynamic runs derive the evolution from trial seeds,
+	// so the whole response body (modulo timing) must be reproducible.
+	resp2, body2 := postRun(t, srv, req)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second run: status %d", resp2.StatusCode)
+	}
+	var rr2 runResponse
+	if err := json.Unmarshal(body2, &rr2); err != nil {
+		t.Fatal(err)
+	}
+	rr.ElapsedMS, rr2.ElapsedMS = 0, 0
+	if !reflect.DeepEqual(rr, rr2) {
+		t.Fatalf("dynamic batch not reproducible over HTTP:\nfirst  %+v\nsecond %+v", rr, rr2)
+	}
+}
+
 // TestRunSeedOverride pins the per-request override and determinism: the
 // same request twice is byte-identical, a different seed may differ.
 func TestRunSeedOverride(t *testing.T) {
@@ -160,7 +203,7 @@ func TestScenarioList(t *testing.T) {
 	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
 		t.Fatal(err)
 	}
-	for _, name := range []string{"baseline", "churn", "lossy-links"} {
+	for _, name := range []string{"baseline", "churn", "lossy-links", "edge-markovian", "rewire-ring"} {
 		doc, ok := out[name]
 		if !ok {
 			t.Fatalf("scenario list misses %q", name)

@@ -9,8 +9,9 @@
 //
 // The supported surface is the fairgossip package — a versioned, public
 // re-export of the scenario layer. It offers the declarative Scenario type
-// (network size, initial-opinion distribution, γ, topology, fault model
-// including probabilistic message loss, scheduler, coalition, seed), a
+// (network size, initial-opinion distribution, γ, topology — static or a
+// per-round evolving graph process via Dynamics, fault model including
+// probabilistic message loss, scheduler, coalition, seed), a
 // strict version-1 JSON wire format (Encode / Decode, with the invariant
 // Decode(Encode(s)) == s.WithDefaults()), a registry of named settings, a
 // typed error taxonomy (ErrInvalidScenario, ErrUnknownScenario, wrapped
@@ -36,7 +37,11 @@
 // sequential (one random agent per tick) AsyncEngine. Fault models are
 // pluggable FaultSchedules — permanent quiescence, crash-at-round-r,
 // periodic churn — and the orthogonal Drop rate loses any message crossing
-// a link with fixed probability from a seed-derived stream.
+// a link with fixed probability from a seed-derived stream. Topologies may
+// themselves be dynamic: a topo.Dynamic graph process (edge-Markovian
+// chains, the per-round rewiring ring) is started from the run seed and
+// advanced by the engine at every round boundary, so partner selection and
+// delivery validation always read the round's live edge set.
 //
 // Protocol layer. internal/core is Protocol P and its sequential-model
 // adaptation; internal/rational adds utilities, coalitions, and the
@@ -64,8 +69,9 @@
 // state, and CI gates `go test -bench=ScenarioRunnerBatch` against the
 // committed BENCH_BASELINE.json via cmd/benchdiff.
 //
-// Supporting substrates: internal/sim (experiment tables T0–T8, E9–E11, now
-// built on the public API), internal/topo, internal/rng (splittable
+// Supporting substrates: internal/sim (experiment tables T0–T8, E9–E12,
+// built on the public API), internal/topo (static graphs and dynamic
+// graph processes), internal/rng (splittable
 // xoshiro256**), internal/stats (streaming Welford moments, counting-
 // histogram medians), internal/metrics, internal/par, internal/trace,
 // internal/wire.

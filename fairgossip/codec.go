@@ -18,6 +18,13 @@ const Version = 1
 type wireScenario struct {
 	Version int `json:"version"`
 	Scenario
+	// Dynamics shadows the embedded scenario's field (the shallower field
+	// wins both ways in encoding/json) with a pointer so a static topology is
+	// omitted from the document entirely — a struct has no empty form under
+	// omitempty. Absence therefore keeps its pre-dynamics meaning, and every
+	// version-1 document written before the field existed stays byte-identical
+	// on re-encode: the additive-only schema rule the golden fixtures pin.
+	Dynamics *Dynamics `json:"dynamics,omitempty"`
 }
 
 // Encode renders a scenario as its canonical version-1 JSON document. The
@@ -28,7 +35,14 @@ func Encode(s Scenario) ([]byte, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	return json.MarshalIndent(wireScenario{Version: Version, Scenario: s.WithDefaults()}, "", "  ")
+	// Validation guarantees an inactive Dynamics carries no parameters, so
+	// omitting it loses nothing — and keeps every pre-dynamics document's
+	// byte representation intact.
+	w := wireScenario{Version: Version, Scenario: s.WithDefaults()}
+	if w.Scenario.Dynamics.Active() {
+		w.Dynamics = &w.Scenario.Dynamics
+	}
+	return json.MarshalIndent(w, "", "  ")
 }
 
 // Decode parses a version-1 scenario document, strictly: unknown fields,
@@ -50,6 +64,9 @@ func Decode(data []byte) (Scenario, error) {
 			return Scenario{}, invalidf(`missing "version" field (this build speaks version %d)`, Version)
 		}
 		return Scenario{}, invalidf("unsupported version %d (this build speaks version %d)", w.Version, Version)
+	}
+	if w.Dynamics != nil {
+		w.Scenario.Dynamics = *w.Dynamics
 	}
 	s := w.Scenario.WithDefaults()
 	if err := s.Validate(); err != nil {

@@ -28,6 +28,13 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte(`{"version":1,"n":64,"seed":1,"fault":{"kind":"crash","alpha":0.25,"round":30}}`))
 	f.Add([]byte(`{"version":1,"n":64,"seed":1,"fault":{"drop":0.2}}`))
 	f.Add([]byte(`{"version":1,"n":96,"seed":1,"scheduler":"async","gamma":9.5}`))
+	f.Add([]byte(`{"version":1,"n":64,"seed":1,"dynamics":{"kind":"edge-markovian","birth":0.02,"death":0.1}}`))
+	f.Add([]byte(`{"version":1,"n":64,"seed":1,"dynamics":{"kind":"rewire-ring","beta":0.3}}`))
+	f.Add([]byte(`{"version":1,"n":64,"seed":1,"dynamics":{"kind":"none"}}`))
+	f.Add([]byte(`{"version":1,"n":64,"seed":1,"dynamics":{}}`))
+	f.Add([]byte(`{"version":1,"n":64,"seed":1,"dynamics":{"kind":"edge-markovian","birth":2}}`))
+	f.Add([]byte(`{"version":1,"n":64,"seed":1,"dynamics":null}`))
+	f.Add([]byte(`{"version":1,"n":64,"seed":1,"topology":"ring","dynamics":{"kind":"rewire-ring"}}`))
 	f.Add([]byte(`{"version":2,"n":64,"seed":1}`))
 	f.Add([]byte(`{"n":64}`))
 	f.Add([]byte(`{"version":1,"n":64,"seed":1} trailing`))

@@ -49,6 +49,13 @@ func TestCodecRoundTripSparse(t *testing.T) {
 		{N: 64, Fault: fairgossip.FaultModel{Kind: fairgossip.FaultPermanent, Alpha: 0.25}},
 		{N: 64, Fault: fairgossip.FaultModel{Drop: 0.1}},
 		{N: 128, Coalition: 3, Deviation: "min-k-liar"},
+		{N: 64, Dynamics: fairgossip.Dynamics{Kind: fairgossip.DynamicsEdgeMarkovian, Birth: 0.01, Death: 0.05}},
+		{N: 64, Dynamics: fairgossip.Dynamics{Kind: fairgossip.DynamicsEdgeMarkovian, Birth: 0.25, Death: 0}},
+		{N: 64, Dynamics: fairgossip.Dynamics{Kind: fairgossip.DynamicsRewireRing, Beta: 0.4}},
+		{N: 64, Dynamics: fairgossip.Dynamics{Kind: fairgossip.DynamicsRewireRing}},
+		{N: 64, Dynamics: fairgossip.Dynamics{Kind: fairgossip.DynamicsNone}},
+		{N: 64, Fault: fairgossip.FaultModel{Drop: 0.1},
+			Dynamics: fairgossip.Dynamics{Kind: fairgossip.DynamicsRewireRing, Beta: 0.4}},
 	} {
 		data, err := fairgossip.Encode(s)
 		if err != nil {
@@ -85,6 +92,14 @@ func TestDecodeStrictness(t *testing.T) {
 		{"invalid drop", `{"version":1,"n":64,"seed":1,"fault":{"drop":1.5}}`, "drop probability"},
 		{"unknown color init", `{"version":1,"n":64,"seed":1,"color_init":"striped"}`, "color init"},
 		{"unknown fault kind", `{"version":1,"n":64,"seed":1,"fault":{"kind":"byzantine"}}`, "fault kind"},
+		{"unknown dynamics field", `{"version":1,"n":64,"seed":1,"dynamics":{"kindd":"rewire-ring"}}`, "kindd"},
+		{"unknown dynamics kind", `{"version":1,"n":64,"seed":1,"dynamics":{"kind":"teleport"}}`, "dynamics kind"},
+		{"dynamics rates without kind", `{"version":1,"n":64,"seed":1,"dynamics":{"birth":0.5,"death":0.2}}`, "need a kind"},
+		{"frozen edge chain", `{"version":1,"n":64,"seed":1,"dynamics":{"kind":"edge-markovian"}}`, "birth + death"},
+		{"bad edge death", `{"version":1,"n":64,"seed":1,"dynamics":{"kind":"edge-markovian","birth":0.1,"death":2}}`, "death"},
+		{"bad rewire beta", `{"version":1,"n":64,"seed":1,"dynamics":{"kind":"rewire-ring","beta":-0.5}}`, "rewiring"},
+		{"dynamics over static topology", `{"version":1,"n":64,"seed":1,"topology":"ring","dynamics":{"kind":"rewire-ring","beta":0.2}}`, "leave topology"},
+		{"dynamics under async", `{"version":1,"n":64,"seed":1,"scheduler":"async","dynamics":{"kind":"rewire-ring","beta":0.2}}`, "sync scheduler"},
 	}
 	for _, tc := range cases {
 		_, err := fairgossip.Decode([]byte(tc.doc))
@@ -157,6 +172,57 @@ func TestGoldenWireFixtures(t *testing.T) {
 	for _, e := range entries {
 		if !fixtures[e.Name()] {
 			t.Errorf("stale fixture %s has no registered scenario", e.Name())
+		}
+	}
+}
+
+// legacyFixtures lists every scenario registered before the dynamics axis
+// existed — the 13 fixtures whose byte representation the additive-only
+// schema rule freezes.
+var legacyFixtures = []string{
+	"adversary-min-k", "baseline", "churn", "crash-after-voting",
+	"crash-mid-voting", "expander", "faulty-third", "leader-election",
+	"lossy-links", "ring", "sequential", "split-70-30", "zipf-skew",
+}
+
+// TestDynamicsSchemaIsAdditive is the compatibility proof for the dynamics
+// field: (1) every one of the 13 pre-dynamics fixtures still exists and does
+// not mention the new field — re-encoding them cannot have changed a byte
+// (TestGoldenWireFixtures pins the bytes themselves); (2) decoding such a
+// document yields an inactive, defaults-applied Dynamics, i.e. absence still
+// means exactly what it meant before the field existed; (3) only the new
+// dynamic builtins carry the field.
+func TestDynamicsSchemaIsAdditive(t *testing.T) {
+	for _, name := range legacyFixtures {
+		data, err := os.ReadFile(filepath.Join("testdata", "golden", name+".json"))
+		if err != nil {
+			t.Fatalf("%s: pre-dynamics fixture vanished: %v", name, err)
+		}
+		if strings.Contains(string(data), "dynamics") {
+			t.Errorf("%s: pre-dynamics fixture mentions the dynamics field — the schema change was not additive", name)
+		}
+		s, err := fairgossip.Decode(data)
+		if err != nil {
+			t.Fatalf("%s: pre-dynamics document no longer decodes: %v", name, err)
+		}
+		if s.Dynamics.Active() {
+			t.Errorf("%s: absent dynamics decoded as active %+v", name, s.Dynamics)
+		}
+		if s.Dynamics.Kind != fairgossip.DynamicsNone {
+			t.Errorf("%s: absent dynamics not defaults-applied: %+v", name, s.Dynamics)
+		}
+	}
+	for _, name := range []string{"edge-markovian", "rewire-ring"} {
+		s, err := fairgossip.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := fairgossip.Encode(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), `"dynamics"`) {
+			t.Errorf("%s: dynamic builtin encodes without the dynamics field:\n%s", name, data)
 		}
 	}
 }

@@ -14,6 +14,13 @@
 // defaults; WithDefaults returns the fully effective setting and Validate
 // reports the first inconsistency, wrapping ErrInvalidScenario.
 //
+// The topology itself may evolve: Dynamics turns the communication graph
+// into a per-round graph process — every edge an independent birth/death
+// Markov chain ("edge-markovian"), or a ring whose edges are re-rewired
+// every round ("rewire-ring") — the graph-process analogue of churn. The
+// evolution is derived from each run's seed, so dynamic runs are exactly as
+// reproducible as static ones; see the Example below.
+//
 // Named settings live in a process-wide registry: Register stores a
 // defaults-applied scenario, Lookup retrieves it (ErrUnknownScenario when
 // absent), and the built-in library covers one scenario per experiment axis
@@ -41,7 +48,10 @@
 // Decode(Encode(s)) equals s.WithDefaults() for every valid s. The version
 // field is this package's compatibility promise: version-1 documents keep
 // decoding in every future release; new optional fields may appear, but a
-// field's meaning or default never changes within version 1.
+// field's meaning or default never changes within version 1. The "dynamics"
+// field is such an addition: static scenarios omit it entirely, so every
+// document written before it existed keeps both its meaning and its exact
+// byte representation (the golden fixtures pin this).
 //
 // # Execution
 //

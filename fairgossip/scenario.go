@@ -52,6 +52,51 @@ const (
 	FaultChurn FaultKind = "churn"
 )
 
+// DynamicsKind names the graph process that evolves the topology per round.
+type DynamicsKind string
+
+// Supported dynamic-topology processes.
+const (
+	// DynamicsNone leaves the scenario's static topology in place.
+	DynamicsNone DynamicsKind = "none"
+	// DynamicsEdgeMarkovian evolves every potential edge as its own two-state
+	// Markov chain: absent edges appear with probability Birth and present
+	// edges disappear with probability Death at each round boundary. Round 0
+	// is drawn from the stationary law, so the expected degree stays
+	// ≈ (n−1)·Birth/(Birth+Death) throughout.
+	DynamicsEdgeMarkovian DynamicsKind = "edge-markovian"
+	// DynamicsRewireRing keeps the n-cycle as substrate and, each round,
+	// independently replaces every node's clockwise edge by a uniformly
+	// random chord with probability Beta — Watts–Strogatz rewiring resampled
+	// per round instead of frozen at construction.
+	DynamicsRewireRing DynamicsKind = "rewire-ring"
+)
+
+// Dynamics describes a per-round evolving topology — the graph-process
+// analogue of churn: every node stays up, but who can talk to whom is
+// redrawn at each round boundary from a seed-derived stream, so dynamic runs
+// are exactly as reproducible as static ones. The zero value means a static
+// topology. When active, the process replaces the scenario's Topology (which
+// must be left at its default) and is only supported under the sync
+// scheduler, without coalitions.
+type Dynamics struct {
+	// Kind selects the process; "" and "none" mean a static topology.
+	Kind DynamicsKind `json:"kind,omitempty"`
+	// Birth is the per-round appearance probability of an absent edge
+	// (DynamicsEdgeMarkovian only), in [0, 1].
+	Birth float64 `json:"birth,omitempty"`
+	// Death is the per-round disappearance probability of a present edge
+	// (DynamicsEdgeMarkovian only), in [0, 1]. Birth+Death must be positive.
+	Death float64 `json:"death,omitempty"`
+	// Beta is the per-round rewiring probability of each ring edge
+	// (DynamicsRewireRing only), in [0, 1].
+	Beta float64 `json:"beta,omitempty"`
+}
+
+// Active reports whether d names a real graph process (anything but the zero
+// value and the explicit "none").
+func (d Dynamics) Active() bool { return d.Kind != "" && d.Kind != DynamicsNone }
+
 // FaultModel describes which nodes misbehave and how, plus the link-level
 // loss model.
 type FaultModel struct {
@@ -99,6 +144,14 @@ type Scenario struct {
 	// with average degree 16). Seeded graphs are built from Seed once and
 	// shared by every trial.
 	Topology string `json:"topology,omitempty"`
+	// Dynamics optionally turns the communication graph into a per-round
+	// evolving process (see Dynamics); the zero value keeps the static
+	// Topology. On the wire the field is additive: Encode omits it entirely
+	// for static scenarios — not via this tag (omitempty cannot elide a
+	// struct) but via the codec's pointer shadow — so every pre-dynamics
+	// version-1 document keeps its exact byte representation, and its
+	// absence means what it always meant.
+	Dynamics Dynamics `json:"dynamics"`
 	// Fault is the fault model; the zero value means fault-free.
 	Fault FaultModel `json:"fault"`
 	// Scheduler is sync or async; "" = sync.
@@ -145,6 +198,12 @@ func (s Scenario) internal() scenario.Scenario {
 		ZipfS:         s.ZipfS,
 		Gamma:         s.Gamma,
 		Topology:      s.Topology,
+		Dynamics: scenario.Dynamics{
+			Kind:  scenario.DynamicsKind(s.Dynamics.Kind),
+			Birth: s.Dynamics.Birth,
+			Death: s.Dynamics.Death,
+			Beta:  s.Dynamics.Beta,
+		},
 		Fault: scenario.FaultModel{
 			Kind:   scenario.FaultKind(s.Fault.Kind),
 			Alpha:  s.Fault.Alpha,
@@ -172,6 +231,12 @@ func scenarioFromInternal(s scenario.Scenario) Scenario {
 		ZipfS:         s.ZipfS,
 		Gamma:         s.Gamma,
 		Topology:      s.Topology,
+		Dynamics: Dynamics{
+			Kind:  DynamicsKind(s.Dynamics.Kind),
+			Birth: s.Dynamics.Birth,
+			Death: s.Dynamics.Death,
+			Beta:  s.Dynamics.Beta,
+		},
 		Fault: FaultModel{
 			Kind:   FaultKind(s.Fault.Kind),
 			Alpha:  s.Fault.Alpha,

@@ -28,6 +28,12 @@ func ToInternal(s fairgossip.Scenario) scenario.Scenario {
 		ZipfS:         s.ZipfS,
 		Gamma:         s.Gamma,
 		Topology:      s.Topology,
+		Dynamics: scenario.Dynamics{
+			Kind:  scenario.DynamicsKind(s.Dynamics.Kind),
+			Birth: s.Dynamics.Birth,
+			Death: s.Dynamics.Death,
+			Beta:  s.Dynamics.Beta,
+		},
 		Fault: scenario.FaultModel{
 			Kind:   scenario.FaultKind(s.Fault.Kind),
 			Alpha:  s.Fault.Alpha,

@@ -56,6 +56,39 @@ func TestResultToPublicMatchesFairgossip(t *testing.T) {
 	}
 }
 
+// TestBridgeDynamicsConversion pins the new dynamics axis through the bridge
+// field by field (TestBridgeMatchesRegistry covers the dynamic builtins, but
+// only at their registered parameter values), and proves the deep-access
+// runner executes a dynamic scenario to the same public result fairgossip
+// produces — including for a per-request parameterization no builtin uses.
+func TestBridgeDynamicsConversion(t *testing.T) {
+	pub := fairgossip.Scenario{
+		N: 48, Colors: 2, Seed: 31,
+		Dynamics: fairgossip.Dynamics{Kind: fairgossip.DynamicsEdgeMarkovian, Birth: 0.03, Death: 0.11},
+	}
+	got := ToInternal(pub).Dynamics
+	want := scenario.Dynamics{Kind: scenario.DynamicsEdgeMarkovian, Birth: 0.03, Death: 0.11}
+	if got != want {
+		t.Fatalf("bridge dropped dynamics: got %+v, want %+v", got, want)
+	}
+
+	pubRes, err := fairgossip.MustRunner(pub).Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	inner, err := NewRunner(pub)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := inner.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ResultToPublic(res) != pubRes {
+		t.Fatalf("dynamic deep-access run diverged from fairgossip:\ngot  %+v\nwant %+v", ResultToPublic(res), pubRes)
+	}
+}
+
 // TestBridgeRunnerExecutes sanity-checks the deep-access path end to end.
 func TestBridgeRunnerExecutes(t *testing.T) {
 	r, err := NewRunner(fairgossip.Scenario{N: 16, Colors: 2, Seed: 3})

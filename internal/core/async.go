@@ -320,6 +320,7 @@ func RunAsyncResult(cfg AsyncRunConfig) (AsyncRunResult, error) {
 		return AsyncRunResult{Outcome: Outcome{Failed: true}},
 			fmt.Errorf("core: unreliable mask has %d entries for n = %d", len(cfg.Unreliable), p.N)
 	}
+	startDynamics(net, cfg.Seed)
 	master := rng.New(cfg.Seed)
 	agents := make([]gossip.Agent, p.N)
 	parts := make([]Participant, p.N)

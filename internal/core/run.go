@@ -34,7 +34,10 @@ type RunConfig struct {
 	// The loss stream is derived from Seed, so lossy runs stay reproducible.
 	// Must be in [0, 1); 0 disables loss.
 	Drop float64
-	// Topology defaults to the complete graph on N nodes when nil.
+	// Topology defaults to the complete graph on N nodes when nil. A
+	// topo.Dynamic topology (per-round graph process) is per-run mutable
+	// state — pass a private instance; Run starts it from a stream derived
+	// off Seed and the engine advances it once per round.
 	Topology topo.Topology
 	// Workers is the engine Act-phase parallelism (0 = GOMAXPROCS, 1 = serial).
 	Workers int
@@ -63,6 +66,21 @@ type RunResult struct {
 // the run seed.
 const dropStreamSalt = 0xd10bab1e
 
+// dynamicsStreamSalt separates a dynamic topology's edge-process stream from
+// every other use of the run seed, so the graph evolution never perturbs the
+// agents' (or the loss model's) randomness.
+const dynamicsStreamSalt = 0x9a51f10e
+
+// startDynamics starts a per-round graph process from the run seed. It must
+// run before any agent is built: the agents' round-0 intention targets are
+// sampled from the process's round-0 edge set. Two runs at the same seed see
+// bit-identical edge sets round for round.
+func startDynamics(net topo.Topology, seed uint64) {
+	if dyn, ok := net.(topo.Dynamic); ok {
+		dyn.Start(rng.Mix64(seed, dynamicsStreamSalt))
+	}
+}
+
 // Run executes Protocol P with all agents honest and returns the outcome.
 // It is the cooperative-setting experiment of Section 3.1.
 func Run(cfg RunConfig) (RunResult, error) {
@@ -83,6 +101,7 @@ func Run(cfg RunConfig) (RunResult, error) {
 	if cfg.Drop < 0 || cfg.Drop >= 1 {
 		return RunResult{}, fmt.Errorf("core: drop probability %v outside [0, 1)", cfg.Drop)
 	}
+	startDynamics(net, cfg.Seed)
 	pl := cfg.Pool
 	if pl == nil {
 		pl = &RunPool{} // private, thrown away with the result

@@ -23,6 +23,7 @@ import (
 // keeping Counters reads exact at round granularity.
 type executor struct {
 	topo     topo.Topology
+	dyn      topo.Dynamic // non-nil iff topo is a per-round graph process
 	agents   []Agent
 	initial  []bool        // round-0 fault mask (governs agent existence)
 	faults   FaultSchedule // quiescence over time; never nil
@@ -75,6 +76,7 @@ func (x *executor) init(cfg Config, agents []Agent) {
 		panic("gossip: Drop > 0 requires a DropRand source")
 	}
 	x.topo = cfg.Topology
+	x.dyn, _ = cfg.Topology.(topo.Dynamic)
 	x.agents = agents
 	x.initial = faulty
 	x.faults = faults

@@ -90,6 +90,10 @@ type Decider interface {
 
 // Config configures an Engine or AsyncEngine.
 type Config struct {
+	// Topology is the communication graph. A topo.Dynamic topology (a
+	// per-round graph process) must be Started by the caller before the
+	// engine is built — its round-0 edge set is part of run setup — and is
+	// then advanced by the engine exactly once per round (or tick).
 	Topology topo.Topology
 	// Faulty marks permanently faulty nodes; nil means fault-free. The slice
 	// length must equal Topology.N(). Nodes in this mask may have no agent.
@@ -186,6 +190,15 @@ func (e *Engine) Step() {
 	n := len(e.x.agents)
 	round := e.round
 
+	// A dynamic topology evolves at the round boundary: round 0 runs on the
+	// edge set Start materialized, and every later round advances the process
+	// exactly once, here, before any agent reads it. Between boundaries the
+	// edge set is immutable, so the parallel Act phase below may sample peers
+	// from it concurrently.
+	if e.x.dyn != nil && round > 0 {
+		e.x.dyn.Advance(round)
+	}
+
 	// Decision phase: agents choose their one active operation. Safe to
 	// parallelize because Act only touches the agent's own state. The serial
 	// path is open-coded: a closure capturing the changing round would
@@ -281,6 +294,12 @@ func NewAsyncEngine(cfg Config, agents []Agent, sched *rng.Source) *AsyncEngine 
 // "round". A woken agent that the fault schedule currently silences sleeps
 // through its wake-up: the tick elapses with no action.
 func (e *AsyncEngine) Tick() {
+	// A dynamic topology evolves once per tick (the sequential model's round),
+	// whether or not anyone wakes: the graph process is time's, not the
+	// agents'.
+	if e.x.dyn != nil && e.tick > 0 {
+		e.x.dyn.Advance(e.tick)
+	}
 	if len(e.active) == 0 {
 		e.tick++
 		return

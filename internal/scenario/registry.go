@@ -90,6 +90,15 @@ func init() {
 			Fault: FaultModel{Drop: 0.05}},
 		{Name: "adversary-min-k", N: 128, Colors: 2, Seed: 1,
 			Coalition: 4, Deviation: "min-k-liar"},
+		// Dynamic topologies: the graph itself churns while every node stays
+		// up. The edge-Markovian rates keep a stationary degree of
+		// ≈ (n−1)·birth/(birth+death) ≈ 21 while 10% of the present edges die
+		// each round; the rewiring ring resamples a fifth of the cycle into
+		// random chords every round.
+		{Name: "edge-markovian", N: 128, Colors: 2, Seed: 1,
+			Dynamics: Dynamics{Kind: DynamicsEdgeMarkovian, Birth: 0.02, Death: 0.1}},
+		{Name: "rewire-ring", N: 128, Colors: 2, Seed: 1,
+			Dynamics: Dynamics{Kind: DynamicsRewireRing, Beta: 0.2}},
 	} {
 		MustRegister(s)
 	}

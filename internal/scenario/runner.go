@@ -57,33 +57,42 @@ type Runner struct {
 	sched      gossip.FaultSchedule
 	unreliable []bool
 
-	pools *poolList // reusable core.RunPool free list for batched trials
+	pools *freeList[*core.RunPool] // reusable run-pool free list for batched trials
+	dyns  *freeList[topo.Dynamic]  // reusable graph-process free list (dynamic scenarios only)
 
 	// Trace optionally receives engine events on every subsequent run.
 	Trace trace.Sink
 }
 
-// poolList is a concurrency-safe free list of run pools. It lives behind a
-// pointer so the Runner value stays trivially copyable.
-type poolList struct {
-	mu   sync.Mutex
-	free []*core.RunPool
+// freeList is a concurrency-safe free list of reusable per-worker run state:
+// core.RunPools, and — for dynamic scenarios — private graph-process
+// instances (core.Run re-Starts a pooled process from every trial seed, so
+// reuse is unobservable). It lives behind a pointer so the Runner value
+// stays trivially copyable.
+type freeList[T any] struct {
+	mu    sync.Mutex
+	build func() T
+	free  []T
 }
 
-func (l *poolList) get() *core.RunPool {
+func newFreeList[T any](build func() T) *freeList[T] {
+	return &freeList[T]{build: build}
+}
+
+func (l *freeList[T]) get() T {
 	l.mu.Lock()
 	defer l.mu.Unlock()
 	if n := len(l.free); n > 0 {
-		p := l.free[n-1]
+		v := l.free[n-1]
 		l.free = l.free[:n-1]
-		return p
+		return v
 	}
-	return &core.RunPool{}
+	return l.build()
 }
 
-func (l *poolList) put(p *core.RunPool) {
+func (l *freeList[T]) put(v T) {
 	l.mu.Lock()
-	l.free = append(l.free, p)
+	l.free = append(l.free, v)
 	l.mu.Unlock()
 }
 
@@ -104,7 +113,11 @@ func NewRunner(s Scenario) (*Runner, error) {
 	if err != nil {
 		return nil, err
 	}
-	r := &Runner{s: s, params: params, net: net, pools: &poolList{}}
+	r := &Runner{s: s, params: params, net: net,
+		pools: newFreeList(func() *core.RunPool { return &core.RunPool{} })}
+	if s.Dynamics.Active() {
+		r.dyns = newFreeList(s.BuildDynamics)
+	}
 	r.colors = s.BuildColors()
 	r.faulty, r.sched, r.unreliable = s.BuildFaults()
 	if s.Coalition > 0 {
@@ -133,8 +146,21 @@ func (r *Runner) Scenario() Scenario { return r.s }
 // Params returns the derived protocol parameters.
 func (r *Runner) Params() core.Params { return r.params }
 
-// Topology returns the materialized communication graph.
+// Topology returns the materialized static communication graph. For dynamic
+// scenarios this is only the nominal substrate; each run replaces it with a
+// private graph-process instance (see runTopology).
 func (r *Runner) Topology() topo.Topology { return r.net }
+
+// runTopology returns the communication graph for one unpooled run: the
+// shared static graph, or — for dynamic scenarios — a fresh graph-process
+// instance, since the process is per-run mutable state. core.Run starts the
+// instance from the run seed.
+func (r *Runner) runTopology() topo.Topology {
+	if r.dyns == nil {
+		return r.net
+	}
+	return r.s.BuildDynamics()
+}
 
 // CoalitionMembers returns the deviating agents' IDs (nil for cooperative
 // scenarios).
@@ -153,7 +179,7 @@ func (r *Runner) RunConfig(seed uint64) core.RunConfig {
 		Unreliable: unreliable,
 		Seed:       seed,
 		Drop:       r.s.Fault.Drop,
-		Topology:   r.net,
+		Topology:   r.runTopology(),
 		Workers:    r.s.Workers,
 		Trace:      r.Trace,
 	}
@@ -321,9 +347,14 @@ func (r *Runner) runBatch(ctx context.Context, base *rng.Source, start int, dst 
 	errs := make([]error, len(dst))
 	par.Chunks(r.s.Workers, len(dst), func(worker, lo, hi int) {
 		var pool *core.RunPool
+		var dyn topo.Dynamic
 		if pooled {
 			pool = r.pools.get()
 			defer r.pools.put(pool)
+			if r.dyns != nil {
+				dyn = r.dyns.get()
+				defer r.dyns.put(dyn)
+			}
 		}
 		for i := lo; i < hi; i++ {
 			if err := ctx.Err(); err != nil {
@@ -332,7 +363,7 @@ func (r *Runner) runBatch(ctx context.Context, base *rng.Source, start int, dst 
 			}
 			seed := trialSeed(base, start+i)
 			if pooled {
-				dst[i], errs[i] = r.runPooled(seed, pool)
+				dst[i], errs[i] = r.runPooled(seed, pool, dyn)
 			} else {
 				serial := *r
 				serial.s.Workers = 1
@@ -364,8 +395,14 @@ func (r *Runner) runBatch(ctx context.Context, base *rng.Source, start int, dst 
 }
 
 // runPooled is the cooperative-sync trial path: one core.Run over the
-// runner's cached colors/faults and the worker's reusable pool.
-func (r *Runner) runPooled(seed uint64, pool *core.RunPool) (Result, error) {
+// runner's cached colors/faults and the worker's reusable pool. dyn, when
+// non-nil, is the worker's private graph-process instance; core.Run re-Starts
+// it from the trial seed, so reuse across trials is unobservable.
+func (r *Runner) runPooled(seed uint64, pool *core.RunPool, dyn topo.Dynamic) (Result, error) {
+	net := r.net
+	if dyn != nil {
+		net = dyn
+	}
 	res, err := core.Run(core.RunConfig{
 		Params:     r.params,
 		Colors:     r.colors,
@@ -374,7 +411,7 @@ func (r *Runner) runPooled(seed uint64, pool *core.RunPool) (Result, error) {
 		Unreliable: r.unreliable,
 		Seed:       seed,
 		Drop:       r.s.Fault.Drop,
-		Topology:   r.net,
+		Topology:   net,
 		Workers:    1,
 		Pool:       pool,
 	})

@@ -2,6 +2,8 @@ package scenario
 
 import (
 	"testing"
+
+	"repro/internal/trace"
 )
 
 func TestRunnerSyncCooperative(t *testing.T) {
@@ -103,6 +105,52 @@ func TestTrialsDeterministicAcrossWorkers(t *testing.T) {
 	for i := range r1 {
 		if r1[i].Outcome != r4[i].Outcome || r1[i].Metrics != r4[i].Metrics {
 			t.Fatalf("trial %d differs across worker counts", i)
+		}
+	}
+}
+
+// TestDynamicTranscriptDeterministicAcrossWorkers pins the strongest form of
+// dynamics determinism: not just equal Results but byte-identical run
+// transcripts — every push, pull, and topology-drop event in the same order —
+// regardless of the engine's Act-phase parallelism. Delivery (and therefore
+// trace emission and graph advancement) stays on one goroutine; only the
+// decision phase fans out.
+func TestDynamicTranscriptDeterministicAcrossWorkers(t *testing.T) {
+	for _, base := range dynamicScenarios() {
+		transcript := func(workers int) []trace.Event {
+			s := base
+			s.Workers = workers
+			r := MustRunner(s)
+			sink := &trace.Memory{}
+			r.Trace = sink
+			if _, err := r.RunSeed(99); err != nil {
+				t.Fatal(err)
+			}
+			return sink.Events()
+		}
+		want := transcript(1)
+		if len(want) == 0 {
+			t.Fatalf("%s: empty transcript", base.Name)
+		}
+		drops := 0
+		for _, ev := range want {
+			if ev.Kind == trace.KindDrop {
+				drops++
+			}
+		}
+		if drops == 0 {
+			t.Fatalf("%s: no topology drops — the graph is not actually churning under the run", base.Name)
+		}
+		for _, workers := range []int{0, 2, 4} {
+			got := transcript(workers)
+			if len(got) != len(want) {
+				t.Fatalf("%s workers=%d: transcript has %d events, want %d", base.Name, workers, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("%s workers=%d: event %d = %+v, want %+v", base.Name, workers, i, got[i], want[i])
+				}
+			}
 		}
 	}
 }

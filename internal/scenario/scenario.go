@@ -78,6 +78,49 @@ const (
 	FaultChurn FaultKind = "churn"
 )
 
+// DynamicsKind names the graph process that evolves the topology per round.
+type DynamicsKind string
+
+// Supported dynamic-topology processes.
+const (
+	// DynamicsNone leaves the scenario's static topology in place.
+	DynamicsNone DynamicsKind = "none"
+	// DynamicsEdgeMarkovian evolves every potential edge as its own two-state
+	// Markov chain: absent edges appear with probability Birth and present
+	// edges disappear with probability Death at each round boundary
+	// (topo.EdgeMarkovian). Round 0 is drawn from the stationary law, so the
+	// expected degree stays ≈ (n−1)·Birth/(Birth+Death) throughout.
+	DynamicsEdgeMarkovian DynamicsKind = "edge-markovian"
+	// DynamicsRewireRing keeps the n-cycle as substrate and, each round,
+	// independently replaces every node's clockwise edge by a uniformly
+	// random chord with probability Beta (topo.RewireRing) — Watts–Strogatz
+	// rewiring resampled per round instead of frozen at construction.
+	DynamicsRewireRing DynamicsKind = "rewire-ring"
+)
+
+// Dynamics describes a per-round evolving topology — the graph-process
+// analogue of churn: every node stays up, but who can talk to whom is
+// redrawn at each round boundary. The zero value means a static topology.
+// When active, the process replaces the scenario's Topology (which must be
+// left at its default), and every run derives the evolution from its own
+// seed, so dynamic runs are exactly as reproducible as static ones.
+type Dynamics struct {
+	Kind DynamicsKind
+	// Birth is the per-round appearance probability of an absent edge
+	// (DynamicsEdgeMarkovian only), in [0, 1].
+	Birth float64
+	// Death is the per-round disappearance probability of a present edge
+	// (DynamicsEdgeMarkovian only), in [0, 1]. Birth+Death must be positive.
+	Death float64
+	// Beta is the per-round rewiring probability of each ring edge
+	// (DynamicsRewireRing only), in [0, 1].
+	Beta float64
+}
+
+// Active reports whether d names a real graph process (anything but the zero
+// value and the explicit "none").
+func (d Dynamics) Active() bool { return d.Kind != "" && d.Kind != DynamicsNone }
+
 // FaultModel describes which nodes misbehave and how, plus the link-level
 // loss model.
 type FaultModel struct {
@@ -124,6 +167,10 @@ type Scenario struct {
 	// with average degree 16). Seeded graphs are built from Seed once and
 	// shared by every trial.
 	Topology string
+	// Dynamics optionally turns the communication graph into a per-round
+	// evolving process (see Dynamics); the zero value keeps the static
+	// Topology. Only supported under the sync scheduler, without coalitions.
+	Dynamics Dynamics
 	// Fault is the fault model; the zero value means fault-free.
 	Fault FaultModel
 	// Scheduler is sync or async; "" = sync.
@@ -174,6 +221,9 @@ func (s Scenario) WithDefaults() Scenario {
 	if s.Topology == "" {
 		s.Topology = "complete"
 	}
+	if s.Dynamics.Kind == "" {
+		s.Dynamics.Kind = DynamicsNone
+	}
 	if s.Fault.Kind == "" {
 		s.Fault.Kind = FaultNone
 	}
@@ -211,6 +261,53 @@ func (s Scenario) Validate() error {
 	}
 	if _, err := parseTopology(s.Topology, s.N); err != nil {
 		return err
+	}
+	switch s.Dynamics.Kind {
+	case DynamicsNone:
+		// Rates without a process are a silent misconfiguration (a document
+		// that forgot "kind" would otherwise run statically with its rates
+		// ignored), and rejecting them keeps the canonical form unique: an
+		// inactive Dynamics is always exactly the zero value, which the wire
+		// codec omits entirely.
+		if s.Dynamics.Birth != 0 || s.Dynamics.Death != 0 || s.Dynamics.Beta != 0 {
+			return fmt.Errorf("scenario: dynamics parameters need a kind (edge-markovian|rewire-ring)")
+		}
+	case DynamicsEdgeMarkovian:
+		if s.Dynamics.Birth < 0 || s.Dynamics.Birth > 1 {
+			return fmt.Errorf("scenario: edge birth probability %v outside [0, 1]", s.Dynamics.Birth)
+		}
+		if s.Dynamics.Death < 0 || s.Dynamics.Death > 1 {
+			return fmt.Errorf("scenario: edge death probability %v outside [0, 1]", s.Dynamics.Death)
+		}
+		if s.Dynamics.Birth+s.Dynamics.Death == 0 {
+			return fmt.Errorf("scenario: edge-markovian dynamics need birth + death > 0")
+		}
+		if s.N > topo.MaxDynamicN {
+			return fmt.Errorf("scenario: edge-markovian dynamics keep O(n²) state; n = %d exceeds %d",
+				s.N, topo.MaxDynamicN)
+		}
+	case DynamicsRewireRing:
+		if s.Dynamics.Beta < 0 || s.Dynamics.Beta > 1 {
+			return fmt.Errorf("scenario: rewiring probability %v outside [0, 1]", s.Dynamics.Beta)
+		}
+		if s.N < 3 {
+			return fmt.Errorf("scenario: rewire-ring dynamics need n >= 3")
+		}
+	default:
+		return fmt.Errorf("scenario: unknown dynamics kind %q (none|edge-markovian|rewire-ring)",
+			s.Dynamics.Kind)
+	}
+	if s.Dynamics.Active() {
+		if s.Topology != "complete" {
+			return fmt.Errorf("scenario: dynamics %q defines its own graph process; leave topology at its default",
+				s.Dynamics.Kind)
+		}
+		if s.Scheduler == SchedulerAsync {
+			return fmt.Errorf("scenario: dynamic topologies are only supported under the sync scheduler")
+		}
+		if s.Coalition > 0 {
+			return fmt.Errorf("scenario: coalition runs do not support dynamic topologies")
+		}
 	}
 	switch s.Fault.Kind {
 	case FaultNone:
@@ -298,9 +395,28 @@ func (s Scenario) BuildColors() []core.Color {
 	}
 }
 
-// BuildTopology materializes the communication graph of the
+// BuildDynamics materializes a fresh, unstarted graph process for the
+// (defaults-applied) scenario, or nil for static topologies. Unlike the
+// static graph, a process is per-run mutable state and must never be shared:
+// each run needs its own instance, which core.Run starts from the run seed
+// (so two runs at one seed see bit-identical edge sets round for round).
+func (s Scenario) BuildDynamics() topo.Dynamic {
+	s = s.WithDefaults()
+	switch s.Dynamics.Kind {
+	case DynamicsEdgeMarkovian:
+		return topo.NewEdgeMarkovian(s.N, s.Dynamics.Birth, s.Dynamics.Death)
+	case DynamicsRewireRing:
+		return topo.NewRewireRing(s.N, s.Dynamics.Beta)
+	default:
+		return nil
+	}
+}
+
+// BuildTopology materializes the static communication graph of the
 // (defaults-applied) scenario. Seeded graph families use Seed, so every
-// trial of one scenario shares one graph.
+// trial of one scenario shares one graph. When the scenario has active
+// Dynamics the static graph is only the nominal substrate — runs replace it
+// with a per-run BuildDynamics process.
 func (s Scenario) BuildTopology() (topo.Topology, error) {
 	s = s.WithDefaults()
 	build, err := parseTopology(s.Topology, s.N)

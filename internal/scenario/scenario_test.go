@@ -52,6 +52,28 @@ func TestValidateErrors(t *testing.T) {
 			Fault: FaultModel{Kind: FaultChurn, Alpha: 0.2, Period: 4}}, "permanent"},
 		{"oversized coalition", Scenario{N: 8, Coalition: 8, Deviation: "min-k-liar"}, "honest"},
 		{"negative max ticks", Scenario{N: 64, MaxTicks: -1}, "max ticks"},
+		{"bad dynamics kind", Scenario{N: 64,
+			Dynamics: Dynamics{Kind: "teleport"}}, "dynamics kind"},
+		{"dynamics rates without kind", Scenario{N: 64,
+			Dynamics: Dynamics{Birth: 0.5, Death: 0.2}}, "need a kind"},
+		{"dynamics beta under none", Scenario{N: 64,
+			Dynamics: Dynamics{Kind: DynamicsNone, Beta: 0.3}}, "need a kind"},
+		{"bad edge birth", Scenario{N: 64,
+			Dynamics: Dynamics{Kind: DynamicsEdgeMarkovian, Birth: -0.1, Death: 0.5}}, "birth"},
+		{"bad edge death", Scenario{N: 64,
+			Dynamics: Dynamics{Kind: DynamicsEdgeMarkovian, Birth: 0.1, Death: 1.5}}, "death"},
+		{"frozen edge chain", Scenario{N: 64,
+			Dynamics: Dynamics{Kind: DynamicsEdgeMarkovian}}, "birth + death"},
+		{"edge-markovian too large", Scenario{N: 8192,
+			Dynamics: Dynamics{Kind: DynamicsEdgeMarkovian, Birth: 0.1, Death: 0.1}}, "O(n²)"},
+		{"bad rewire beta", Scenario{N: 64,
+			Dynamics: Dynamics{Kind: DynamicsRewireRing, Beta: 2}}, "rewiring probability"},
+		{"dynamics with static topology", Scenario{N: 64, Topology: "ring",
+			Dynamics: Dynamics{Kind: DynamicsRewireRing, Beta: 0.2}}, "leave topology"},
+		{"dynamics under async", Scenario{N: 64, Scheduler: SchedulerAsync,
+			Dynamics: Dynamics{Kind: DynamicsEdgeMarkovian, Birth: 0.1, Death: 0.1}}, "sync scheduler"},
+		{"dynamics with coalition", Scenario{N: 64, Coalition: 2, Deviation: "min-k-liar",
+			Dynamics: Dynamics{Kind: DynamicsEdgeMarkovian, Birth: 0.1, Death: 0.1}}, "coalition"},
 	}
 	for _, tc := range cases {
 		err := tc.s.Validate()

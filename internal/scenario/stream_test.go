@@ -94,6 +94,156 @@ func TestStreamAggregateDeterministicAcrossWorkers(t *testing.T) {
 	}
 }
 
+// dynamicScenarios are the graph-process settings the determinism tests
+// sweep: one per process kind, small enough to run hundreds of trials.
+func dynamicScenarios() []Scenario {
+	return []Scenario{
+		{Name: "em", N: 48, Colors: 2, Seed: 17,
+			Dynamics: Dynamics{Kind: DynamicsEdgeMarkovian, Birth: 0.02, Death: 0.08}},
+		{Name: "rr", N: 48, Colors: 2, Seed: 23,
+			Dynamics: Dynamics{Kind: DynamicsRewireRing, Beta: 0.3}},
+	}
+}
+
+// TestDynamicTrialsDeterministicAcrossWorkers pins the dynamics determinism
+// contract at the batch level: the per-run graph process is reseeded from
+// each trial seed, so results are identical no matter how trials are spread
+// over workers — including the pooled process instances being reused in
+// different trial orders.
+func TestDynamicTrialsDeterministicAcrossWorkers(t *testing.T) {
+	for _, base := range dynamicScenarios() {
+		want, err := MustRunner(base).Trials(12)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{0, 1, 2, 4} {
+			s := base
+			s.Workers = workers
+			got, err := MustRunner(s).Trials(12)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i := range got {
+				if got[i].Outcome != want[i].Outcome || got[i].Metrics != want[i].Metrics ||
+					got[i].Rounds != want[i].Rounds || got[i].Good != want[i].Good {
+					t.Fatalf("%s workers=%d trial %d: dynamic batch diverged", base.Name, workers, i)
+				}
+			}
+		}
+	}
+}
+
+// TestDynamicTrialsMatchRunSeed pins that pooled dynamic batches (worker-
+// held process instances, reused across trials) are unobservable against the
+// unpooled single-run path (a fresh process per run).
+func TestDynamicTrialsMatchRunSeed(t *testing.T) {
+	for _, s := range dynamicScenarios() {
+		r := MustRunner(s)
+		batch, err := r.Trials(8)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, seed := range r.TrialSeeds(8) {
+			single, err := MustRunner(s).RunSeed(seed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if batch[i].Outcome != single.Outcome || batch[i].Metrics != single.Metrics ||
+				batch[i].Rounds != single.Rounds || batch[i].Good != single.Good {
+				t.Fatalf("%s trial %d: pooled dynamic result diverged from RunSeed", s.Name, i)
+			}
+		}
+	}
+}
+
+// TestDynamicStreamMatchesTrials pins Stream ≡ Trials for dynamic scenarios
+// in every chunking, at a parallel worker count.
+func TestDynamicStreamMatchesTrials(t *testing.T) {
+	for _, base := range dynamicScenarios() {
+		s := base
+		s.Workers = 3
+		want, err := MustRunner(s).Trials(9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, chunk := range []int{1, 4, 9, 32} {
+			next := 0
+			err := MustRunner(s).Stream(StreamOptions{Trials: 9, Chunk: chunk},
+				func(i int, res *Result) {
+					if i != next {
+						t.Fatalf("%s chunk %d: observed trial %d, want %d", s.Name, chunk, i, next)
+					}
+					next++
+					if res.Outcome != want[i].Outcome || res.Metrics != want[i].Metrics {
+						t.Fatalf("%s chunk %d trial %d: stream diverged from batch", s.Name, chunk, i)
+					}
+				})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if next != 9 {
+				t.Fatalf("%s chunk %d: observed %d trials, want 9", s.Name, chunk, next)
+			}
+		}
+	}
+}
+
+// TestDynamicTrialsAllocBudget pins the edge-Markovian batch path's own
+// allocation budget. An n=128 process flips 8128 potential edges per round
+// over ~85 rounds per trial, so per-edge (or even per-round) garbage would
+// show up as millions of objects per batch; the pooled process must instead
+// contribute (nearly) nothing beyond its static counterpart.
+//
+// Runs under this much churn fail, and a failing run pays ~n error
+// constructions in the Verification phase (one fmt.Errorf per rejecting
+// agent) whatever the topology — so the graph process is pinned against an
+// equally-failing *static* baseline (5% message loss, the same collapse
+// mechanism), which cancels the shared failure-path overhead. The static
+// warmed-batch budget (TestTrialsAllocBudget) is the allowed slack, plus an
+// absolute cap as a backstop.
+func TestDynamicTrialsAllocBudget(t *testing.T) {
+	measure := func(s Scenario) float64 {
+		r := MustRunner(s)
+		buf := make([]Result, 8)
+		// Warm the worker pool (and, for the dynamic scenario, the process's
+		// adjacency high-water mark).
+		if err := r.TrialsInto(buf); err != nil {
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(3, func() {
+			if err := r.TrialsInto(buf); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	// Success mode first: death = 0 makes the stationary law π = 1, so the
+	// process starts complete and stays complete — every run succeeds and the
+	// Verification failure path never runs, yet Advance still executes its
+	// full per-round flip-and-rebuild work. This isolates the graph process's
+	// own contribution, which must fit the same budget as the static batch.
+	clean := measure(Scenario{N: 128, Colors: 2, Seed: 1, Workers: 1,
+		Dynamics: Dynamics{Kind: DynamicsEdgeMarkovian, Birth: 0.02, Death: 0}})
+	const budget = 1024 // the static warmed-batch budget (TestTrialsAllocBudget)
+	if clean > budget {
+		t.Fatalf("warmed 8-trial dynamic batch (success mode) allocates %v objects, budget %d: the graph process is allocating per round",
+			clean, budget)
+	}
+	// Churn mode: these rates fail every run, and each failing run pays ~n
+	// error constructions (one fmt.Errorf per rejecting agent, slice args
+	// boxed) whatever the topology. Compare against an equally-failing static
+	// baseline (5% message loss, the same collapse mechanism) with generous
+	// slack for the differing failure mixes — the point is only that nothing
+	// scales with the 8128 potential edges per round.
+	churny := measure(Scenario{N: 128, Colors: 2, Seed: 1, Workers: 1,
+		Dynamics: Dynamics{Kind: DynamicsEdgeMarkovian, Birth: 0.02, Death: 0.1}})
+	static := measure(Scenario{N: 128, Colors: 2, Seed: 1, Workers: 1,
+		Fault: FaultModel{Drop: 0.05}})
+	if churny > 4*static+budget {
+		t.Fatalf("warmed 8-trial churny batch allocates %v objects vs %v for the failing static baseline: the graph process is allocating per round or per edge",
+			churny, static)
+	}
+}
+
 func TestTrialsAllocBudget(t *testing.T) {
 	r := MustRunner(Scenario{N: 256, Colors: 2, Seed: 1, Workers: 1,
 		Fault: FaultModel{Kind: FaultPermanent, Alpha: 0.3}})

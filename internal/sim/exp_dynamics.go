@@ -1,0 +1,93 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"repro/fairgossip"
+)
+
+// DynamicsOptions configures E12, the dynamic-topology experiment: Protocol P
+// on graphs whose edge set evolves per round — the graph-process analogue of
+// churn, and the natural sharpening of open problem 1 (other graph classes)
+// toward the paper's motivating "networks whose structure is not fixed".
+type DynamicsOptions struct {
+	N       int
+	Gamma   float64
+	Trials  int
+	Seed    uint64
+	Workers int
+}
+
+// DefaultDynamicsOptions is the full experiment.
+func DefaultDynamicsOptions() DynamicsOptions {
+	return DynamicsOptions{N: 128, Trials: 120, Seed: 12}
+}
+
+// QuickDynamicsOptions is a scaled-down variant for tests.
+func QuickDynamicsOptions() DynamicsOptions {
+	return DynamicsOptions{N: 64, Trials: 30, Seed: 12}
+}
+
+// RunE12Dynamics regenerates E12: success and round count of Protocol P as a
+// function of the per-round edge churn rate. The edge-Markovian rows hold the
+// stationary degree fixed at ≈ (n−1)/4 (birth = death/3) and sweep the death
+// rate, so the only thing that varies is how fast the same-density graph
+// turns over; the rewiring-ring rows sweep the Watts–Strogatz β of a
+// per-round-resampled ring. The mechanism under test is the binding
+// declarations: a Voting-phase push addressed to a peer sampled rounds
+// earlier is dropped if that edge has meanwhile died, and every unfulfilled
+// declaration is a reason for verifiers to reject — the same brittleness
+// lossy links and mid-voting crashes expose.
+func RunE12Dynamics(o DynamicsOptions) []*Table {
+	e12 := &Table{
+		ID: "E12",
+		Title: fmt.Sprintf("Dynamic topologies at n = %d: Protocol P vs per-round edge churn",
+			o.N),
+		Columns: []string{"process", "churn/round", "success", "mean rounds", "trials"},
+	}
+	type row struct {
+		label string
+		churn float64
+		dyn   fairgossip.Dynamics
+	}
+	rows := []row{
+		{"static complete", 0, fairgossip.Dynamics{}},
+	}
+	// Fixed stationary density π = 1/4; death is the per-edge churn rate.
+	for _, death := range []float64{0.001, 0.005, 0.02, 0.1} {
+		rows = append(rows, row{"edge-markovian", death, fairgossip.Dynamics{
+			Kind: fairgossip.DynamicsEdgeMarkovian, Birth: death / 3, Death: death,
+		}})
+	}
+	for _, beta := range []float64{0, 0.25} {
+		rows = append(rows, row{"rewire-ring", beta, fairgossip.Dynamics{
+			Kind: fairgossip.DynamicsRewireRing, Beta: beta,
+		}})
+	}
+	for i, rw := range rows {
+		r := fairgossip.MustRunner(fairgossip.Scenario{
+			N: o.N, Colors: 2, Gamma: o.Gamma,
+			Dynamics: rw.dyn,
+			Seed:     ConfigSeed(o.Seed, uint64(i)),
+			Workers:  o.Workers,
+		})
+		results, err := r.Trials(context.Background(), o.Trials)
+		if err != nil {
+			panic(err)
+		}
+		succ, rounds := 0, 0
+		for _, res := range results {
+			if !res.Failed {
+				succ++
+			}
+			rounds += res.Rounds
+		}
+		e12.AddRow(rw.label, F(rw.churn),
+			Pct(float64(succ)/float64(o.Trials)),
+			F(float64(rounds)/float64(o.Trials)), I(o.Trials))
+	}
+	e12.AddNote("edge-markovian rows share one stationary degree ≈ (n−1)/4; only the turnover rate varies")
+	e12.AddNote("the protocol tolerates only sub-0.5%%/round edge churn: votes are bound to peers sampled up to 2q rounds earlier, and each vote lost to a dead edge is an unfulfilled declaration — the same collapse as 5%% message loss or a mid-voting crash")
+	return []*Table{e12}
+}

@@ -183,6 +183,10 @@ func RunAll(workers int) []*Table {
 	sc := DefaultScalingOptions()
 	sc.Workers = workers
 	tables = append(tables, RunE11CoalitionScaling(sc)...)
+
+	dy := DefaultDynamicsOptions()
+	dy.Workers = workers
+	tables = append(tables, RunE12Dynamics(dy)...)
 	return tables
 }
 
@@ -228,5 +232,9 @@ func RunAllQuick(workers int) []*Table {
 	sc := QuickScalingOptions()
 	sc.Workers = workers
 	tables = append(tables, RunE11CoalitionScaling(sc)...)
+
+	dy := QuickDynamicsOptions()
+	dy.Workers = workers
+	tables = append(tables, RunE12Dynamics(dy)...)
 	return tables
 }

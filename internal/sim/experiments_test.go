@@ -191,12 +191,44 @@ func TestE10AsyncMostlySucceedsAndFair(t *testing.T) {
 	}
 }
 
+// TestE12DynamicsChurnCollapse pins the dynamic-topology finding: the static
+// baseline succeeds essentially always, success is (weakly) monotone
+// decreasing in the edge-Markovian churn rate, and past ~2%/round churn the
+// protocol has collapsed — vote pushes bound to long-dead edges leave
+// declarations unfulfilled, so verifiers reject.
+func TestE12DynamicsChurnCollapse(t *testing.T) {
+	e12 := findTable(t, RunE12Dynamics(QuickDynamicsOptions()), "E12")
+	if len(e12.Rows) < 6 {
+		t.Fatalf("E12 has %d rows", len(e12.Rows))
+	}
+	var lastEM = -1.0
+	for r := range e12.Rows {
+		proc := e12.Rows[r][0]
+		succ := parsePct(t, cell(t, e12, r, "success"))
+		churn := parseF(t, cell(t, e12, r, "churn/round"))
+		switch {
+		case proc == "static complete":
+			if succ < 0.9 {
+				t.Errorf("static baseline success = %v", succ)
+			}
+		case proc == "edge-markovian":
+			if lastEM >= 0 && succ > lastEM+0.1 {
+				t.Errorf("churn %v: success %v not (weakly) decreasing (prev %v)", churn, succ, lastEM)
+			}
+			lastEM = succ
+			if churn >= 0.02 && succ > 0.1 {
+				t.Errorf("churn %v: success %v — expected collapse past 2%%/round", churn, succ)
+			}
+		}
+	}
+}
+
 func TestRunAllQuickProducesAllTables(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full quick-suite run skipped in -short mode")
 	}
 	tables := RunAllQuick(0)
-	want := []string{"T0", "T1", "F1", "T2", "T3", "T4", "F2", "T5", "T6", "F3", "T7", "T8", "E9", "E10", "E11"}
+	want := []string{"T0", "T1", "F1", "T2", "T3", "T4", "F2", "T5", "T6", "F3", "T7", "T8", "E9", "E10", "E11", "E12"}
 	got := map[string]bool{}
 	for _, tb := range tables {
 		got[tb.ID] = true

@@ -1,0 +1,368 @@
+package topo
+
+import (
+	"fmt"
+
+	"repro/internal/rng"
+)
+
+// This file implements dynamic topologies: graph processes whose edge set
+// evolves between rounds, the graph-process analogue of churn. Where a fault
+// schedule silences whole nodes over time, a Dynamic topology keeps every
+// node up but rewrites who can talk to whom — the setting the source paper's
+// "networks whose structure is not fixed" motivation points at.
+//
+// Lifecycle: a process is constructed once per run (it is mutable per-round
+// state and must never be shared across concurrent runs), Start(seed) derives
+// all of its randomness and materializes the round-0 edge set, and the engine
+// calls Advance(r) exactly once per round boundary, in order, on the single
+// delivery goroutine. Between Advance calls the edge set is immutable, so the
+// engine's parallel Act phase may read it (CanSend, SamplePeer, Degree)
+// concurrently. Two processes started from the same seed produce bit-identical
+// edge sets round for round, independent of worker counts — the determinism
+// contract the property tests pin.
+//
+// Both implementations rebuild a compact CSR adjacency (off/flat) per round
+// into reused buffers, so the steady state allocates nothing per round; the
+// allocation-budget tests enforce that the process cannot silently allocate
+// per edge.
+
+// Dynamic is a Topology whose edge set evolves between rounds.
+type Dynamic interface {
+	Topology
+	// Start derives the process randomness from seed and materializes the
+	// round-0 edge set. It fully resets the process, so a pooled instance can
+	// be reused across runs.
+	Start(seed uint64)
+	// Advance evolves the edge set from round-1 to round. The engine calls it
+	// exactly once per round, in increasing round order, on the delivery
+	// goroutine; callers must have called Start first.
+	Advance(round int)
+}
+
+// MaxDynamicN bounds the network size of processes that keep per-pair state
+// (the edge-Markovian model stores one bit and up to two adjacency entries
+// per potential edge, O(n²) in total).
+const MaxDynamicN = 4096
+
+// csr is the per-round adjacency shared by the dynamic implementations:
+// off[u]..off[u+1] indexes u's neighbors in flat, ascending. cur is the fill
+// cursor scratch. All three reuse capacity across rounds.
+type csr struct {
+	off  []int32
+	cur  []int32
+	flat []int32
+}
+
+// reset sizes the offset/cursor slices for n nodes and zeroes the offsets.
+func (c *csr) reset(n int) {
+	if cap(c.off) < n+1 {
+		c.off = make([]int32, n+1)
+		c.cur = make([]int32, n)
+	}
+	c.off = c.off[:n+1]
+	c.cur = c.cur[:n]
+	for i := range c.off {
+		c.off[i] = 0
+	}
+}
+
+// finish turns per-node counts (accumulated in off[u+1]) into offsets and
+// sizes flat for the total, growing with headroom so fluctuating edge counts
+// do not reallocate every round.
+func (c *csr) finish(n int) {
+	for u := 0; u < n; u++ {
+		c.off[u+1] += c.off[u]
+	}
+	total := int(c.off[n])
+	if cap(c.flat) < total {
+		c.flat = make([]int32, total, total+total/4+64)
+	}
+	c.flat = c.flat[:total]
+	copy(c.cur, c.off[:n])
+}
+
+// add appends the undirected edge (u, v) to both adjacency lists.
+func (c *csr) add(u, v int32) {
+	c.flat[c.cur[u]] = v
+	c.cur[u]++
+	c.flat[c.cur[v]] = u
+	c.cur[v]++
+}
+
+func (c *csr) neighbors(u int) []int32 { return c.flat[c.off[u]:c.off[u+1]] }
+
+// samplePeer draws uniformly from u's neighbor list; an isolated node can
+// only talk to itself, matching the static adjacency graphs.
+func (c *csr) samplePeer(u int, r *rng.Source) int {
+	ns := c.neighbors(u)
+	if len(ns) == 0 {
+		return u
+	}
+	return int(ns[r.Intn(len(ns))])
+}
+
+// EdgeMarkovian is the edge-Markovian evolving graph G(t): every potential
+// edge of the n-clique runs its own two-state Markov chain, appearing with
+// probability birth and disappearing with probability death at each round
+// boundary, all chains driven by one seed-derived stream. The round-0 edge
+// set is drawn from the chain's stationary law, so the process is stationary
+// from the first round: expected degree ≈ π·(n−1) with π = birth/(birth+death),
+// and a present edge's half-life is governed by death — the knob the churn
+// experiments sweep.
+//
+// Construct with NewEdgeMarkovian, then Start; see Dynamic for the lifecycle
+// and concurrency contract.
+type EdgeMarkovian struct {
+	n       int
+	birth   float64
+	death   float64
+	name    string
+	r       rng.Source
+	bits    []uint64 // presence bitset over pair indices (u<v, row-major)
+	adj     csr
+	started bool
+}
+
+var _ Dynamic = (*EdgeMarkovian)(nil)
+
+// NewEdgeMarkovian returns an (unstarted) edge-Markovian process on n nodes.
+// It panics unless 2 ≤ n ≤ MaxDynamicN, birth and death lie in [0, 1], and
+// birth+death > 0 (a chain with both rates zero never mixes and has no
+// stationary law to draw round 0 from).
+func NewEdgeMarkovian(n int, birth, death float64) *EdgeMarkovian {
+	if n < 2 || n > MaxDynamicN {
+		panic(fmt.Sprintf("topo: NewEdgeMarkovian needs 2 <= n <= %d", MaxDynamicN))
+	}
+	if birth < 0 || birth > 1 || death < 0 || death > 1 || birth+death == 0 {
+		panic("topo: NewEdgeMarkovian needs birth, death in [0, 1] with birth+death > 0")
+	}
+	return &EdgeMarkovian{
+		n:     n,
+		birth: birth,
+		death: death,
+		name:  fmt.Sprintf("edge-markovian(%g,%g)", birth, death),
+	}
+}
+
+// pairs returns the number of potential edges.
+func (e *EdgeMarkovian) pairs() int { return e.n * (e.n - 1) / 2 }
+
+// pairIndex maps u < v to the row-major index of the pair among all u' < v'.
+func (e *EdgeMarkovian) pairIndex(u, v int) int {
+	return u*(2*e.n-u-1)/2 + (v - u - 1)
+}
+
+// Start draws the round-0 edge set from the stationary law π = b/(b+d).
+func (e *EdgeMarkovian) Start(seed uint64) {
+	e.r.Reseed(seed)
+	words := (e.pairs() + 63) / 64
+	if cap(e.bits) < words {
+		e.bits = make([]uint64, words)
+	}
+	e.bits = e.bits[:words]
+	for i := range e.bits {
+		e.bits[i] = 0
+	}
+	pi := e.birth / (e.birth + e.death)
+	for i, p := 0, e.pairs(); i < p; i++ {
+		if e.r.Bool(pi) {
+			e.bits[i>>6] |= 1 << (i & 63)
+		}
+	}
+	e.rebuild()
+	e.started = true
+}
+
+// Advance flips every potential edge once: present edges die with probability
+// death, absent edges are born with probability birth.
+func (e *EdgeMarkovian) Advance(round int) {
+	if !e.started {
+		panic("topo: EdgeMarkovian.Advance before Start")
+	}
+	for i, p := 0, e.pairs(); i < p; i++ {
+		w, b := i>>6, uint64(1)<<(i&63)
+		if e.bits[w]&b != 0 {
+			if e.r.Bool(e.death) {
+				e.bits[w] &^= b
+			}
+		} else if e.r.Bool(e.birth) {
+			e.bits[w] |= b
+		}
+	}
+	e.rebuild()
+}
+
+// rebuild rematerializes the CSR adjacency from the presence bitset into the
+// reused buffers (two passes: degree counts, then fills; neighbor lists come
+// out ascending).
+func (e *EdgeMarkovian) rebuild() {
+	n := e.n
+	e.adj.reset(n)
+	i := 0
+	for u := 0; u < n-1; u++ {
+		for v := u + 1; v < n; v++ {
+			if e.bits[i>>6]&(1<<(i&63)) != 0 {
+				e.adj.off[u+1]++
+				e.adj.off[v+1]++
+			}
+			i++
+		}
+	}
+	e.adj.finish(n)
+	i = 0
+	for u := 0; u < n-1; u++ {
+		for v := u + 1; v < n; v++ {
+			if e.bits[i>>6]&(1<<(i&63)) != 0 {
+				e.adj.add(int32(u), int32(v))
+			}
+			i++
+		}
+	}
+}
+
+// N returns the node count.
+func (e *EdgeMarkovian) N() int { return e.n }
+
+// CanSend reports whether the edge (u, v) is present this round; self-sends
+// are always allowed.
+func (e *EdgeMarkovian) CanSend(u, v int) bool {
+	if u < 0 || u >= e.n || v < 0 || v >= e.n {
+		return false
+	}
+	if u == v {
+		return true
+	}
+	if u > v {
+		u, v = v, u
+	}
+	i := e.pairIndex(u, v)
+	return e.bits[i>>6]&(1<<(i&63)) != 0
+}
+
+// SamplePeer draws uniformly from u's current neighbor set.
+func (e *EdgeMarkovian) SamplePeer(u int, r *rng.Source) int { return e.adj.samplePeer(u, r) }
+
+// Degree returns u's current degree.
+func (e *EdgeMarkovian) Degree(u int) int { return len(e.adj.neighbors(u)) }
+
+// Name identifies the process and its rates in reports.
+func (e *EdgeMarkovian) Name() string { return e.name }
+
+// EdgeCount returns the number of edges currently present (analysis hook).
+func (e *EdgeMarkovian) EdgeCount() int { return len(e.adj.flat) / 2 }
+
+// RewireRing is the per-round rewiring variant of the ring builder: the
+// n-cycle is the substrate, and at every round boundary each node's clockwise
+// edge is independently replaced, with probability beta, by a chord to a peer
+// chosen uniformly at random (the Watts–Strogatz rewiring step, resampled
+// fresh every round rather than frozen at construction). beta = 0 reproduces
+// the static ring round for round; beta = 1 is a fresh random functional
+// graph every round.
+//
+// Construct with NewRewireRing, then Start; see Dynamic for the lifecycle and
+// concurrency contract.
+type RewireRing struct {
+	n       int
+	beta    float64
+	name    string
+	r       rng.Source
+	target  []int32 // target[u] is the endpoint of u's clockwise edge this round
+	adj     csr
+	started bool
+}
+
+var _ Dynamic = (*RewireRing)(nil)
+
+// NewRewireRing returns an (unstarted) rewiring-ring process on n nodes. It
+// panics unless n ≥ 3 and beta lies in [0, 1].
+func NewRewireRing(n int, beta float64) *RewireRing {
+	if n < 3 {
+		panic("topo: NewRewireRing needs n >= 3")
+	}
+	if beta < 0 || beta > 1 {
+		panic("topo: NewRewireRing needs beta in [0, 1]")
+	}
+	return &RewireRing{n: n, beta: beta, name: fmt.Sprintf("rewire-ring(%g)", beta)}
+}
+
+// Start materializes the round-0 edge set.
+func (rr *RewireRing) Start(seed uint64) {
+	rr.r.Reseed(seed)
+	if cap(rr.target) < rr.n {
+		rr.target = make([]int32, rr.n)
+	}
+	rr.target = rr.target[:rr.n]
+	rr.redraw()
+	rr.started = true
+}
+
+// Advance redraws every node's clockwise edge for the new round.
+func (rr *RewireRing) Advance(round int) {
+	if !rr.started {
+		panic("topo: RewireRing.Advance before Start")
+	}
+	rr.redraw()
+}
+
+// redraw resamples each node's edge and rebuilds the adjacency. A reciprocal
+// pair (u and v picking each other) is one edge, owned by the smaller
+// endpoint, so neighbor lists stay duplicate-free.
+func (rr *RewireRing) redraw() {
+	n := rr.n
+	for u := 0; u < n; u++ {
+		v := u + 1
+		if v == n {
+			v = 0
+		}
+		if rr.r.Bool(rr.beta) {
+			v = rr.r.IntnExcept(n, u)
+		}
+		rr.target[u] = int32(v)
+	}
+	rr.adj.reset(n)
+	for u := 0; u < n; u++ {
+		v := int(rr.target[u])
+		if rr.owns(u, v) {
+			rr.adj.off[u+1]++
+			rr.adj.off[v+1]++
+		}
+	}
+	rr.adj.finish(n)
+	for u := 0; u < n; u++ {
+		v := int(rr.target[u])
+		if rr.owns(u, v) {
+			rr.adj.add(int32(u), int32(v))
+		}
+	}
+}
+
+// owns reports whether u's drawn edge (u, v) is materialized from u's side:
+// always, unless v drew the reciprocal edge and has the smaller ID.
+func (rr *RewireRing) owns(u, v int) bool {
+	return !(int(rr.target[v]) == u && v < u)
+}
+
+// N returns the node count.
+func (rr *RewireRing) N() int { return rr.n }
+
+// CanSend reports whether the edge (u, v) is present this round; self-sends
+// are always allowed.
+func (rr *RewireRing) CanSend(u, v int) bool {
+	if u < 0 || u >= rr.n || v < 0 || v >= rr.n {
+		return false
+	}
+	if u == v {
+		return true
+	}
+	return int(rr.target[u]) == v || int(rr.target[v]) == u
+}
+
+// SamplePeer draws uniformly from u's current neighbor set.
+func (rr *RewireRing) SamplePeer(u int, r *rng.Source) int { return rr.adj.samplePeer(u, r) }
+
+// Degree returns u's current degree.
+func (rr *RewireRing) Degree(u int) int { return len(rr.adj.neighbors(u)) }
+
+// Name identifies the process and its rewiring rate in reports.
+func (rr *RewireRing) Name() string { return rr.name }

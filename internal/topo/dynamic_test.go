@@ -1,0 +1,267 @@
+package topo
+
+import (
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// edgeSet flattens a topology's current edge set into a canonical string of
+// bits, for byte-identity comparisons across instances and rounds.
+func edgeSet(t Topology) []bool {
+	n := t.N()
+	out := make([]bool, 0, n*(n-1)/2)
+	for u := 0; u < n-1; u++ {
+		for v := u + 1; v < n; v++ {
+			out = append(out, t.CanSend(u, v))
+		}
+	}
+	return out
+}
+
+func equalEdges(a, b []bool) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// dynamicInvariants checks the Topology contract on the process's current
+// edge set: symmetric CanSend, Degree consistent with CanSend, handshake
+// lemma, and SamplePeer only ever returning sendable peers.
+func dynamicInvariants(t *testing.T, g Dynamic, r *rng.Source) {
+	t.Helper()
+	n := g.N()
+	total := 0
+	for u := 0; u < n; u++ {
+		count := 0
+		for v := 0; v < n; v++ {
+			if u == v {
+				if !g.CanSend(u, v) {
+					t.Fatalf("%s: self-send refused at %d", g.Name(), u)
+				}
+				continue
+			}
+			if g.CanSend(u, v) != g.CanSend(v, u) {
+				t.Fatalf("%s: CanSend not symmetric at (%d,%d)", g.Name(), u, v)
+			}
+			if g.CanSend(u, v) {
+				count++
+			}
+		}
+		if count != g.Degree(u) {
+			t.Fatalf("%s: degree(%d) = %d but CanSend count = %d", g.Name(), u, g.Degree(u), count)
+		}
+		total += count
+		for i := 0; i < 4; i++ {
+			if p := g.SamplePeer(u, r); !g.CanSend(u, p) {
+				t.Fatalf("%s: sampled unreachable peer %d from %d", g.Name(), p, u)
+			}
+		}
+	}
+	if total%2 != 0 {
+		t.Fatalf("%s: odd degree sum %d (handshake lemma)", g.Name(), total)
+	}
+}
+
+func TestDynamicInvariantsPerRound(t *testing.T) {
+	r := rng.New(5)
+	for _, g := range []Dynamic{
+		NewEdgeMarkovian(23, 0.1, 0.3),
+		NewEdgeMarkovian(16, 1, 1),
+		NewRewireRing(17, 0.4),
+		NewRewireRing(8, 1),
+	} {
+		g.Start(42)
+		dynamicInvariants(t, g, r)
+		for round := 1; round <= 6; round++ {
+			g.Advance(round)
+			dynamicInvariants(t, g, r)
+		}
+	}
+}
+
+// TestDynamicSameSeedByteIdentical pins the determinism contract: two
+// instances started from one seed produce bit-identical edge sets round for
+// round, and Start fully resets a reused instance.
+func TestDynamicSameSeedByteIdentical(t *testing.T) {
+	build := []func() Dynamic{
+		func() Dynamic { return NewEdgeMarkovian(20, 0.05, 0.2) },
+		func() Dynamic { return NewRewireRing(20, 0.3) },
+	}
+	for _, mk := range build {
+		a, b := mk(), mk()
+		a.Start(7)
+		// Desynchronize b's history before starting, to prove Start resets.
+		b.Start(999)
+		b.Advance(1)
+		b.Advance(2)
+		b.Start(7)
+		for round := 0; round <= 8; round++ {
+			if round > 0 {
+				a.Advance(round)
+				b.Advance(round)
+			}
+			if !equalEdges(edgeSet(a), edgeSet(b)) {
+				t.Fatalf("%s: round %d edge sets diverged for equal seeds", a.Name(), round)
+			}
+		}
+		c := mk()
+		c.Start(8)
+		if equalEdges(edgeSet(a), edgeSet(c)) {
+			t.Fatalf("%s: different seeds produced identical round-8 edge sets", a.Name())
+		}
+	}
+}
+
+// TestEdgeMarkovianStationaryDegree checks that the round-0 draw and the
+// evolved process both hover around the stationary mean degree π(n−1).
+func TestEdgeMarkovianStationaryDegree(t *testing.T) {
+	const n = 96
+	birth, death := 0.05, 0.15
+	pi := birth / (birth + death)
+	want := pi * float64(n-1)
+	g := NewEdgeMarkovian(n, birth, death)
+	g.Start(3)
+	check := func(when string) {
+		total := 0
+		for u := 0; u < n; u++ {
+			total += g.Degree(u)
+		}
+		mean := float64(total) / float64(n)
+		if mean < want*0.7 || mean > want*1.3 {
+			t.Fatalf("%s: mean degree %.1f, want ≈ %.1f", when, mean, want)
+		}
+	}
+	check("round 0")
+	for round := 1; round <= 30; round++ {
+		g.Advance(round)
+	}
+	check("round 30")
+}
+
+// TestEdgeMarkovianChurns checks that edges actually turn over: the round-r
+// edge set must differ from round 0, and a dead edge must be able to return.
+func TestEdgeMarkovianChurns(t *testing.T) {
+	g := NewEdgeMarkovian(32, 0.2, 0.5)
+	g.Start(11)
+	before := edgeSet(g)
+	g.Advance(1)
+	if equalEdges(before, edgeSet(g)) {
+		t.Fatal("advance with birth=0.2, death=0.5 changed nothing")
+	}
+}
+
+// TestRewireRingBetaZeroIsStaticRing pins the β = 0 degeneration: every
+// round is exactly the cycle graph.
+func TestRewireRingBetaZeroIsStaticRing(t *testing.T) {
+	const n = 12
+	g := NewRewireRing(n, 0)
+	g.Start(4)
+	ring := NewRing(n)
+	for round := 0; round <= 4; round++ {
+		if round > 0 {
+			g.Advance(round)
+		}
+		if !equalEdges(edgeSet(g), edgeSet(ring)) {
+			t.Fatalf("round %d: β = 0 rewire-ring is not the static ring", round)
+		}
+		for u := 0; u < n; u++ {
+			if g.Degree(u) != 2 {
+				t.Fatalf("round %d: degree(%d) = %d on the β = 0 ring", round, u, g.Degree(u))
+			}
+		}
+	}
+}
+
+// TestRewireRingEveryNodeReachesSomeone pins that rewiring never isolates a
+// node: each node always owns one outgoing edge.
+func TestRewireRingEveryNodeReachesSomeone(t *testing.T) {
+	g := NewRewireRing(15, 1)
+	g.Start(6)
+	for round := 0; round <= 5; round++ {
+		if round > 0 {
+			g.Advance(round)
+		}
+		for u := 0; u < 15; u++ {
+			if g.Degree(u) < 1 {
+				t.Fatalf("round %d: node %d isolated", round, u)
+			}
+		}
+	}
+}
+
+// TestDynamicAdvanceAllocBudget pins the per-round allocation budget of both
+// graph processes: after warm-up (buffers sized, CSR at its high-water mark)
+// advancing a round must not allocate per edge — the budget leaves room only
+// for a rare adjacency-buffer regrow on an unusually dense round.
+func TestDynamicAdvanceAllocBudget(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		g    Dynamic
+	}{
+		{"edge-markovian", NewEdgeMarkovian(128, 0.02, 0.1)},
+		{"rewire-ring", NewRewireRing(256, 0.3)},
+	} {
+		tc.g.Start(1)
+		round := 1
+		for ; round <= 50; round++ { // warm to the steady-state high-water mark
+			tc.g.Advance(round)
+		}
+		allocs := testing.AllocsPerRun(100, func() {
+			tc.g.Advance(round)
+			round++
+		})
+		if allocs > 1 {
+			t.Errorf("%s: %.1f allocations per round after warm-up, budget 1", tc.name, allocs)
+		}
+	}
+}
+
+// TestDynamicStartReusesMemory pins that pooled reuse (Start on a warmed
+// instance) allocates nothing, so batched dynamic trials stay cheap.
+func TestDynamicStartReusesMemory(t *testing.T) {
+	g := NewEdgeMarkovian(64, 0.05, 0.2)
+	g.Start(1)
+	for r := 1; r <= 20; r++ {
+		g.Advance(r)
+	}
+	seed := uint64(2)
+	allocs := testing.AllocsPerRun(50, func() {
+		g.Start(seed)
+		seed++
+	})
+	if allocs > 1 {
+		t.Errorf("Start on a warmed process allocates %.1f objects, budget 1", allocs)
+	}
+}
+
+func TestDynamicPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewEdgeMarkovian(1, 0.1, 0.1) },
+		func() { NewEdgeMarkovian(MaxDynamicN+1, 0.1, 0.1) },
+		func() { NewEdgeMarkovian(10, -0.1, 0.1) },
+		func() { NewEdgeMarkovian(10, 0.1, 1.5) },
+		func() { NewEdgeMarkovian(10, 0, 0) },
+		func() { NewRewireRing(2, 0.5) },
+		func() { NewRewireRing(10, -0.5) },
+		func() { NewRewireRing(10, 1.5) },
+		func() { NewEdgeMarkovian(10, 0.1, 0.1).Advance(1) }, // before Start
+		func() { NewRewireRing(10, 0.1).Advance(1) },         // before Start
+	}
+	for i, f := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			f()
+		}()
+	}
+}

@@ -96,6 +96,79 @@ func TestRandomRegularDifferentSeedsDiffer(t *testing.T) {
 	}
 }
 
+// TestDynamicDeterminismProperty is the quick-check form of the dynamics
+// determinism contract: for arbitrary seeds and either process, two
+// instances started from the same seed agree bit-for-bit on every round's
+// edge set, and so do their SamplePeer draws when fed equal agent streams —
+// the property that makes dynamic runs reproducible across worker counts.
+func TestDynamicDeterminismProperty(t *testing.T) {
+	f := func(seed uint64, which bool, rounds uint8) bool {
+		mk := func() Dynamic {
+			if which {
+				return NewEdgeMarkovian(18, 0.15, 0.35)
+			}
+			return NewRewireRing(18, 0.5)
+		}
+		a, b := mk(), mk()
+		a.Start(seed)
+		b.Start(seed)
+		ra, rb := rng.New(seed+1), rng.New(seed+1)
+		total := 2 + int(rounds%8)
+		for round := 0; round < total; round++ {
+			if round > 0 {
+				a.Advance(round)
+				b.Advance(round)
+			}
+			for u := 0; u < 18; u++ {
+				for v := u + 1; v < 18; v++ {
+					if a.CanSend(u, v) != b.CanSend(u, v) {
+						return false
+					}
+				}
+				if a.SamplePeer(u, ra) != b.SamplePeer(u, rb) {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDynamicSamplePeerAlwaysSendable extends the static sampling property
+// to evolving edge sets: at every round, SamplePeer only returns peers the
+// engine would accept.
+func TestDynamicSamplePeerAlwaysSendable(t *testing.T) {
+	r := rng.New(13)
+	f := func(seed uint64, which bool) bool {
+		var g Dynamic
+		if which {
+			g = NewEdgeMarkovian(20, 0.2, 0.4)
+		} else {
+			g = NewRewireRing(20, 0.6)
+		}
+		g.Start(seed)
+		for round := 0; round < 5; round++ {
+			if round > 0 {
+				g.Advance(round)
+			}
+			for u := 0; u < g.N(); u++ {
+				for i := 0; i < 4; i++ {
+					if v := g.SamplePeer(u, r); !g.CanSend(u, v) {
+						return false
+					}
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
 func TestTopologyPanics(t *testing.T) {
 	cases := []func(){
 		func() { NewRing(2) },
