@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	go test -run='^$' -bench=ScenarioRunnerBatch -benchmem -count=5 . > bench.txt
+//	go test -run='^$' -bench='ScenarioRunnerBatch|DynamicScenarioBatch' -benchmem -count=5 . > bench.txt
 //	go run ./cmd/benchdiff -baseline BENCH_BASELINE.json bench.txt        # gate
 //	go run ./cmd/benchdiff -baseline BENCH_BASELINE.json -update bench.txt # refresh
 //
@@ -13,7 +13,8 @@
 // output routinely contains sub-benchmarks the gate must not pin — the
 // parallel workers>1 rows allocate GOMAXPROCS-dependent per-chunk state. Use
 // -update -filter '<regexp>' to add names deliberately (or to bootstrap a
-// baseline from nothing).
+// baseline from nothing). A refresh preserves any per-benchmark threshold
+// overrides the baseline carries.
 //
 // Multiple -count runs of one benchmark are reduced to their median, which
 // is robust against the odd noisy run. Two classes of regression are gated
@@ -21,25 +22,38 @@
 //
 //   - allocations (allocs/op and B/op) are deterministic per code version and
 //     are compared unconditionally — exceeding the baseline by more than
-//     -alloc-threshold fails;
-//   - ns/op is hardware-dependent, so it is gated (at -ns-threshold) only
+//     the allocation threshold fails;
+//   - ns/op is hardware-dependent, so it is gated (at the ns threshold) only
 //     when the measuring CPU matches the baseline's recorded CPU string; on
 //     different hardware the wall-clock comparison is reported but advisory,
 //     which keeps the gate meaningful on a developer machine that refreshed
 //     the baseline while preventing spurious CI failures on whatever runner
 //     class the CI provider hands out.
 //
+// With several benchmarks gated at once, one shared threshold rarely fits
+// all: a 13 ms macro-benchmark tolerates 15% noise, a 100 µs one may need
+// more, a pure-alloc gate may want 0. The -ns-threshold / -alloc-threshold
+// flags therefore set the shared default, and any baseline entry may carry
+// its own "ns_threshold" / "alloc_threshold" fields overriding the flags for
+// that benchmark alone.
+//
 // Benchmarks present in the baseline but missing from the new output fail the
 // gate (a silently deleted benchmark is a silently dropped guarantee); new
-// benchmarks absent from the baseline are reported and skipped.
+// benchmarks absent from the baseline are reported and skipped. The skip is
+// deliberate for incidental sub-benchmarks, but it also means a benchmark
+// everyone *believes* is gated can silently not be: -require '<regexp>'
+// closes that hole by failing, with an explicit message, when a measured
+// benchmark matching the regexp has no baseline entry.
 package main
 
 import (
 	"bufio"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"io/fs"
 	"os"
 	"regexp"
 	"sort"
@@ -55,11 +69,32 @@ type Baseline struct {
 	Benchmarks map[string]Benchmark `json:"benchmarks"`
 }
 
-// Benchmark is one benchmark's reference numbers (medians over -count runs).
+// Benchmark is one benchmark's reference numbers (medians over -count runs),
+// plus optional per-benchmark gate thresholds overriding the shared flags.
 type Benchmark struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	BytesPerOp  float64 `json:"bytes_per_op"`
 	AllocsPerOp float64 `json:"allocs_per_op"`
+	// NsThreshold, when non-nil, replaces the -ns-threshold flag for this
+	// benchmark (fraction; 0 tolerates no ns/op regression at all).
+	NsThreshold *float64 `json:"ns_threshold,omitempty"`
+	// AllocThreshold, when non-nil, replaces the -alloc-threshold flag for
+	// this benchmark's allocs/op and B/op comparisons.
+	AllocThreshold *float64 `json:"alloc_threshold,omitempty"`
+}
+
+// gateOptions configures a comparison run.
+type gateOptions struct {
+	// NsThreshold and AllocThreshold are the shared regression tolerances
+	// (fractions), overridable per baseline entry.
+	NsThreshold    float64
+	AllocThreshold float64
+	// CPU is the measuring machine's cpu: line; ns/op gating requires it to
+	// equal the baseline's.
+	CPU string
+	// Require, when non-nil, names the benchmarks that must be gated: a
+	// measured benchmark matching it without a baseline entry fails.
+	Require *regexp.Regexp
 }
 
 func main() {
@@ -67,8 +102,9 @@ func main() {
 		baselinePath   = flag.String("baseline", "BENCH_BASELINE.json", "baseline JSON path")
 		update         = flag.Bool("update", false, "rewrite the baseline from the measured results instead of comparing")
 		filter         = flag.String("filter", "", "with -update, regexp of benchmark names to (also) include; by default a refresh keeps exactly the benchmark set already in the baseline")
-		nsThreshold    = flag.Float64("ns-threshold", 0.15, "maximum tolerated ns/op regression (fraction)")
-		allocThreshold = flag.Float64("alloc-threshold", 0.15, "maximum tolerated allocs/op and B/op regression (fraction)")
+		nsThreshold    = flag.Float64("ns-threshold", 0.15, "default maximum tolerated ns/op regression (fraction); a baseline entry's ns_threshold overrides it")
+		allocThreshold = flag.Float64("alloc-threshold", 0.15, "default maximum tolerated allocs/op and B/op regression (fraction); a baseline entry's alloc_threshold overrides it")
+		require        = flag.String("require", "", "regexp of benchmark names that must have a baseline entry; a measured match without one fails instead of being silently skipped")
 	)
 	flag.Parse()
 
@@ -90,60 +126,9 @@ func main() {
 	}
 
 	if *update {
-		med := medians(results)
-		// A refresh keeps the baseline's curated benchmark set: the bench
-		// output usually contains sub-benchmarks the gate deliberately
-		// excludes (the parallel workers>1 table allocates GOMAXPROCS-
-		// dependent per-chunk state), and blindly writing everything would
-		// re-introduce them. -filter opts names in explicitly; with no
-		// existing baseline the filter (default: everything) bootstraps it.
-		keep := med
-		var prev Baseline
-		if data, err := os.ReadFile(*baselinePath); err == nil {
-			if err := json.Unmarshal(data, &prev); err != nil {
-				fatal(fmt.Errorf("parsing existing %s: %w", *baselinePath, err))
-			}
-		}
-		var include *regexp.Regexp
-		if *filter != "" {
-			var err error
-			if include, err = regexp.Compile(*filter); err != nil {
-				fatal(fmt.Errorf("bad -filter: %w", err))
-			}
-		}
-		if prev.Benchmarks != nil {
-			keep = make(map[string]Benchmark)
-			for name, b := range med {
-				_, inPrev := prev.Benchmarks[name]
-				if inPrev || (include != nil && include.MatchString(name)) {
-					keep[name] = b
-				}
-			}
-			for name := range prev.Benchmarks {
-				if _, ok := keep[name]; !ok {
-					fmt.Printf("benchdiff: warning: %s in baseline but not in results; dropping it\n", name)
-				}
-			}
-		} else if include != nil {
-			keep = make(map[string]Benchmark)
-			for name, b := range med {
-				if include.MatchString(name) {
-					keep[name] = b
-				}
-			}
-		}
-		if len(keep) == 0 {
-			fatal(fmt.Errorf("refusing to write an empty baseline (no benchmark matched)"))
-		}
-		b := Baseline{CPU: cpu, Benchmarks: keep}
-		data, err := json.MarshalIndent(b, "", "  ")
-		if err != nil {
+		if err := updateBaseline(*baselinePath, cpu, medians(results), *filter); err != nil {
 			fatal(err)
 		}
-		if err := os.WriteFile(*baselinePath, append(data, '\n'), 0o644); err != nil {
-			fatal(err)
-		}
-		fmt.Printf("benchdiff: wrote %s (%d benchmarks, cpu %q)\n", *baselinePath, len(keep), cpu)
 		return
 	}
 
@@ -155,50 +140,147 @@ func main() {
 	if err := json.Unmarshal(data, &base); err != nil {
 		fatal(fmt.Errorf("parsing %s: %w", *baselinePath, err))
 	}
-	sameCPU := cpu != "" && cpu == base.CPU
-	if !sameCPU {
-		fmt.Printf("benchdiff: cpu %q != baseline cpu %q — ns/op is advisory on this machine\n", cpu, base.CPU)
+	opts := gateOptions{NsThreshold: *nsThreshold, AllocThreshold: *allocThreshold, CPU: cpu}
+	if *require != "" {
+		if opts.Require, err = regexp.Compile(*require); err != nil {
+			fatal(fmt.Errorf("bad -require: %w", err))
+		}
 	}
+	lines, failed := gate(base, medians(results), opts)
+	for _, l := range lines {
+		fmt.Println(l)
+	}
+	if failed {
+		fmt.Println("benchdiff: FAIL — regression past threshold, missing benchmark, or ungated required benchmark")
+		os.Exit(1)
+	}
+	fmt.Println("benchdiff: ok")
+}
 
-	med := medians(results)
+// updateBaseline rewrites the baseline from the measured medians. A refresh
+// keeps the baseline's curated benchmark set: the bench output usually
+// contains sub-benchmarks the gate deliberately excludes (the parallel
+// workers>1 tables allocate GOMAXPROCS-dependent per-chunk state), and
+// blindly writing everything would re-introduce them. filter opts names in
+// explicitly; with no existing baseline the filter (default: everything)
+// bootstraps it. Per-benchmark threshold overrides carry over from the
+// previous baseline.
+func updateBaseline(path, cpu string, med map[string]Benchmark, filter string) error {
+	keep := med
+	var prev Baseline
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &prev); err != nil {
+			return fmt.Errorf("parsing existing %s: %w", path, err)
+		}
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		// Only a genuinely absent baseline may be bootstrapped from scratch:
+		// treating a permission or I/O error as "no baseline" would silently
+		// discard the curated benchmark set and its threshold overrides.
+		return fmt.Errorf("reading existing %s: %w", path, err)
+	}
+	var include *regexp.Regexp
+	if filter != "" {
+		var err error
+		if include, err = regexp.Compile(filter); err != nil {
+			return fmt.Errorf("bad -filter: %w", err)
+		}
+	}
+	if prev.Benchmarks != nil {
+		keep = make(map[string]Benchmark)
+		for name, b := range med {
+			old, inPrev := prev.Benchmarks[name]
+			if inPrev || (include != nil && include.MatchString(name)) {
+				b.NsThreshold = old.NsThreshold
+				b.AllocThreshold = old.AllocThreshold
+				keep[name] = b
+			}
+		}
+		for name := range prev.Benchmarks {
+			if _, ok := keep[name]; !ok {
+				fmt.Printf("benchdiff: warning: %s in baseline but not in results; dropping it\n", name)
+			}
+		}
+	} else if include != nil {
+		keep = make(map[string]Benchmark)
+		for name, b := range med {
+			if include.MatchString(name) {
+				keep[name] = b
+			}
+		}
+	}
+	if len(keep) == 0 {
+		return fmt.Errorf("refusing to write an empty baseline (no benchmark matched)")
+	}
+	b := Baseline{CPU: cpu, Benchmarks: keep}
+	data, err := json.MarshalIndent(b, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("benchdiff: wrote %s (%d benchmarks, cpu %q)\n", path, len(keep), cpu)
+	return nil
+}
+
+// gate compares measured medians against the baseline and returns the report
+// lines plus whether the gate failed. It is main's comparison logic, split
+// out so tests can drive it without a process boundary.
+func gate(base Baseline, med map[string]Benchmark, opts gateOptions) (lines []string, failed bool) {
+	sameCPU := opts.CPU != "" && opts.CPU == base.CPU
+	if !sameCPU {
+		lines = append(lines, fmt.Sprintf("benchdiff: cpu %q != baseline cpu %q — ns/op is advisory on this machine", opts.CPU, base.CPU))
+	}
 	names := make([]string, 0, len(base.Benchmarks))
 	for name := range base.Benchmarks {
 		names = append(names, name)
 	}
 	sort.Strings(names)
 
-	failed := false
 	for _, name := range names {
 		want := base.Benchmarks[name]
 		got, ok := med[name]
 		if !ok {
-			fmt.Printf("FAIL %s: present in baseline but missing from results\n", name)
+			lines = append(lines, fmt.Sprintf("FAIL %s: present in baseline but missing from results", name))
 			failed = true
 			continue
 		}
-		nsBad := exceeded(got.NsPerOp, want.NsPerOp, *nsThreshold)
-		allocBad := exceeded(got.AllocsPerOp, want.AllocsPerOp, *allocThreshold)
-		bytesBad := exceeded(got.BytesPerOp, want.BytesPerOp, *allocThreshold)
+		nsT, allocT := opts.NsThreshold, opts.AllocThreshold
+		if want.NsThreshold != nil {
+			nsT = *want.NsThreshold
+		}
+		if want.AllocThreshold != nil {
+			allocT = *want.AllocThreshold
+		}
+		nsBad := exceeded(got.NsPerOp, want.NsPerOp, nsT)
+		allocBad := exceeded(got.AllocsPerOp, want.AllocsPerOp, allocT)
+		bytesBad := exceeded(got.BytesPerOp, want.BytesPerOp, allocT)
 		status := "ok  "
 		if allocBad || bytesBad || (nsBad && sameCPU) {
 			status = "FAIL"
 			failed = true
 		}
-		fmt.Printf("%s %s: ns/op %s  B/op %s  allocs/op %s\n", status, name,
+		lines = append(lines, fmt.Sprintf("%s %s: ns/op %s  B/op %s  allocs/op %s", status, name,
 			delta(got.NsPerOp, want.NsPerOp, nsBad && sameCPU),
 			delta(got.BytesPerOp, want.BytesPerOp, bytesBad),
-			delta(got.AllocsPerOp, want.AllocsPerOp, allocBad))
+			delta(got.AllocsPerOp, want.AllocsPerOp, allocBad)))
 	}
+	ungated := make([]string, 0)
 	for name := range med {
 		if _, ok := base.Benchmarks[name]; !ok {
-			fmt.Printf("note %s: not in baseline, not gated (benchdiff -update -filter can pin it)\n", name)
+			ungated = append(ungated, name)
 		}
 	}
-	if failed {
-		fmt.Println("benchdiff: FAIL — regression past threshold (or missing benchmark)")
-		os.Exit(1)
+	sort.Strings(ungated)
+	for _, name := range ungated {
+		if opts.Require != nil && opts.Require.MatchString(name) {
+			lines = append(lines, fmt.Sprintf("FAIL %s: matches -require but has no baseline entry — it is NOT gated; pin it with `benchdiff -update -filter '%s'`", name, regexp.QuoteMeta(name)))
+			failed = true
+			continue
+		}
+		lines = append(lines, fmt.Sprintf("note %s: not in baseline, not gated (benchdiff -update -filter can pin it)", name))
 	}
-	fmt.Println("benchdiff: ok")
+	return lines, failed
 }
 
 // exceeded reports whether got regressed past want by more than threshold.

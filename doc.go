@@ -41,7 +41,11 @@
 // themselves be dynamic: a topo.Dynamic graph process (edge-Markovian
 // chains, the per-round rewiring ring) is started from the run seed and
 // advanced by the engine at every round boundary, so partner selection and
-// delivery validation always read the round's live edge set.
+// delivery validation always read the round's live edge set. The
+// edge-Markovian engine is sparse — geometric skip-sampling draws exactly
+// the edges that flip and the adjacency updates incrementally, so a round
+// costs O(flips), not O(n²), and churn experiments scale to n = 16384 and
+// beyond.
 //
 // Protocol layer. internal/core is Protocol P and its sequential-model
 // adaptation; internal/rational adds utilities, coalitions, and the

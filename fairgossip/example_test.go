@@ -114,7 +114,7 @@ func ExampleScenario_dynamics() {
 	fmt.Printf("wire form mentions %q: %v\n", "edge-markovian",
 		strings.Contains(string(doc), "edge-markovian"))
 	// Output:
-	// success rate under churn: 0.4
+	// success rate under churn: 0.1
 	// wire form mentions "edge-markovian": true
 }
 

@@ -79,6 +79,15 @@ const (
 // topology. When active, the process replaces the scenario's Topology (which
 // must be left at its default) and is only supported under the sync
 // scheduler, without coalitions.
+//
+// Size limits: the edge-Markovian engine pays O(flips) per round, not
+// O(n²), so large sparse networks are first-class. Validation admits
+// n ≤ 32768 (the presence bitset behind O(1) edge lookups costs n²/8
+// bytes), and additionally requires the expected number of simultaneously
+// present edges, Birth/(Birth+Death)·n(n−1)/2, to stay within a fixed
+// adjacency budget (2²⁴ edges) — so at large n, lower the stationary
+// density rather than the churn rate. Rewire-ring dynamics are O(n) per
+// round and carry no extra bound.
 type Dynamics struct {
 	// Kind selects the process; "" and "none" mean a static topology.
 	Kind DynamicsKind `json:"kind,omitempty"`

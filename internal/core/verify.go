@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"slices"
 )
@@ -100,6 +101,29 @@ func (l *CommitmentLog) appendExpectedVotesFor(voter, target int32, buf []uint64
 	return buf
 }
 
+// The common rejection reasons are pre-declared sentinels rather than
+// formatted errors: under message loss, mid-voting crashes, or edge churn,
+// *every* verifier in a failing run takes one of these paths, so a formatted
+// error per rejection is ~n allocations per failed trial — enough to dominate
+// the churny-mode batch budgets. The structural rejections further down stay
+// formatted: they only fire on malformed certificates from deviating agents,
+// never in honest failing runs, and there the detail is worth the allocation.
+var (
+	// ErrNoCertificate rejects a verifier that never adopted any certificate
+	// (possible when faults or churn starve the Find-Min phase).
+	ErrNoCertificate = errors.New("verify: no certificate")
+	// ErrVoteMismatch rejects a W whose votes from some known voter differ
+	// from that voter's binding declaration (altered or extra votes — or
+	// votes missing from a voter W still mentions).
+	ErrVoteMismatch = errors.New("verify: votes in W differ from the voter's binding declaration")
+	// ErrMissingVotes rejects a W that omits every vote of a voter the
+	// verifier holds a nonempty declaration from — the direction that stops
+	// a cheating winner from dropping votes to lower its k, and the one
+	// unfulfilled declarations (lost messages, dead edges, mid-voting
+	// crashes) trigger in honest runs.
+	ErrMissingVotes = errors.New("verify: W omits a voter's committed votes")
+)
+
 // VerifyCertificate implements the Verification phase of Algorithm 1: it
 // accepts the winning certificate only if
 //
@@ -132,7 +156,7 @@ type verifyScratch struct {
 
 func verifyCertificate(p Params, cert *Certificate, log *CommitmentLog, sc *verifyScratch) error {
 	if cert == nil {
-		return fmt.Errorf("verify: no certificate")
+		return ErrNoCertificate
 	}
 	if cert.Owner < 0 || int(cert.Owner) >= p.N {
 		return fmt.Errorf("verify: owner %d out of range", cert.Owner)
@@ -172,12 +196,7 @@ func verifyCertificate(p Params, cert *Certificate, log *CommitmentLog, sc *veri
 			// voter), matching the sorted expectation list.
 			sc.exp = log.appendExpectedVotesFor(voter, cert.Owner, sc.exp[:0])
 			if !runEqualsSorted(w[i:j], sc.exp) {
-				actual := make([]uint64, 0, j-i)
-				for _, e := range w[i:j] {
-					actual = append(actual, e.Value)
-				}
-				return fmt.Errorf("verify: voter %d votes to %d are %v, committed %v",
-					voter, cert.Owner, actual, sc.exp)
+				return ErrVoteMismatch
 			}
 		}
 		i = j
@@ -189,8 +208,7 @@ func verifyCertificate(p Params, cert *Certificate, log *CommitmentLog, sc *veri
 			continue // already checked above
 		}
 		if sc.exp = log.appendExpectedVotesFor(voter, cert.Owner, sc.exp[:0]); len(sc.exp) > 0 {
-			return fmt.Errorf("verify: voter %d committed votes %v to %d but W has none",
-				voter, sc.exp, cert.Owner)
+			return ErrMissingVotes
 		}
 	}
 	return nil

@@ -12,7 +12,10 @@
 // is a simulation RNG.
 package rng
 
-import "math/bits"
+import (
+	"math"
+	"math/bits"
+)
 
 // SplitMix64 advances the splitmix64 state in *state and returns the next
 // output. It is used both as a seed expander and as a cheap standalone
@@ -175,6 +178,59 @@ func (r *Source) Bool(p float64) bool {
 		return true
 	}
 	return r.Float64() < p
+}
+
+// Geometric returns the number of failures before the first success in a
+// sequence of independent Bernoulli(p) trials: P(G = k) = (1−p)^k · p for
+// k ≥ 0. It is the waiting-time primitive behind skip-sampling: scanning a
+// population and flipping a Bernoulli(p) coin per element is distributionally
+// identical to jumping Geometric(p)+1 elements between successes, which
+// turns an O(population) scan into O(expected successes) work.
+//
+// The draw is by inverse CDF, G = ⌊ln(U)/ln(1−p)⌋ with U uniform on (0, 1]:
+// P(G ≥ k) = P(U ≤ (1−p)^k) = (1−p)^k, the exact geometric tail (up to
+// float64 rounding of the logarithms). One uniform is consumed per call.
+// p = 1 returns 0 without consuming randomness; p ≤ 0 panics (the waiting
+// time would be infinite — callers handle the never-hits case themselves,
+// typically via SkipPast returning past the end of their population).
+func (r *Source) Geometric(p float64) uint64 {
+	if p >= 1 {
+		return 0
+	}
+	if p <= 0 {
+		panic("rng: Geometric with p <= 0")
+	}
+	// 1 − Float64() lies in (0, 1]: u = 1 exactly maps to G = 0, and the
+	// smallest u (2⁻⁵³) bounds G ≤ 53·ln2/p, so the float division cannot
+	// produce +Inf. Log1p keeps precision for small p, where ln(1−p) ≈ −p.
+	u := 1.0 - r.Float64()
+	g := math.Log(u) / math.Log1p(-p)
+	if g >= maxGeometric {
+		return math.MaxUint64
+	}
+	return uint64(g)
+}
+
+// maxGeometric guards the float→uint64 conversion in Geometric: any quotient
+// at or beyond 2⁶³ is clamped to MaxUint64 (a skip past every population a
+// uint64 can index, so callers see "no hit" uniformly).
+const maxGeometric = 1 << 63
+
+// SkipPast returns the index of the next success at or after position i when
+// every element of a population is independently selected with probability p:
+// i + Geometric(p). Scanning [i, n) with repeated SkipPast visits exactly the
+// elements a per-element Bernoulli(p) scan would select, in ascending order,
+// at O(selected) cost; a return ≥ n means no further element is selected.
+// p ≤ 0 never hits: it returns MaxUint64 without consuming randomness.
+func (r *Source) SkipPast(i uint64, p float64) uint64 {
+	if p <= 0 {
+		return math.MaxUint64
+	}
+	g := r.Geometric(p)
+	if i > math.MaxUint64-g {
+		return math.MaxUint64
+	}
+	return i + g
 }
 
 // Perm returns a uniformly random permutation of [0, n) (Fisher–Yates).

@@ -104,6 +104,10 @@ const (
 // When active, the process replaces the scenario's Topology (which must be
 // left at its default), and every run derives the evolution from its own
 // seed, so dynamic runs are exactly as reproducible as static ones.
+// Edge-Markovian scenarios are admitted up to n = topo.MaxDynamicN with
+// expected edge count at most topo.MaxDynamicEdges — the sparse Θ(flips)
+// engine makes per-round cost a function of churn, so only memory bounds
+// the size.
 type Dynamics struct {
 	Kind DynamicsKind
 	// Birth is the per-round appearance probability of an absent edge
@@ -283,8 +287,16 @@ func (s Scenario) Validate() error {
 			return fmt.Errorf("scenario: edge-markovian dynamics need birth + death > 0")
 		}
 		if s.N > topo.MaxDynamicN {
-			return fmt.Errorf("scenario: edge-markovian dynamics keep O(n²) state; n = %d exceeds %d",
+			return fmt.Errorf("scenario: edge-markovian dynamics keep one presence bit per node pair; n = %d exceeds %d",
 				s.N, topo.MaxDynamicN)
+		}
+		// The sparse engine's adjacency is O(present edges), so the admission
+		// bound is on expected memory, not n²: the stationary law keeps
+		// ≈ π·n(n−1)/2 edges alive at once.
+		pi := s.Dynamics.Birth / (s.Dynamics.Birth + s.Dynamics.Death)
+		if expected := pi * float64(s.N) * float64(s.N-1) / 2; expected > topo.MaxDynamicEdges {
+			return fmt.Errorf("scenario: edge-markovian dynamics expect %.0f simultaneous edges (stationary density %.3g at n = %d), over the %d-edge adjacency budget — lower birth/(birth+death) or n",
+				expected, pi, s.N, topo.MaxDynamicEdges)
 		}
 	case DynamicsRewireRing:
 		if s.Dynamics.Beta < 0 || s.Dynamics.Beta > 1 {

@@ -64,8 +64,10 @@ func TestValidateErrors(t *testing.T) {
 			Dynamics: Dynamics{Kind: DynamicsEdgeMarkovian, Birth: 0.1, Death: 1.5}}, "death"},
 		{"frozen edge chain", Scenario{N: 64,
 			Dynamics: Dynamics{Kind: DynamicsEdgeMarkovian}}, "birth + death"},
-		{"edge-markovian too large", Scenario{N: 8192,
-			Dynamics: Dynamics{Kind: DynamicsEdgeMarkovian, Birth: 0.1, Death: 0.1}}, "O(n²)"},
+		{"edge-markovian too large", Scenario{N: 40000,
+			Dynamics: Dynamics{Kind: DynamicsEdgeMarkovian, Birth: 0.0001, Death: 0.1}}, "presence bit"},
+		{"edge-markovian too dense", Scenario{N: 16384,
+			Dynamics: Dynamics{Kind: DynamicsEdgeMarkovian, Birth: 0.1, Death: 0.1}}, "adjacency budget"},
 		{"bad rewire beta", Scenario{N: 64,
 			Dynamics: Dynamics{Kind: DynamicsRewireRing, Beta: 2}}, "rewiring probability"},
 		{"dynamics with static topology", Scenario{N: 64, Topology: "ring",

@@ -17,28 +17,62 @@ type DynamicsOptions struct {
 	Trials  int
 	Seed    uint64
 	Workers int
+	// ScaleNs are the network sizes of the E12b churn-at-scale sweep, run at
+	// the fixed stationary degree ScaleDegree in the sub-0.5%/round regime
+	// the E12 finding cares about. The sweep exists because the sparse
+	// Θ(flips) engine opened sizes the dense engine's n ≤ 4096 bound (and
+	// its Θ(n²) per round) made unreachable.
+	ScaleNs []int
+	// ScaleDeaths are the per-round edge death rates of the E12b sweep.
+	ScaleDeaths []float64
+	// ScaleDegree is the stationary mean degree held fixed across the E12b
+	// sweep (birth is derived per n); 0 defaults to 64.
+	ScaleDegree int
+	// ScaleTrials is the per-cell trial count of the E12b sweep; it is
+	// deliberately smaller than Trials because a single n = 16384 trial costs
+	// seconds, not milliseconds.
+	ScaleTrials int
 }
 
 // DefaultDynamicsOptions is the full experiment.
 func DefaultDynamicsOptions() DynamicsOptions {
-	return DynamicsOptions{N: 128, Trials: 120, Seed: 12}
+	return DynamicsOptions{
+		N: 128, Trials: 120, Seed: 12,
+		ScaleNs:     []int{1024, 4096, 16384},
+		ScaleDeaths: []float64{0.001, 0.002, 0.005},
+		ScaleTrials: 10,
+	}
 }
 
 // QuickDynamicsOptions is a scaled-down variant for tests.
 func QuickDynamicsOptions() DynamicsOptions {
-	return DynamicsOptions{N: 64, Trials: 30, Seed: 12}
+	return DynamicsOptions{
+		N: 64, Trials: 30, Seed: 12,
+		ScaleNs:     []int{256, 1024},
+		ScaleDeaths: []float64{0.001, 0.005},
+		ScaleTrials: 8,
+	}
 }
 
-// RunE12Dynamics regenerates E12: success and round count of Protocol P as a
-// function of the per-round edge churn rate. The edge-Markovian rows hold the
-// stationary degree fixed at ≈ (n−1)/4 (birth = death/3) and sweep the death
-// rate, so the only thing that varies is how fast the same-density graph
-// turns over; the rewiring-ring rows sweep the Watts–Strogatz β of a
-// per-round-resampled ring. The mechanism under test is the binding
-// declarations: a Voting-phase push addressed to a peer sampled rounds
-// earlier is dropped if that edge has meanwhile died, and every unfulfilled
-// declaration is a reason for verifiers to reject — the same brittleness
-// lossy links and mid-voting crashes expose.
+// RunE12Dynamics regenerates E12 and E12b: success and round count of
+// Protocol P as a function of the per-round edge churn rate, at one size
+// (E12) and across sizes (E12b).
+//
+// The E12 edge-Markovian rows hold the stationary degree fixed at ≈ (n−1)/4
+// (birth = death/3) and sweep the death rate, so the only thing that varies
+// is how fast the same-density graph turns over; the rewiring-ring rows
+// sweep the Watts–Strogatz β of a per-round-resampled ring. The mechanism
+// under test is the binding declarations: a Voting-phase push addressed to a
+// peer sampled rounds earlier is dropped if that edge has meanwhile died,
+// and every unfulfilled declaration is a reason for verifiers to reject —
+// the same brittleness lossy links and mid-voting crashes expose.
+//
+// E12b asks how that churn boundary moves with network size: it holds the
+// stationary degree fixed at an n-independent ScaleDegree (the sparse
+// regime: density π = deg/(n−1) falls as n grows) and sweeps death rates in
+// the sub-0.5%/round band across ScaleNs. Larger networks run more rounds
+// (q grows with log n) and bind votes for longer, so the tolerable churn
+// rate shrinks as n grows.
 func RunE12Dynamics(o DynamicsOptions) []*Table {
 	e12 := &Table{
 		ID: "E12",
@@ -66,28 +100,66 @@ func RunE12Dynamics(o DynamicsOptions) []*Table {
 		}})
 	}
 	for i, rw := range rows {
-		r := fairgossip.MustRunner(fairgossip.Scenario{
+		succ, rounds := dynamicsCell(fairgossip.Scenario{
 			N: o.N, Colors: 2, Gamma: o.Gamma,
 			Dynamics: rw.dyn,
 			Seed:     ConfigSeed(o.Seed, uint64(i)),
 			Workers:  o.Workers,
-		})
-		results, err := r.Trials(context.Background(), o.Trials)
-		if err != nil {
-			panic(err)
-		}
-		succ, rounds := 0, 0
-		for _, res := range results {
-			if !res.Failed {
-				succ++
-			}
-			rounds += res.Rounds
-		}
-		e12.AddRow(rw.label, F(rw.churn),
-			Pct(float64(succ)/float64(o.Trials)),
-			F(float64(rounds)/float64(o.Trials)), I(o.Trials))
+		}, o.Trials)
+		e12.AddRow(rw.label, F(rw.churn), Pct(succ), F(rounds), I(o.Trials))
 	}
 	e12.AddNote("edge-markovian rows share one stationary degree ≈ (n−1)/4; only the turnover rate varies")
 	e12.AddNote("the protocol tolerates only sub-0.5%%/round edge churn: votes are bound to peers sampled up to 2q rounds earlier, and each vote lost to a dead edge is an unfulfilled declaration — the same collapse as 5%% message loss or a mid-voting crash")
-	return []*Table{e12}
+
+	deg := o.ScaleDegree
+	if deg == 0 {
+		deg = 64
+	}
+	if o.ScaleTrials == 0 {
+		o.ScaleTrials = 10 // like ScaleDegree, options predating E12b get the default
+	}
+	e12b := &Table{
+		ID: "E12b",
+		Title: fmt.Sprintf("Churn at scale: Protocol P vs per-round edge churn, stationary degree %d",
+			deg),
+		Columns: []string{"n", "death/round", "success", "mean rounds", "trials"},
+	}
+	cell := 0
+	for _, n := range o.ScaleNs {
+		pi := float64(deg) / float64(n-1)
+		for _, death := range o.ScaleDeaths {
+			succ, rounds := dynamicsCell(fairgossip.Scenario{
+				N: n, Colors: 2, Gamma: o.Gamma,
+				Dynamics: fairgossip.Dynamics{
+					Kind:  fairgossip.DynamicsEdgeMarkovian,
+					Birth: death * pi / (1 - pi), // stationary law pinned at π = deg/(n−1)
+					Death: death,
+				},
+				Seed:    ConfigSeed(o.Seed, 1000+uint64(cell)),
+				Workers: o.Workers,
+			}, o.ScaleTrials)
+			e12b.AddRow(I(n), F(death), Pct(succ), F(rounds), I(o.ScaleTrials))
+			cell++
+		}
+	}
+	e12b.AddNote("every cell shares the same expected degree; only n and the turnover rate vary — the sweep the sparse Θ(flips) engine makes affordable (the dense engine paid Θ(n²) per round and stopped at n = 4096)")
+	e12b.AddNote("the churn boundary tightens with n: more rounds (q ∝ log n) mean longer-lived binding declarations, so the same per-edge death rate kills more declared votes per run")
+	return []*Table{e12, e12b}
+}
+
+// dynamicsCell runs one (scenario, trials) cell and returns the success rate
+// and mean round count.
+func dynamicsCell(sc fairgossip.Scenario, trials int) (successRate, meanRounds float64) {
+	results, err := fairgossip.MustRunner(sc).Trials(context.Background(), trials)
+	if err != nil {
+		panic(err)
+	}
+	succ, rounds := 0, 0
+	for _, res := range results {
+		if !res.Failed {
+			succ++
+		}
+		rounds += res.Rounds
+	}
+	return float64(succ) / float64(trials), float64(rounds) / float64(trials)
 }

@@ -2,6 +2,7 @@ package topo
 
 import (
 	"fmt"
+	"math"
 
 	"repro/internal/rng"
 )
@@ -22,10 +23,24 @@ import (
 // edge sets round for round, independent of worker counts — the determinism
 // contract the property tests pin.
 //
-// Both implementations rebuild a compact CSR adjacency (off/flat) per round
-// into reused buffers, so the steady state allocates nothing per round; the
+// Cost model: the edge-Markovian process pays for events, not pairs. Advance
+// draws the pairs that actually flip by geometric skip-sampling (inverse-CDF
+// waiting times, distributionally identical to one Bernoulli coin per pair —
+// see rng.SkipPast) and maintains the adjacency incrementally (present-edge
+// list plus per-node neighbor lists, swap-remove on death, append on birth),
+// so a round costs O(expected flips + touched degrees) instead of the Θ(n²)
+// per-pair scan and full CSR rebuild it replaces. Memory is one presence bit
+// per potential pair (n²/8 bytes, the O(1) CanSend structure) plus O(present
+// edges) adjacency. Steady state allocates nothing per round; the
 // allocation-budget tests enforce that the process cannot silently allocate
-// per edge.
+// per flip.
+//
+// Seed mapping: the skip-sampling engine consumes randomness per event where
+// the per-pair scan it replaced consumed one draw per pair, so a given seed
+// maps to a different (equally distributed) edge-set evolution than it did
+// under the dense engine. Same-seed determinism is unchanged; recorded
+// numbers from dynamic experiments (E12) were re-derived when the mapping
+// changed.
 
 // Dynamic is a Topology whose edge set evolves between rounds.
 type Dynamic interface {
@@ -38,14 +53,32 @@ type Dynamic interface {
 	// exactly once per round, in increasing round order, on the delivery
 	// goroutine; callers must have called Start first.
 	Advance(round int)
+	// Flips reports how many edges the last Advance changed (births plus
+	// deaths; 0 right after Start) — the event count the sparse engine's
+	// per-round cost is proportional to, surfaced so benchmarks can report
+	// work per round.
+	Flips() int
 }
 
-// MaxDynamicN bounds the network size of processes that keep per-pair state
-// (the edge-Markovian model stores one bit and up to two adjacency entries
-// per potential edge, O(n²) in total).
-const MaxDynamicN = 4096
+// MaxDynamicN bounds the network size of the edge-Markovian process, whose
+// only per-pair state is the presence bitset behind O(1) CanSend: n²/8 bytes,
+// 67 MB at the cap. Time per round is O(flips), not O(n²) — the bound exists
+// so a single process instance cannot silently claim gigabytes of bitset.
+// The adjacency itself is O(present edges); scenario validation additionally
+// bounds the *expected* edge count by MaxDynamicEdges, so admissible
+// scenarios at large n are the sparse ones.
+const MaxDynamicN = 32768
 
-// csr is the per-round adjacency shared by the dynamic implementations:
+// MaxDynamicEdges bounds the expected number of simultaneously present edges
+// a scenario may ask an edge-Markovian process to maintain: π·n(n−1)/2 with
+// π = birth/(birth+death). The incremental adjacency costs ~16 bytes per
+// present edge (the packed edge list plus two neighbor-list entries), so the
+// cap keeps a worst-case process around a quarter gigabyte. The bound lives
+// in scenario validation, not the constructor: direct topo users may exceed
+// it knowingly.
+const MaxDynamicEdges = 1 << 24
+
+// csr is the per-round adjacency of the rewiring-ring process:
 // off[u]..off[u+1] indexes u's neighbors in flat, ascending. cur is the fill
 // cursor scratch. All three reuse capacity across rounds.
 type csr struct {
@@ -111,6 +144,18 @@ func (c *csr) samplePeer(u int, r *rng.Source) int {
 // and a present edge's half-life is governed by death — the knob the churn
 // experiments sweep.
 //
+// The implementation is sparse: instead of flipping one coin per potential
+// pair, Advance draws exactly the flipping pairs by geometric skip-sampling
+// over the present-edge list (deaths) and over the full pair population with
+// present pairs discarded (births) — each absent pair is still born
+// independently with probability birth, so the per-round edge-set
+// distribution is identical to the dense per-pair scan's. The adjacency is
+// maintained incrementally: a death swap-removes the edge from the packed
+// edge list and both endpoints' neighbor lists, a birth appends. A round
+// therefore costs O(birth·pairs + death·edges) expected draws plus the
+// touched degrees — Θ(expected flips) whenever the stationary density is
+// bounded away from 1 — rather than Θ(n²).
+//
 // Construct with NewEdgeMarkovian, then Start; see Dynamic for the lifecycle
 // and concurrency contract.
 type EdgeMarkovian struct {
@@ -119,8 +164,12 @@ type EdgeMarkovian struct {
 	death   float64
 	name    string
 	r       rng.Source
-	bits    []uint64 // presence bitset over pair indices (u<v, row-major)
-	adj     csr
+	bits    []uint64  // presence bitset over pair indices (u<v, row-major)
+	edges   []uint64  // present-edge list, packed u<<32|v, unordered
+	adj     [][]int32 // adj[u] is u's neighbor list, unordered
+	deadPos []int32   // scratch: edge-list positions dying this round
+	born    []uint64  // scratch: packed pairs born this round
+	flips   int
 	started bool
 }
 
@@ -153,7 +202,39 @@ func (e *EdgeMarkovian) pairIndex(u, v int) int {
 	return u*(2*e.n-u-1)/2 + (v - u - 1)
 }
 
-// Start draws the round-0 edge set from the stationary law π = b/(b+d).
+// rowBase is pairIndex(u, u+1): the first pair index of row u.
+func (e *EdgeMarkovian) rowBase(u int) int { return u * (2*e.n - u - 1) / 2 }
+
+// pairAt inverts pairIndex: it decodes a row-major pair index into (u, v)
+// with u < v. The row comes from the quadratic formula and is fixed up with
+// exact integer comparisons, so float rounding cannot misplace a pair (every
+// quantity involved is ≤ n² < 2⁵³, exactly representable).
+func (e *EdgeMarkovian) pairAt(i int) (u, v int32) {
+	nf := float64(e.n) - 0.5
+	row := int(nf - math.Sqrt(nf*nf-2*float64(i)))
+	if row < 0 {
+		row = 0
+	}
+	if row > e.n-2 {
+		row = e.n - 2
+	}
+	for row > 0 && e.rowBase(row) > i {
+		row--
+	}
+	for row < e.n-2 && e.rowBase(row+1) <= i {
+		row++
+	}
+	return int32(row), int32(row + 1 + i - e.rowBase(row))
+}
+
+// pack encodes an edge's endpoints for the present-edge list.
+func pack(u, v int32) uint64 { return uint64(uint32(u))<<32 | uint64(uint32(v)) }
+
+// unpack decodes pack.
+func unpack(p uint64) (u, v int32) { return int32(p >> 32), int32(uint32(p)) }
+
+// Start draws the round-0 edge set from the stationary law π = b/(b+d), by
+// the same skip-sampling Advance uses: O(expected edges) draws, not O(n²).
 func (e *EdgeMarkovian) Start(seed uint64) {
 	e.r.Reseed(seed)
 	words := (e.pairs() + 63) / 64
@@ -161,64 +242,108 @@ func (e *EdgeMarkovian) Start(seed uint64) {
 		e.bits = make([]uint64, words)
 	}
 	e.bits = e.bits[:words]
-	for i := range e.bits {
-		e.bits[i] = 0
-	}
+	clear(e.bits)
 	pi := e.birth / (e.birth + e.death)
-	for i, p := 0, e.pairs(); i < p; i++ {
-		if e.r.Bool(pi) {
-			e.bits[i>>6] |= 1 << (i & 63)
+	if e.adj == nil {
+		e.adj = make([][]int32, e.n)
+		// Seed each neighbor list's capacity well past the stationary mean
+		// degree, so steady-state appends essentially never regrow — the
+		// allocation budgets pin warmed Starts and Advances near zero.
+		mean := pi * float64(e.n-1)
+		cap0 := int(mean+5*math.Sqrt(mean+1)) + 8
+		if cap0 > e.n-1 {
+			cap0 = e.n - 1
+		}
+		for u := range e.adj {
+			e.adj[u] = make([]int32, 0, cap0)
+		}
+	} else {
+		for u := range e.adj {
+			e.adj[u] = e.adj[u][:0]
 		}
 	}
-	e.rebuild()
+	e.edges = e.edges[:0]
+	for i, p := e.r.SkipPast(0, pi), uint64(e.pairs()); i < p; i = e.r.SkipPast(i+1, pi) {
+		e.insert(e.pairAt(int(i)))
+	}
+	e.flips = 0
 	e.started = true
 }
 
-// Advance flips every potential edge once: present edges die with probability
-// death, absent edges are born with probability birth.
+// Advance flips every potential edge once — in distribution: present edges
+// die with probability death, absent edges are born with probability birth.
+// Only the flipping pairs are materialized; see the type comment for the
+// sampling argument and the cost model.
 func (e *EdgeMarkovian) Advance(round int) {
 	if !e.started {
 		panic("topo: EdgeMarkovian.Advance before Start")
 	}
-	for i, p := 0, e.pairs(); i < p; i++ {
-		w, b := i>>6, uint64(1)<<(i&63)
-		if e.bits[w]&b != 0 {
-			if e.r.Bool(e.death) {
-				e.bits[w] &^= b
-			}
-		} else if e.r.Bool(e.birth) {
-			e.bits[w] |= b
+	// Births: skip-scan the full pair population with probability birth.
+	// A coin landing on a present pair is discarded (present pairs are not
+	// birth-eligible), which leaves every absent pair born independently
+	// with probability birth. Presence is tested against the start-of-round
+	// state — deaths are applied only after this scan — so a pair dying this
+	// round cannot also be reborn in the same round.
+	e.born = e.born[:0]
+	for i, p := e.r.SkipPast(0, e.birth), uint64(e.pairs()); i < p; i = e.r.SkipPast(i+1, e.birth) {
+		if e.bits[i>>6]&(1<<(i&63)) == 0 {
+			u, v := e.pairAt(int(i))
+			e.born = append(e.born, pack(u, v))
 		}
 	}
-	e.rebuild()
+	// Deaths: skip-scan the start-of-round present-edge list with
+	// probability death. Positions come out ascending and are applied in
+	// descending order, so a swap-remove only ever moves in an edge from
+	// beyond every still-condemned position.
+	e.deadPos = e.deadPos[:0]
+	for i, p := e.r.SkipPast(0, e.death), uint64(len(e.edges)); i < p; i = e.r.SkipPast(i+1, e.death) {
+		e.deadPos = append(e.deadPos, int32(i))
+	}
+	for k := len(e.deadPos) - 1; k >= 0; k-- {
+		e.removeAt(int(e.deadPos[k]))
+	}
+	for _, pk := range e.born {
+		e.insert(unpack(pk))
+	}
+	e.flips = len(e.deadPos) + len(e.born)
 }
 
-// rebuild rematerializes the CSR adjacency from the presence bitset into the
-// reused buffers (two passes: degree counts, then fills; neighbor lists come
-// out ascending).
-func (e *EdgeMarkovian) rebuild() {
-	n := e.n
-	e.adj.reset(n)
-	i := 0
-	for u := 0; u < n-1; u++ {
-		for v := u + 1; v < n; v++ {
-			if e.bits[i>>6]&(1<<(i&63)) != 0 {
-				e.adj.off[u+1]++
-				e.adj.off[v+1]++
-			}
-			i++
+// insert adds the absent edge (u, v) to the bitset, both neighbor lists, and
+// the present-edge list.
+func (e *EdgeMarkovian) insert(u, v int32) {
+	i := e.pairIndex(int(u), int(v))
+	e.bits[i>>6] |= 1 << (i & 63)
+	e.adj[u] = append(e.adj[u], v)
+	e.adj[v] = append(e.adj[v], u)
+	e.edges = append(e.edges, pack(u, v))
+}
+
+// removeAt deletes the present edge at position pos of the edge list from
+// the bitset, both neighbor lists, and the list itself (swap-remove).
+func (e *EdgeMarkovian) removeAt(pos int) {
+	u, v := unpack(e.edges[pos])
+	i := e.pairIndex(int(u), int(v))
+	e.bits[i>>6] &^= 1 << (i & 63)
+	e.dropNeighbor(u, v)
+	e.dropNeighbor(v, u)
+	last := len(e.edges) - 1
+	e.edges[pos] = e.edges[last]
+	e.edges = e.edges[:last]
+}
+
+// dropNeighbor swap-removes v from u's neighbor list — the O(degree) scan is
+// the "touched degrees" term of the per-round cost.
+func (e *EdgeMarkovian) dropNeighbor(u, v int32) {
+	ns := e.adj[u]
+	for k, w := range ns {
+		if w == v {
+			last := len(ns) - 1
+			ns[k] = ns[last]
+			e.adj[u] = ns[:last]
+			return
 		}
 	}
-	e.adj.finish(n)
-	i = 0
-	for u := 0; u < n-1; u++ {
-		for v := u + 1; v < n; v++ {
-			if e.bits[i>>6]&(1<<(i&63)) != 0 {
-				e.adj.add(int32(u), int32(v))
-			}
-			i++
-		}
-	}
+	panic("topo: EdgeMarkovian adjacency desynchronized from edge list")
 }
 
 // N returns the node count.
@@ -240,17 +365,27 @@ func (e *EdgeMarkovian) CanSend(u, v int) bool {
 	return e.bits[i>>6]&(1<<(i&63)) != 0
 }
 
-// SamplePeer draws uniformly from u's current neighbor set.
-func (e *EdgeMarkovian) SamplePeer(u int, r *rng.Source) int { return e.adj.samplePeer(u, r) }
+// SamplePeer draws uniformly from u's current neighbor set; an isolated node
+// can only talk to itself, matching the static adjacency graphs.
+func (e *EdgeMarkovian) SamplePeer(u int, r *rng.Source) int {
+	ns := e.adj[u]
+	if len(ns) == 0 {
+		return u
+	}
+	return int(ns[r.Intn(len(ns))])
+}
 
 // Degree returns u's current degree.
-func (e *EdgeMarkovian) Degree(u int) int { return len(e.adj.neighbors(u)) }
+func (e *EdgeMarkovian) Degree(u int) int { return len(e.adj[u]) }
 
 // Name identifies the process and its rates in reports.
 func (e *EdgeMarkovian) Name() string { return e.name }
 
 // EdgeCount returns the number of edges currently present (analysis hook).
-func (e *EdgeMarkovian) EdgeCount() int { return len(e.adj.flat) / 2 }
+func (e *EdgeMarkovian) EdgeCount() int { return len(e.edges) }
+
+// Flips reports how many edges the last Advance changed.
+func (e *EdgeMarkovian) Flips() int { return e.flips }
 
 // RewireRing is the per-round rewiring variant of the ring builder: the
 // n-cycle is the substrate, and at every round boundary each node's clockwise
@@ -258,7 +393,9 @@ func (e *EdgeMarkovian) EdgeCount() int { return len(e.adj.flat) / 2 }
 // chosen uniformly at random (the Watts–Strogatz rewiring step, resampled
 // fresh every round rather than frozen at construction). beta = 0 reproduces
 // the static ring round for round; beta = 1 is a fresh random functional
-// graph every round.
+// graph every round. Unlike the edge-Markovian chain this process is
+// inherently Θ(n) per round — all n clockwise edges are redrawn — which is
+// already proportional to its event count.
 //
 // Construct with NewRewireRing, then Start; see Dynamic for the lifecycle and
 // concurrency contract.
@@ -269,6 +406,7 @@ type RewireRing struct {
 	r       rng.Source
 	target  []int32 // target[u] is the endpoint of u's clockwise edge this round
 	adj     csr
+	flips   int
 	started bool
 }
 
@@ -294,6 +432,9 @@ func (rr *RewireRing) Start(seed uint64) {
 	}
 	rr.target = rr.target[:rr.n]
 	rr.redraw()
+	// redraw's re-target count diffed against whatever a pooled instance
+	// held before; round 0 is a draw, not a change, so Flips starts at 0.
+	rr.flips = 0
 	rr.started = true
 }
 
@@ -310,6 +451,7 @@ func (rr *RewireRing) Advance(round int) {
 // endpoint, so neighbor lists stay duplicate-free.
 func (rr *RewireRing) redraw() {
 	n := rr.n
+	changed := 0
 	for u := 0; u < n; u++ {
 		v := u + 1
 		if v == n {
@@ -318,8 +460,12 @@ func (rr *RewireRing) redraw() {
 		if rr.r.Bool(rr.beta) {
 			v = rr.r.IntnExcept(n, u)
 		}
+		if rr.target[u] != int32(v) {
+			changed++
+		}
 		rr.target[u] = int32(v)
 	}
+	rr.flips = changed
 	rr.adj.reset(n)
 	for u := 0; u < n; u++ {
 		v := int(rr.target[u])
@@ -366,3 +512,6 @@ func (rr *RewireRing) Degree(u int) int { return len(rr.adj.neighbors(u)) }
 
 // Name identifies the process and its rewiring rate in reports.
 func (rr *RewireRing) Name() string { return rr.name }
+
+// Flips reports how many clockwise edges the last Advance re-targeted.
+func (rr *RewireRing) Flips() int { return rr.flips }

@@ -197,9 +197,10 @@ func TestRewireRingEveryNodeReachesSomeone(t *testing.T) {
 }
 
 // TestDynamicAdvanceAllocBudget pins the per-round allocation budget of both
-// graph processes: after warm-up (buffers sized, CSR at its high-water mark)
-// advancing a round must not allocate per edge — the budget leaves room only
-// for a rare adjacency-buffer regrow on an unusually dense round.
+// graph processes: after warm-up (edge list, neighbor lists, and scratch at
+// their high-water marks) advancing a round must not allocate per flip — the
+// budget leaves room only for a rare buffer regrow on an unusually dense
+// round.
 func TestDynamicAdvanceAllocBudget(t *testing.T) {
 	for _, tc := range []struct {
 		name string
