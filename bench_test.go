@@ -354,6 +354,41 @@ func BenchmarkEdgeMarkovianAdvance(b *testing.B) {
 	})
 }
 
+// BenchmarkSparseGeneratorAdvance isolates the implicit sparse generators:
+// one op is one Advance — a full stub rematch for the random d-regular
+// process, a jittered point drift plus cell-grid rebuild for the geometric
+// torus. Both pay Θ(n·deg) per round by construction (every edge turns over,
+// or every point moves), so unlike EdgeMarkovianAdvance there is no
+// churn-rate axis to sweep — the degree is the only knob.
+func BenchmarkSparseGeneratorAdvance(b *testing.B) {
+	for _, n := range []int{1024, 4096} {
+		b.Run(fmt.Sprintf("d-regular/n=%d/d=8", n), func(b *testing.B) {
+			g := topo.NewDRegular(n, 8)
+			g.Start(1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			flips := 0
+			for i := 0; i < b.N; i++ {
+				g.Advance(i + 1)
+				flips += g.Flips()
+			}
+			b.ReportMetric(float64(flips)/float64(b.N), "flips/op")
+		})
+		b.Run(fmt.Sprintf("geometric/n=%d/deg=8", n), func(b *testing.B) {
+			g := topo.NewGeometric(n, 8, 0.01)
+			g.Start(1)
+			b.ReportAllocs()
+			b.ResetTimer()
+			flips := 0
+			for i := 0; i < b.N; i++ {
+				g.Advance(i + 1)
+				flips += g.Flips()
+			}
+			b.ReportMetric(float64(flips)/float64(b.N), "flips/op")
+		})
+	}
+}
+
 // BenchmarkProtocolScaling provides the per-n cost curve behind T1–T3.
 func BenchmarkProtocolScaling(b *testing.B) {
 	for _, n := range []int{128, 256, 512, 1024, 2048} {

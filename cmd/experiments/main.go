@@ -138,15 +138,16 @@ func runSelected(wanted map[string]bool, quick bool, workers int) []*sim.Table {
 	as := sim.DefaultAsyncOptions()
 	sc := sim.DefaultScalingOptions()
 	dy := sim.DefaultDynamicsOptions()
+	cs := sim.DefaultChurnScaleOptions()
 	if quick {
 		perf, fair, faults = sim.QuickPerfOptions(), sim.QuickFairnessOptions(), sim.QuickFaultOptions()
 		eq, abl, bl = sim.QuickEquilibriumOptions(), sim.QuickAblationOptions(), sim.QuickBaselineOptions()
 		tp, as = sim.QuickTopologyOptions(), sim.QuickAsyncOptions()
-		sc, dy = sim.QuickScalingOptions(), sim.QuickDynamicsOptions()
+		sc, dy, cs = sim.QuickScalingOptions(), sim.QuickDynamicsOptions(), sim.QuickChurnScaleOptions()
 	}
 	perf.Workers, fair.Workers, faults.Workers, eq.Workers = workers, workers, workers, workers
 	abl.Workers, bl.Workers, tp.Workers, as.Workers = workers, workers, workers, workers
-	sc.Workers, dy.Workers = workers, workers
+	sc.Workers, dy.Workers, cs.Workers = workers, workers, workers
 
 	add([]string{"T0"}, func() []*sim.Table { return sim.RunT0Predictions(perf) })
 	add([]string{"T1", "F1"}, func() []*sim.Table { return sim.RunT1Rounds(perf) })
@@ -161,5 +162,6 @@ func runSelected(wanted map[string]bool, quick bool, workers int) []*sim.Table {
 	add([]string{"E10"}, func() []*sim.Table { return sim.RunE10Async(as) })
 	add([]string{"E11"}, func() []*sim.Table { return sim.RunE11CoalitionScaling(sc) })
 	add([]string{"E12"}, func() []*sim.Table { return sim.RunE12Dynamics(dy) })
+	add([]string{"E13"}, func() []*sim.Table { return sim.RunE13ChurnAtScale(cs) })
 	return out
 }

@@ -213,6 +213,10 @@ func topologyLabel(sc fairgossip.Scenario) string {
 		return fmt.Sprintf("%s(birth=%g,death=%g)", d.Kind, d.Birth, d.Death)
 	case d.Kind == fairgossip.DynamicsRewireRing:
 		return fmt.Sprintf("%s(beta=%g)", d.Kind, d.Beta)
+	case d.Kind == fairgossip.DynamicsDRegular:
+		return fmt.Sprintf("%s(degree=%d)", d.Kind, d.Degree)
+	case d.Kind == fairgossip.DynamicsGeometric:
+		return fmt.Sprintf("%s(degree=%d,jitter=%g)", d.Kind, d.Degree, d.Jitter)
 	default:
 		return sc.Topology
 	}

@@ -39,13 +39,16 @@
 // periodic churn — and the orthogonal Drop rate loses any message crossing
 // a link with fixed probability from a seed-derived stream. Topologies may
 // themselves be dynamic: a topo.Dynamic graph process (edge-Markovian
-// chains, the per-round rewiring ring) is started from the run seed and
-// advanced by the engine at every round boundary, so partner selection and
-// delivery validation always read the round's live edge set. The
-// edge-Markovian engine is sparse — geometric skip-sampling draws exactly
-// the edges that flip and the adjacency updates incrementally, so a round
-// costs O(flips), not O(n²), and churn experiments scale to n = 16384 and
-// beyond.
+// chains, the per-round rewiring ring, a per-round re-matched random
+// d-regular graph, a geometric torus under positional jitter) is started
+// from the run seed and advanced by the engine at every round boundary, so
+// partner selection and delivery validation always read the round's live
+// edge set. The edge-Markovian engine is sparse end to end — geometric
+// skip-sampling draws exactly the edges that flip, the adjacency updates
+// incrementally, and membership is an O(present-edges) hash set over packed
+// pair ids rather than an n²/8 presence bitset — so a round costs O(flips),
+// memory costs O(edges), and churn experiments scale to n = 2²⁰ (E13 sweeps
+// n ∈ {10⁵, 10⁶} at fixed degree).
 //
 // Protocol layer. internal/core is Protocol P and its sequential-model
 // adaptation; internal/rational adds utilities, coalitions, and the
@@ -73,7 +76,7 @@
 // state, and CI gates `go test -bench=ScenarioRunnerBatch` against the
 // committed BENCH_BASELINE.json via cmd/benchdiff.
 //
-// Supporting substrates: internal/sim (experiment tables T0–T8, E9–E12,
+// Supporting substrates: internal/sim (experiment tables T0–T8, E9–E13,
 // built on the public API), internal/topo (static graphs and dynamic
 // graph processes), internal/rng (splittable
 // xoshiro256**), internal/stats (streaming Welford moments, counting-

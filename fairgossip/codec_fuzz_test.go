@@ -33,6 +33,11 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte(`{"version":1,"n":64,"seed":1,"dynamics":{"kind":"none"}}`))
 	f.Add([]byte(`{"version":1,"n":64,"seed":1,"dynamics":{}}`))
 	f.Add([]byte(`{"version":1,"n":64,"seed":1,"dynamics":{"kind":"edge-markovian","birth":2}}`))
+	f.Add([]byte(`{"version":1,"n":64,"seed":1,"dynamics":{"kind":"d-regular","degree":4}}`))
+	f.Add([]byte(`{"version":1,"n":63,"seed":1,"dynamics":{"kind":"d-regular","degree":3}}`))
+	f.Add([]byte(`{"version":1,"n":256,"seed":1,"dynamics":{"kind":"geometric","degree":12,"jitter":0.01}}`))
+	f.Add([]byte(`{"version":1,"n":64,"seed":1,"dynamics":{"kind":"geometric","degree":63}}`))
+	f.Add([]byte(`{"version":1,"n":64,"seed":1,"dynamics":{"kind":"edge-markovian","birth":0.1,"death":0.1,"degree":4}}`))
 	f.Add([]byte(`{"version":1,"n":64,"seed":1,"dynamics":null}`))
 	f.Add([]byte(`{"version":1,"n":64,"seed":1,"topology":"ring","dynamics":{"kind":"rewire-ring"}}`))
 	f.Add([]byte(`{"version":2,"n":64,"seed":1}`))

@@ -54,6 +54,10 @@ func TestCodecRoundTripSparse(t *testing.T) {
 		{N: 64, Dynamics: fairgossip.Dynamics{Kind: fairgossip.DynamicsRewireRing, Beta: 0.4}},
 		{N: 64, Dynamics: fairgossip.Dynamics{Kind: fairgossip.DynamicsRewireRing}},
 		{N: 64, Dynamics: fairgossip.Dynamics{Kind: fairgossip.DynamicsNone}},
+		{N: 64, Dynamics: fairgossip.Dynamics{Kind: fairgossip.DynamicsDRegular, Degree: 4}},
+		{N: 63, Dynamics: fairgossip.Dynamics{Kind: fairgossip.DynamicsDRegular, Degree: 6}},
+		{N: 64, Dynamics: fairgossip.Dynamics{Kind: fairgossip.DynamicsGeometric, Degree: 5, Jitter: 0.02}},
+		{N: 128, Dynamics: fairgossip.Dynamics{Kind: fairgossip.DynamicsGeometric, Degree: 3}},
 		{N: 64, Fault: fairgossip.FaultModel{Drop: 0.1},
 			Dynamics: fairgossip.Dynamics{Kind: fairgossip.DynamicsRewireRing, Beta: 0.4}},
 	} {
@@ -100,6 +104,13 @@ func TestDecodeStrictness(t *testing.T) {
 		{"bad rewire beta", `{"version":1,"n":64,"seed":1,"dynamics":{"kind":"rewire-ring","beta":-0.5}}`, "rewiring"},
 		{"dynamics over static topology", `{"version":1,"n":64,"seed":1,"topology":"ring","dynamics":{"kind":"rewire-ring","beta":0.2}}`, "leave topology"},
 		{"dynamics under async", `{"version":1,"n":64,"seed":1,"scheduler":"async","dynamics":{"kind":"rewire-ring","beta":0.2}}`, "sync scheduler"},
+		{"degree under edge-markovian", `{"version":1,"n":64,"seed":1,"dynamics":{"kind":"edge-markovian","birth":0.1,"death":0.1,"degree":4}}`, "degree/jitter"},
+		{"jitter without kind", `{"version":1,"n":64,"seed":1,"dynamics":{"jitter":0.1}}`, "degree/jitter"},
+		{"d-regular missing degree", `{"version":1,"n":64,"seed":1,"dynamics":{"kind":"d-regular"}}`, "degree"},
+		{"d-regular stray rate", `{"version":1,"n":64,"seed":1,"dynamics":{"kind":"d-regular","degree":4,"birth":0.1}}`, "only a degree"},
+		{"d-regular odd product", `{"version":1,"n":63,"seed":1,"dynamics":{"kind":"d-regular","degree":3}}`, "even"},
+		{"geometric bad jitter", `{"version":1,"n":64,"seed":1,"dynamics":{"kind":"geometric","degree":5,"jitter":1.5}}`, "jitter"},
+		{"geometric too dense", `{"version":1,"n":64,"seed":1,"dynamics":{"kind":"geometric","degree":63}}`, "radius"},
 	}
 	for _, tc := range cases {
 		_, err := fairgossip.Decode([]byte(tc.doc))
@@ -223,6 +234,27 @@ func TestDynamicsSchemaIsAdditive(t *testing.T) {
 		}
 		if !strings.Contains(string(data), `"dynamics"`) {
 			t.Errorf("%s: dynamic builtin encodes without the dynamics field:\n%s", name, data)
+		}
+		// The degree/jitter fields rode in with the implicit sparse
+		// generators. omitempty keeps them out of every rate-parameterised
+		// document, so these two fixtures were frozen by that addition too.
+		for _, field := range []string{`"degree"`, `"jitter"`} {
+			if strings.Contains(string(data), field) {
+				t.Errorf("%s: rate-parameterised builtin encodes the %s field — the schema change was not additive:\n%s", name, field, data)
+			}
+		}
+	}
+	for _, name := range []string{"regular-rematch", "geometric-torus"} {
+		s, err := fairgossip.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := fairgossip.Encode(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), `"degree"`) {
+			t.Errorf("%s: sparse-generator builtin encodes without the degree field:\n%s", name, data)
 		}
 	}
 }

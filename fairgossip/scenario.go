@@ -70,6 +70,18 @@ const (
 	// random chord with probability Beta — Watts–Strogatz rewiring resampled
 	// per round instead of frozen at construction.
 	DynamicsRewireRing DynamicsKind = "rewire-ring"
+	// DynamicsDRegular re-matches a random (approximately) Degree-regular
+	// graph from scratch every round by configuration-model stub pairing:
+	// consecutive rounds are independent, so nearly the whole edge set turns
+	// over each round — the maximal-churn extreme at fixed degree.
+	DynamicsDRegular DynamicsKind = "d-regular"
+	// DynamicsGeometric scatters n points on the unit torus, connects pairs
+	// within radius √(Degree/(π·n)) (expected degree ≈ Degree), and moves
+	// every point by a uniform per-axis offset in [−Jitter, Jitter] each
+	// round: churn happens only along the moving radius boundary, so Jitter
+	// dials it continuously from a frozen geometric graph upward while the
+	// graph keeps spatial locality.
+	DynamicsGeometric DynamicsKind = "geometric"
 )
 
 // Dynamics describes a per-round evolving topology — the graph-process
@@ -80,14 +92,17 @@ const (
 // must be left at its default) and is only supported under the sync
 // scheduler, without coalitions.
 //
-// Size limits: the edge-Markovian engine pays O(flips) per round, not
-// O(n²), so large sparse networks are first-class. Validation admits
-// n ≤ 32768 (the presence bitset behind O(1) edge lookups costs n²/8
-// bytes), and additionally requires the expected number of simultaneously
-// present edges, Birth/(Birth+Death)·n(n−1)/2, to stay within a fixed
-// adjacency budget (2²⁴ edges) — so at large n, lower the stationary
-// density rather than the churn rate. Rewire-ring dynamics are O(n) per
-// round and carry no extra bound.
+// Size limits: every dynamic process costs O(present edges) memory and
+// O(flips) — or O(n·degree) for the re-matched generators — time per round;
+// no structure anywhere is proportional to the n(n−1)/2 pair population.
+// Validation therefore admits any network size the engine itself supports
+// (n up to 2²⁰) and bounds only the expected number of simultaneously
+// present edges — Birth/(Birth+Death)·n(n−1)/2 for the edge-Markovian
+// chain, n·Degree/2 for the degree-parameterized generators — by a fixed
+// adjacency budget (2²⁶ edges). At large n, lower the stationary density
+// (not the churn rate): million-node networks are admissible as long as
+// they are sparse. Rewire-ring dynamics are O(n) per round and carry no
+// extra bound.
 type Dynamics struct {
 	// Kind selects the process; "" and "none" mean a static topology.
 	Kind DynamicsKind `json:"kind,omitempty"`
@@ -100,6 +115,14 @@ type Dynamics struct {
 	// Beta is the per-round rewiring probability of each ring edge
 	// (DynamicsRewireRing only), in [0, 1].
 	Beta float64 `json:"beta,omitempty"`
+	// Degree is the per-node degree target: the exact stub count of
+	// DynamicsDRegular (2 ≤ Degree < n, n·Degree even) or the expected
+	// degree of DynamicsGeometric (≥ 1). Those two kinds only.
+	Degree int `json:"degree,omitempty"`
+	// Jitter is the per-round, per-axis uniform displacement bound of
+	// DynamicsGeometric points, in [0, 1]; 0 freezes the point set.
+	// DynamicsGeometric only.
+	Jitter float64 `json:"jitter,omitempty"`
 }
 
 // Active reports whether d names a real graph process (anything but the zero
@@ -208,10 +231,12 @@ func (s Scenario) internal() scenario.Scenario {
 		Gamma:         s.Gamma,
 		Topology:      s.Topology,
 		Dynamics: scenario.Dynamics{
-			Kind:  scenario.DynamicsKind(s.Dynamics.Kind),
-			Birth: s.Dynamics.Birth,
-			Death: s.Dynamics.Death,
-			Beta:  s.Dynamics.Beta,
+			Kind:   scenario.DynamicsKind(s.Dynamics.Kind),
+			Birth:  s.Dynamics.Birth,
+			Death:  s.Dynamics.Death,
+			Beta:   s.Dynamics.Beta,
+			Degree: s.Dynamics.Degree,
+			Jitter: s.Dynamics.Jitter,
 		},
 		Fault: scenario.FaultModel{
 			Kind:   scenario.FaultKind(s.Fault.Kind),
@@ -241,10 +266,12 @@ func scenarioFromInternal(s scenario.Scenario) Scenario {
 		Gamma:         s.Gamma,
 		Topology:      s.Topology,
 		Dynamics: Dynamics{
-			Kind:  DynamicsKind(s.Dynamics.Kind),
-			Birth: s.Dynamics.Birth,
-			Death: s.Dynamics.Death,
-			Beta:  s.Dynamics.Beta,
+			Kind:   DynamicsKind(s.Dynamics.Kind),
+			Birth:  s.Dynamics.Birth,
+			Death:  s.Dynamics.Death,
+			Beta:   s.Dynamics.Beta,
+			Degree: s.Dynamics.Degree,
+			Jitter: s.Dynamics.Jitter,
 		},
 		Fault: FaultModel{
 			Kind:   FaultKind(s.Fault.Kind),

@@ -29,10 +29,12 @@ func ToInternal(s fairgossip.Scenario) scenario.Scenario {
 		Gamma:         s.Gamma,
 		Topology:      s.Topology,
 		Dynamics: scenario.Dynamics{
-			Kind:  scenario.DynamicsKind(s.Dynamics.Kind),
-			Birth: s.Dynamics.Birth,
-			Death: s.Dynamics.Death,
-			Beta:  s.Dynamics.Beta,
+			Kind:   scenario.DynamicsKind(s.Dynamics.Kind),
+			Birth:  s.Dynamics.Birth,
+			Death:  s.Dynamics.Death,
+			Beta:   s.Dynamics.Beta,
+			Degree: s.Dynamics.Degree,
+			Jitter: s.Dynamics.Jitter,
 		},
 		Fault: scenario.FaultModel{
 			Kind:   scenario.FaultKind(s.Fault.Kind),

@@ -99,6 +99,14 @@ func init() {
 			Dynamics: Dynamics{Kind: DynamicsEdgeMarkovian, Birth: 0.02, Death: 0.1}},
 		{Name: "rewire-ring", N: 128, Colors: 2, Seed: 1,
 			Dynamics: Dynamics{Kind: DynamicsRewireRing, Beta: 0.2}},
+		// The implicit sparse generators: a fresh random 8-regular matching
+		// every round (full edge turnover — the maximal-churn extreme), and
+		// points on the torus drifting 1% of the unit square per round with
+		// ≈ 12 expected neighbors (boundary-only churn with spatial locality).
+		{Name: "regular-rematch", N: 128, Colors: 2, Seed: 1,
+			Dynamics: Dynamics{Kind: DynamicsDRegular, Degree: 8}},
+		{Name: "geometric-torus", N: 256, Colors: 2, Seed: 1,
+			Dynamics: Dynamics{Kind: DynamicsGeometric, Degree: 12, Jitter: 0.01}},
 	} {
 		MustRegister(s)
 	}

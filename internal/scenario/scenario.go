@@ -14,6 +14,7 @@ package scenario
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"strings"
 
@@ -96,6 +97,21 @@ const (
 	// random chord with probability Beta (topo.RewireRing) — Watts–Strogatz
 	// rewiring resampled per round instead of frozen at construction.
 	DynamicsRewireRing DynamicsKind = "rewire-ring"
+	// DynamicsDRegular re-matches a random (approximately) Degree-regular
+	// graph from scratch every round via configuration-model stub pairing
+	// (topo.DRegular): consecutive rounds are independent, so nearly the
+	// whole edge set turns over each round — the maximal-churn extreme at
+	// fixed degree. The generator is implicit (O(n·Degree) state, no pair
+	// population), so it scales to the full n range.
+	DynamicsDRegular DynamicsKind = "d-regular"
+	// DynamicsGeometric scatters n points on the unit torus, connects pairs
+	// within radius √(Degree/(π·n)) (expected degree ≈ Degree), and moves
+	// every point by a uniform per-axis offset in [−Jitter, Jitter] each
+	// round (topo.Geometric). Jitter dials churn continuously from a frozen
+	// geometric graph to full spatial re-mixing, while the graph keeps
+	// spatial locality — the clique-free setting of the paper's open
+	// problem. Implicit like d-regular: O(n + edges) state.
+	DynamicsGeometric DynamicsKind = "geometric"
 )
 
 // Dynamics describes a per-round evolving topology — the graph-process
@@ -104,10 +120,10 @@ const (
 // When active, the process replaces the scenario's Topology (which must be
 // left at its default), and every run derives the evolution from its own
 // seed, so dynamic runs are exactly as reproducible as static ones.
-// Edge-Markovian scenarios are admitted up to n = topo.MaxDynamicN with
-// expected edge count at most topo.MaxDynamicEdges — the sparse Θ(flips)
-// engine makes per-round cost a function of churn, so only memory bounds
-// the size.
+// Admission is keyed on memory that actually exists: every process is
+// O(present edges), so scenarios are admitted up to n = topo.MaxDynamicN
+// (= core.MaxN) with expected edge count at most topo.MaxDynamicEdges —
+// million-node networks are fine as long as they are sparse.
 type Dynamics struct {
 	Kind DynamicsKind
 	// Birth is the per-round appearance probability of an absent edge
@@ -119,6 +135,14 @@ type Dynamics struct {
 	// Beta is the per-round rewiring probability of each ring edge
 	// (DynamicsRewireRing only), in [0, 1].
 	Beta float64
+	// Degree is the per-node degree target: the exact stub count of
+	// DynamicsDRegular (2 ≤ Degree < n, n·Degree even) or the expected
+	// degree of DynamicsGeometric (≥ 1). Those two kinds only.
+	Degree int
+	// Jitter is the per-round, per-axis uniform displacement bound of
+	// DynamicsGeometric points, in [0, 1]. 0 freezes the point set (a
+	// static geometric graph). DynamicsGeometric only.
+	Jitter float64
 }
 
 // Active reports whether d names a real graph process (anything but the zero
@@ -266,17 +290,29 @@ func (s Scenario) Validate() error {
 	if _, err := parseTopology(s.Topology, s.N); err != nil {
 		return err
 	}
+	// Each dynamics kind accepts exactly its own parameters. Stray fields are
+	// a silent misconfiguration (a document that forgot "kind" — or set a
+	// rate the chosen process ignores — would otherwise run with them
+	// silently dropped), and rejecting them keeps the canonical form unique:
+	// the wire codec round-trips every accepted document bit for bit.
+	strayDegree := func(kind string) error {
+		if s.Dynamics.Degree != 0 || s.Dynamics.Jitter != 0 {
+			return fmt.Errorf("scenario: degree/jitter parameters belong to d-regular or geometric dynamics, not %s", kind)
+		}
+		return nil
+	}
 	switch s.Dynamics.Kind {
 	case DynamicsNone:
-		// Rates without a process are a silent misconfiguration (a document
-		// that forgot "kind" would otherwise run statically with its rates
-		// ignored), and rejecting them keeps the canonical form unique: an
-		// inactive Dynamics is always exactly the zero value, which the wire
-		// codec omits entirely.
 		if s.Dynamics.Birth != 0 || s.Dynamics.Death != 0 || s.Dynamics.Beta != 0 {
-			return fmt.Errorf("scenario: dynamics parameters need a kind (edge-markovian|rewire-ring)")
+			return fmt.Errorf("scenario: dynamics parameters need a kind (edge-markovian|rewire-ring|d-regular|geometric)")
+		}
+		if err := strayDegree("an inactive dynamics"); err != nil {
+			return err
 		}
 	case DynamicsEdgeMarkovian:
+		if err := strayDegree("edge-markovian"); err != nil {
+			return err
+		}
 		if s.Dynamics.Birth < 0 || s.Dynamics.Birth > 1 {
 			return fmt.Errorf("scenario: edge birth probability %v outside [0, 1]", s.Dynamics.Birth)
 		}
@@ -287,26 +323,69 @@ func (s Scenario) Validate() error {
 			return fmt.Errorf("scenario: edge-markovian dynamics need birth + death > 0")
 		}
 		if s.N > topo.MaxDynamicN {
-			return fmt.Errorf("scenario: edge-markovian dynamics keep one presence bit per node pair; n = %d exceeds %d",
-				s.N, topo.MaxDynamicN)
+			return fmt.Errorf("scenario: edge-markovian dynamics support n up to %d; n = %d exceeds it",
+				topo.MaxDynamicN, s.N)
 		}
-		// The sparse engine's adjacency is O(present edges), so the admission
-		// bound is on expected memory, not n²: the stationary law keeps
-		// ≈ π·n(n−1)/2 edges alive at once.
+		// Admission is keyed on the memory that will actually exist: the
+		// process is O(present edges) everywhere (hash-set membership plus
+		// incremental adjacency — no per-pair state), and the stationary law
+		// keeps ≈ π·n(n−1)/2 edges alive at once.
 		pi := s.Dynamics.Birth / (s.Dynamics.Birth + s.Dynamics.Death)
 		if expected := pi * float64(s.N) * float64(s.N-1) / 2; expected > topo.MaxDynamicEdges {
 			return fmt.Errorf("scenario: edge-markovian dynamics expect %.0f simultaneous edges (stationary density %.3g at n = %d), over the %d-edge adjacency budget — lower birth/(birth+death) or n",
 				expected, pi, s.N, topo.MaxDynamicEdges)
 		}
 	case DynamicsRewireRing:
+		if err := strayDegree("rewire-ring"); err != nil {
+			return err
+		}
 		if s.Dynamics.Beta < 0 || s.Dynamics.Beta > 1 {
 			return fmt.Errorf("scenario: rewiring probability %v outside [0, 1]", s.Dynamics.Beta)
 		}
 		if s.N < 3 {
 			return fmt.Errorf("scenario: rewire-ring dynamics need n >= 3")
 		}
+	case DynamicsDRegular:
+		if s.Dynamics.Birth != 0 || s.Dynamics.Death != 0 || s.Dynamics.Beta != 0 || s.Dynamics.Jitter != 0 {
+			return fmt.Errorf("scenario: d-regular dynamics take only a degree")
+		}
+		if s.N < 3 {
+			return fmt.Errorf("scenario: d-regular dynamics need n >= 3")
+		}
+		if s.Dynamics.Degree < 2 || s.Dynamics.Degree >= s.N {
+			return fmt.Errorf("scenario: d-regular degree %d outside [2, n)", s.Dynamics.Degree)
+		}
+		if s.N*s.Dynamics.Degree%2 != 0 {
+			return fmt.Errorf("scenario: d-regular dynamics need n·degree even (n = %d, degree = %d)",
+				s.N, s.Dynamics.Degree)
+		}
+		if edges := s.N * s.Dynamics.Degree / 2; edges > topo.MaxDynamicEdges {
+			return fmt.Errorf("scenario: d-regular dynamics hold %d simultaneous edges, over the %d-edge adjacency budget — lower degree or n",
+				edges, topo.MaxDynamicEdges)
+		}
+	case DynamicsGeometric:
+		if s.Dynamics.Birth != 0 || s.Dynamics.Death != 0 || s.Dynamics.Beta != 0 {
+			return fmt.Errorf("scenario: geometric dynamics take only a degree and a jitter")
+		}
+		if s.Dynamics.Degree < 1 {
+			return fmt.Errorf("scenario: geometric degree %d must be >= 1", s.Dynamics.Degree)
+		}
+		if s.Dynamics.Jitter < 0 || s.Dynamics.Jitter > 1 {
+			return fmt.Errorf("scenario: geometric jitter %v outside [0, 1]", s.Dynamics.Jitter)
+		}
+		// The cell grid needs at least 4 cells per side, i.e. connection
+		// radius √(degree/(π·n)) ≤ ¼ — denser settings approach the complete
+		// graph, which the static topologies already cover.
+		if radius := math.Sqrt(float64(s.Dynamics.Degree) / (math.Pi * float64(s.N))); radius > 0.25 {
+			return fmt.Errorf("scenario: geometric degree %d at n = %d gives connection radius %.3f > 0.25 — raise n or lower degree",
+				s.Dynamics.Degree, s.N, radius)
+		}
+		if edges := s.N * s.Dynamics.Degree / 2; edges > topo.MaxDynamicEdges {
+			return fmt.Errorf("scenario: geometric dynamics expect %d simultaneous edges, over the %d-edge adjacency budget — lower degree or n",
+				edges, topo.MaxDynamicEdges)
+		}
 	default:
-		return fmt.Errorf("scenario: unknown dynamics kind %q (none|edge-markovian|rewire-ring)",
+		return fmt.Errorf("scenario: unknown dynamics kind %q (none|edge-markovian|rewire-ring|d-regular|geometric)",
 			s.Dynamics.Kind)
 	}
 	if s.Dynamics.Active() {
@@ -419,6 +498,10 @@ func (s Scenario) BuildDynamics() topo.Dynamic {
 		return topo.NewEdgeMarkovian(s.N, s.Dynamics.Birth, s.Dynamics.Death)
 	case DynamicsRewireRing:
 		return topo.NewRewireRing(s.N, s.Dynamics.Beta)
+	case DynamicsDRegular:
+		return topo.NewDRegular(s.N, s.Dynamics.Degree)
+	case DynamicsGeometric:
+		return topo.NewGeometric(s.N, float64(s.Dynamics.Degree), s.Dynamics.Jitter)
 	default:
 		return nil
 	}

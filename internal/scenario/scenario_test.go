@@ -64,10 +64,28 @@ func TestValidateErrors(t *testing.T) {
 			Dynamics: Dynamics{Kind: DynamicsEdgeMarkovian, Birth: 0.1, Death: 1.5}}, "death"},
 		{"frozen edge chain", Scenario{N: 64,
 			Dynamics: Dynamics{Kind: DynamicsEdgeMarkovian}}, "birth + death"},
-		{"edge-markovian too large", Scenario{N: 40000,
-			Dynamics: Dynamics{Kind: DynamicsEdgeMarkovian, Birth: 0.0001, Death: 0.1}}, "presence bit"},
-		{"edge-markovian too dense", Scenario{N: 16384,
+		{"edge-markovian too dense", Scenario{N: 32768,
 			Dynamics: Dynamics{Kind: DynamicsEdgeMarkovian, Birth: 0.1, Death: 0.1}}, "adjacency budget"},
+		{"degree under edge-markovian", Scenario{N: 64,
+			Dynamics: Dynamics{Kind: DynamicsEdgeMarkovian, Birth: 0.1, Death: 0.1, Degree: 8}}, "degree/jitter"},
+		{"jitter under none", Scenario{N: 64,
+			Dynamics: Dynamics{Jitter: 0.1}}, "degree/jitter"},
+		{"d-regular bad degree", Scenario{N: 64,
+			Dynamics: Dynamics{Kind: DynamicsDRegular, Degree: 1}}, "outside [2, n)"},
+		{"d-regular odd product", Scenario{N: 63,
+			Dynamics: Dynamics{Kind: DynamicsDRegular, Degree: 3}}, "even"},
+		{"d-regular stray rate", Scenario{N: 64,
+			Dynamics: Dynamics{Kind: DynamicsDRegular, Degree: 4, Birth: 0.1}}, "only a degree"},
+		{"d-regular over budget", Scenario{N: 1 << 20,
+			Dynamics: Dynamics{Kind: DynamicsDRegular, Degree: 130}}, "adjacency budget"},
+		{"geometric zero degree", Scenario{N: 64,
+			Dynamics: Dynamics{Kind: DynamicsGeometric}}, "degree"},
+		{"geometric bad jitter", Scenario{N: 64,
+			Dynamics: Dynamics{Kind: DynamicsGeometric, Degree: 4, Jitter: 2}}, "jitter"},
+		{"geometric too dense", Scenario{N: 64,
+			Dynamics: Dynamics{Kind: DynamicsGeometric, Degree: 63}}, "radius"},
+		{"geometric stray rate", Scenario{N: 64,
+			Dynamics: Dynamics{Kind: DynamicsGeometric, Degree: 4, Beta: 0.1}}, "only a degree"},
 		{"bad rewire beta", Scenario{N: 64,
 			Dynamics: Dynamics{Kind: DynamicsRewireRing, Beta: 2}}, "rewiring probability"},
 		{"dynamics with static topology", Scenario{N: 64, Topology: "ring",

@@ -187,6 +187,10 @@ func RunAll(workers int) []*Table {
 	dy := DefaultDynamicsOptions()
 	dy.Workers = workers
 	tables = append(tables, RunE12Dynamics(dy)...)
+
+	cs := DefaultChurnScaleOptions()
+	cs.Workers = workers
+	tables = append(tables, RunE13ChurnAtScale(cs)...)
 	return tables
 }
 
@@ -236,5 +240,9 @@ func RunAllQuick(workers int) []*Table {
 	dy := QuickDynamicsOptions()
 	dy.Workers = workers
 	tables = append(tables, RunE12Dynamics(dy)...)
+
+	cs := QuickChurnScaleOptions()
+	cs.Workers = workers
+	tables = append(tables, RunE13ChurnAtScale(cs)...)
 	return tables
 }

@@ -223,12 +223,50 @@ func TestE12DynamicsChurnCollapse(t *testing.T) {
 	}
 }
 
+// TestE13ChurnAtScaleShape pins the churn-at-scale sweep's structure: one
+// edge-markovian row per (n, death) cell plus the three implicit-generator
+// comparison rows, every cell actually runs (rounds > 0), and the full-
+// rematch d-regular row — no edge survives a round, so every cross-round
+// binding declaration dies — cannot out-succeed the gentlest geometric row.
+func TestE13ChurnAtScaleShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-trial churn sweep skipped in -short mode")
+	}
+	o := QuickChurnScaleOptions()
+	e13 := findTable(t, RunE13ChurnAtScale(o), "E13")
+	want := len(o.Ns)*len(o.Deaths) + 3
+	if len(e13.Rows) != want {
+		t.Fatalf("E13 has %d rows, want %d", len(e13.Rows), want)
+	}
+	var rematch, gentleGeo = -1.0, -1.0
+	for r := range e13.Rows {
+		if rounds := parseF(t, cell(t, e13, r, "mean rounds")); rounds <= 0 {
+			t.Errorf("row %d (%s): no rounds recorded", r, e13.Rows[r][0])
+		}
+		succ := parsePct(t, cell(t, e13, r, "success"))
+		switch e13.Rows[r][0] {
+		case "d-regular rematch":
+			rematch = succ
+		case "geometric torus":
+			if gentleGeo < 0 { // first geometric row carries the smallest jitter
+				gentleGeo = succ
+			}
+		}
+	}
+	if rematch < 0 || gentleGeo < 0 {
+		t.Fatal("comparison rows missing")
+	}
+	if rematch > gentleGeo+0.1 {
+		t.Errorf("full rematch success %v exceeds gentle geometric drift %v", rematch, gentleGeo)
+	}
+}
+
 func TestRunAllQuickProducesAllTables(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full quick-suite run skipped in -short mode")
 	}
 	tables := RunAllQuick(0)
-	want := []string{"T0", "T1", "F1", "T2", "T3", "T4", "F2", "T5", "T6", "F3", "T7", "T8", "E9", "E10", "E11", "E12", "E12b"}
+	want := []string{"T0", "T1", "F1", "T2", "T3", "T4", "F2", "T5", "T6", "F3", "T7", "T8", "E9", "E10", "E11", "E12", "E12b", "E13"}
 	got := map[string]bool{}
 	for _, tb := range tables {
 		got[tb.ID] = true

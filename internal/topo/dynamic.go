@@ -29,11 +29,16 @@ import (
 // see rng.SkipPast) and maintains the adjacency incrementally (present-edge
 // list plus per-node neighbor lists, swap-remove on death, append on birth),
 // so a round costs O(expected flips + touched degrees) instead of the Θ(n²)
-// per-pair scan and full CSR rebuild it replaces. Memory is one presence bit
-// per potential pair (n²/8 bytes, the O(1) CanSend structure) plus O(present
-// edges) adjacency. Steady state allocates nothing per round; the
-// allocation-budget tests enforce that the process cannot silently allocate
-// per flip.
+// per-pair scan and full CSR rebuild it replaces. Memory is O(present edges),
+// not O(pairs): membership behind O(1) CanSend is a pairSet (open-addressing
+// hash set over packed pair ids, ~16 bytes per present edge at maximum load)
+// rather than the n²/8-byte presence bitset it replaces — at n = 2²⁰ the
+// bitset would be 64 GB while a degree-64 process carries ~2³⁵ times less
+// state than it has pairs. Per-node neighbor-list capacity is seeded from the
+// stationary mean degree out of one shared backing slab, so a million-node
+// process costs a handful of allocations, not one per node. Steady state
+// allocates nothing per round; the allocation-budget tests enforce that the
+// process cannot silently allocate per flip.
 //
 // Seed mapping: the skip-sampling engine consumes randomness per event where
 // the per-pair scan it replaced consumed one draw per pair, so a given seed
@@ -60,23 +65,24 @@ type Dynamic interface {
 	Flips() int
 }
 
-// MaxDynamicN bounds the network size of the edge-Markovian process, whose
-// only per-pair state is the presence bitset behind O(1) CanSend: n²/8 bytes,
-// 67 MB at the cap. Time per round is O(flips), not O(n²) — the bound exists
-// so a single process instance cannot silently claim gigabytes of bitset.
-// The adjacency itself is O(present edges); scenario validation additionally
-// bounds the *expected* edge count by MaxDynamicEdges, so admissible
-// scenarios at large n are the sparse ones.
-const MaxDynamicN = 32768
+// MaxDynamicN bounds the network size of the dynamic graph processes. With
+// membership held in a hash set over present edges there is no per-pair state
+// left anywhere, so the bound is no longer a memory guard — it only pins the
+// range the pair-index arithmetic and the packed u<<32|v 32-bit-endpoint
+// encoding are tested over, and it matches core.MaxN so every admissible
+// network size admits a dynamic topology. Admission is keyed on edges: what
+// actually bounds a process's footprint is MaxDynamicEdges below.
+const MaxDynamicN = 1 << 20
 
 // MaxDynamicEdges bounds the expected number of simultaneously present edges
-// a scenario may ask an edge-Markovian process to maintain: π·n(n−1)/2 with
-// π = birth/(birth+death). The incremental adjacency costs ~16 bytes per
-// present edge (the packed edge list plus two neighbor-list entries), so the
-// cap keeps a worst-case process around a quarter gigabyte. The bound lives
-// in scenario validation, not the constructor: direct topo users may exceed
-// it knowingly.
-const MaxDynamicEdges = 1 << 24
+// a scenario may ask a dynamic process to maintain — π·n(n−1)/2 with
+// π = birth/(birth+death) for the edge-Markovian chain, n·d/2 for the
+// degree-parameterized generators. A present edge costs ~30 bytes across the
+// membership set (≤16 at maximum load), the packed edge list, and two
+// neighbor-list entries, so the cap keeps a worst-case process around 2 GB —
+// large enough for degree ≈ 128 at n = 2²⁰. The bound lives in scenario
+// validation, not the constructors: direct topo users may exceed it knowingly.
+const MaxDynamicEdges = 1 << 26
 
 // csr is the per-round adjacency of the rewiring-ring process:
 // off[u]..off[u+1] indexes u's neighbors in flat, ascending. cur is the fill
@@ -164,7 +170,7 @@ type EdgeMarkovian struct {
 	death   float64
 	name    string
 	r       rng.Source
-	bits    []uint64  // presence bitset over pair indices (u<v, row-major)
+	present pairSet   // membership over packed pair ids, O(present edges)
 	edges   []uint64  // present-edge list, packed u<<32|v, unordered
 	adj     [][]int32 // adj[u] is u's neighbor list, unordered
 	deadPos []int32   // scratch: edge-list positions dying this round
@@ -195,6 +201,20 @@ func NewEdgeMarkovian(n int, birth, death float64) *EdgeMarkovian {
 }
 
 // pairs returns the number of potential edges.
+//
+// Integer-exactness audit for the n ≤ MaxDynamicN = 2²⁰ range (pinned by
+// TestEdgeMarkovianPairAtRoundTrips at the cap):
+//
+//   - pairs = n(n−1)/2 ≈ 5.5×10¹¹ at the cap. The intermediate n·(n−1) ≈ 2⁴⁰
+//     is far below the 2⁶³ int overflow line, and pairs itself is < 2⁵³, so
+//     float64(pairs) — the stationary-edge expectation Start reserves for —
+//     is exact.
+//   - pairIndex's intermediate u·(2n−u−1) is maximized near u = n at < 2n²
+//     ≤ 2⁴¹: overflow-free on int with 22 bits to spare.
+//   - pairAt's float path squares nf = n − 0.5 < 2²⁰, so nf·nf < 2⁴⁰ and
+//     2·float64(i) < 2⁴¹ are both exactly representable (< 2⁵³); the only
+//     inexact step is the Sqrt, whose ±1-ulp error the integer fixup loops
+//     absorb.
 func (e *EdgeMarkovian) pairs() int { return e.n * (e.n - 1) / 2 }
 
 // pairIndex maps u < v to the row-major index of the pair among all u' < v'.
@@ -208,7 +228,8 @@ func (e *EdgeMarkovian) rowBase(u int) int { return u * (2*e.n - u - 1) / 2 }
 // pairAt inverts pairIndex: it decodes a row-major pair index into (u, v)
 // with u < v. The row comes from the quadratic formula and is fixed up with
 // exact integer comparisons, so float rounding cannot misplace a pair (every
-// quantity involved is ≤ n² < 2⁵³, exactly representable).
+// quantity entering the arithmetic is ≤ 2n² < 2⁵³, exactly representable —
+// see the audit on pairs).
 func (e *EdgeMarkovian) pairAt(i int) (u, v int32) {
 	nf := float64(e.n) - 0.5
 	row := int(nf - math.Sqrt(nf*nf-2*float64(i)))
@@ -237,25 +258,33 @@ func unpack(p uint64) (u, v int32) { return int32(p >> 32), int32(uint32(p)) }
 // the same skip-sampling Advance uses: O(expected edges) draws, not O(n²).
 func (e *EdgeMarkovian) Start(seed uint64) {
 	e.r.Reseed(seed)
-	words := (e.pairs() + 63) / 64
-	if cap(e.bits) < words {
-		e.bits = make([]uint64, words)
-	}
-	e.bits = e.bits[:words]
-	clear(e.bits)
+	e.present.Clear()
 	pi := e.birth / (e.birth + e.death)
+	// Pre-size the membership table for the stationary edge count so the
+	// round-0 fill does not rehash its way up through doublings. The hint is
+	// clamped: a caller knowingly past MaxDynamicEdges grows incrementally
+	// rather than asking for one oversized table up front.
+	if want := int(pi * float64(e.pairs())); want > 0 {
+		if want > MaxDynamicEdges {
+			want = MaxDynamicEdges
+		}
+		e.present.Reserve(want)
+	}
 	if e.adj == nil {
 		e.adj = make([][]int32, e.n)
 		// Seed each neighbor list's capacity well past the stationary mean
 		// degree, so steady-state appends essentially never regrow — the
-		// allocation budgets pin warmed Starts and Advances near zero.
+		// allocation budgets pin warmed Starts and Advances near zero. The
+		// lists are carved from one shared slab: at n = 2²⁰ a per-node make
+		// would be a million allocations before the first round.
 		mean := pi * float64(e.n-1)
 		cap0 := int(mean+5*math.Sqrt(mean+1)) + 8
 		if cap0 > e.n-1 {
 			cap0 = e.n - 1
 		}
+		slab := make([]int32, e.n*cap0)
 		for u := range e.adj {
-			e.adj[u] = make([]int32, 0, cap0)
+			e.adj[u] = slab[u*cap0 : u*cap0 : (u+1)*cap0]
 		}
 	} else {
 		for u := range e.adj {
@@ -286,9 +315,9 @@ func (e *EdgeMarkovian) Advance(round int) {
 	// round cannot also be reborn in the same round.
 	e.born = e.born[:0]
 	for i, p := e.r.SkipPast(0, e.birth), uint64(e.pairs()); i < p; i = e.r.SkipPast(i+1, e.birth) {
-		if e.bits[i>>6]&(1<<(i&63)) == 0 {
-			u, v := e.pairAt(int(i))
-			e.born = append(e.born, pack(u, v))
+		u, v := e.pairAt(int(i))
+		if pk := pack(u, v); !e.present.Has(pk) {
+			e.born = append(e.born, pk)
 		}
 	}
 	// Deaths: skip-scan the start-of-round present-edge list with
@@ -308,22 +337,20 @@ func (e *EdgeMarkovian) Advance(round int) {
 	e.flips = len(e.deadPos) + len(e.born)
 }
 
-// insert adds the absent edge (u, v) to the bitset, both neighbor lists, and
-// the present-edge list.
+// insert adds the absent edge (u, v) to the membership set, both neighbor
+// lists, and the present-edge list.
 func (e *EdgeMarkovian) insert(u, v int32) {
-	i := e.pairIndex(int(u), int(v))
-	e.bits[i>>6] |= 1 << (i & 63)
+	e.present.Add(pack(u, v))
 	e.adj[u] = append(e.adj[u], v)
 	e.adj[v] = append(e.adj[v], u)
 	e.edges = append(e.edges, pack(u, v))
 }
 
 // removeAt deletes the present edge at position pos of the edge list from
-// the bitset, both neighbor lists, and the list itself (swap-remove).
+// the membership set, both neighbor lists, and the list itself (swap-remove).
 func (e *EdgeMarkovian) removeAt(pos int) {
 	u, v := unpack(e.edges[pos])
-	i := e.pairIndex(int(u), int(v))
-	e.bits[i>>6] &^= 1 << (i & 63)
+	e.present.Remove(pack(u, v))
 	e.dropNeighbor(u, v)
 	e.dropNeighbor(v, u)
 	last := len(e.edges) - 1
@@ -361,8 +388,7 @@ func (e *EdgeMarkovian) CanSend(u, v int) bool {
 	if u > v {
 		u, v = v, u
 	}
-	i := e.pairIndex(u, v)
-	return e.bits[i>>6]&(1<<(i&63)) != 0
+	return e.present.Has(pack(int32(u), int32(v)))
 }
 
 // SamplePeer draws uniformly from u's current neighbor set; an isolated node

@@ -278,26 +278,25 @@ func TestEdgeMarkovianFlipExpectation(t *testing.T) {
 
 // TestEdgeMarkovianIncrementalMatchesRebuild is the structural property test
 // behind the incremental adjacency: after any Start/Advance history, the
-// neighbor lists, present-edge list, and presence bitset must describe
+// neighbor lists, present-edge list, and membership set must describe
 // exactly the same graph a from-scratch rebuild would — same edges, no
 // duplicates, positions consistent.
 func TestEdgeMarkovianIncrementalMatchesRebuild(t *testing.T) {
 	check := func(g *EdgeMarkovian) bool {
 		n := g.n
-		// Rebuild the adjacency from the bitset alone.
+		// Rebuild the adjacency from the membership set alone.
 		wantAdj := make([][]int32, n)
 		edgeCount := 0
 		for u := 0; u < n-1; u++ {
 			for v := u + 1; v < n; v++ {
-				i := g.pairIndex(u, v)
-				if g.bits[i>>6]&(1<<(i&63)) != 0 {
+				if g.present.Has(pack(int32(u), int32(v))) {
 					wantAdj[u] = append(wantAdj[u], int32(v))
 					wantAdj[v] = append(wantAdj[v], int32(u))
 					edgeCount++
 				}
 			}
 		}
-		if edgeCount != len(g.edges) {
+		if edgeCount != len(g.edges) || g.present.Len() != len(g.edges) {
 			return false
 		}
 		// The present-edge list must hold each present pair exactly once,
@@ -308,8 +307,7 @@ func TestEdgeMarkovianIncrementalMatchesRebuild(t *testing.T) {
 			if u < 0 || v < 0 || int(u) >= n || int(v) >= n || u >= v || seen[pk] {
 				return false
 			}
-			i := g.pairIndex(int(u), int(v))
-			if g.bits[i>>6]&(1<<(i&63)) == 0 {
+			if !g.present.Has(pk) {
 				return false
 			}
 			seen[pk] = true
@@ -364,8 +362,9 @@ func TestEdgeMarkovianPairAtRoundTrips(t *testing.T) {
 			}
 		}
 	}
-	// At the size cap, check the extremes and a row-boundary sweep rather
-	// than all 5·10⁸ pairs.
+	// At the size cap (n = 2²⁰, pairs ≈ 5.5×10¹¹ — the exactness audit on
+	// pairs() is what keeps the decode float path inside 2⁵³ here), check the
+	// extremes and a row-boundary sweep rather than all pairs.
 	g := NewEdgeMarkovian(MaxDynamicN, 0.001, 0.5)
 	last := g.pairs() - 1
 	for _, i := range []int{0, 1, MaxDynamicN - 2, MaxDynamicN - 1, last, last - 1} {

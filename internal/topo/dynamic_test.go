@@ -76,6 +76,10 @@ func TestDynamicInvariantsPerRound(t *testing.T) {
 		NewEdgeMarkovian(16, 1, 1),
 		NewRewireRing(17, 0.4),
 		NewRewireRing(8, 1),
+		NewDRegular(24, 4),
+		NewDRegular(15, 2),
+		NewGeometric(40, 6, 0.05),
+		NewGeometric(25, 3, 0),
 	} {
 		g.Start(42)
 		dynamicInvariants(t, g, r)
@@ -93,6 +97,8 @@ func TestDynamicSameSeedByteIdentical(t *testing.T) {
 	build := []func() Dynamic{
 		func() Dynamic { return NewEdgeMarkovian(20, 0.05, 0.2) },
 		func() Dynamic { return NewRewireRing(20, 0.3) },
+		func() Dynamic { return NewDRegular(20, 4) },
+		func() Dynamic { return NewGeometric(30, 4, 0.1) },
 	}
 	for _, mk := range build {
 		a, b := mk(), mk()
@@ -208,6 +214,8 @@ func TestDynamicAdvanceAllocBudget(t *testing.T) {
 	}{
 		{"edge-markovian", NewEdgeMarkovian(128, 0.02, 0.1)},
 		{"rewire-ring", NewRewireRing(256, 0.3)},
+		{"d-regular", NewDRegular(256, 8)},
+		{"geometric", NewGeometric(400, 8, 0.02)},
 	} {
 		tc.g.Start(1)
 		round := 1
@@ -227,18 +235,26 @@ func TestDynamicAdvanceAllocBudget(t *testing.T) {
 // TestDynamicStartReusesMemory pins that pooled reuse (Start on a warmed
 // instance) allocates nothing, so batched dynamic trials stay cheap.
 func TestDynamicStartReusesMemory(t *testing.T) {
-	g := NewEdgeMarkovian(64, 0.05, 0.2)
-	g.Start(1)
-	for r := 1; r <= 20; r++ {
-		g.Advance(r)
-	}
-	seed := uint64(2)
-	allocs := testing.AllocsPerRun(50, func() {
-		g.Start(seed)
-		seed++
-	})
-	if allocs > 1 {
-		t.Errorf("Start on a warmed process allocates %.1f objects, budget 1", allocs)
+	for _, tc := range []struct {
+		name string
+		g    Dynamic
+	}{
+		{"edge-markovian", NewEdgeMarkovian(64, 0.05, 0.2)},
+		{"d-regular", NewDRegular(64, 6)},
+		{"geometric", NewGeometric(100, 5, 0.05)},
+	} {
+		tc.g.Start(1)
+		for r := 1; r <= 20; r++ {
+			tc.g.Advance(r)
+		}
+		seed := uint64(2)
+		allocs := testing.AllocsPerRun(50, func() {
+			tc.g.Start(seed)
+			seed++
+		})
+		if allocs > 1 {
+			t.Errorf("%s: Start on a warmed process allocates %.1f objects, budget 1", tc.name, allocs)
+		}
 	}
 }
 
@@ -252,8 +268,21 @@ func TestDynamicPanics(t *testing.T) {
 		func() { NewRewireRing(2, 0.5) },
 		func() { NewRewireRing(10, -0.5) },
 		func() { NewRewireRing(10, 1.5) },
+		func() { NewDRegular(2, 2) },
+		func() { NewDRegular(MaxDynamicN+2, 2) },
+		func() { NewDRegular(10, 1) },
+		func() { NewDRegular(10, 10) },
+		func() { NewDRegular(5, 3) }, // odd n·d
+		func() { NewGeometric(1, 0.5, 0) },
+		func() { NewGeometric(MaxDynamicN+1, 4, 0) },
+		func() { NewGeometric(100, 0, 0.1) },
+		func() { NewGeometric(100, 50, 0) }, // radius beyond the grid bound
+		func() { NewGeometric(100, 4, -0.1) },
+		func() { NewGeometric(100, 4, 1.5) },
 		func() { NewEdgeMarkovian(10, 0.1, 0.1).Advance(1) }, // before Start
 		func() { NewRewireRing(10, 0.1).Advance(1) },         // before Start
+		func() { NewDRegular(10, 2).Advance(1) },             // before Start
+		func() { NewGeometric(100, 4, 0.1).Advance(1) },      // before Start
 	}
 	for i, f := range cases {
 		func() {

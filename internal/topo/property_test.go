@@ -102,12 +102,18 @@ func TestRandomRegularDifferentSeedsDiffer(t *testing.T) {
 // edge set, and so do their SamplePeer draws when fed equal agent streams —
 // the property that makes dynamic runs reproducible across worker counts.
 func TestDynamicDeterminismProperty(t *testing.T) {
-	f := func(seed uint64, which bool, rounds uint8) bool {
+	f := func(seed uint64, which uint8, rounds uint8) bool {
 		mk := func() Dynamic {
-			if which {
+			switch which % 4 {
+			case 0:
 				return NewEdgeMarkovian(18, 0.15, 0.35)
+			case 1:
+				return NewRewireRing(18, 0.5)
+			case 2:
+				return NewDRegular(18, 4)
+			default:
+				return NewGeometric(18, 2, 0.15)
 			}
-			return NewRewireRing(18, 0.5)
 		}
 		a, b := mk(), mk()
 		a.Start(seed)
@@ -142,12 +148,17 @@ func TestDynamicDeterminismProperty(t *testing.T) {
 // engine would accept.
 func TestDynamicSamplePeerAlwaysSendable(t *testing.T) {
 	r := rng.New(13)
-	f := func(seed uint64, which bool) bool {
+	f := func(seed uint64, which uint8) bool {
 		var g Dynamic
-		if which {
+		switch which % 4 {
+		case 0:
 			g = NewEdgeMarkovian(20, 0.2, 0.4)
-		} else {
+		case 1:
 			g = NewRewireRing(20, 0.6)
+		case 2:
+			g = NewDRegular(20, 5)
+		default:
+			g = NewGeometric(20, 2, 0.1)
 		}
 		g.Start(seed)
 		for round := 0; round < 5; round++ {

@@ -1,0 +1,192 @@
+package topo
+
+import (
+	"math"
+	"testing"
+)
+
+// symmetricDiff counts edges present in exactly one of two edge-set
+// snapshots (as produced by edgeSet) — the ground truth for Flips.
+func symmetricDiff(a, b []bool) int {
+	d := 0
+	for i := range a {
+		if a[i] != b[i] {
+			d++
+		}
+	}
+	return d
+}
+
+// TestDRegularDegrees pins the configuration-model construction: every
+// degree is ≤ d, and since self-loops and duplicates are rare for d ≪ n the
+// mean degree stays within a hair of d.
+func TestDRegularDegrees(t *testing.T) {
+	const n, d = 500, 8
+	g := NewDRegular(n, d)
+	g.Start(17)
+	for round := 0; round <= 5; round++ {
+		if round > 0 {
+			g.Advance(round)
+		}
+		total := 0
+		for u := 0; u < n; u++ {
+			deg := g.Degree(u)
+			if deg > d {
+				t.Fatalf("round %d: degree(%d) = %d exceeds d = %d", round, u, deg, d)
+			}
+			total += deg
+		}
+		if mean := float64(total) / n; mean < d-0.5 {
+			t.Fatalf("round %d: mean degree %.2f, want ≈ %d (too many dropped pairings)", round, mean, d)
+		}
+	}
+}
+
+// TestDRegularFlipsExact pins Flips against the explicit symmetric
+// difference of consecutive edge-set snapshots.
+func TestDRegularFlipsExact(t *testing.T) {
+	g := NewDRegular(60, 4)
+	g.Start(5)
+	if g.Flips() != 0 {
+		t.Fatalf("Flips = %d right after Start, want 0", g.Flips())
+	}
+	prev := edgeSet(g)
+	for round := 1; round <= 6; round++ {
+		g.Advance(round)
+		cur := edgeSet(g)
+		if want := symmetricDiff(prev, cur); g.Flips() != want {
+			t.Fatalf("round %d: Flips = %d, symmetric difference = %d", round, g.Flips(), want)
+		}
+		prev = cur
+	}
+}
+
+// TestDRegularFullChurn pins the process's role as the maximal-churn
+// extreme: consecutive matchings are independent, so nearly every edge
+// flips — the symmetric difference stays close to twice the edge count.
+func TestDRegularFullChurn(t *testing.T) {
+	const n, d = 400, 6
+	g := NewDRegular(n, d)
+	g.Start(9)
+	for round := 1; round <= 4; round++ {
+		edges := g.EdgeCount()
+		g.Advance(round)
+		if g.Flips() < 3*edges/2 {
+			t.Fatalf("round %d: only %d flips over ~%d edges — matchings too correlated", round, g.Flips(), edges)
+		}
+	}
+}
+
+// TestGeometricMatchesBruteForce rebuilds the geometric graph by the O(n²)
+// distance predicate each round and requires the cell-grid adjacency, the
+// CanSend predicate, and Flips to agree with it exactly — including across
+// the torus wrap, which the scattered points exercise from round 0.
+func TestGeometricMatchesBruteForce(t *testing.T) {
+	const n = 200
+	g := NewGeometric(n, 6, 0.08)
+	g.Start(23)
+	var prev []bool
+	for round := 0; round <= 5; round++ {
+		if round > 0 {
+			g.Advance(round)
+		}
+		edges := 0
+		for u := 0; u < n; u++ {
+			for v := u + 1; v < n; v++ {
+				want := torusDist2(g.x[u], g.y[u], g.x[v], g.y[v]) <= g.r2
+				if g.CanSend(u, v) != want {
+					t.Fatalf("round %d: CanSend(%d,%d) = %v, distance predicate %v", round, u, v, g.CanSend(u, v), want)
+				}
+				inAdj := false
+				for _, w := range g.adj[u] {
+					if int(w) == v {
+						inAdj = true
+						break
+					}
+				}
+				if inAdj != want {
+					t.Fatalf("round %d: adjacency(%d,%d) = %v, distance predicate %v", round, u, v, inAdj, want)
+				}
+				if want {
+					edges++
+				}
+			}
+		}
+		if g.EdgeCount() != edges {
+			t.Fatalf("round %d: EdgeCount = %d, brute force %d", round, g.EdgeCount(), edges)
+		}
+		cur := edgeSet(g)
+		if round > 0 {
+			if want := symmetricDiff(prev, cur); g.Flips() != want {
+				t.Fatalf("round %d: Flips = %d, symmetric difference = %d", round, g.Flips(), want)
+			}
+		}
+		prev = cur
+	}
+}
+
+// TestGeometricJitterZeroFrozen pins the jitter = 0 degeneration: the point
+// set never moves, so every round is the same graph and Flips stays 0.
+func TestGeometricJitterZeroFrozen(t *testing.T) {
+	g := NewGeometric(120, 5, 0)
+	g.Start(3)
+	base := edgeSet(g)
+	for round := 1; round <= 4; round++ {
+		g.Advance(round)
+		if g.Flips() != 0 {
+			t.Fatalf("round %d: Flips = %d with jitter 0", round, g.Flips())
+		}
+		if !equalEdges(base, edgeSet(g)) {
+			t.Fatalf("round %d: edge set moved with jitter 0", round)
+		}
+	}
+}
+
+// TestGeometricDegreeNearTarget checks the radius calibration: the mean
+// degree of a scattered point set should land near the deg parameter
+// (expected degree ≈ π r² n for a uniform point and r = √(deg/(π n))).
+func TestGeometricDegreeNearTarget(t *testing.T) {
+	const n, deg = 3000, 12.0
+	g := NewGeometric(n, deg, 0.01)
+	g.Start(8)
+	for round := 0; round <= 2; round++ {
+		if round > 0 {
+			g.Advance(round)
+		}
+		total := 0
+		for u := 0; u < n; u++ {
+			total += g.Degree(u)
+		}
+		mean := float64(total) / n
+		if math.Abs(mean-deg) > deg*0.15 {
+			t.Fatalf("round %d: mean degree %.2f, want ≈ %g ± 15%%", round, mean, deg)
+		}
+	}
+}
+
+// TestGeometricChurnScalesWithJitter checks the knob the churn sweeps turn:
+// more jitter, more flips, and small jitter gives per-round churn far below
+// the edge count (the regime the consensus experiments need).
+func TestGeometricChurnScalesWithJitter(t *testing.T) {
+	const n, deg = 2000, 8.0
+	flipsAt := func(jitter float64) float64 {
+		g := NewGeometric(n, deg, jitter)
+		g.Start(4)
+		sum := 0
+		for round := 1; round <= 10; round++ {
+			g.Advance(round)
+			sum += g.Flips()
+		}
+		return float64(sum) / 10
+	}
+	small, large := flipsAt(0.0005), flipsAt(0.01)
+	if small <= 0 {
+		t.Fatal("no churn at jitter 0.0005")
+	}
+	if large < 4*small {
+		t.Fatalf("flips/round %.1f at jitter 0.01 vs %.1f at 0.0005 — churn not scaling with jitter", large, small)
+	}
+	if edges := deg * n / 2; small > 0.25*edges {
+		t.Fatalf("flips/round %.1f at jitter 0.0005 is not a low-churn regime over ~%.0f edges", small, edges)
+	}
+}
