@@ -232,16 +232,37 @@ func BenchmarkE11Scaling(b *testing.B) {
 func BenchmarkScenarioRunnerBatch(b *testing.B) {
 	for _, w := range []int{0, 1, 2, 4} {
 		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
-			benchScenarioBatch(b, w)
+			benchScenarioBatch(b, w, scenario.Protocol{})
+		})
+	}
+	// The variant sub-table runs the same n = 256 batch serially, one row per
+	// protocol variant, so the cost of each relaxation shows up side by side
+	// with the gated workers=1 default row: live-retarget and relaxed must
+	// track it (same schedule, different checks), while retransmit's extra
+	// voting passes buy its redundancy with ~ttl/3 more rounds and messages.
+	// These rows are deliberately named variant=... — the CI gate's -require
+	// pattern matches rows ending in workers=1, and the variant rows are
+	// informational, not gated.
+	for _, v := range []struct {
+		name  string
+		proto scenario.Protocol
+	}{
+		{"live-retarget", scenario.Protocol{Variant: scenario.ProtocolLiveRetarget}},
+		{"retransmit", scenario.Protocol{Variant: scenario.ProtocolRetransmit, TTL: 3}},
+		{"relaxed", scenario.Protocol{Variant: scenario.ProtocolRelaxed, MinVotes: 20}},
+	} {
+		b.Run("variant="+v.name, func(b *testing.B) {
+			benchScenarioBatch(b, 1, v.proto)
 		})
 	}
 }
 
-func benchScenarioBatch(b *testing.B, workers int) {
+func benchScenarioBatch(b *testing.B, workers int, proto scenario.Protocol) {
 	const trialsPerBatch = 8
 	runner, err := scenario.NewRunner(scenario.Scenario{
 		N: 256, Colors: 2, Seed: 1, Workers: workers,
-		Fault: scenario.FaultModel{Kind: scenario.FaultPermanent, Alpha: 0.3},
+		Fault:    scenario.FaultModel{Kind: scenario.FaultPermanent, Alpha: 0.3},
+		Protocol: proto,
 	})
 	if err != nil {
 		b.Fatal(err)

@@ -139,15 +139,17 @@ func runSelected(wanted map[string]bool, quick bool, workers int) []*sim.Table {
 	sc := sim.DefaultScalingOptions()
 	dy := sim.DefaultDynamicsOptions()
 	cs := sim.DefaultChurnScaleOptions()
+	pv := sim.DefaultProtocolOptions()
 	if quick {
 		perf, fair, faults = sim.QuickPerfOptions(), sim.QuickFairnessOptions(), sim.QuickFaultOptions()
 		eq, abl, bl = sim.QuickEquilibriumOptions(), sim.QuickAblationOptions(), sim.QuickBaselineOptions()
 		tp, as = sim.QuickTopologyOptions(), sim.QuickAsyncOptions()
 		sc, dy, cs = sim.QuickScalingOptions(), sim.QuickDynamicsOptions(), sim.QuickChurnScaleOptions()
+		pv = sim.QuickProtocolOptions()
 	}
 	perf.Workers, fair.Workers, faults.Workers, eq.Workers = workers, workers, workers, workers
 	abl.Workers, bl.Workers, tp.Workers, as.Workers = workers, workers, workers, workers
-	sc.Workers, dy.Workers, cs.Workers = workers, workers, workers
+	sc.Workers, dy.Workers, cs.Workers, pv.Workers = workers, workers, workers, workers
 
 	add([]string{"T0"}, func() []*sim.Table { return sim.RunT0Predictions(perf) })
 	add([]string{"T1", "F1"}, func() []*sim.Table { return sim.RunT1Rounds(perf) })
@@ -163,5 +165,6 @@ func runSelected(wanted map[string]bool, quick bool, workers int) []*sim.Table {
 	add([]string{"E11"}, func() []*sim.Table { return sim.RunE11CoalitionScaling(sc) })
 	add([]string{"E12"}, func() []*sim.Table { return sim.RunE12Dynamics(dy) })
 	add([]string{"E13"}, func() []*sim.Table { return sim.RunE13ChurnAtScale(cs) })
+	add([]string{"E14"}, func() []*sim.Table { return sim.RunE14ProtocolVariants(pv) })
 	return out
 }

@@ -14,6 +14,8 @@
 //	fairconsensus -n 128 -deviation min-k-liar -coalition 3 # rational attack
 //	fairconsensus -n 256 -alpha 0.25 -fault crash -fault-round 30
 //	fairconsensus -n 256 -drop 0.05         # 5% probabilistic message loss
+//	fairconsensus -n 256 -drop 0.05 -variant relaxed -min-votes 20
+//	fairconsensus -n 128 -variant retransmit -ttl 3
 //	fairconsensus -scenario churn           # a registered scenario by name
 //	fairconsensus -scenario-json run.json   # a version-1 scenario document
 //	fairconsensus -n 256 -dump-scenario     # print the canonical JSON and exit
@@ -50,6 +52,9 @@ func main() {
 		faultRound   = flag.Int("fault-round", 30, "crash onset round for -fault crash")
 		churnPeriod  = flag.Int("churn-period", 8, "up/down interval in rounds for -fault churn")
 		drop         = flag.Float64("drop", 0, "probabilistic per-message loss rate in [0, 1)")
+		variant      = flag.String("variant", "", "protocol variant: baseline | live-retarget | retransmit | relaxed")
+		ttl          = flag.Int("ttl", 0, "sends per vote for -variant retransmit (0 = default 2)")
+		minVotes     = flag.Int("min-votes", 0, "per-voter check threshold for -variant relaxed (required there)")
 		seed         = flag.Uint64("seed", 1, "master random seed")
 		async        = flag.Bool("async", false, "run the sequential (one agent per tick) adaptation")
 		topoName     = flag.String("topology", "complete", "complete | ring | regular<d> | er")
@@ -132,6 +137,13 @@ func main() {
 				sc.Coalition = 1
 			}
 		}
+		if *variant != "" || *ttl != 0 || *minVotes != 0 {
+			sc.Protocol = fairgossip.Protocol{
+				Variant:  fairgossip.ProtocolVariant(*variant),
+				TTL:      *ttl,
+				MinVotes: *minVotes,
+			}
+		}
 	}
 
 	if *dump {
@@ -149,8 +161,8 @@ func main() {
 	}
 	sc = runner.Scenario()
 	p := runner.Params()
-	fmt.Printf("protocol P: n=%d |Σ|=%d γ=%.1f q=%d rounds=%d topology=%s scheduler=%s fault=%s\n",
-		p.N, p.Colors, p.Gamma, p.Q, p.Rounds, topologyLabel(sc), sc.Scheduler, faultLabel(sc.Fault))
+	fmt.Printf("protocol P: n=%d |Σ|=%d γ=%.1f q=%d rounds=%d variant=%s topology=%s scheduler=%s fault=%s\n",
+		p.N, p.Colors, p.Gamma, p.Q, p.Rounds, protocolLabel(sc.Protocol), topologyLabel(sc), sc.Scheduler, faultLabel(sc.Fault))
 
 	res, err := runScenario(runner, sc, *traceRun)
 	if err != nil {
@@ -219,6 +231,18 @@ func topologyLabel(sc fairgossip.Scenario) string {
 		return fmt.Sprintf("%s(degree=%d,jitter=%g)", d.Kind, d.Degree, d.Jitter)
 	default:
 		return sc.Topology
+	}
+}
+
+// protocolLabel names the protocol variant with its parameter, if any.
+func protocolLabel(p fairgossip.Protocol) string {
+	switch p.Variant {
+	case fairgossip.ProtocolRetransmit:
+		return fmt.Sprintf("%s(ttl=%d)", p.Variant, p.TTL)
+	case fairgossip.ProtocolRelaxed:
+		return fmt.Sprintf("%s(min-votes=%d)", p.Variant, p.MinVotes)
+	default:
+		return string(p.Variant)
 	}
 }
 

@@ -128,6 +128,49 @@ func TestRunInlineDynamicScenario(t *testing.T) {
 	}
 }
 
+// TestRunInlineProtocolScenario runs a protocol-variant scenario end to end
+// through the HTTP surface: the raw version-1 document (with the additive
+// "protocol" field) is accepted, the batch executes deterministically, and
+// the canonical echo carries the variant so the run can be replayed.
+func TestRunInlineProtocolScenario(t *testing.T) {
+	srv := testServer(t)
+	req := `{"scenario":{"version":1,"n":48,"seed":9,"fault":{"drop":0.05},` +
+		`"protocol":{"variant":"relaxed","min_votes":12}},"trials":6,"workers":2}`
+	resp, body := postRun(t, srv, req)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("status %d: %s", resp.StatusCode, body)
+	}
+	var rr runResponse
+	if err := json.Unmarshal(body, &rr); err != nil {
+		t.Fatal(err)
+	}
+	if rr.Trials != 6 {
+		t.Fatalf("ran %d trials, want 6", rr.Trials)
+	}
+	got, err := fairgossip.Decode(rr.Scenario)
+	if err != nil {
+		t.Fatalf("response scenario does not decode: %v\n%s", err, rr.Scenario)
+	}
+	want := fairgossip.Protocol{Variant: fairgossip.ProtocolRelaxed, MinVotes: 12}
+	if got.Protocol != want {
+		t.Fatalf("echoed scenario lost the protocol variant: %+v", got.Protocol)
+	}
+	// Same request again: the whole response body (modulo timing) must be
+	// reproducible.
+	resp2, body2 := postRun(t, srv, req)
+	if resp2.StatusCode != http.StatusOK {
+		t.Fatalf("second run: status %d", resp2.StatusCode)
+	}
+	var rr2 runResponse
+	if err := json.Unmarshal(body2, &rr2); err != nil {
+		t.Fatal(err)
+	}
+	rr.ElapsedMS, rr2.ElapsedMS = 0, 0
+	if !reflect.DeepEqual(rr, rr2) {
+		t.Fatalf("protocol-variant batch not reproducible over HTTP:\nfirst  %+v\nsecond %+v", rr, rr2)
+	}
+}
+
 // TestRunSeedOverride pins the per-request override and determinism: the
 // same request twice is byte-identical, a different seed may differ.
 func TestRunSeedOverride(t *testing.T) {

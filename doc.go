@@ -10,8 +10,11 @@
 // The supported surface is the fairgossip package — a versioned, public
 // re-export of the scenario layer. It offers the declarative Scenario type
 // (network size, initial-opinion distribution, γ, topology — static or a
-// per-round evolving graph process via Dynamics, fault model including
-// probabilistic message loss, scheduler, coalition, seed), a
+// per-round evolving graph process via Dynamics, protocol variant via
+// Protocol — live-retarget, TTL retransmission, or relaxed k-of-q
+// verification, each trading part of the binding declarations for delivery
+// robustness, fault model including probabilistic message loss, scheduler,
+// coalition, seed), a
 // strict version-1 JSON wire format (Encode / Decode, with the invariant
 // Decode(Encode(s)) == s.WithDefaults()), a registry of named settings, a
 // typed error taxonomy (ErrInvalidScenario, ErrUnknownScenario, wrapped
@@ -51,9 +54,13 @@
 // n ∈ {10⁵, 10⁶} at fixed degree).
 //
 // Protocol layer. internal/core is Protocol P and its sequential-model
-// adaptation; internal/rational adds utilities, coalitions, and the
-// deviation library; internal/baseline holds the LOCAL-model election, HP
-// polling, and naive ablation comparators.
+// adaptation, including the three protocol variants (core.Protocol): send-
+// time vote retargeting, a Passes-times-repeated Voting schedule with
+// receiver-side (voter, slot) dedup, and violation-counting relaxed
+// verification — all threaded through Params so the schedule arithmetic
+// (TotalRounds, PhaseOf) stays in one place. internal/rational adds
+// utilities, coalitions, and the deviation library; internal/baseline holds
+// the LOCAL-model election, HP polling, and naive ablation comparators.
 //
 // Scenario layer. internal/scenario is the execution home of the
 // declarative front door fairgossip re-exports: the Scenario struct, the
@@ -76,7 +83,7 @@
 // state, and CI gates `go test -bench=ScenarioRunnerBatch` against the
 // committed BENCH_BASELINE.json via cmd/benchdiff.
 //
-// Supporting substrates: internal/sim (experiment tables T0–T8, E9–E13,
+// Supporting substrates: internal/sim (experiment tables T0–T8, E9–E14,
 // built on the public API), internal/topo (static graphs and dynamic
 // graph processes), internal/rng (splittable
 // xoshiro256**), internal/stats (streaming Welford moments, counting-

@@ -1,7 +1,17 @@
 package fairgossip_test
 
 import (
+	"bytes"
+	"go/ast"
+	"go/doc"
+	"go/parser"
+	"go/printer"
+	"go/token"
+	"io/fs"
+	"os"
+	"path/filepath"
 	"reflect"
+	"sort"
 	"strings"
 	"testing"
 
@@ -123,5 +133,121 @@ func TestScenarioFieldParity(t *testing.T) {
 	inteF := fieldSet(reflect.TypeOf(scenario.FaultModel{}))
 	if !reflect.DeepEqual(pubF, inteF) {
 		t.Errorf("FaultModel field sets diverged:\npublic:   %v\ninternal: %v", pubF, inteF)
+	}
+	pubD := fieldSet(reflect.TypeOf(fairgossip.Dynamics{}))
+	inteD := fieldSet(reflect.TypeOf(scenario.Dynamics{}))
+	if !reflect.DeepEqual(pubD, inteD) {
+		t.Errorf("Dynamics field sets diverged:\npublic:   %v\ninternal: %v", pubD, inteD)
+	}
+	pubP := fieldSet(reflect.TypeOf(fairgossip.Protocol{}))
+	inteP := fieldSet(reflect.TypeOf(scenario.Protocol{}))
+	if !reflect.DeepEqual(pubP, inteP) {
+		t.Errorf("Protocol field sets diverged:\npublic:   %v\ninternal: %v", pubP, inteP)
+	}
+}
+
+// TestExportedAPISnapshot pins the entire exported surface of the package —
+// every type (with its exported fields and json tags), function, method,
+// constant, and variable — against testdata/api.txt. The snapshot makes API
+// evolution deliberate: a missing line is a compatibility break, an extra
+// line means an addition landed without refreshing the snapshot. Regenerate
+// with GOLDEN_UPDATE=1 alongside an intentional surface change.
+func TestExportedAPISnapshot(t *testing.T) {
+	fset := token.NewFileSet()
+	pkgs, err := parser.ParseDir(fset, ".", func(fi fs.FileInfo) bool {
+		return !strings.HasSuffix(fi.Name(), "_test.go")
+	}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkg, ok := pkgs["fairgossip"]
+	if !ok {
+		t.Fatalf("package fairgossip not found in %v", pkgs)
+	}
+	d := doc.New(pkg, "repro/fairgossip", 0)
+
+	oneLine := func(n any) string {
+		var buf bytes.Buffer
+		if err := printer.Fprint(&buf, fset, n); err != nil {
+			t.Fatal(err)
+		}
+		return strings.Join(strings.Fields(buf.String()), " ")
+	}
+	var lines []string
+	addFunc := func(f *doc.Func) {
+		f.Decl.Body = nil
+		lines = append(lines, oneLine(f.Decl))
+	}
+	addValues := func(kw string, vals []*doc.Value) {
+		for _, v := range vals {
+			for _, name := range v.Names {
+				if token.IsExported(name) {
+					lines = append(lines, kw+" "+name)
+				}
+			}
+		}
+	}
+	addValues("const", d.Consts)
+	addValues("var", d.Vars)
+	for _, f := range d.Funcs {
+		addFunc(f)
+	}
+	for _, typ := range d.Types {
+		// Unexported fields of exported structs are not API: drop them so the
+		// snapshot only churns when the public surface does.
+		if st, ok := typ.Decl.Specs[0].(*ast.TypeSpec).Type.(*ast.StructType); ok {
+			kept := st.Fields.List[:0]
+			for _, fld := range st.Fields.List {
+				exported := len(fld.Names) == 0 // embedded
+				for _, nm := range fld.Names {
+					exported = exported || nm.IsExported()
+				}
+				if exported {
+					kept = append(kept, fld)
+				}
+			}
+			st.Fields.List = kept
+		}
+		lines = append(lines, oneLine(typ.Decl))
+		addValues("const", typ.Consts)
+		addValues("var", typ.Vars)
+		for _, f := range typ.Funcs {
+			addFunc(f)
+		}
+		for _, m := range typ.Methods {
+			addFunc(m)
+		}
+	}
+	sort.Strings(lines)
+	got := strings.Join(lines, "\n") + "\n"
+
+	path := filepath.Join("testdata", "api.txt")
+	if os.Getenv("GOLDEN_UPDATE") != "" {
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	wantBytes, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing API snapshot (run with GOLDEN_UPDATE=1): %v", err)
+	}
+	gotSet := map[string]bool{}
+	for _, l := range lines {
+		gotSet[l] = true
+	}
+	wantSet := map[string]bool{}
+	for _, l := range strings.Split(strings.TrimSuffix(string(wantBytes), "\n"), "\n") {
+		wantSet[l] = true
+	}
+	for l := range wantSet {
+		if !gotSet[l] {
+			t.Errorf("REMOVED from the exported API (compatibility break):\n  %s", l)
+		}
+	}
+	for l := range gotSet {
+		if !wantSet[l] {
+			t.Errorf("ADDED to the exported API (snapshot stale — rerun with GOLDEN_UPDATE=1):\n  %s", l)
+		}
 	}
 }

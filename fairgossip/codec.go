@@ -25,6 +25,10 @@ type wireScenario struct {
 	// version-1 document written before the field existed stays byte-identical
 	// on re-encode: the additive-only schema rule the golden fixtures pin.
 	Dynamics *Dynamics `json:"dynamics,omitempty"`
+	// Protocol shadows the embedded scenario's field for the same reason:
+	// a baseline scenario omits it entirely, so every document written
+	// before protocol variants existed stays byte-identical on re-encode.
+	Protocol *Protocol `json:"protocol,omitempty"`
 }
 
 // Encode renders a scenario as its canonical version-1 JSON document. The
@@ -41,6 +45,9 @@ func Encode(s Scenario) ([]byte, error) {
 	w := wireScenario{Version: Version, Scenario: s.WithDefaults()}
 	if w.Scenario.Dynamics.Active() {
 		w.Dynamics = &w.Scenario.Dynamics
+	}
+	if w.Scenario.Protocol.Active() {
+		w.Protocol = &w.Scenario.Protocol
 	}
 	return json.MarshalIndent(w, "", "  ")
 }
@@ -67,6 +74,9 @@ func Decode(data []byte) (Scenario, error) {
 	}
 	if w.Dynamics != nil {
 		w.Scenario.Dynamics = *w.Dynamics
+	}
+	if w.Protocol != nil {
+		w.Scenario.Protocol = *w.Protocol
 	}
 	s := w.Scenario.WithDefaults()
 	if err := s.Validate(); err != nil {

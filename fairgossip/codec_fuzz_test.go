@@ -40,6 +40,15 @@ func FuzzDecode(f *testing.F) {
 	f.Add([]byte(`{"version":1,"n":64,"seed":1,"dynamics":{"kind":"edge-markovian","birth":0.1,"death":0.1,"degree":4}}`))
 	f.Add([]byte(`{"version":1,"n":64,"seed":1,"dynamics":null}`))
 	f.Add([]byte(`{"version":1,"n":64,"seed":1,"topology":"ring","dynamics":{"kind":"rewire-ring"}}`))
+	f.Add([]byte(`{"version":1,"n":64,"seed":1,"protocol":{"variant":"live-retarget"}}`))
+	f.Add([]byte(`{"version":1,"n":64,"seed":1,"protocol":{"variant":"retransmit","ttl":3}}`))
+	f.Add([]byte(`{"version":1,"n":64,"seed":1,"fault":{"drop":0.05},"protocol":{"variant":"relaxed","min_votes":14}}`))
+	f.Add([]byte(`{"version":1,"n":64,"seed":1,"protocol":{"variant":"baseline"}}`))
+	f.Add([]byte(`{"version":1,"n":64,"seed":1,"protocol":{}}`))
+	f.Add([]byte(`{"version":1,"n":64,"seed":1,"protocol":null}`))
+	f.Add([]byte(`{"version":1,"n":64,"seed":1,"protocol":{"variant":"relaxed","min_votes":999}}`))
+	f.Add([]byte(`{"version":1,"n":64,"seed":1,"scheduler":"async","protocol":{"variant":"live-retarget"}}`))
+	f.Add([]byte(`{"version":1,"n":64,"seed":1,"dynamics":{"kind":"edge-markovian","birth":0.02,"death":0.1},"protocol":{"variant":"live-retarget"}}`))
 	f.Add([]byte(`{"version":2,"n":64,"seed":1}`))
 	f.Add([]byte(`{"n":64}`))
 	f.Add([]byte(`{"version":1,"n":64,"seed":1} trailing`))

@@ -60,6 +60,16 @@ func TestCodecRoundTripSparse(t *testing.T) {
 		{N: 128, Dynamics: fairgossip.Dynamics{Kind: fairgossip.DynamicsGeometric, Degree: 3}},
 		{N: 64, Fault: fairgossip.FaultModel{Drop: 0.1},
 			Dynamics: fairgossip.Dynamics{Kind: fairgossip.DynamicsRewireRing, Beta: 0.4}},
+		{N: 64, Protocol: fairgossip.Protocol{Variant: fairgossip.ProtocolBaseline}},
+		{N: 64, Protocol: fairgossip.Protocol{Variant: fairgossip.ProtocolLiveRetarget}},
+		{N: 64, Protocol: fairgossip.Protocol{Variant: fairgossip.ProtocolRetransmit}},
+		{N: 64, Protocol: fairgossip.Protocol{Variant: fairgossip.ProtocolRetransmit, TTL: 5}},
+		{N: 64, Protocol: fairgossip.Protocol{Variant: fairgossip.ProtocolRelaxed, MinVotes: 1}},
+		{N: 256, Protocol: fairgossip.Protocol{Variant: fairgossip.ProtocolRelaxed, MinVotes: 24}},
+		{N: 64, Fault: fairgossip.FaultModel{Drop: 0.05},
+			Protocol: fairgossip.Protocol{Variant: fairgossip.ProtocolRelaxed, MinVotes: 14}},
+		{N: 64, Dynamics: fairgossip.Dynamics{Kind: fairgossip.DynamicsEdgeMarkovian, Birth: 0.01, Death: 0.05},
+			Protocol: fairgossip.Protocol{Variant: fairgossip.ProtocolLiveRetarget}},
 	} {
 		data, err := fairgossip.Encode(s)
 		if err != nil {
@@ -111,6 +121,17 @@ func TestDecodeStrictness(t *testing.T) {
 		{"d-regular odd product", `{"version":1,"n":63,"seed":1,"dynamics":{"kind":"d-regular","degree":3}}`, "even"},
 		{"geometric bad jitter", `{"version":1,"n":64,"seed":1,"dynamics":{"kind":"geometric","degree":5,"jitter":1.5}}`, "jitter"},
 		{"geometric too dense", `{"version":1,"n":64,"seed":1,"dynamics":{"kind":"geometric","degree":63}}`, "radius"},
+		{"unknown protocol field", `{"version":1,"n":64,"seed":1,"protocol":{"variantt":"relaxed"}}`, "variantt"},
+		{"unknown protocol variant", `{"version":1,"n":64,"seed":1,"protocol":{"variant":"paxos"}}`, "protocol variant"},
+		{"protocol params without variant", `{"version":1,"n":64,"seed":1,"protocol":{"ttl":3}}`, "need a variant"},
+		{"live-retarget stray param", `{"version":1,"n":64,"seed":1,"protocol":{"variant":"live-retarget","ttl":3}}`, "takes no parameters"},
+		{"retransmit stray min-votes", `{"version":1,"n":64,"seed":1,"protocol":{"variant":"retransmit","min_votes":5}}`, "belongs to the relaxed protocol"},
+		{"retransmit ttl out of range", `{"version":1,"n":64,"seed":1,"protocol":{"variant":"retransmit","ttl":99}}`, "ttl 99"},
+		{"relaxed stray ttl", `{"version":1,"n":64,"seed":1,"protocol":{"variant":"relaxed","min_votes":5,"ttl":2}}`, "belongs to the retransmit protocol"},
+		{"relaxed missing min-votes", `{"version":1,"n":64,"seed":1,"protocol":{"variant":"relaxed"}}`, "min-votes"},
+		{"relaxed min-votes over q", `{"version":1,"n":64,"seed":1,"protocol":{"variant":"relaxed","min_votes":999}}`, "min-votes"},
+		{"protocol under async", `{"version":1,"n":64,"seed":1,"scheduler":"async","protocol":{"variant":"live-retarget"}}`, "sync scheduler"},
+		{"protocol with coalition", `{"version":1,"n":128,"seed":1,"coalition":3,"deviation":"min-k-liar","protocol":{"variant":"relaxed","min_votes":5}}`, "coalition"},
 	}
 	for _, tc := range cases {
 		_, err := fairgossip.Decode([]byte(tc.doc))
@@ -255,6 +276,73 @@ func TestDynamicsSchemaIsAdditive(t *testing.T) {
 		}
 		if !strings.Contains(string(data), `"degree"`) {
 			t.Errorf("%s: sparse-generator builtin encodes without the degree field:\n%s", name, data)
+		}
+	}
+}
+
+// preProtocolFixtures lists every scenario registered before the protocol
+// axis existed — the 13 pre-dynamics fixtures plus the 4 dynamic builtins,
+// all 17 of whose byte representations the additive-only schema rule
+// freezes.
+var preProtocolFixtures = append(append([]string{}, legacyFixtures...),
+	"edge-markovian", "rewire-ring", "regular-rematch", "geometric-torus")
+
+// TestProtocolSchemaIsAdditive is the compatibility proof for the protocol
+// field, exactly parallel to TestDynamicsSchemaIsAdditive: (1) none of the
+// 17 pre-protocol fixtures mentions the new field — re-encoding them cannot
+// have changed a byte (TestGoldenWireFixtures pins the bytes themselves);
+// (2) decoding such a document yields an inactive, defaults-applied
+// Protocol, i.e. absence still means the paper's baseline protocol; (3) only
+// the new variant builtins carry the field.
+func TestProtocolSchemaIsAdditive(t *testing.T) {
+	if len(preProtocolFixtures) != 17 {
+		t.Fatalf("pre-protocol fixture list has %d entries, want 17", len(preProtocolFixtures))
+	}
+	for _, name := range preProtocolFixtures {
+		data, err := os.ReadFile(filepath.Join("testdata", "golden", name+".json"))
+		if err != nil {
+			t.Fatalf("%s: pre-protocol fixture vanished: %v", name, err)
+		}
+		if strings.Contains(string(data), "protocol") {
+			t.Errorf("%s: pre-protocol fixture mentions the protocol field — the schema change was not additive", name)
+		}
+		s, err := fairgossip.Decode(data)
+		if err != nil {
+			t.Fatalf("%s: pre-protocol document no longer decodes: %v", name, err)
+		}
+		if s.Protocol.Active() {
+			t.Errorf("%s: absent protocol decoded as active %+v", name, s.Protocol)
+		}
+		if s.Protocol.Variant != fairgossip.ProtocolBaseline {
+			t.Errorf("%s: absent protocol not defaults-applied: %+v", name, s.Protocol)
+		}
+	}
+	for _, name := range []string{"live-retarget-churn", "retransmit-lossy", "relaxed-lossy"} {
+		s, err := fairgossip.Lookup(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		data, err := fairgossip.Encode(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(string(data), `"protocol"`) {
+			t.Errorf("%s: variant builtin encodes without the protocol field:\n%s", name, data)
+		}
+	}
+	// Parameters stay scoped to their variant on the wire too: omitempty
+	// keeps ttl out of relaxed documents and min_votes out of retransmit
+	// ones, so adding either parameter froze the other builtins' bytes.
+	for name, stray := range map[string]string{
+		"live-retarget-churn": `"ttl"`, "retransmit-lossy": `"min_votes"`, "relaxed-lossy": `"ttl"`,
+	} {
+		s, _ := fairgossip.Lookup(name)
+		data, err := fairgossip.Encode(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if strings.Contains(string(data), stray) {
+			t.Errorf("%s: builtin encodes the %s field of another variant:\n%s", name, stray, data)
 		}
 	}
 }

@@ -21,6 +21,16 @@
 // evolution is derived from each run's seed, so dynamic runs are exactly as
 // reproducible as static ones; see the Example below.
 //
+// The protocol itself is an axis too: Protocol selects one of three variants
+// that each trade a different part of the paper's binding vote declarations
+// for delivery robustness. "live-retarget" re-samples vote targets from the
+// current neighbor set at send time (survives edge churn), "retransmit"
+// re-pushes every vote TTL times across TTL voting passes with receiver-side
+// dedup (pays ≈ TTL/3 more messages), and "relaxed" verifies only MinVotes
+// of the q per-voter checks, tolerating bounded violations (survives
+// probabilistic message loss). The zero value runs the paper's Algorithm 1
+// unchanged.
+//
 // Named settings live in a process-wide registry: Register stores a
 // defaults-applied scenario, Lookup retrieves it (ErrUnknownScenario when
 // absent), and the built-in library covers one scenario per experiment axis
@@ -49,9 +59,10 @@
 // field is this package's compatibility promise: version-1 documents keep
 // decoding in every future release; new optional fields may appear, but a
 // field's meaning or default never changes within version 1. The "dynamics"
-// field is such an addition: static scenarios omit it entirely, so every
-// document written before it existed keeps both its meaning and its exact
-// byte representation (the golden fixtures pin this).
+// and "protocol" fields are such additions: static-topology scenarios omit
+// the former and baseline-protocol scenarios the latter entirely, so every
+// document written before either existed keeps both its meaning and its
+// exact byte representation (the golden fixtures pin this).
 //
 // # Execution
 //

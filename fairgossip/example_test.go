@@ -118,6 +118,44 @@ func ExampleScenario_dynamics() {
 	// wire form mentions "edge-markovian": true
 }
 
+// Protocol variants: the same lossy setting that fails under the paper's
+// strict verification succeeds under relaxed k-of-q verification, and the
+// variant travels on the wire like any other scenario axis.
+func ExampleScenario_protocol() {
+	strict := fairgossip.Scenario{
+		N: 64, Colors: 2, Seed: 11,
+		Fault: fairgossip.FaultModel{Drop: 0.05}, // 5% per-message loss
+	}
+	relaxed := strict
+	relaxed.Protocol = fairgossip.Protocol{
+		Variant:  fairgossip.ProtocolRelaxed,
+		MinVotes: 14, // tolerate up to q−14 violating voters per verifier
+	}
+	rate := func(sc fairgossip.Scenario) float64 {
+		var sum fairgossip.Summary
+		results, err := fairgossip.MustRunner(sc).Trials(context.Background(), 10)
+		if err != nil {
+			log.Fatal(err)
+		}
+		for _, res := range results {
+			sum.Add(res)
+		}
+		return sum.SuccessRate()
+	}
+	doc, err := fairgossip.Encode(relaxed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("strict verification under 5%% loss: %.1f\n", rate(strict))
+	fmt.Printf("relaxed verification under 5%% loss: %.1f\n", rate(relaxed))
+	fmt.Printf("wire form mentions %q: %v\n", "relaxed",
+		strings.Contains(string(doc), "relaxed"))
+	// Output:
+	// strict verification under 5% loss: 0.0
+	// relaxed verification under 5% loss: 1.0
+	// wire form mentions "relaxed": true
+}
+
 // The wire format: a version-1 JSON document decodes into a validated,
 // defaults-applied scenario ready to run.
 func ExampleDecode() {

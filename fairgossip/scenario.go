@@ -129,6 +129,57 @@ type Dynamics struct {
 // value and the explicit "none").
 func (d Dynamics) Active() bool { return d.Kind != "" && d.Kind != DynamicsNone }
 
+// ProtocolVariant names a protocol variant.
+type ProtocolVariant string
+
+// Supported protocol variants. The baseline is the paper's Algorithm 1
+// unchanged; the other three trade its binding-declaration property — each
+// vote is bound, up to 2q rounds in advance, to a target that may be
+// unreachable by the time the vote is sent — for delivery robustness:
+const (
+	// ProtocolBaseline runs Algorithm 1 unchanged — the default.
+	ProtocolBaseline ProtocolVariant = "baseline"
+	// ProtocolLiveRetarget re-samples each vote's target from the *current*
+	// neighbor set at send time. Declared values stay binding; targets become
+	// advisory, so verification checks each known voter's votes against its
+	// declared values regardless of target and no longer treats an absent
+	// vote as proof of cheating. Tolerates edge churn and mid-Voting crashes
+	// at zero message overhead, but gives up the anti-vote-dropping check.
+	ProtocolLiveRetarget ProtocolVariant = "live-retarget"
+	// ProtocolRetransmit keeps bindings and strict verification but sends
+	// every vote TTL times: the Voting phase becomes TTL passes of q rounds
+	// (the schedule grows to (3+TTL)·q+1 rounds) and receivers deduplicate
+	// redeliveries by (voter, slot). Costs ≈ TTL× the Voting-phase messages.
+	ProtocolRetransmit ProtocolVariant = "retransmit"
+	// ProtocolRelaxed accepts a certificate when at least MinVotes of the q
+	// per-voter consistency checks pass — k-of-q verification. Tolerates
+	// message loss at zero overhead, but a cheating winner may drop up to
+	// q − MinVotes voters' votes undetected.
+	ProtocolRelaxed ProtocolVariant = "relaxed"
+)
+
+// Protocol selects the protocol variant a scenario runs and its parameters.
+// The zero value (and the explicit baseline) is Algorithm 1 unchanged. Each
+// variant accepts exactly its own parameters; stray fields are rejected.
+// Variants are only supported under the sync scheduler, without coalitions —
+// faults, loss, and dynamics are allowed (tolerating them is the point).
+type Protocol struct {
+	// Variant names the protocol variant; "" defaults to baseline.
+	Variant ProtocolVariant `json:"variant,omitempty"`
+	// TTL is the total number of times each vote is sent under
+	// ProtocolRetransmit; 0 defaults to 2, and the validated range is
+	// [2, 8]. ProtocolRetransmit only.
+	TTL int `json:"ttl,omitempty"`
+	// MinVotes is the per-voter check threshold under ProtocolRelaxed, in
+	// [1, q]; it must be explicit — a default would silently weaken
+	// verification. ProtocolRelaxed only.
+	MinVotes int `json:"min_votes,omitempty"`
+}
+
+// Active reports whether p names a real variant (anything but the zero value
+// and the explicit baseline).
+func (p Protocol) Active() bool { return p.Variant != "" && p.Variant != ProtocolBaseline }
+
 // FaultModel describes which nodes misbehave and how, plus the link-level
 // loss model.
 type FaultModel struct {
@@ -184,6 +235,12 @@ type Scenario struct {
 	// version-1 document keeps its exact byte representation, and its
 	// absence means what it always meant.
 	Dynamics Dynamics `json:"dynamics"`
+	// Protocol optionally selects a protocol variant (see Protocol); the zero
+	// value runs the paper's Algorithm 1 unchanged. Additive on the wire the
+	// same way Dynamics is: Encode omits it for baseline scenarios via the
+	// codec's pointer shadow, so every pre-variant version-1 document keeps
+	// its exact byte representation.
+	Protocol Protocol `json:"protocol"`
 	// Fault is the fault model; the zero value means fault-free.
 	Fault FaultModel `json:"fault"`
 	// Scheduler is sync or async; "" = sync.
@@ -238,6 +295,11 @@ func (s Scenario) internal() scenario.Scenario {
 			Degree: s.Dynamics.Degree,
 			Jitter: s.Dynamics.Jitter,
 		},
+		Protocol: scenario.Protocol{
+			Variant:  scenario.ProtocolVariant(s.Protocol.Variant),
+			TTL:      s.Protocol.TTL,
+			MinVotes: s.Protocol.MinVotes,
+		},
 		Fault: scenario.FaultModel{
 			Kind:   scenario.FaultKind(s.Fault.Kind),
 			Alpha:  s.Fault.Alpha,
@@ -272,6 +334,11 @@ func scenarioFromInternal(s scenario.Scenario) Scenario {
 			Beta:   s.Dynamics.Beta,
 			Degree: s.Dynamics.Degree,
 			Jitter: s.Dynamics.Jitter,
+		},
+		Protocol: Protocol{
+			Variant:  ProtocolVariant(s.Protocol.Variant),
+			TTL:      s.Protocol.TTL,
+			MinVotes: s.Protocol.MinVotes,
 		},
 		Fault: FaultModel{
 			Kind:   FaultKind(s.Fault.Kind),

@@ -36,6 +36,11 @@ func ToInternal(s fairgossip.Scenario) scenario.Scenario {
 			Degree: s.Dynamics.Degree,
 			Jitter: s.Dynamics.Jitter,
 		},
+		Protocol: scenario.Protocol{
+			Variant:  scenario.ProtocolVariant(s.Protocol.Variant),
+			TTL:      s.Protocol.TTL,
+			MinVotes: s.Protocol.MinVotes,
+		},
 		Fault: scenario.FaultModel{
 			Kind:   scenario.FaultKind(s.Fault.Kind),
 			Alpha:  s.Fault.Alpha,

@@ -40,8 +40,11 @@ type Agent struct {
 	// Commitment state.
 	log *CommitmentLog
 
-	// Voting state.
-	w []WEntry
+	// Voting state. seenVotes dedups retransmit redeliveries by packed
+	// (voter, slot) key — the bounded receive-side complement of the TTL
+	// outbox; nil/unused outside ProtocolRetransmit.
+	w         []WEntry
+	seenVotes []uint64
 
 	// Find-Min / Coherence state. ownCertBuf is the backing storage for the
 	// agent's own certificate, reused across pooled runs; published
@@ -82,6 +85,7 @@ func (a *Agent) reset(id int, p Params, color Color, net topo.Topology, seed uin
 		a.log.Reset()
 	}
 	a.w = a.w[:0]
+	a.seenVotes = a.seenVotes[:0]
 	a.ownCert, a.minCert, a.replyCert = nil, nil, nil
 	a.failed, a.decided = false, false
 	a.out = 0
@@ -117,7 +121,7 @@ func (a *Agent) init(id int, p Params, color Color, net topo.Topology) {
 			H: a.r.Uint64n(p.M) + 1,
 			Z: int32(net.SamplePeer(id, a.r)),
 		}
-		a.voteMsgs[i] = Vote{P: p, Value: a.intentions[i].H}
+		a.voteMsgs[i] = Vote{P: p, Value: a.intentions[i].H, Index: int32(i)}
 	}
 
 	// Re-box the reusable payloads only when their contents actually moved;
@@ -184,10 +188,20 @@ func (a *Agent) Act(round int) gossip.Action {
 		return gossip.PullFrom(a.net.SamplePeer(a.id, a.r), a.intentQ)
 
 	case PhaseVoting:
-		i := round - a.p.Q
+		i := a.p.votingSlot(round)
 		if i < 0 || i >= len(a.intentions) {
 			return gossip.NoAction()
 		}
+		if a.p.Proto.Variant == ProtocolLiveRetarget {
+			// Targets are advisory under live-retarget: re-sample from the
+			// current neighbor set at send time so the vote reaches somebody
+			// even when the declared edge has since churned away. The declared
+			// values stay binding (see verifyCertificate).
+			return gossip.PushTo(a.net.SamplePeer(a.id, a.r), &a.voteMsgs[i])
+		}
+		// Under retransmit, later passes re-push the same preallocated
+		// payload to the same declared target — the vote buffer is the
+		// bounded outbox, and items expire when the passes run out.
 		return gossip.PushTo(int(a.intentions[i].Z), &a.voteMsgs[i])
 
 	case PhaseFindMin:
@@ -255,6 +269,22 @@ func (a *Agent) HandlePush(round, from int, p gossip.Payload) {
 		// Votes from peers this agent marked faulty count as 0 (footnote 4).
 		if a.log.Faulty(int32(from)) {
 			return
+		}
+		if a.p.Proto.Variant == ProtocolRetransmit {
+			// Redelivered votes carry their declared slot; keep the first copy
+			// of each (voter, slot) so W matches the single-delivery multiset.
+			// An out-of-range slot is malformed (and would let a deviator grow
+			// the dedup set without bound), so it is discarded like a bad value.
+			if v.Index < 0 || int(v.Index) >= a.p.Q {
+				return
+			}
+			key := uint64(uint32(from))<<32 | uint64(uint32(v.Index))
+			for _, k := range a.seenVotes {
+				if k == key {
+					return
+				}
+			}
+			a.seenVotes = append(a.seenVotes, key)
 		}
 		a.w = append(a.w, WEntry{Voter: int32(from), Value: v.Value})
 

@@ -47,13 +47,67 @@ const DefaultGamma = 3.0
 // AsyncAgent).
 const DefaultAsyncGamma = 6.0
 
+// ProtocolVariant selects how the Voting/Verification pair trades the
+// paper's binding-declaration property for delivery robustness. The empty
+// string and ProtocolBaseline both mean Algorithm 1 unchanged.
+type ProtocolVariant string
+
+// The protocol variants. Every variant keeps the five-phase schedule and the
+// fair-lottery structure (k = Σ W mod m over the minimum certificate); they
+// differ only in how votes travel and how strictly W is checked against Lᵤ.
+const (
+	// ProtocolBaseline is Algorithm 1 exactly as the paper states it.
+	ProtocolBaseline ProtocolVariant = "baseline"
+	// ProtocolLiveRetarget re-samples each vote's target from the *current*
+	// neighbor set at send time instead of honoring the target declared up to
+	// 2q rounds earlier. Declared values stay binding: verification checks
+	// that a known voter's votes in W are a sub-multiset of its declared
+	// values (any target), and drops the missing-vote direction — a vote may
+	// legitimately have landed elsewhere. Trades the anti-vote-dropping
+	// guarantee for tolerance of edge churn and mid-Voting crashes, at zero
+	// message overhead.
+	ProtocolLiveRetarget ProtocolVariant = "live-retarget"
+	// ProtocolRetransmit keeps bindings strict but sends every vote Passes
+	// times: the Voting phase becomes Passes sub-phases of q rounds, and pass
+	// p re-pushes vote i (same value, same declared target) at round
+	// q + p·q + i. The preallocated vote buffer is the bounded outbox and
+	// Passes is the per-item TTL, after which the item silently expires —
+	// the SNIPPETS median-counter shape. Receivers dedup redeliveries by
+	// (voter, slot), so W and strict verification are unchanged in the
+	// fault-free case. Costs ≈ Passes× the Voting pushes.
+	ProtocolRetransmit ProtocolVariant = "retransmit"
+	// ProtocolRelaxed keeps Algorithm 1's schedule and bindings but accepts a
+	// certificate when at least MinVotes of the q per-voter checks pass:
+	// verification counts inconsistent voters (altered, extra, or missing
+	// votes — one violation per voter) and rejects only when they exceed
+	// q − MinVotes. Trades detection slack (a cheating winner may drop up to
+	// q − MinVotes voters' votes undetected) for loss tolerance, at zero
+	// message overhead.
+	ProtocolRelaxed ProtocolVariant = "relaxed"
+)
+
+// MaxVotingPasses bounds ProtocolRetransmit's TTL: the schedule grows by q
+// rounds per pass, and past a handful of redeliveries the remaining failure
+// modes (quiescent targets, spurious faulty marks) are ones retransmission
+// cannot fix anyway.
+const MaxVotingPasses = 8
+
+// Protocol fixes the variant an instance runs. The zero value is the
+// baseline. It is all-scalar so Params stays comparable.
+type Protocol struct {
+	Variant  ProtocolVariant
+	Passes   int // ProtocolRetransmit: total sends per vote (the per-item TTL)
+	MinVotes int // ProtocolRelaxed: per-voter checks that must pass, in [1, q]
+}
+
 // Params fixes one protocol instance. Build with NewParams.
 type Params struct {
-	N         int     // number of nodes (active + faulty)
-	NumColors int     // |Σ|; colors are 0..NumColors-1
-	Gamma     float64 // phase-length constant γ
-	Q         int     // rounds per phase: ⌈γ·log₂ n⌉, at least 1
-	M         uint64  // vote space size: n³
+	N         int      // number of nodes (active + faulty)
+	NumColors int      // |Σ|; colors are 0..NumColors-1
+	Gamma     float64  // phase-length constant γ
+	Q         int      // rounds per phase: ⌈γ·log₂ n⌉, at least 1
+	M         uint64   // vote space size: n³
+	Proto     Protocol // protocol variant; zero value = baseline
 
 	// Precomputed wire widths.
 	voteBits   int // bits to encode a value in [1, m]
@@ -103,9 +157,61 @@ func MustParams(n, numColors int, gamma float64) Params {
 	return p
 }
 
-// TotalRounds is the protocol's running time: four communicating phases of Q
-// rounds plus the local verification round.
-func (p Params) TotalRounds() int { return 4*p.Q + 1 }
+// WithProtocol validates proto and returns a copy of p running that variant.
+// The baseline (explicit or empty) normalizes to the zero Protocol, so two
+// ways of spelling "no variant" yield equal Params. Retransmit's Passes
+// defaults to 2 when unset; Relaxed's MinVotes must be explicit — a silent
+// default would silently weaken verification.
+func (p Params) WithProtocol(proto Protocol) (Params, error) {
+	switch proto.Variant {
+	case "", ProtocolBaseline:
+		if proto.Passes != 0 || proto.MinVotes != 0 {
+			return p, fmt.Errorf("core: protocol parameters (passes=%d, minVotes=%d) need a variant", proto.Passes, proto.MinVotes)
+		}
+		p.Proto = Protocol{}
+	case ProtocolLiveRetarget:
+		if proto.Passes != 0 || proto.MinVotes != 0 {
+			return p, fmt.Errorf("core: live-retarget takes no parameters")
+		}
+		p.Proto = Protocol{Variant: ProtocolLiveRetarget}
+	case ProtocolRetransmit:
+		if proto.MinVotes != 0 {
+			return p, fmt.Errorf("core: minVotes belongs to the relaxed variant, not retransmit")
+		}
+		if proto.Passes == 0 {
+			proto.Passes = 2
+		}
+		if proto.Passes < 2 || proto.Passes > MaxVotingPasses {
+			return p, fmt.Errorf("core: retransmit passes %d outside [2, %d]", proto.Passes, MaxVotingPasses)
+		}
+		p.Proto = Protocol{Variant: ProtocolRetransmit, Passes: proto.Passes}
+	case ProtocolRelaxed:
+		if proto.Passes != 0 {
+			return p, fmt.Errorf("core: passes belongs to the retransmit variant, not relaxed")
+		}
+		if proto.MinVotes < 1 || proto.MinVotes > p.Q {
+			return p, fmt.Errorf("core: relaxed minVotes %d outside [1, q] (q = %d)", proto.MinVotes, p.Q)
+		}
+		p.Proto = Protocol{Variant: ProtocolRelaxed, MinVotes: proto.MinVotes}
+	default:
+		return p, fmt.Errorf("core: unknown protocol variant %q", proto.Variant)
+	}
+	return p, nil
+}
+
+// votingPasses is how many times the Voting phase repeats its q-round
+// push schedule: 1 everywhere except under ProtocolRetransmit.
+func (p Params) votingPasses() int {
+	if p.Proto.Variant == ProtocolRetransmit && p.Proto.Passes > 1 {
+		return p.Proto.Passes
+	}
+	return 1
+}
+
+// TotalRounds is the protocol's running time: the Commitment, Find-Min and
+// Coherence phases of Q rounds each, a Voting phase of votingPasses·Q rounds
+// (Q except under retransmit), plus the local verification round.
+func (p Params) TotalRounds() int { return (3+p.votingPasses())*p.Q + 1 }
 
 // Phase identifies the protocol phase a given round belongs to.
 type Phase int
@@ -137,19 +243,26 @@ func (ph Phase) String() string {
 	}
 }
 
-// PhaseOf maps a global round number to its phase. All agents know n and γ,
-// so the schedule is common knowledge and phases stay aligned.
+// PhaseOf maps a global round number to its phase. All agents know n, γ and
+// the protocol variant, so the schedule is common knowledge and phases stay
+// aligned — including the retransmit variant's longer Voting phase.
 func (p Params) PhaseOf(round int) Phase {
+	voting := p.votingPasses() * p.Q
 	switch {
 	case round < p.Q:
 		return PhaseCommitment
-	case round < 2*p.Q:
+	case round < p.Q+voting:
 		return PhaseVoting
-	case round < 3*p.Q:
+	case round < 2*p.Q+voting:
 		return PhaseFindMin
-	case round < 4*p.Q:
+	case round < 3*p.Q+voting:
 		return PhaseCoherence
 	default:
 		return PhaseVerification
 	}
 }
+
+// votingSlot maps a Voting-phase round to the intention index pushed that
+// round: pass p of the (possibly repeated) schedule pushes vote i at round
+// q + p·q + i, so the slot is simply the position within the current pass.
+func (p Params) votingSlot(round int) int { return (round - p.Q) % p.Q }

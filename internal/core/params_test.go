@@ -82,6 +82,104 @@ func TestPhaseOfBoundaries(t *testing.T) {
 	}
 }
 
+func TestWithProtocolValidation(t *testing.T) {
+	p := MustParams(16, 2, 1) // Q = 4
+	cases := []struct {
+		name  string
+		proto Protocol
+		ok    bool
+	}{
+		{"zero value", Protocol{}, true},
+		{"explicit baseline", Protocol{Variant: ProtocolBaseline}, true},
+		{"baseline stray passes", Protocol{Passes: 2}, false},
+		{"baseline stray minVotes", Protocol{MinVotes: 2}, false},
+		{"live-retarget", Protocol{Variant: ProtocolLiveRetarget}, true},
+		{"live-retarget stray param", Protocol{Variant: ProtocolLiveRetarget, Passes: 2}, false},
+		{"retransmit default passes", Protocol{Variant: ProtocolRetransmit}, true},
+		{"retransmit explicit passes", Protocol{Variant: ProtocolRetransmit, Passes: MaxVotingPasses}, true},
+		{"retransmit passes too large", Protocol{Variant: ProtocolRetransmit, Passes: MaxVotingPasses + 1}, false},
+		{"retransmit passes too small", Protocol{Variant: ProtocolRetransmit, Passes: 1}, false},
+		{"retransmit stray minVotes", Protocol{Variant: ProtocolRetransmit, MinVotes: 2}, false},
+		{"relaxed", Protocol{Variant: ProtocolRelaxed, MinVotes: 4}, true},
+		{"relaxed minVotes floor", Protocol{Variant: ProtocolRelaxed, MinVotes: 1}, true},
+		{"relaxed minVotes missing", Protocol{Variant: ProtocolRelaxed}, false},
+		{"relaxed minVotes over q", Protocol{Variant: ProtocolRelaxed, MinVotes: 5}, false},
+		{"relaxed stray passes", Protocol{Variant: ProtocolRelaxed, MinVotes: 2, Passes: 2}, false},
+		{"unknown variant", Protocol{Variant: "paxos"}, false},
+	}
+	for _, c := range cases {
+		got, err := p.WithProtocol(c.proto)
+		if (err == nil) != c.ok {
+			t.Errorf("%s: WithProtocol(%+v) err = %v, want ok=%v", c.name, c.proto, err, c.ok)
+			continue
+		}
+		if !c.ok {
+			continue
+		}
+		switch c.proto.Variant {
+		case "", ProtocolBaseline:
+			if got.Proto != (Protocol{}) {
+				t.Errorf("%s: baseline not normalized to the zero value: %+v", c.name, got.Proto)
+			}
+		case ProtocolRetransmit:
+			if got.Proto.Passes < 2 {
+				t.Errorf("%s: retransmit passes not defaulted: %+v", c.name, got.Proto)
+			}
+		}
+	}
+}
+
+// TestVariantSchedule pins the retransmit schedule arithmetic: the Voting
+// phase repeats its q-round push schedule Passes times, everything after it
+// shifts, and the baseline schedule (and every other variant's) stays at
+// 4q+1 rounds exactly as the paper defines it.
+func TestVariantSchedule(t *testing.T) {
+	base := MustParams(16, 2, 1) // Q = 4
+	if got := base.TotalRounds(); got != 17 {
+		t.Fatalf("baseline TotalRounds = %d, want 17", got)
+	}
+	lr, err := base.WithProtocol(Protocol{Variant: ProtocolLiveRetarget})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := lr.TotalRounds(); got != 17 {
+		t.Fatalf("live-retarget TotalRounds = %d, want 17 (schedule must not change)", got)
+	}
+	rt, err := base.WithProtocol(Protocol{Variant: ProtocolRetransmit, Passes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := rt.TotalRounds(); got != (3+3)*4+1 {
+		t.Fatalf("retransmit TotalRounds = %d, want %d", got, (3+3)*4+1)
+	}
+	cases := []struct {
+		round int
+		want  Phase
+	}{
+		{0, PhaseCommitment}, {3, PhaseCommitment},
+		{4, PhaseVoting}, {7, PhaseVoting}, // pass 1
+		{8, PhaseVoting}, {11, PhaseVoting}, // pass 2
+		{12, PhaseVoting}, {15, PhaseVoting}, // pass 3
+		{16, PhaseFindMin}, {19, PhaseFindMin},
+		{20, PhaseCoherence}, {23, PhaseCoherence},
+		{24, PhaseVerification}, {100, PhaseVerification},
+	}
+	for _, c := range cases {
+		if got := rt.PhaseOf(c.round); got != c.want {
+			t.Errorf("retransmit PhaseOf(%d) = %v, want %v", c.round, got, c.want)
+		}
+	}
+	// The slot (which intention a voting round pushes) wraps per pass, so
+	// every pass replays the same q declared votes in order.
+	for _, c := range []struct{ round, slot int }{
+		{4, 0}, {7, 3}, {8, 0}, {11, 3}, {12, 0}, {15, 3},
+	} {
+		if got := rt.votingSlot(c.round); got != c.slot {
+			t.Errorf("retransmit votingSlot(%d) = %d, want %d", c.round, got, c.slot)
+		}
+	}
+}
+
 func TestPhaseString(t *testing.T) {
 	for ph, want := range map[Phase]string{
 		PhaseCommitment: "commitment", PhaseVoting: "voting",

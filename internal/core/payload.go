@@ -52,10 +52,22 @@ func (in Intentions) SizeBits() int {
 type Vote struct {
 	P     Params
 	Value uint64
+	// Index is the declared-slot index of this vote, in [0, q). It crosses
+	// the wire only under ProtocolRetransmit, where receivers dedup
+	// redelivered votes by (voter, Index); the other variants ignore it.
+	Index int32
 }
 
-// SizeBits returns the wire size of one vote.
-func (v Vote) SizeBits() int { return v.P.headerBits + v.P.voteBits }
+// SizeBits returns the wire size of one vote. Retransmit votes additionally
+// carry their slot index, so redeliveries are distinguishable from a voter
+// legitimately pushing the same value twice to one target.
+func (v Vote) SizeBits() int {
+	bits := v.P.headerBits + v.P.voteBits
+	if v.P.Proto.Variant == ProtocolRetransmit {
+		bits += v.P.indexBits
+	}
+	return bits
+}
 
 // IntentQuery asks a peer for its vote-intention list (Commitment phase).
 type IntentQuery struct{ P Params }

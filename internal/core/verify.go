@@ -101,6 +101,22 @@ func (l *CommitmentLog) appendExpectedVotesFor(voter, target int32, buf []uint64
 	return buf
 }
 
+// appendDeclaredValues appends the sorted multiset of every value voter
+// declared, regardless of target — the expectation live-retarget verification
+// checks against, where targets are advisory but values stay binding. A
+// faulty-marked voter commits to nothing.
+func (l *CommitmentLog) appendDeclaredValues(voter int32, buf []uint64) []uint64 {
+	if l.faulty[voter] {
+		return buf
+	}
+	start := len(buf)
+	for _, in := range l.declared[voter] {
+		buf = append(buf, in.H)
+	}
+	slices.Sort(buf[start:])
+	return buf
+}
+
 // The common rejection reasons are pre-declared sentinels rather than
 // formatted errors: under message loss, mid-voting crashes, or edge churn,
 // *every* verifier in a failing run takes one of these paths, so a formatted
@@ -122,6 +138,9 @@ var (
 	// unfulfilled declarations (lost messages, dead edges, mid-voting
 	// crashes) trigger in honest runs.
 	ErrMissingVotes = errors.New("verify: W omits a voter's committed votes")
+	// ErrTooManyViolations rejects a relaxed-verification certificate whose
+	// count of inconsistent voters exceeds the q − MinVotes slack.
+	ErrTooManyViolations = errors.New("verify: inconsistent voters exceed the relaxed-verification slack")
 )
 
 // VerifyCertificate implements the Verification phase of Algorithm 1: it
@@ -140,6 +159,18 @@ var (
 // cheating winner from dropping votes to lower its k (Claim 1 in the paper's
 // Theorem 7 proof relies on some honest agent holding the dropped voter's
 // commitment).
+//
+// The protocol variants relax exactly step 3, never steps 1–2:
+//
+//   - ProtocolLiveRetarget checks that a known voter's votes in W form a
+//     sub-multiset of that voter's declared values for *any* target, and
+//     skips the missing-vote direction entirely — a vote absent from W may
+//     legitimately have been retargeted elsewhere.
+//   - ProtocolRelaxed keeps the strict per-voter checks but counts violating
+//     voters (mismatched or missing — one violation each) and rejects only
+//     when they exceed q − MinVotes.
+//   - ProtocolRetransmit verifies strictly: receivers dedup redeliveries, so
+//     W has baseline semantics.
 //
 // A nil error means the verifier supports cert.Color; any error means the
 // verifier makes the protocol fail.
@@ -182,6 +213,12 @@ func verifyCertificate(p Params, cert *Certificate, log *CommitmentLog, sc *veri
 	// Group W's values by voter: sort a copy by (voter, value) and walk the
 	// runs. The sorted copy and the expectation buffer both come from the
 	// caller's scratch, so a pooled verifier allocates nothing here.
+	// ProtocolRelaxed tallies violating voters instead of rejecting on the
+	// first one; the count is order-independent, so the map iteration below
+	// stays deterministic in outcome.
+	retarget := p.Proto.Variant == ProtocolLiveRetarget
+	relaxed := p.Proto.Variant == ProtocolRelaxed
+	violations := 0
 	w := append(sc.w[:0], cert.W...)
 	sc.w = w
 	sortWEntries(w)
@@ -194,24 +231,59 @@ func verifyCertificate(p Params, cert *Certificate, log *CommitmentLog, sc *veri
 		if log.Known(voter) {
 			// Run values are ascending (sortWEntries orders by value within a
 			// voter), matching the sorted expectation list.
-			sc.exp = log.appendExpectedVotesFor(voter, cert.Owner, sc.exp[:0])
-			if !runEqualsSorted(w[i:j], sc.exp) {
-				return ErrVoteMismatch
+			var ok bool
+			if retarget {
+				sc.exp = log.appendDeclaredValues(voter, sc.exp[:0])
+				ok = runSubsetSorted(w[i:j], sc.exp)
+			} else {
+				sc.exp = log.appendExpectedVotesFor(voter, cert.Owner, sc.exp[:0])
+				ok = runEqualsSorted(w[i:j], sc.exp)
+			}
+			if !ok {
+				if !relaxed {
+					return ErrVoteMismatch
+				}
+				violations++
 			}
 		}
 		i = j
 	}
 	// Voters the verifier knows about but that are absent from W must have
-	// committed no votes for the owner.
-	for voter := range log.declared {
-		if hasVoter(w, voter) {
-			continue // already checked above
-		}
-		if sc.exp = log.appendExpectedVotesFor(voter, cert.Owner, sc.exp[:0]); len(sc.exp) > 0 {
-			return ErrMissingVotes
+	// committed no votes for the owner. Live-retarget skips this direction:
+	// with advisory targets, an absent vote may have landed at another peer.
+	if !retarget {
+		for voter := range log.declared {
+			if hasVoter(w, voter) {
+				continue // already checked above
+			}
+			if sc.exp = log.appendExpectedVotesFor(voter, cert.Owner, sc.exp[:0]); len(sc.exp) > 0 {
+				if !relaxed {
+					return ErrMissingVotes
+				}
+				violations++
+			}
 		}
 	}
+	if relaxed && violations > p.Q-p.Proto.MinVotes {
+		return ErrTooManyViolations
+	}
 	return nil
+}
+
+// runSubsetSorted reports whether a (value-ascending) run of W entries is a
+// sub-multiset of the sorted expectation list, by two-pointer merge.
+func runSubsetSorted(run []WEntry, expected []uint64) bool {
+	j := 0
+	for _, e := range run {
+		for j < len(expected) && expected[j] < e.Value {
+			j++
+		}
+		if j >= len(expected) || expected[j] != e.Value {
+			return false
+		}
+		j++
+	}
+	return true
 }
 
 // runEqualsSorted compares a (value-ascending) run of W entries against a

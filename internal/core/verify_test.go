@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"testing"
 
 	"repro/internal/rng"
@@ -205,6 +206,143 @@ func TestVerifyRejectsStructuralJunk(t *testing.T) {
 		if err := VerifyCertificate(p, c, log); err == nil {
 			t.Errorf("structural junk %q accepted", name)
 		}
+	}
+}
+
+// withVariant derives variant params or fails the test.
+func withVariant(t *testing.T, p Params, proto Protocol) Params {
+	t.Helper()
+	vp, err := p.WithProtocol(proto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return vp
+}
+
+// TestVerifyLiveRetargetAcceptsRetargetedVotes pins the sub-multiset rule:
+// under live-retarget a vote's declared target is advisory, so a vote whose
+// value was declared for a *different* target is consistent — exactly the
+// certificate shape the baseline rejects as an extra undeclared vote.
+func TestVerifyLiveRetargetAcceptsRetargetedVotes(t *testing.T) {
+	p := MustParams(8, 2, 1)
+	cert, log := buildHonestCert(t, p)
+	// Voter 3's second intent was declared for another target; a re-sampled
+	// push may legitimately land it at the owner.
+	intents, _ := log.Declared(3)
+	var other uint64
+	for _, in := range intents {
+		if in.Z != cert.Owner {
+			other = in.H
+		}
+	}
+	cert.W = append(cert.W, WEntry{Voter: 3, Value: other})
+	cert.K = SumVotesMod(cert.W, p.M)
+	if err := VerifyCertificate(p, cert, log); err == nil {
+		t.Fatal("baseline accepted a retargeted vote")
+	}
+	lr := withVariant(t, p, Protocol{Variant: ProtocolLiveRetarget})
+	if err := VerifyCertificate(lr, cert, log); err != nil {
+		t.Fatalf("live-retarget rejected a retargeted declared vote: %v", err)
+	}
+}
+
+// TestVerifyLiveRetargetRejectsUndeclaredValue pins that values stay binding
+// even when targets do not: a vote value the voter never declared for any
+// target still rejects.
+func TestVerifyLiveRetargetRejectsUndeclaredValue(t *testing.T) {
+	p := MustParams(8, 2, 1)
+	lr := withVariant(t, p, Protocol{Variant: ProtocolLiveRetarget})
+	cert, log := buildHonestCert(t, p)
+	cert.W = append(cert.W, WEntry{Voter: 3, Value: 424242 % p.M})
+	cert.K = SumVotesMod(cert.W, p.M)
+	if err := VerifyCertificate(lr, cert, log); !errors.Is(err, ErrVoteMismatch) {
+		t.Fatalf("undeclared value under live-retarget: err = %v, want ErrVoteMismatch", err)
+	}
+}
+
+// TestVerifyLiveRetargetSkipsMissingVotes pins the dropped check: a declaring
+// voter absent from W is fine under live-retarget (the vote may have landed
+// elsewhere), while the baseline must keep rejecting it.
+func TestVerifyLiveRetargetSkipsMissingVotes(t *testing.T) {
+	p := MustParams(8, 2, 1)
+	cert, log := buildHonestCert(t, p)
+	cert.W = cert.W[1:] // drop voter 3's only vote for the owner
+	cert.K = SumVotesMod(cert.W, p.M)
+	if err := VerifyCertificate(p, cert, log); !errors.Is(err, ErrMissingVotes) {
+		t.Fatalf("baseline: err = %v, want ErrMissingVotes", err)
+	}
+	lr := withVariant(t, p, Protocol{Variant: ProtocolLiveRetarget})
+	if err := VerifyCertificate(lr, cert, log); err != nil {
+		t.Fatalf("live-retarget rejected an absent (retargeted) voter: %v", err)
+	}
+}
+
+// TestVerifyLiveRetargetRejectsFaultyVoter pins that the faulty-voter rule
+// survives the relaxation: a faulty-marked voter commits to nothing, so any
+// vote from it fails the sub-multiset check.
+func TestVerifyLiveRetargetRejectsFaultyVoter(t *testing.T) {
+	p := MustParams(8, 2, 1)
+	lr := withVariant(t, p, Protocol{Variant: ProtocolLiveRetarget})
+	cert, log := buildHonestCert(t, p)
+	log.MarkFaulty(7)
+	cert.W = append(cert.W, WEntry{Voter: 7, Value: 55})
+	cert.K = SumVotesMod(cert.W, p.M)
+	if err := VerifyCertificate(lr, cert, log); !errors.Is(err, ErrVoteMismatch) {
+		t.Fatalf("vote from faulty-marked voter under live-retarget: err = %v, want ErrVoteMismatch", err)
+	}
+}
+
+// TestVerifyRelaxedToleratesBoundedViolations pins the k-of-q rule: with
+// MinVotes = q − 2, up to two violating voters (missing or mismatched) are
+// tolerated and the third rejects with the typed sentinel.
+func TestVerifyRelaxedToleratesBoundedViolations(t *testing.T) {
+	p := MustParams(32, 4, 1) // Q = 5
+	if p.Q != 5 {
+		t.Fatalf("Q = %d, want 5", p.Q)
+	}
+	rx := withVariant(t, p, Protocol{Variant: ProtocolRelaxed, MinVotes: p.Q - 2})
+	drop := func(violations int) error {
+		cert, log := buildHonestCert(t, p)
+		// Voters 3..5 hold one committed vote each for the owner; dropping a
+		// voter's entry from W is one missing-votes violation.
+		cert.W = cert.W[violations:]
+		cert.K = SumVotesMod(cert.W, p.M)
+		return VerifyCertificate(rx, cert, log)
+	}
+	for _, v := range []int{0, 1, 2} {
+		if err := drop(v); err != nil {
+			t.Errorf("relaxed with %d violations (slack 2) rejected: %v", v, err)
+		}
+	}
+	if err := drop(3); !errors.Is(err, ErrTooManyViolations) {
+		t.Errorf("relaxed with 3 violations (slack 2): err = %v, want ErrTooManyViolations", err)
+	}
+	// A mismatched vote counts exactly like a missing one.
+	cert, log := buildHonestCert(t, p)
+	cert.W[0].Value = cert.W[0].Value%p.M + 1
+	cert.K = SumVotesMod(cert.W, p.M)
+	if err := VerifyCertificate(rx, cert, log); err != nil {
+		t.Errorf("relaxed with 1 mismatch violation rejected: %v", err)
+	}
+	if err := VerifyCertificate(p, cert, log); err == nil {
+		t.Error("baseline accepted an altered vote")
+	}
+}
+
+// TestVerifyRetransmitStaysStrict pins that retransmission changes delivery,
+// not judgment: the verifier under retransmit params behaves exactly like
+// the baseline.
+func TestVerifyRetransmitStaysStrict(t *testing.T) {
+	p := MustParams(8, 2, 1)
+	rt := withVariant(t, p, Protocol{Variant: ProtocolRetransmit, Passes: 3})
+	cert, log := buildHonestCert(t, p)
+	if err := VerifyCertificate(rt, cert, log); err != nil {
+		t.Fatalf("honest certificate rejected under retransmit: %v", err)
+	}
+	cert.W[0].Value = cert.W[0].Value%p.M + 1
+	cert.K = SumVotesMod(cert.W, p.M)
+	if err := VerifyCertificate(rt, cert, log); !errors.Is(err, ErrVoteMismatch) {
+		t.Fatalf("altered vote under retransmit: err = %v, want ErrVoteMismatch", err)
 	}
 }
 

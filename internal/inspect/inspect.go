@@ -27,8 +27,11 @@ func Report(w io.Writer, res core.RunResult) {
 
 	fmt.Fprintf(w, "Protocol P execution — n=%d |Σ|=%d γ=%.1f q=%d m=%d\n",
 		p.N, p.NumColors, p.Gamma, p.Q, p.M)
+	// The Voting phase spans more than q rounds under the retransmit variant;
+	// recover its end from the total schedule length instead of assuming 4q+1.
+	votingEnd := p.TotalRounds() - 1 - 2*p.Q
 	fmt.Fprintf(w, "schedule: commitment [0,%d) voting [%d,%d) find-min [%d,%d) coherence [%d,%d) verify @%d\n\n",
-		p.Q, p.Q, 2*p.Q, 2*p.Q, 3*p.Q, 3*p.Q, 4*p.Q, 4*p.Q)
+		p.Q, p.Q, votingEnd, votingEnd, votingEnd+p.Q, votingEnd+p.Q, votingEnd+2*p.Q, votingEnd+2*p.Q)
 
 	// Voting-Intention + Voting phase digest.
 	fmt.Fprintln(w, "== Voting (declared intentions → votes received) ==")

@@ -107,6 +107,21 @@ func init() {
 			Dynamics: Dynamics{Kind: DynamicsDRegular, Degree: 8}},
 		{Name: "geometric-torus", N: 256, Colors: 2, Seed: 1,
 			Dynamics: Dynamics{Kind: DynamicsGeometric, Degree: 12, Jitter: 0.01}},
+		// Protocol variants, each paired with the adversity it targets. The
+		// live-retarget run repeats "edge-markovian" (which collapses under
+		// the baseline protocol) with advisory vote targets; the relaxed run
+		// repeats "lossy-links" (baseline success 0%) with a 20-of-24
+		// verification threshold; the retransmit run repeats it with a
+		// 3-pass TTL, measuring what redelivery alone buys against loss.
+		{Name: "live-retarget-churn", N: 128, Colors: 2, Seed: 1,
+			Dynamics: Dynamics{Kind: DynamicsEdgeMarkovian, Birth: 0.02, Death: 0.1},
+			Protocol: Protocol{Variant: ProtocolLiveRetarget}},
+		{Name: "retransmit-lossy", N: 256, Colors: 2, Seed: 1,
+			Fault:    FaultModel{Drop: 0.05},
+			Protocol: Protocol{Variant: ProtocolRetransmit, TTL: 3}},
+		{Name: "relaxed-lossy", N: 256, Colors: 2, Seed: 1,
+			Fault:    FaultModel{Drop: 0.05},
+			Protocol: Protocol{Variant: ProtocolRelaxed, MinVotes: 20}},
 	} {
 		MustRegister(s)
 	}

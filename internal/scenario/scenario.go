@@ -149,6 +149,49 @@ type Dynamics struct {
 // value and the explicit "none").
 func (d Dynamics) Active() bool { return d.Kind != "" && d.Kind != DynamicsNone }
 
+// ProtocolVariant names a protocol variant (see core.ProtocolVariant).
+type ProtocolVariant string
+
+// Supported protocol variants. The baseline is the paper's Algorithm 1; the
+// other three trade the binding-declaration property for delivery robustness
+// in different ways (see the core package for the exact semantics).
+const (
+	// ProtocolBaseline runs Algorithm 1 unchanged — the default.
+	ProtocolBaseline ProtocolVariant = "baseline"
+	// ProtocolLiveRetarget re-samples vote targets from the current neighbor
+	// set at send time; declared values stay binding, targets are advisory,
+	// and verification drops the missing-vote direction.
+	ProtocolLiveRetarget ProtocolVariant = "live-retarget"
+	// ProtocolRetransmit re-pushes every vote to its declared target TTL
+	// times in TTL voting passes of q rounds each (receivers dedup), keeping
+	// strict verification at ≈ TTL× the voting message cost.
+	ProtocolRetransmit ProtocolVariant = "retransmit"
+	// ProtocolRelaxed accepts certificates with at least MinVotes of the q
+	// per-voter consistency checks passing (k-of-q verification).
+	ProtocolRelaxed ProtocolVariant = "relaxed"
+)
+
+// Protocol selects the protocol variant a scenario runs and its parameters.
+// The zero value (and the explicit baseline) is Algorithm 1 unchanged. Like
+// Dynamics, each variant accepts exactly its own parameters; stray fields are
+// rejected so the canonical wire form stays unique.
+type Protocol struct {
+	// Variant names the protocol variant; "" defaults to baseline.
+	Variant ProtocolVariant
+	// TTL is the total number of times each vote is sent under
+	// ProtocolRetransmit, in [2, core.MaxVotingPasses]; 0 defaults to 2.
+	// The schedule grows to (3+TTL)·q+1 rounds. ProtocolRetransmit only.
+	TTL int
+	// MinVotes is the per-voter check threshold under ProtocolRelaxed, in
+	// [1, q]; it must be explicit — a default would silently weaken
+	// verification. ProtocolRelaxed only.
+	MinVotes int
+}
+
+// Active reports whether p names a real variant (anything but the zero value
+// and the explicit baseline).
+func (p Protocol) Active() bool { return p.Variant != "" && p.Variant != ProtocolBaseline }
+
 // FaultModel describes which nodes misbehave and how, plus the link-level
 // loss model.
 type FaultModel struct {
@@ -199,6 +242,12 @@ type Scenario struct {
 	// evolving process (see Dynamics); the zero value keeps the static
 	// Topology. Only supported under the sync scheduler, without coalitions.
 	Dynamics Dynamics
+	// Protocol optionally selects a protocol variant that trades the binding
+	// declarations of Algorithm 1 for delivery robustness (see Protocol); the
+	// zero value runs the paper's protocol unchanged. Only supported under
+	// the sync scheduler, without coalitions — faults, loss, and dynamics
+	// are allowed (tolerating them is the point of the variants).
+	Protocol Protocol
 	// Fault is the fault model; the zero value means fault-free.
 	Fault FaultModel
 	// Scheduler is sync or async; "" = sync.
@@ -251,6 +300,12 @@ func (s Scenario) WithDefaults() Scenario {
 	}
 	if s.Dynamics.Kind == "" {
 		s.Dynamics.Kind = DynamicsNone
+	}
+	if s.Protocol.Variant == "" {
+		s.Protocol.Variant = ProtocolBaseline
+	}
+	if s.Protocol.Variant == ProtocolRetransmit && s.Protocol.TTL == 0 {
+		s.Protocol.TTL = 2
 	}
 	if s.Fault.Kind == "" {
 		s.Fault.Kind = FaultNone
@@ -400,6 +455,51 @@ func (s Scenario) Validate() error {
 			return fmt.Errorf("scenario: coalition runs do not support dynamic topologies")
 		}
 	}
+	// Like dynamics, each protocol variant accepts exactly its own
+	// parameters; a stray TTL or min-votes is a silent misconfiguration
+	// (most likely a document that named the wrong variant) and rejecting it
+	// keeps the canonical wire form unique.
+	switch s.Protocol.Variant {
+	case ProtocolBaseline:
+		if s.Protocol.TTL != 0 || s.Protocol.MinVotes != 0 {
+			return fmt.Errorf("scenario: protocol parameters need a variant (live-retarget|retransmit|relaxed)")
+		}
+	case ProtocolLiveRetarget:
+		if s.Protocol.TTL != 0 || s.Protocol.MinVotes != 0 {
+			return fmt.Errorf("scenario: the live-retarget protocol takes no parameters")
+		}
+	case ProtocolRetransmit:
+		if s.Protocol.MinVotes != 0 {
+			return fmt.Errorf("scenario: min-votes belongs to the relaxed protocol, not retransmit")
+		}
+		if s.Protocol.TTL < 2 || s.Protocol.TTL > core.MaxVotingPasses {
+			return fmt.Errorf("scenario: retransmit ttl %d outside [2, %d]", s.Protocol.TTL, core.MaxVotingPasses)
+		}
+	case ProtocolRelaxed:
+		if s.Protocol.TTL != 0 {
+			return fmt.Errorf("scenario: ttl belongs to the retransmit protocol, not relaxed")
+		}
+		// q depends on n and γ, both already validated above.
+		p, err := core.NewParams(s.N, s.Colors, s.Gamma)
+		if err != nil {
+			return err
+		}
+		if s.Protocol.MinVotes < 1 || s.Protocol.MinVotes > p.Q {
+			return fmt.Errorf("scenario: relaxed min-votes %d outside [1, q] (q = %d at n = %d, gamma = %g)",
+				s.Protocol.MinVotes, p.Q, s.N, s.Gamma)
+		}
+	default:
+		return fmt.Errorf("scenario: unknown protocol variant %q (baseline|live-retarget|retransmit|relaxed)",
+			s.Protocol.Variant)
+	}
+	if s.Protocol.Active() {
+		if s.Scheduler == SchedulerAsync {
+			return fmt.Errorf("scenario: protocol variants are only supported under the sync scheduler")
+		}
+		if s.Coalition > 0 {
+			return fmt.Errorf("scenario: coalition runs do not support protocol variants")
+		}
+	}
 	switch s.Fault.Kind {
 	case FaultNone:
 	case FaultPermanent, FaultCrash, FaultChurn:
@@ -459,10 +559,20 @@ func permanentFaultCount(s Scenario) int {
 	return int(s.Fault.Alpha * float64(s.N))
 }
 
-// Params derives the protocol parameters of the (defaults-applied) scenario.
+// Params derives the protocol parameters of the (defaults-applied) scenario,
+// including the protocol variant — the single point where the scenario axis
+// reaches the executor.
 func (s Scenario) Params() (core.Params, error) {
 	s = s.WithDefaults()
-	return core.NewParams(s.N, s.Colors, s.Gamma)
+	p, err := core.NewParams(s.N, s.Colors, s.Gamma)
+	if err != nil {
+		return p, err
+	}
+	return p.WithProtocol(core.Protocol{
+		Variant:  core.ProtocolVariant(s.Protocol.Variant),
+		Passes:   s.Protocol.TTL,
+		MinVotes: s.Protocol.MinVotes,
+	})
 }
 
 // colorStreamSalt separates the Zipf color stream from every other use of

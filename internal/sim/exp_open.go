@@ -191,6 +191,10 @@ func RunAll(workers int) []*Table {
 	cs := DefaultChurnScaleOptions()
 	cs.Workers = workers
 	tables = append(tables, RunE13ChurnAtScale(cs)...)
+
+	pv := DefaultProtocolOptions()
+	pv.Workers = workers
+	tables = append(tables, RunE14ProtocolVariants(pv)...)
 	return tables
 }
 
@@ -244,5 +248,9 @@ func RunAllQuick(workers int) []*Table {
 	cs := QuickChurnScaleOptions()
 	cs.Workers = workers
 	tables = append(tables, RunE13ChurnAtScale(cs)...)
+
+	pv := QuickProtocolOptions()
+	pv.Workers = workers
+	tables = append(tables, RunE14ProtocolVariants(pv)...)
 	return tables
 }

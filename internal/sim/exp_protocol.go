@@ -1,0 +1,175 @@
+package sim
+
+import (
+	"context"
+	"fmt"
+
+	"repro/fairgossip"
+)
+
+// ProtocolOptions configures E14, the protocol-variant tolerance frontier:
+// the three variants of Protocol P (live-retarget, TTL retransmission,
+// k-of-q relaxed verification) against the failure modes E12/T5 showed the
+// baseline cannot survive — message loss, per-round edge churn, and
+// mid-voting crashes.
+type ProtocolOptions struct {
+	N       int
+	Gamma   float64
+	Trials  int
+	Seed    uint64
+	Workers int
+	// TTL is the retransmission pass count of the retransmit rows (0 = 3).
+	TTL int
+	// MinVotesSlack sets the relaxed rows' threshold to q − MinVotesSlack:
+	// each verifier tolerates up to MinVotesSlack per-voter violations
+	// before rejecting (0 = 4).
+	MinVotesSlack int
+}
+
+// DefaultProtocolOptions is the full experiment.
+func DefaultProtocolOptions() ProtocolOptions {
+	return ProtocolOptions{N: 128, Trials: 40, Seed: 14, TTL: 3, MinVotesSlack: 4}
+}
+
+// QuickProtocolOptions is a scaled-down variant for tests.
+func QuickProtocolOptions() ProtocolOptions {
+	return ProtocolOptions{N: 64, Trials: 10, Seed: 14, TTL: 3, MinVotesSlack: 4}
+}
+
+// RunE14ProtocolVariants regenerates E14: success, rounds, and message cost
+// of every protocol variant across the conditions that break the baseline.
+// Each variant trades away a different part of the baseline's binding
+// declarations, so each rescues a different failure mode:
+//
+//   - live-retarget re-samples vote targets from the current neighbor set at
+//     send time, so no vote is addressed to an edge that died since the
+//     Commitment phase — the edge-churn failure mode (E12). It keeps strict
+//     verification otherwise, so message loss (which produces spuriously
+//     faulty-marked voters whose delivered votes then conflict) still kills
+//     it.
+//   - retransmit re-pushes every vote TTL times across TTL voting passes
+//     (receivers dedup by (voter, slot)). Redundancy recovers lost votes but
+//     not lost Commitment-phase pulls: one lost pull marks the pulled peer
+//     faulty, and the strict verifier rejects that peer's delivered votes —
+//     so loss still collapses it while costing ≈ TTL/3 more messages.
+//   - relaxed keeps the baseline's schedule and structural checks but
+//     tolerates up to q − MinVotes per-voter violations, accepting exactly
+//     the bounded collateral damage loss inflicts — the only variant that
+//     survives it.
+//
+// The two crash columns bracket the vulnerability window per variant: a
+// crash in the middle of the Voting phase strands declared-but-unsent votes,
+// which kills the two strict verifiers (baseline, retransmit) but not the
+// two that weaken the missing-vote check (live-retarget never runs it,
+// relaxed tolerates the stranded votes as bounded violations); a crash just
+// after the variant's own last voting round — which is TTL·q rounds later
+// under retransmit — leaves every declaration fulfilled and every variant
+// near 100%.
+func RunE14ProtocolVariants(o ProtocolOptions) []*Table {
+	ttl := o.TTL
+	if ttl == 0 {
+		ttl = 3
+	}
+	slack := o.MinVotesSlack
+	if slack == 0 {
+		slack = 4
+	}
+	// Probe the schedule once per variant: q and the total round count fix
+	// the relaxed threshold (q − slack) and the two crash onsets, which both
+	// depend on where the variant's voting rounds end.
+	probe := fairgossip.MustRunner(fairgossip.Scenario{N: o.N, Colors: 2, Gamma: o.Gamma, Seed: 1}).Params()
+	q := probe.Q
+	minVotes := q - slack
+	if minVotes < 1 {
+		minVotes = 1
+	}
+
+	variants := []struct {
+		label string
+		proto fairgossip.Protocol
+	}{
+		{"baseline", fairgossip.Protocol{}},
+		{"live-retarget", fairgossip.Protocol{Variant: fairgossip.ProtocolLiveRetarget}},
+		{fmt.Sprintf("retransmit ttl=%d", ttl), fairgossip.Protocol{Variant: fairgossip.ProtocolRetransmit, TTL: ttl}},
+		{fmt.Sprintf("relaxed k=%d/%d", minVotes, q), fairgossip.Protocol{Variant: fairgossip.ProtocolRelaxed, MinVotes: minVotes}},
+	}
+
+	type condition struct {
+		label string
+		fault func(votingEnd int) fairgossip.FaultModel
+		dyn   fairgossip.Dynamics
+	}
+	noFault := func(int) fairgossip.FaultModel { return fairgossip.FaultModel{} }
+	churn := func(death float64) fairgossip.Dynamics {
+		// E12's fixed stationary density π = 1/4; only the turnover varies.
+		return fairgossip.Dynamics{Kind: fairgossip.DynamicsEdgeMarkovian, Birth: death / 3, Death: death}
+	}
+	conditions := []condition{
+		{"clean", noFault, fairgossip.Dynamics{}},
+		{"loss 1%", func(int) fairgossip.FaultModel { return fairgossip.FaultModel{Drop: 0.01} }, fairgossip.Dynamics{}},
+		{"loss 5%", func(int) fairgossip.FaultModel { return fairgossip.FaultModel{Drop: 0.05} }, fairgossip.Dynamics{}},
+		{"churn 0.1%/round", noFault, churn(0.001)},
+		{"churn 0.5%/round", noFault, churn(0.005)},
+		{"crash mid-voting", func(int) fairgossip.FaultModel {
+			return fairgossip.FaultModel{Kind: fairgossip.FaultCrash, Alpha: 0.25, Round: q + q/2}
+		}, fairgossip.Dynamics{}},
+		{"crash after voting", func(votingEnd int) fairgossip.FaultModel {
+			return fairgossip.FaultModel{Kind: fairgossip.FaultCrash, Alpha: 0.25, Round: votingEnd}
+		}, fairgossip.Dynamics{}},
+	}
+
+	e14 := &Table{
+		ID: "E14",
+		Title: fmt.Sprintf("Protocol variants at n = %d: tolerance frontier across loss, churn, and crashes",
+			o.N),
+		Columns: []string{"variant", "condition", "success", "mean rounds", "mean msgs", "cost ×", "trials"},
+	}
+	baselineCleanMsgs := 0.0
+	cell := 0
+	for _, v := range variants {
+		// The variant's first Find-Min round: every declared vote (and every
+		// retransmission pass) has been sent by then.
+		vp := fairgossip.MustRunner(fairgossip.Scenario{
+			N: o.N, Colors: 2, Gamma: o.Gamma, Seed: 1, Protocol: v.proto,
+		}).Params()
+		votingEnd := vp.Rounds - 1 - 2*q
+		for _, c := range conditions {
+			succ, rounds, msgs := protocolCell(fairgossip.Scenario{
+				N: o.N, Colors: 2, Gamma: o.Gamma,
+				Fault:    c.fault(votingEnd),
+				Dynamics: c.dyn,
+				Protocol: v.proto,
+				Seed:     ConfigSeed(o.Seed, uint64(cell)),
+				Workers:  o.Workers,
+			}, o.Trials)
+			if baselineCleanMsgs == 0 {
+				baselineCleanMsgs = msgs // first cell is baseline/clean
+			}
+			e14.AddRow(v.label, c.label, Pct(succ), F(rounds), F(msgs), F(msgs/baselineCleanMsgs), I(o.Trials))
+			cell++
+		}
+	}
+	e14.AddNote("cost × is mean messages relative to the baseline clean cell; churn rows share E12's stationary density 1/4, crash rows silence 25%% of nodes from the given round on")
+	e14.AddNote("each variant buys back what its weakened check forgives: relaxed survives 5%% loss (bounded per-voter violations absorb both the lost votes and the spurious faulty-marks loss causes) where every strict verifier is at 0%%; live-retarget survives edge churn (votes go to live current neighbors, no dead-edge drops); retransmit pays ≈ ttl/3 more messages yet still fails under loss — redundancy cannot recover the lost Commitment pulls that poison strict verification, and its 3×-longer binding window makes churn strictly worse")
+	e14.AddNote("the crash columns bracket the vulnerability window: mid-voting crashes strand declared votes, killing the strict verifiers (baseline, retransmit) but not live-retarget (no missing-vote check) or relaxed (stranded votes are bounded violations); crashes after the variant's own last voting round (ttl·q rounds later under retransmit) leave all declarations fulfilled")
+	return []*Table{e14}
+}
+
+// protocolCell runs one (scenario, trials) cell and returns the success
+// rate, mean round count, and mean message count.
+func protocolCell(sc fairgossip.Scenario, trials int) (successRate, meanRounds, meanMsgs float64) {
+	results, err := fairgossip.MustRunner(sc).Trials(context.Background(), trials)
+	if err != nil {
+		panic(err)
+	}
+	succ, rounds, msgs := 0, 0, 0
+	for _, res := range results {
+		if !res.Failed {
+			succ++
+		}
+		rounds += res.Rounds
+		msgs += res.Metrics.Messages
+	}
+	t := float64(trials)
+	return float64(succ) / t, float64(rounds) / t, float64(msgs) / t
+}
