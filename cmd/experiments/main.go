@@ -31,11 +31,19 @@ func main() {
 		quick    = flag.Bool("quick", false, "run scaled-down experiment configurations")
 		workers  = flag.Int("workers", 0, "trial-level parallelism (0 = all CPUs)")
 		only     = flag.String("only", "", "comma-separated table IDs to run (default: all)")
+		listTabs = flag.Bool("list", false, "print every table/figure ID with its description and exit")
 		csv      = flag.Bool("csv", false, "print figure series as CSV blocks")
 		scenName = flag.String("scenario", "", "run a registered scenario instead of the tables (see fairconsensus -list-scenarios)")
 		trials   = flag.Int("trials", 100, "trials for -scenario mode")
 	)
 	flag.Parse()
+
+	if *listTabs {
+		for _, e := range sim.Catalog() {
+			fmt.Printf("%-10s %s\n", strings.Join(e.IDs, ","), e.Line)
+		}
+		return
+	}
 
 	if *scenName != "" {
 		ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -140,16 +148,18 @@ func runSelected(wanted map[string]bool, quick bool, workers int) []*sim.Table {
 	dy := sim.DefaultDynamicsOptions()
 	cs := sim.DefaultChurnScaleOptions()
 	pv := sim.DefaultProtocolOptions()
+	rt := sim.DefaultRuntimeOptions()
 	if quick {
 		perf, fair, faults = sim.QuickPerfOptions(), sim.QuickFairnessOptions(), sim.QuickFaultOptions()
 		eq, abl, bl = sim.QuickEquilibriumOptions(), sim.QuickAblationOptions(), sim.QuickBaselineOptions()
 		tp, as = sim.QuickTopologyOptions(), sim.QuickAsyncOptions()
 		sc, dy, cs = sim.QuickScalingOptions(), sim.QuickDynamicsOptions(), sim.QuickChurnScaleOptions()
-		pv = sim.QuickProtocolOptions()
+		pv, rt = sim.QuickProtocolOptions(), sim.QuickRuntimeOptions()
 	}
 	perf.Workers, fair.Workers, faults.Workers, eq.Workers = workers, workers, workers, workers
 	abl.Workers, bl.Workers, tp.Workers, as.Workers = workers, workers, workers, workers
 	sc.Workers, dy.Workers, cs.Workers, pv.Workers = workers, workers, workers, workers
+	rt.Workers = workers
 
 	add([]string{"T0"}, func() []*sim.Table { return sim.RunT0Predictions(perf) })
 	add([]string{"T1", "F1"}, func() []*sim.Table { return sim.RunT1Rounds(perf) })
@@ -166,5 +176,6 @@ func runSelected(wanted map[string]bool, quick bool, workers int) []*sim.Table {
 	add([]string{"E12"}, func() []*sim.Table { return sim.RunE12Dynamics(dy) })
 	add([]string{"E13"}, func() []*sim.Table { return sim.RunE13ChurnAtScale(cs) })
 	add([]string{"E14"}, func() []*sim.Table { return sim.RunE14ProtocolVariants(pv) })
+	add([]string{"E15"}, func() []*sim.Table { return sim.RunE15Runtime(rt) })
 	return out
 }

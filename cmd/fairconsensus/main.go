@@ -62,6 +62,9 @@ func main() {
 		coalition    = flag.Int("coalition", 0, "coalition size when -deviation is set")
 		list         = flag.Bool("list-deviations", false, "print the deviation library and exit")
 		traceRun     = flag.Bool("trace", false, "print every engine event (use with small -n)")
+		runtimeRun   = flag.Bool("runtime", false, "execute on the goroutine-per-node message-passing runtime and report wall-clock + latency")
+		jitter       = flag.Duration("jitter", 0, "with -runtime: per-message transport delay ceiling (e.g. 200us)")
+		tdrop        = flag.Float64("transport-drop", 0, "with -runtime: transport-level per-message loss rate in [0, 1)")
 	)
 	flag.Parse()
 
@@ -163,6 +166,23 @@ func main() {
 	p := runner.Params()
 	fmt.Printf("protocol P: n=%d |Σ|=%d γ=%.1f q=%d rounds=%d variant=%s topology=%s scheduler=%s fault=%s\n",
 		p.N, p.Colors, p.Gamma, p.Q, p.Rounds, protocolLabel(sc.Protocol), topologyLabel(sc), sc.Scheduler, faultLabel(sc.Fault))
+
+	if *runtimeRun {
+		rep, err := runner.RunLive(context.Background(), fairgossip.LiveOptions{
+			Jitter:        *jitter,
+			TransportDrop: *tdrop,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		res := rep.Result
+		fmt.Printf("outcome: %s in %d rounds\n", outcome(res), res.Rounds)
+		fmt.Printf("communication: %s\n", metrics(res))
+		fmt.Printf("runtime: wall=%v delivered=%d (push=%d vote=%d query=%d reply=%d)\n",
+			rep.WallClock, rep.Delivered, rep.Pushes, rep.Votes, rep.Queries, rep.Replies)
+		fmt.Printf("latency: p50=%v p99=%v max=%v\n", rep.LatencyP50, rep.LatencyP99, rep.LatencyMax)
+		return
+	}
 
 	res, err := runScenario(runner, sc, *traceRun)
 	if err != nil {

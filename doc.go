@@ -62,6 +62,22 @@
 // utilities, coalitions, and the deviation library; internal/baseline holds
 // the LOCAL-model election, HP polling, and naive ablation comparators.
 //
+// Runtime layer. internal/runtime is the message-passing counterpart of the
+// engine layer: one goroutine per node, each draining a typed bounded
+// mailbox (backpressure by blocking send), with deliveries crossing a
+// pluggable Conduit — the deterministic in-process channel transport, or a
+// fault-injecting wrapper adding seed-derived per-message drop and latency
+// jitter below the protocol's own fault model. A round-barrier coordinator
+// drives the nodes in lockstep through the same core.PrepareRun state the
+// simulator uses and draws the shared loss stream in the simulator's
+// delivery order, so the runtime is transcript-equivalent to the simulator:
+// byte-identical trace transcripts and identical results for the same seed
+// (pinned across every builtin scenario, including dynamic graphs and all
+// three protocol variants). What it adds is what simulation cannot measure —
+// wall-clock convergence and streaming per-message latency quantiles
+// (metrics.Live, stats.QuantileSketch) — surfaced publicly as
+// fairgossip.RunLive, `fairconsensus -runtime`, and the E15 table.
+//
 // Scenario layer. internal/scenario is the execution home of the
 // declarative front door fairgossip re-exports: the Scenario struct, the
 // registry (scenarios are stored defaults-applied at Register time), and
@@ -83,12 +99,12 @@
 // state, and CI gates `go test -bench=ScenarioRunnerBatch` against the
 // committed BENCH_BASELINE.json via cmd/benchdiff.
 //
-// Supporting substrates: internal/sim (experiment tables T0–T8, E9–E14,
+// Supporting substrates: internal/sim (experiment tables T0–T8, E9–E15,
 // built on the public API), internal/topo (static graphs and dynamic
 // graph processes), internal/rng (splittable
 // xoshiro256**), internal/stats (streaming Welford moments, counting-
-// histogram medians), internal/metrics, internal/par, internal/trace,
-// internal/wire.
+// histogram medians, exponential-bucket quantile sketches), internal/metrics,
+// internal/par, internal/trace, internal/wire.
 //
 // Entry points: cmd/serve (HTTP front end), cmd/fairconsensus (single runs;
 // -scenario by name, -scenario-json documents, -dump-scenario canonical

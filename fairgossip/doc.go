@@ -79,6 +79,24 @@
 // always safe to retain. Summary folds results into the aggregate the HTTP
 // front end (cmd/serve) reports.
 //
+// # Simulator vs runtime
+//
+// Run, Trials, and Stream execute on the round-loop simulator: one
+// coordinating loop applies the GOSSIP delivery semantics to plain agent
+// state, which is what makes million-trial Monte-Carlo batches cheap.
+// RunLive executes the same scenario on a message-passing runtime instead:
+// every agent runs on its own goroutine with a bounded mailbox, and every
+// push, vote, query, and reply crosses an in-process transport. The two
+// engines are transcript-equivalent — under RunLive's default options the
+// runtime replays the simulator's execution event for event, so
+// LiveReport.Result is identical to RunSeed's for the same seed and findings
+// transfer between engines. What RunLive adds is the physical layer the
+// simulator only counts: wall-clock convergence time, per-message delivery
+// latency quantiles (p50/p99/max), and optional transport-level fault
+// injection (seed-deterministic per-message drop and latency jitter) below
+// the protocol's own fault model. Use the simulator for statistics, RunLive
+// for measurements; see ExampleScenario_runtime.
+//
 // The implementation lives under internal/; this package is the supported
 // surface, and none of its exported signatures mention internal types.
 package fairgossip

@@ -1,0 +1,109 @@
+package fairgossip
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/runtime"
+	"repro/internal/scenario"
+)
+
+// LiveOptions configures one RunLive execution on the message-passing
+// runtime.
+type LiveOptions struct {
+	// Seed overrides the scenario seed when non-zero.
+	Seed uint64
+	// TransportDrop adds a per-message transport-level loss probability in
+	// [0, 1) on top of the scenario's FaultModel.Drop. The transport draws
+	// from its own seed-derived stream, so lossy live runs repeat
+	// bit-for-bit.
+	TransportDrop float64
+	// Jitter delays each delivered message by a uniform [0, Jitter) amount,
+	// spreading the latency distribution; 0 keeps the in-process transport's
+	// native latency.
+	Jitter time.Duration
+	// Mailbox is the per-node inbox capacity (backpressure bound); 0 picks
+	// the runtime default.
+	Mailbox int
+}
+
+// LiveReport is the outcome of one RunLive execution: the same detached
+// Result a simulator run produces, plus the runtime-layer observables that
+// only exist once messages really move — wall-clock convergence time and
+// per-message delivery-latency quantiles.
+type LiveReport struct {
+	// Result is the protocol outcome; with default options it is identical
+	// to RunSeed's for the same seed.
+	Result Result
+	// WallClock is the total execution time.
+	WallClock time.Duration
+	// Delivered counts the payload messages the transport carried to a
+	// handler; per-kind counts split it by message type.
+	Delivered                       int64
+	Pushes, Votes, Queries, Replies int64
+	// Streaming latency quantiles over the delivered payload messages.
+	LatencyP50, LatencyP99, LatencyMax time.Duration
+}
+
+// RunLive executes the scenario once on the goroutine-per-node
+// message-passing runtime instead of the simulator: every agent runs on its
+// own goroutine with a bounded mailbox, and every message crosses an
+// in-process transport. With zero options the execution is
+// transcript-equivalent to the simulator — same outcome, rounds, and
+// communication metrics for the same seed — so findings transfer between
+// the two engines; the report adds the wall-clock and latency measurements
+// the simulator cannot make.
+//
+// RunLive requires a cooperative synchronous scenario: the async scheduler
+// and coalition scenarios return an error wrapping ErrInvalidScenario.
+// Cancelling ctx stops the run at the next round boundary.
+func (r *Runner) RunLive(ctx context.Context, opts LiveOptions) (LiveReport, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	if r.s.Scheduler == SchedulerAsync {
+		return LiveReport{}, invalidf("RunLive requires the synchronous scheduler")
+	}
+	if r.s.Coalition > 0 {
+		return LiveReport{}, invalidf("RunLive does not support coalition scenarios")
+	}
+	if opts.TransportDrop < 0 || opts.TransportDrop >= 1 {
+		return LiveReport{}, invalidf("transport drop probability %v outside [0, 1)", opts.TransportDrop)
+	}
+	if opts.Jitter < 0 {
+		return LiveReport{}, invalidf("negative transport jitter %v", opts.Jitter)
+	}
+	seed := opts.Seed
+	if seed == 0 {
+		seed = r.s.Seed
+	}
+	var conduit runtime.Conduit
+	if opts.TransportDrop > 0 || opts.Jitter > 0 {
+		conduit = runtime.NewFaultConduit(nil, seed, opts.TransportDrop, opts.Jitter)
+	}
+	res, live, err := runtime.Execute(ctx, r.inner.RunConfig(seed), runtime.Options{
+		Conduit: conduit,
+		Mailbox: opts.Mailbox,
+	})
+	if err != nil {
+		return LiveReport{}, err
+	}
+	return LiveReport{
+		Result: resultFromInternal(scenario.Result{
+			Outcome: res.Outcome,
+			Rounds:  res.Rounds,
+			Metrics: res.Metrics,
+			Good:    res.Good,
+			HasGood: true,
+		}),
+		WallClock:  live.WallClock,
+		Delivered:  live.Delivered,
+		Pushes:     live.Pushes,
+		Votes:      live.Votes,
+		Queries:    live.Queries,
+		Replies:    live.Replies,
+		LatencyP50: live.LatencyP50,
+		LatencyP99: live.LatencyP99,
+		LatencyMax: live.LatencyMax,
+	}, nil
+}

@@ -81,25 +81,62 @@ func startDynamics(net topo.Topology, seed uint64) {
 	}
 }
 
-// Run executes Protocol P with all agents honest and returns the outcome.
-// It is the cooperative-setting experiment of Section 3.1.
-func Run(cfg RunConfig) (RunResult, error) {
+// RunSetup is a prepared cooperative execution: agents built and seeded,
+// dynamics started, counters reset — everything a scheduler needs to drive
+// the rounds, plus the pieces to assemble the RunResult afterwards. The
+// in-process engine (Run) and the goroutine-per-node message-passing runtime
+// (internal/runtime) both execute off one PrepareRun, which is what makes
+// their executions comparable seed for seed: the agents, their RNG streams,
+// and the loss stream are bit-identical regardless of which scheduler
+// delivers the messages.
+type RunSetup struct {
+	// Params are the protocol parameters of the run.
+	Params Params
+	// Net is the communication graph, already Started when dynamic.
+	Net topo.Topology
+	// Agents holds the agents as the delivery layer consumes them;
+	// Agents[i] is nil exactly where Faulty[i] is set.
+	Agents []gossip.Agent
+	// Faulty is the permanent round-0 fault mask (may be nil).
+	Faulty []bool
+	// Faults is the optional dynamic quiescence schedule (may be nil).
+	Faults gossip.FaultSchedule
+	// Drop and DropRand are the probabilistic message-loss model: DropRand
+	// is non-nil iff Drop > 0 and is derived from the run seed.
+	Drop     float64
+	DropRand *rng.Source
+	// Counters receives the execution's communication accounting.
+	Counters *metrics.Counters
+	// Trace is the run's event sink (may be nil).
+	Trace trace.Sink
+	// MaxRounds is the round budget Run would give the engine.
+	MaxRounds int
+
+	cfg RunConfig
+	pl  *RunPool
+}
+
+// PrepareRun validates cfg and builds the per-run state every scheduler
+// shares: it starts a dynamic topology from the seed, seeds and resets the
+// pooled agents, and derives the loss stream. The caller executes the rounds
+// (through gossip.NewEngine or a runtime scheduler) and then calls Result.
+func PrepareRun(cfg RunConfig) (*RunSetup, error) {
 	p := cfg.Params
 	if len(cfg.Colors) != p.N {
-		return RunResult{}, fmt.Errorf("core: %d colors for n = %d", len(cfg.Colors), p.N)
+		return nil, fmt.Errorf("core: %d colors for n = %d", len(cfg.Colors), p.N)
 	}
 	net := cfg.Topology
 	if net == nil {
 		net = topo.NewComplete(p.N)
 	}
 	if net.N() != p.N {
-		return RunResult{}, fmt.Errorf("core: topology has %d nodes, params n = %d", net.N(), p.N)
+		return nil, fmt.Errorf("core: topology has %d nodes, params n = %d", net.N(), p.N)
 	}
 	if cfg.Unreliable != nil && len(cfg.Unreliable) != p.N {
-		return RunResult{}, fmt.Errorf("core: unreliable mask has %d entries for n = %d", len(cfg.Unreliable), p.N)
+		return nil, fmt.Errorf("core: unreliable mask has %d entries for n = %d", len(cfg.Unreliable), p.N)
 	}
 	if cfg.Drop < 0 || cfg.Drop >= 1 {
-		return RunResult{}, fmt.Errorf("core: drop probability %v outside [0, 1)", cfg.Drop)
+		return nil, fmt.Errorf("core: drop probability %v outside [0, 1)", cfg.Drop)
 	}
 	startDynamics(net, cfg.Seed)
 	pl := cfg.Pool
@@ -115,7 +152,7 @@ func Run(cfg RunConfig) (RunResult, error) {
 			continue
 		}
 		if !cfg.Colors[i].Valid(p.NumColors) {
-			return RunResult{}, fmt.Errorf("core: node %d has color %d outside Σ", i, cfg.Colors[i])
+			return nil, fmt.Errorf("core: node %d has color %d outside Σ", i, cfg.Colors[i])
 		}
 		a := &pl.store[i]
 		a.reset(i, p, cfg.Colors[i], net, pl.master.SplitSeed(uint64(i)))
@@ -135,22 +172,34 @@ func Run(cfg RunConfig) (RunResult, error) {
 		pl.droprng.Reseed(rng.Mix64(cfg.Seed, dropStreamSalt))
 		dropRand = &pl.droprng
 	}
-	eng := gossip.NewEngine(gossip.Config{
-		Topology: net,
-		Faulty:   cfg.Faulty,
-		Faults:   cfg.Faults,
-		Counters: &pl.counters,
-		Trace:    cfg.Trace,
-		Workers:  cfg.Workers,
-		Drop:     cfg.Drop,
-		DropRand: dropRand,
-		Mem:      &pl.mem,
-	}, pl.gagents)
-	rounds := eng.Run(p.TotalRounds() + 1)
+	return &RunSetup{
+		Params:    p,
+		Net:       net,
+		Agents:    pl.gagents,
+		Faulty:    cfg.Faulty,
+		Faults:    cfg.Faults,
+		Drop:      cfg.Drop,
+		DropRand:  dropRand,
+		Counters:  &pl.counters,
+		Trace:     cfg.Trace,
+		MaxRounds: p.TotalRounds() + 1,
+		cfg:       cfg,
+		pl:        pl,
+	}, nil
+}
 
+// Mem exposes the pooled engine scratch space so the in-process engine can
+// stay allocation-free across pooled runs.
+func (s *RunSetup) Mem() *gossip.EngineMem { return &s.pl.mem }
+
+// Result evaluates the finished execution: agreement over the active
+// participants, the communication snapshot, and the Definition-2 check.
+// rounds is the number of rounds the scheduler executed.
+func (s *RunSetup) Result(rounds int) RunResult {
+	cfg, pl := s.cfg, s.pl
 	excluded := cfg.Faulty
 	if cfg.Unreliable != nil {
-		excluded = pl.ensureExcluded(p.N)
+		excluded = pl.ensureExcluded(cfg.Params.N)
 		for i := range excluded {
 			excluded[i] = (cfg.Faulty != nil && cfg.Faulty[i]) || cfg.Unreliable[i]
 		}
@@ -159,9 +208,31 @@ func Run(cfg RunConfig) (RunResult, error) {
 		Outcome: CollectOutcome(pl.parts, excluded),
 		Rounds:  rounds,
 		Metrics: pl.counters.Snapshot(),
-		Good:    CheckGoodExecution(p, pl.reliable),
+		Good:    CheckGoodExecution(cfg.Params, pl.reliable),
 		Agents:  pl.honest,
-	}, nil
+	}
+}
+
+// Run executes Protocol P with all agents honest and returns the outcome.
+// It is the cooperative-setting experiment of Section 3.1.
+func Run(cfg RunConfig) (RunResult, error) {
+	s, err := PrepareRun(cfg)
+	if err != nil {
+		return RunResult{}, err
+	}
+	eng := gossip.NewEngine(gossip.Config{
+		Topology: s.Net,
+		Faulty:   s.Faulty,
+		Faults:   s.Faults,
+		Counters: s.Counters,
+		Trace:    s.Trace,
+		Workers:  cfg.Workers,
+		Drop:     s.Drop,
+		DropRand: s.DropRand,
+		Mem:      s.Mem(),
+	}, s.Agents)
+	rounds := eng.Run(s.MaxRounds)
+	return s.Result(rounds), nil
 }
 
 // UniformColors assigns colors round-robin so each of numColors colors gets

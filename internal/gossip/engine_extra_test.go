@@ -130,7 +130,7 @@ func TestAsyncEngineAllFaulty(t *testing.T) {
 }
 
 func TestPayloadBitsNil(t *testing.T) {
-	if payloadBits(nil) != 0 {
+	if PayloadBits(nil) != 0 {
 		t.Fatal("nil payload has size")
 	}
 }

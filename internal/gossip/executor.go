@@ -155,7 +155,7 @@ func (x *executor) deliverPush(round, u int, a Action) {
 		return
 	}
 	x.tally.AddPush()
-	x.tally.AddMessage(payloadBits(a.Payload))
+	x.tally.AddMessage(PayloadBits(a.Payload))
 	if x.lost() {
 		x.emit(trace.Event{Round: round, Kind: trace.KindPush, From: u, To: a.To, Note: "lost"})
 		return // lost on the link; cost already incurred
@@ -177,7 +177,7 @@ func (x *executor) resolvePull(round, u int, a Action) {
 		x.agents[u].HandlePullReply(round, u, reply)
 		return
 	}
-	x.tally.AddMessage(payloadBits(a.Payload))
+	x.tally.AddMessage(PayloadBits(a.Payload))
 	if x.lost() {
 		x.tally.AddPull(false)
 		x.emit(trace.Event{Round: round, Kind: trace.KindPull, From: u, To: a.To, Note: "query-lost"})
@@ -197,7 +197,7 @@ func (x *executor) resolvePull(round, u int, a Action) {
 		x.agents[u].HandlePullReply(round, a.To, nil)
 		return
 	}
-	x.tally.AddMessage(payloadBits(reply))
+	x.tally.AddMessage(PayloadBits(reply))
 	if x.lost() {
 		x.tally.AddPull(false)
 		x.emit(trace.Event{Round: round, Kind: trace.KindPull, From: u, To: a.To, Note: "reply-lost"})
@@ -215,7 +215,11 @@ func (x *executor) emit(ev trace.Event) {
 	}
 }
 
-func payloadBits(p Payload) int {
+// PayloadBits returns the accounted wire size of a payload: SizeBits for a
+// real payload, 0 for nil. Every delivery layer (the executor here, the
+// goroutine-per-node runtime) must account message sizes through this one
+// helper so communication metrics agree across schedulers.
+func PayloadBits(p Payload) int {
 	if p == nil {
 		return 0
 	}

@@ -1,0 +1,62 @@
+package runtime
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// BenchmarkRuntimeRound measures one lockstep round through the channel
+// conduit: n goroutines activated, every push/vote/query/reply a real
+// mailbox delivery with a completion event. Informational — the runtime
+// trades the simulator's batch throughput for physical measurement, so this
+// benchmark is not gated in BENCH_BASELINE.json; it exists to make the price
+// of that trade visible next to the simulator's per-round numbers.
+func BenchmarkRuntimeRound(b *testing.B) {
+	for _, n := range []int{128, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			p, err := core.NewParams(n, 2, 3.0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			var rt *Runtime
+			var setup *core.RunSetup
+			rebuild := func() {
+				if rt != nil {
+					rt.Shutdown()
+				}
+				setup, err = core.PrepareRun(core.RunConfig{
+					Params: p,
+					Colors: core.UniformColors(n, 2),
+					Seed:   1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				rt = New(Config{
+					Topology: setup.Net,
+					Faulty:   setup.Faulty,
+					Faults:   setup.Faults,
+					Counters: setup.Counters,
+					Trace:    setup.Trace,
+					Drop:     setup.Drop,
+					DropRand: setup.DropRand,
+				}, setup.Agents)
+			}
+			rebuild()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if rt.round >= setup.MaxRounds {
+					b.StopTimer()
+					rebuild()
+					b.StartTimer()
+				}
+				rt.step()
+			}
+			b.StopTimer()
+			rt.Shutdown()
+		})
+	}
+}

@@ -1,0 +1,83 @@
+package runtime
+
+import (
+	"fmt"
+	"time"
+
+	"repro/internal/rng"
+)
+
+// Conduit is the pluggable transport between the scheduler and a node's
+// mailbox. The protocol logic never sees it: swapping the transport — for a
+// lossy one, a delaying one, eventually a socket-backed one — changes how
+// messages travel, never what they mean.
+//
+// Deliver carries one payload message into dst's mailbox, blocking while
+// the mailbox is full (the runtime's backpressure). It reports whether the
+// message survived transport: false means the conduit dropped it before it
+// reached dst (dst is untouched), and the scheduler then applies the same
+// loss semantics the simulator's FaultModel.Drop produces — a lost push, a
+// failed pull. Delivery to a node that has shut down also reports false.
+type Conduit interface {
+	Deliver(dst *Node, m Message) bool
+}
+
+// ChannelConduit is the loss-free, zero-latency in-process transport: a
+// direct handoff into the destination's mailbox. Under the deterministic
+// round-barrier scheduler it makes the runtime transcript-equivalent to the
+// simulator.
+type ChannelConduit struct{}
+
+// Deliver hands the message straight to the destination node.
+func (ChannelConduit) Deliver(dst *Node, m Message) bool { return dst.Send(m) }
+
+// conduitStreamSalt separates a FaultConduit's transport randomness from
+// every other use of a run seed — in particular from the scheduler-level
+// loss stream (core's dropStreamSalt), which must stay aligned with the
+// simulator's draw order.
+const conduitStreamSalt = 0xfa117c0d
+
+// FaultConduit layers seed-derived per-message drop and latency jitter on
+// top of an inner transport. Drops reuse the simulator's FaultModel.Drop
+// observation model (the sender has paid, the receiver sees silence); jitter
+// delays each delivery by a uniform [0, Jitter) sleep, turning the latency
+// distribution from a point mass into something worth measuring. Both draws
+// come from one private stream, so a faulty transport is exactly as
+// reproducible as a clean one.
+type FaultConduit struct {
+	inner  Conduit
+	drop   float64
+	jitter time.Duration
+	r      rng.Source
+}
+
+// NewFaultConduit builds a fault-injecting transport over inner (nil means
+// ChannelConduit). drop is the per-message transport loss probability in
+// [0, 1); jitter is the maximum per-message delivery delay (0 disables).
+// The stream is derived from seed, so runs repeat bit-for-bit.
+func NewFaultConduit(inner Conduit, seed uint64, drop float64, jitter time.Duration) *FaultConduit {
+	if drop < 0 || drop >= 1 {
+		panic(fmt.Sprintf("runtime: conduit drop probability %v outside [0, 1)", drop))
+	}
+	if jitter < 0 {
+		panic("runtime: negative conduit jitter")
+	}
+	if inner == nil {
+		inner = ChannelConduit{}
+	}
+	c := &FaultConduit{inner: inner, drop: drop, jitter: jitter}
+	c.r.Reseed(rng.Mix64(seed, conduitStreamSalt))
+	return c
+}
+
+// Deliver draws the message's fate — drop, then delay — and forwards the
+// survivors to the inner transport.
+func (c *FaultConduit) Deliver(dst *Node, m Message) bool {
+	if c.drop > 0 && c.r.Bool(c.drop) {
+		return false
+	}
+	if c.jitter > 0 {
+		time.Sleep(time.Duration(c.r.Uint64n(uint64(c.jitter))))
+	}
+	return c.inner.Deliver(dst, m)
+}

@@ -1,0 +1,172 @@
+package runtime_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/runtime"
+	"repro/internal/scenario"
+	"repro/internal/trace"
+)
+
+// transcriptBytes renders a trace into one byte string, so "byte-identical
+// transcripts" is literal.
+func transcriptBytes(events []trace.Event) []byte {
+	var buf bytes.Buffer
+	for _, ev := range events {
+		fmt.Fprintf(&buf, "%d %v %d->%d %s\n", ev.Round, ev.Kind, ev.From, ev.To, ev.Note)
+	}
+	return buf.Bytes()
+}
+
+// simRun executes one builtin on the simulator at the given engine worker
+// count, capturing the transcript.
+func simRun(t *testing.T, name string, seed uint64, workers int) (core.RunResult, []byte) {
+	t.Helper()
+	sc, ok := scenario.Lookup(name)
+	if !ok {
+		t.Fatalf("builtin %q not registered", name)
+	}
+	r, err := scenario.NewRunner(sc)
+	if err != nil {
+		t.Fatalf("runner(%s): %v", name, err)
+	}
+	mem := &trace.Memory{}
+	cfg := r.RunConfig(seed)
+	cfg.Trace = mem
+	cfg.Workers = workers
+	res, err := core.Run(cfg)
+	if err != nil {
+		t.Fatalf("core.Run(%s): %v", name, err)
+	}
+	return res, transcriptBytes(mem.Events())
+}
+
+// runtimeRun executes the same builtin on the goroutine-per-node runtime
+// under the deterministic channel conduit.
+func runtimeRun(t *testing.T, name string, seed uint64, opts runtime.Options) (core.RunResult, []byte) {
+	t.Helper()
+	sc, ok := scenario.Lookup(name)
+	if !ok {
+		t.Fatalf("builtin %q not registered", name)
+	}
+	r, err := scenario.NewRunner(sc)
+	if err != nil {
+		t.Fatalf("runner(%s): %v", name, err)
+	}
+	mem := &trace.Memory{}
+	cfg := r.RunConfig(seed)
+	cfg.Trace = mem
+	res, _, err := runtime.Execute(context.Background(), cfg, opts)
+	if err != nil {
+		t.Fatalf("runtime.Execute(%s): %v", name, err)
+	}
+	return res, transcriptBytes(mem.Events())
+}
+
+// equivalenceBuiltins is the pinned scenario table: static topologies, the
+// loss and crash fault axes, a dynamic graph, all three protocol variants,
+// and the composite variant-on-dynamic-graph scenario.
+var equivalenceBuiltins = []string{
+	"baseline",
+	"lossy-links",
+	"crash-mid-voting",
+	"churn",
+	"edge-markovian",
+	"geometric-torus",
+	"live-retarget-churn",
+	"retransmit-lossy",
+	"relaxed-lossy",
+	"relaxed-geometric",
+	"faulty-third",
+}
+
+// TestRuntimeTranscriptEquivalence pins the correctness anchor of the whole
+// runtime layer: under the deterministic scheduler with the channel conduit,
+// the runtime and the simulator produce byte-identical trace transcripts and
+// identical results for the same seed — at every simulator worker count,
+// since the simulator itself is worker-independent.
+func TestRuntimeTranscriptEquivalence(t *testing.T) {
+	const seed = 42
+	for _, name := range equivalenceBuiltins {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			rtRes, rtTr := runtimeRun(t, name, seed, runtime.Options{})
+			for _, workers := range []int{1, 4} {
+				simRes, simTr := simRun(t, name, seed, workers)
+				if !bytes.Equal(simTr, rtTr) {
+					t.Fatalf("workers=%d: transcripts differ (sim %d bytes, runtime %d bytes)\nfirst sim lines:\n%s\nfirst runtime lines:\n%s",
+						workers, len(simTr), len(rtTr), head(simTr), head(rtTr))
+				}
+				simRes.Agents, rtRes.Agents = nil, nil // pool-backed views, not results
+				if !reflect.DeepEqual(simRes, rtRes) {
+					t.Fatalf("workers=%d: results differ\nsim:     %+v\nruntime: %+v", workers, simRes, rtRes)
+				}
+			}
+			if len(rtTr) == 0 {
+				t.Fatal("empty transcript — the comparison proved nothing")
+			}
+		})
+	}
+}
+
+// TestRuntimeTranscriptReproducible pins that two runtime executions of the
+// same seed are byte-identical to each other — determinism does not depend
+// on the simulator being around to compare against.
+func TestRuntimeTranscriptReproducible(t *testing.T) {
+	_, a := runtimeRun(t, "edge-markovian", 7, runtime.Options{})
+	_, b := runtimeRun(t, "edge-markovian", 7, runtime.Options{})
+	if !bytes.Equal(a, b) {
+		t.Fatal("same seed, different runtime transcripts")
+	}
+}
+
+// TestRuntimeLiveReport checks the runtime-layer observables: wall-clock and
+// delivery accounting must reflect a real execution.
+func TestRuntimeLiveReport(t *testing.T) {
+	sc, _ := scenario.Lookup("baseline")
+	r, err := scenario.NewRunner(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, live, err := runtime.Execute(context.Background(), r.RunConfig(3), runtime.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.WallClock <= 0 {
+		t.Fatalf("wall clock %v", live.WallClock)
+	}
+	if live.Rounds != res.Rounds {
+		t.Fatalf("live rounds %d, result rounds %d", live.Rounds, res.Rounds)
+	}
+	if live.Delivered == 0 {
+		t.Fatal("no deliveries measured")
+	}
+	if got := live.Pushes + live.Votes + live.Queries + live.Replies; got != live.Delivered {
+		t.Fatalf("kind counts sum to %d, delivered %d", got, live.Delivered)
+	}
+	if live.Votes == 0 {
+		t.Fatal("no vote messages classified — the Voting phase crossed no link?")
+	}
+	if live.LatencyMax < live.LatencyP99 || live.LatencyP99 < live.LatencyP50 {
+		t.Fatalf("latency quantiles out of order: p50=%v p99=%v max=%v",
+			live.LatencyP50, live.LatencyP99, live.LatencyMax)
+	}
+}
+
+func head(b []byte) []byte {
+	const lines = 5
+	idx := 0
+	for i := 0; i < lines; i++ {
+		next := bytes.IndexByte(b[idx:], '\n')
+		if next < 0 {
+			return b
+		}
+		idx += next + 1
+	}
+	return b[:idx]
+}

@@ -1,0 +1,98 @@
+package runtime
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/gossip"
+)
+
+// Node is one protocol participant running on its own goroutine: it drains
+// its bounded mailbox, invokes the agent's phase logic for each message, and
+// reports completion (with the action or pull reply the handler produced)
+// back to the coordinator. The mailbox is the backpressure boundary — Send
+// blocks while it is full — and the stop channel is the only shutdown
+// signal, so a node never leaks: it exits as soon as Runtime.Shutdown
+// closes the channel, whether idle or mid-queue.
+type Node struct {
+	id     int
+	agent  gossip.Agent
+	inbox  chan Message
+	events chan<- event
+	stop   <-chan struct{}
+}
+
+// event is a node's completion report for one processed message.
+type event struct {
+	id      int
+	action  gossip.Action  // the Act result for MsgRound
+	reply   gossip.Payload // the HandlePull result for MsgQuery
+	latency time.Duration  // conduit delivery latency (timed only)
+	timed   bool
+}
+
+// ID returns the node's index in the topology.
+func (n *Node) ID() int { return n.id }
+
+// Send enqueues a message into the node's mailbox, blocking while the
+// mailbox is full (backpressure). It reports false — without delivering —
+// once the runtime has shut down.
+func (n *Node) Send(m Message) bool {
+	// The stopped check comes first: with the mailbox non-full AND the stop
+	// channel closed, a bare two-way select would pick a branch at random.
+	select {
+	case <-n.stop:
+		return false
+	default:
+	}
+	select {
+	case n.inbox <- m:
+		return true
+	case <-n.stop:
+		return false
+	}
+}
+
+// run is the node goroutine: drain the mailbox until shutdown.
+func (n *Node) run(wg *sync.WaitGroup) {
+	defer wg.Done()
+	for {
+		select {
+		case <-n.stop:
+			return
+		case m := <-n.inbox:
+			n.handle(m)
+		}
+	}
+}
+
+// handle processes one message through the agent and reports completion.
+// Every message gets exactly one completion event — the coordinator's
+// lockstep depends on it.
+func (n *Node) handle(m Message) {
+	ev := event{id: n.id}
+	if !m.SentAt.IsZero() {
+		ev.latency = time.Since(m.SentAt)
+		ev.timed = true
+	}
+	switch m.Kind {
+	case MsgRound:
+		ev.action = n.agent.Act(m.Round)
+	case MsgPush, MsgVote:
+		n.agent.HandlePush(m.Round, m.From, m.Payload)
+	case MsgQuery:
+		if m.From == n.id {
+			// Self-pull: resolve locally, exactly the simulator's free
+			// short-circuit — query and reply never cross a link.
+			n.agent.HandlePullReply(m.Round, n.id, n.agent.HandlePull(m.Round, n.id, m.Payload))
+		} else {
+			ev.reply = n.agent.HandlePull(m.Round, m.From, m.Payload)
+		}
+	case MsgReply:
+		n.agent.HandlePullReply(m.Round, m.From, m.Payload)
+	}
+	select {
+	case n.events <- ev:
+	case <-n.stop:
+	}
+}

@@ -1,0 +1,443 @@
+// Package runtime executes the protocol as a real message-passing system:
+// every agent becomes a Node — its own goroutine with a typed, bounded
+// mailbox — and all communication crosses a pluggable Conduit transport.
+// It is the first step of the simulator-to-runtime ladder: in-process
+// channels now, fault-injecting transports layered on top (FaultConduit),
+// real sockets later, with the protocol logic (core.Agent) untouched at
+// every rung.
+//
+// # Scheduling and transcript equivalence
+//
+// The coordinator is a deterministic round-barrier scheduler that mirrors
+// gossip.Engine.Step operation for operation: advance the dynamic topology
+// at the round boundary, fan RoundStart out to every active node and collect
+// their actions (the nodes run Act concurrently, like the engine's parallel
+// Act phase), validate against the topology in node order, then deliver
+// pushes and resolve pulls in ascending node-ID order, each delivery a
+// synchronous round-trip through the conduit. Message loss (Config.Drop) is
+// drawn from the same seed-derived stream in the same order as the
+// simulator. Agents never emit trace events, so with the loss-free
+// ChannelConduit the runtime's transcript is byte-identical to the
+// simulator's for the same seed — every golden fixture and experiment
+// finding carries over. See the equivalence suite in this package's tests.
+//
+// On top of that parity the runtime measures what the simulator cannot:
+// wall-clock convergence and per-message delivery latency, reported as a
+// metrics.Live with streaming quantiles (stats.QuantileSketch).
+package runtime
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/gossip"
+	"repro/internal/metrics"
+	"repro/internal/rng"
+	"repro/internal/stats"
+	"repro/internal/topo"
+	"repro/internal/trace"
+)
+
+// DefaultMailbox is the per-node inbox capacity when Config.Mailbox is 0.
+// Under the round-barrier scheduler a mailbox never holds more than one
+// in-flight message, but a small buffer keeps the fan-out phase from
+// serializing on slow-to-wake nodes.
+const DefaultMailbox = 4
+
+// Config configures a Runtime. It mirrors gossip.Config — same topology,
+// fault, accounting, and loss semantics — plus the transport knobs.
+type Config struct {
+	// Topology is the communication graph. A topo.Dynamic topology must be
+	// Started by the caller; the runtime advances it once per round.
+	Topology topo.Topology
+	// Faulty marks permanently faulty nodes; nil means fault-free. Nodes in
+	// this mask may have no agent and get no goroutine.
+	Faulty []bool
+	// Faults optionally adds a dynamic quiescence schedule on top of Faulty.
+	Faults gossip.FaultSchedule
+	// Counters receives communication accounting; nil allocates a private one.
+	Counters *metrics.Counters
+	// Trace receives events; nil disables tracing. Only the coordinator
+	// emits, so the sink needs no synchronization.
+	Trace trace.Sink
+	// Drop and DropRand are the probabilistic message-loss model, with
+	// exactly gossip.Config's semantics: the loss stream is drawn once per
+	// non-self message in delivery order, so for the same seed the runtime
+	// loses the same messages the simulator does.
+	Drop     float64
+	DropRand *rng.Source
+	// Conduit is the transport; nil means ChannelConduit.
+	Conduit Conduit
+	// Mailbox is the per-node inbox capacity; 0 means DefaultMailbox.
+	Mailbox int
+}
+
+// Runtime drives a set of Nodes through synchronous rounds. It is the
+// deterministic round-barrier scheduler; all delivery decisions (loss,
+// silence, validation) happen here on the coordinator goroutine, while the
+// protocol handlers run on the node goroutines.
+type Runtime struct {
+	topo     topo.Topology
+	dyn      topo.Dynamic // non-nil iff topo is a per-round graph process
+	agents   []gossip.Agent
+	faults   gossip.FaultSchedule
+	counters *metrics.Counters
+	sink     trace.Sink
+	drop     float64
+	dropRand *rng.Source
+	conduit  Conduit
+
+	nodes  []*Node
+	events chan event
+	stop   chan struct{}
+	wg     sync.WaitGroup
+	halt   sync.Once
+
+	round   int
+	dropped int
+	tally   metrics.Delta
+	actions []gossip.Action
+	pushes  []int32
+	pulls   []int32
+
+	lat       stats.QuantileSketch
+	delivered int64
+	kinds     [msgKinds]int64
+}
+
+// New validates cfg, builds the node set, and starts one goroutine per
+// active agent. agents[i] is the agent at node i; entries for faulty nodes
+// may be nil. It panics on size mismatches, mirroring gossip.NewEngine. The
+// caller must eventually call Shutdown to stop the node goroutines.
+func New(cfg Config, agents []gossip.Agent) *Runtime {
+	n := cfg.Topology.N()
+	if len(agents) != n {
+		panic(fmt.Sprintf("runtime: %d agents for %d nodes", len(agents), n))
+	}
+	faulty := cfg.Faulty
+	if faulty == nil {
+		faulty = make([]bool, n)
+	}
+	if len(faulty) != n {
+		panic(fmt.Sprintf("runtime: faulty mask has %d entries for %d nodes", len(faulty), n))
+	}
+	for i, a := range agents {
+		if a == nil && !faulty[i] {
+			panic(fmt.Sprintf("runtime: active node %d has no agent", i))
+		}
+	}
+	if cfg.Drop < 0 || cfg.Drop >= 1 {
+		panic(fmt.Sprintf("runtime: drop probability %v outside [0, 1)", cfg.Drop))
+	}
+	if cfg.Drop > 0 && cfg.DropRand == nil {
+		panic("runtime: Drop > 0 requires a DropRand source")
+	}
+	counters := cfg.Counters
+	if counters == nil {
+		counters = &metrics.Counters{}
+	}
+	var faults gossip.FaultSchedule = gossip.StaticFaults(faulty)
+	if cfg.Faults != nil {
+		faults = gossip.UnionFaults{faults, cfg.Faults}
+	}
+	conduit := cfg.Conduit
+	if conduit == nil {
+		conduit = ChannelConduit{}
+	}
+	mailbox := cfg.Mailbox
+	if mailbox <= 0 {
+		mailbox = DefaultMailbox
+	}
+
+	rt := &Runtime{
+		topo:     cfg.Topology,
+		agents:   agents,
+		faults:   faults,
+		counters: counters,
+		sink:     cfg.Trace,
+		drop:     cfg.Drop,
+		dropRand: cfg.DropRand,
+		conduit:  conduit,
+		nodes:    make([]*Node, n),
+		events:   make(chan event, n),
+		stop:     make(chan struct{}),
+		actions:  make([]gossip.Action, n),
+	}
+	rt.dyn, _ = cfg.Topology.(topo.Dynamic)
+	for i, a := range agents {
+		if a == nil {
+			continue
+		}
+		rt.nodes[i] = &Node{
+			id:     i,
+			agent:  a,
+			inbox:  make(chan Message, mailbox),
+			events: rt.events,
+			stop:   rt.stop,
+		}
+		rt.wg.Add(1)
+		go rt.nodes[i].run(&rt.wg)
+	}
+	return rt
+}
+
+// Node returns the node at id (nil for faulty slots) — the handle conduit
+// implementations and transport tests address messages to.
+func (rt *Runtime) Node(id int) *Node { return rt.nodes[id] }
+
+// Round returns the number of rounds executed so far.
+func (rt *Runtime) Round() int { return rt.round }
+
+// DroppedActions returns how many actions were discarded because they
+// addressed a non-neighbor or an out-of-range node.
+func (rt *Runtime) DroppedActions() int { return rt.dropped }
+
+// Shutdown stops every node goroutine and waits for them to exit. It is
+// idempotent and must be called exactly when no Run is in flight; after it
+// returns, the agents' final state is safe to read from any goroutine.
+func (rt *Runtime) Shutdown() {
+	rt.halt.Do(func() { close(rt.stop) })
+	rt.wg.Wait()
+}
+
+// Run executes rounds until every active Decider agent has decided, maxRounds
+// have been executed, or ctx is cancelled (checked at round boundaries). It
+// returns the number of rounds run and ctx's error if cancellation cut the
+// run short. The caller still owns Shutdown.
+func (rt *Runtime) Run(ctx context.Context, maxRounds int) (int, error) {
+	start := rt.round
+	done := ctx.Done()
+	for rt.round-start < maxRounds {
+		select {
+		case <-done:
+			return rt.round - start, ctx.Err()
+		default:
+		}
+		if rt.allDecided() {
+			break
+		}
+		rt.step()
+	}
+	return rt.round - start, nil
+}
+
+// Live reports the runtime-layer observables of the execution so far.
+func (rt *Runtime) Live(wall time.Duration) metrics.Live {
+	return metrics.Live{
+		WallClock:  wall,
+		Rounds:     rt.round,
+		Delivered:  rt.delivered,
+		Pushes:     rt.kinds[MsgPush],
+		Votes:      rt.kinds[MsgVote],
+		Queries:    rt.kinds[MsgQuery],
+		Replies:    rt.kinds[MsgReply],
+		LatencyP50: time.Duration(rt.lat.Quantile(0.50)),
+		LatencyP99: time.Duration(rt.lat.Quantile(0.99)),
+		LatencyMax: time.Duration(rt.lat.Max()),
+	}
+}
+
+// silent reports whether node u is quiescent at round r.
+func (rt *Runtime) silent(r, u int) bool {
+	return rt.agents[u] == nil || rt.faults.Silent(r, u)
+}
+
+// lost draws one link crossing against the loss model — same stream, same
+// order as the simulator's executor.
+func (rt *Runtime) lost() bool {
+	return rt.drop > 0 && rt.dropRand.Bool(rt.drop)
+}
+
+func (rt *Runtime) emit(ev trace.Event) {
+	if rt.sink != nil {
+		rt.sink.Emit(ev)
+	}
+}
+
+// allDecided mirrors gossip.Engine: currently-silent nodes do not block
+// termination. Reading agent state here is race-free — every agent mutation
+// happens on its node goroutine before the completion event the coordinator
+// has already received.
+func (rt *Runtime) allDecided() bool {
+	for i, a := range rt.agents {
+		if rt.silent(rt.round, i) || a == nil {
+			continue
+		}
+		d, ok := a.(gossip.Decider)
+		if !ok || !d.Decided() {
+			return false
+		}
+	}
+	return true
+}
+
+// step executes one synchronous round with exactly the engine's structure:
+// dynamics advance, parallel Act, validation in node order, pushes then
+// pulls in ascending node-ID order, round accounting.
+func (rt *Runtime) step() {
+	round := rt.round
+	if rt.dyn != nil && round > 0 {
+		rt.dyn.Advance(round)
+	}
+
+	// Act fan-out: every active node computes its action concurrently on its
+	// own goroutine; silent nodes contribute NoAction without being woken, so
+	// their RNG streams stay untouched (exactly the engine's act()).
+	pending := 0
+	for i := range rt.agents {
+		if rt.silent(round, i) {
+			rt.actions[i] = gossip.NoAction()
+			continue
+		}
+		rt.nodes[i].Send(Message{Kind: MsgRound, Round: round})
+		pending++
+	}
+	for ; pending > 0; pending-- {
+		ev := <-rt.events
+		rt.actions[ev.id] = ev.action
+	}
+
+	rt.pushes = rt.pushes[:0]
+	rt.pulls = rt.pulls[:0]
+	for u := range rt.actions {
+		rt.validate(round, u, &rt.actions[u])
+		switch rt.actions[u].Kind {
+		case gossip.ActPush:
+			rt.pushes = append(rt.pushes, int32(u))
+		case gossip.ActPull:
+			rt.pulls = append(rt.pulls, int32(u))
+		}
+	}
+
+	for _, u := range rt.pushes {
+		rt.deliverPush(round, int(u), rt.actions[u])
+	}
+	for _, u := range rt.pulls {
+		rt.resolvePull(round, int(u), rt.actions[u])
+	}
+
+	rt.tally.AddRound()
+	rt.counters.AddDelta(0, rt.tally)
+	rt.tally = metrics.Delta{}
+	rt.round++
+}
+
+// validate enforces the topology on one action, tracing drops like the
+// engine does.
+func (rt *Runtime) validate(round, u int, a *gossip.Action) {
+	if a.Kind == gossip.ActNone {
+		return
+	}
+	if a.To < 0 || a.To >= len(rt.agents) || !rt.topo.CanSend(u, a.To) {
+		rt.dropped++
+		rt.emit(trace.Event{Round: round, Kind: trace.KindDrop, From: u, To: a.To})
+		*a = gossip.NoAction()
+	}
+}
+
+// roundTrip sends a scheduler-internal message directly into a node's
+// mailbox — bypassing the conduit — and waits for its completion event.
+// Self-operations and nil-reply notifications travel this way: they are not
+// link crossings, so the transport gets no chance to delay or drop them.
+func (rt *Runtime) roundTrip(to int, m Message) event {
+	if !rt.nodes[to].Send(m) {
+		return event{id: to}
+	}
+	return <-rt.events
+}
+
+// transport carries one payload message through the conduit and waits for
+// the receiving node's completion event, folding the observed delivery
+// latency into the run's sketch. It reports false when the conduit dropped
+// the message (the caller then applies the simulator's loss semantics).
+func (rt *Runtime) transport(to int, m Message) (event, bool) {
+	m.SentAt = time.Now()
+	if !rt.conduit.Deliver(rt.nodes[to], m) {
+		return event{}, false
+	}
+	ev := <-rt.events
+	if ev.timed {
+		rt.lat.Add(int64(ev.latency))
+		rt.delivered++
+		rt.kinds[m.Kind]++
+	}
+	return ev, true
+}
+
+// deliverPush delivers one push with the executor's exact semantics: a
+// self-push is local and free; a non-self push always incurs its cost, may
+// be lost on the link (loss stream or transport), and lands in the void when
+// the target is quiescent.
+func (rt *Runtime) deliverPush(round, u int, a gossip.Action) {
+	kind := classifyPush(a.Payload)
+	m := Message{Kind: kind, Round: round, From: u, Payload: a.Payload}
+	if u == a.To {
+		rt.roundTrip(u, m)
+		return
+	}
+	rt.tally.AddPush()
+	rt.tally.AddMessage(gossip.PayloadBits(a.Payload))
+	if rt.lost() {
+		rt.emit(trace.Event{Round: round, Kind: trace.KindPush, From: u, To: a.To, Note: "lost"})
+		return
+	}
+	if rt.silent(round, a.To) {
+		rt.emit(trace.Event{Round: round, Kind: trace.KindPush, From: u, To: a.To})
+		return
+	}
+	if _, ok := rt.transport(a.To, m); !ok {
+		rt.emit(trace.Event{Round: round, Kind: trace.KindPush, From: u, To: a.To, Note: "lost"})
+		return
+	}
+	rt.emit(trace.Event{Round: round, Kind: trace.KindPush, From: u, To: a.To})
+}
+
+// resolvePull resolves one pull — query out, optional reply back — with the
+// executor's exact semantics and trace notes. The query and the reply cross
+// the conduit; the nil-reply notification a failed pull produces goes
+// directly to the puller's mailbox.
+func (rt *Runtime) resolvePull(round, u int, a gossip.Action) {
+	if u == a.To {
+		rt.roundTrip(u, Message{Kind: MsgQuery, Round: round, From: u, Payload: a.Payload})
+		return
+	}
+	rt.tally.AddMessage(gossip.PayloadBits(a.Payload))
+	if rt.lost() {
+		rt.failPull(round, u, a.To, "query-lost")
+		return
+	}
+	if rt.silent(round, a.To) {
+		rt.failPull(round, u, a.To, "no-reply")
+		return
+	}
+	ev, ok := rt.transport(a.To, Message{Kind: MsgQuery, Round: round, From: u, Payload: a.Payload})
+	if !ok {
+		rt.failPull(round, u, a.To, "query-lost")
+		return
+	}
+	if ev.reply == nil {
+		rt.failPull(round, u, a.To, "refused")
+		return
+	}
+	rt.tally.AddMessage(gossip.PayloadBits(ev.reply))
+	if rt.lost() {
+		rt.failPull(round, u, a.To, "reply-lost")
+		return
+	}
+	if _, ok := rt.transport(u, Message{Kind: MsgReply, Round: round, From: a.To, Payload: ev.reply}); !ok {
+		rt.failPull(round, u, a.To, "reply-lost")
+		return
+	}
+	rt.tally.AddPull(true)
+	rt.emit(trace.Event{Round: round, Kind: trace.KindPull, From: u, To: a.To})
+}
+
+// failPull accounts and traces one failed pull, then notifies the puller
+// with a nil reply — the same observation a quiescent target produces.
+func (rt *Runtime) failPull(round, u, to int, note string) {
+	rt.tally.AddPull(false)
+	rt.emit(trace.Event{Round: round, Kind: trace.KindPull, From: u, To: to, Note: note})
+	rt.roundTrip(u, Message{Kind: MsgReply, Round: round, From: to})
+}

@@ -1,0 +1,107 @@
+package scenario
+
+import (
+	"testing"
+
+	"repro/internal/trace"
+)
+
+// TestVariantDynamicsValidationParity pins the Protocol × Dynamics
+// composition rule: the dynamics axis validates identically under every
+// protocol variant. A dynamics configuration the baseline accepts must be
+// accepted by all three variants, and one it rejects must be rejected by all
+// three — no variant quietly gains or loses a graph process.
+func TestVariantDynamicsValidationParity(t *testing.T) {
+	variants := []struct {
+		label string
+		proto Protocol
+	}{
+		{"live-retarget", Protocol{Variant: ProtocolLiveRetarget}},
+		{"retransmit", Protocol{Variant: ProtocolRetransmit, TTL: 3}},
+		{"relaxed", Protocol{Variant: ProtocolRelaxed, MinVotes: 10}},
+	}
+	dynamics := []struct {
+		label string
+		shape func(*Scenario)
+	}{
+		{"static", func(*Scenario) {}},
+		{"edge-markovian", func(s *Scenario) {
+			s.Dynamics = Dynamics{Kind: DynamicsEdgeMarkovian, Birth: 0.02, Death: 0.1}
+		}},
+		{"rewire-ring", func(s *Scenario) {
+			s.Dynamics = Dynamics{Kind: DynamicsRewireRing, Beta: 0.1}
+		}},
+		{"d-regular", func(s *Scenario) {
+			s.Dynamics = Dynamics{Kind: DynamicsDRegular, Degree: 8}
+		}},
+		{"geometric", func(s *Scenario) {
+			s.Dynamics = Dynamics{Kind: DynamicsGeometric, Degree: 8, Jitter: 0.01}
+		}},
+		{"reject: unknown kind", func(s *Scenario) {
+			s.Dynamics = Dynamics{Kind: "wormhole"}
+		}},
+		{"reject: dynamics + explicit topology", func(s *Scenario) {
+			s.Dynamics = Dynamics{Kind: DynamicsEdgeMarkovian, Birth: 0.02, Death: 0.1}
+			s.Topology = "ring"
+		}},
+		{"reject: edge-markovian without rates", func(s *Scenario) {
+			s.Dynamics = Dynamics{Kind: DynamicsEdgeMarkovian}
+		}},
+		{"reject: stray degree on edge-markovian", func(s *Scenario) {
+			s.Dynamics = Dynamics{Kind: DynamicsEdgeMarkovian, Birth: 0.02, Death: 0.1, Degree: 8}
+		}},
+	}
+	for _, d := range dynamics {
+		base := Scenario{N: 64, Colors: 2, Seed: 1}
+		d.shape(&base)
+		baseErr := base.WithDefaults().Validate()
+		for _, v := range variants {
+			s := Scenario{N: 64, Colors: 2, Seed: 1, Protocol: v.proto}
+			d.shape(&s)
+			err := s.WithDefaults().Validate()
+			if (err == nil) != (baseErr == nil) {
+				t.Errorf("%s × %s: variant verdict %v, baseline verdict %v — dynamics must validate identically under every variant",
+					v.label, d.label, err, baseErr)
+			}
+		}
+	}
+}
+
+// TestCompositeTranscriptDeterministicAcrossWorkers pins worker-count
+// determinism for the registered variant-on-dynamic-graph composite: the
+// relaxed verifier on the jittering geometric torus replays byte-identically
+// regardless of Act-phase parallelism, the same contract
+// TestProtocolTranscriptDeterministicAcrossWorkers pins for the simpler
+// variant scenarios.
+func TestCompositeTranscriptDeterministicAcrossWorkers(t *testing.T) {
+	base, ok := Lookup("relaxed-geometric")
+	if !ok {
+		t.Fatal("relaxed-geometric builtin not registered")
+	}
+	transcript := func(workers int) []trace.Event {
+		s := base
+		s.Workers = workers
+		r := MustRunner(s)
+		sink := &trace.Memory{}
+		r.Trace = sink
+		if _, err := r.RunSeed(17); err != nil {
+			t.Fatal(err)
+		}
+		return sink.Events()
+	}
+	want := transcript(1)
+	if len(want) == 0 {
+		t.Fatal("empty transcript")
+	}
+	for _, workers := range []int{0, 2, 4} {
+		got := transcript(workers)
+		if len(got) != len(want) {
+			t.Fatalf("workers=%d: transcript has %d events, want %d", workers, len(got), len(want))
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: event %d = %+v, want %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}

@@ -122,6 +122,12 @@ func init() {
 		{Name: "relaxed-lossy", N: 256, Colors: 2, Seed: 1,
 			Fault:    FaultModel{Drop: 0.05},
 			Protocol: Protocol{Variant: ProtocolRelaxed, MinVotes: 20}},
+		// Composite: k-of-q relaxed verification on the geometric torus —
+		// does tolerating bounded per-voter violations buy back any of the
+		// diameter-driven collapse E13 charted for this graph?
+		{Name: "relaxed-geometric", N: 256, Colors: 2, Seed: 1,
+			Dynamics: Dynamics{Kind: DynamicsGeometric, Degree: 12, Jitter: 0.01},
+			Protocol: Protocol{Variant: ProtocolRelaxed, MinVotes: 20}},
 	} {
 		MustRegister(s)
 	}

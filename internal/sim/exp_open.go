@@ -195,6 +195,10 @@ func RunAll(workers int) []*Table {
 	pv := DefaultProtocolOptions()
 	pv.Workers = workers
 	tables = append(tables, RunE14ProtocolVariants(pv)...)
+
+	rt := DefaultRuntimeOptions()
+	rt.Workers = workers
+	tables = append(tables, RunE15Runtime(rt)...)
 	return tables
 }
 
@@ -252,5 +256,9 @@ func RunAllQuick(workers int) []*Table {
 	pv := QuickProtocolOptions()
 	pv.Workers = workers
 	tables = append(tables, RunE14ProtocolVariants(pv)...)
+
+	rt := QuickRuntimeOptions()
+	rt.Workers = workers
+	tables = append(tables, RunE15Runtime(rt)...)
 	return tables
 }

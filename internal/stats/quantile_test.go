@@ -1,0 +1,158 @@
+package stats
+
+import (
+	"math"
+	"sort"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+// exactQuantile is the reference the sketch is judged against.
+func exactQuantile(sorted []int64, p float64) int64 {
+	rank := int(p*float64(len(sorted))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	if rank >= len(sorted) {
+		rank = len(sorted) - 1
+	}
+	return sorted[rank]
+}
+
+func TestQuantileSketchSmallValuesExact(t *testing.T) {
+	var q QuantileSketch
+	for v := int64(0); v < 16; v++ {
+		q.Add(v)
+	}
+	if q.Count() != 16 {
+		t.Fatalf("count %d", q.Count())
+	}
+	if q.Min() != 0 || q.Max() != 15 {
+		t.Fatalf("min=%d max=%d", q.Min(), q.Max())
+	}
+	// Values below 16 land in unit buckets, so quantiles are exact.
+	if got := q.Quantile(0.5); got != 7 {
+		t.Fatalf("p50 = %d, want 7", got)
+	}
+	if got := q.Quantile(1); got != 15 {
+		t.Fatalf("p100 = %d, want 15", got)
+	}
+}
+
+func TestQuantileSketchEmpty(t *testing.T) {
+	var q QuantileSketch
+	if q.Quantile(0.5) != 0 || q.Max() != 0 || q.Min() != 0 || q.Count() != 0 {
+		t.Fatal("empty sketch must report zeros")
+	}
+}
+
+// TestQuantileSketchAccuracy bounds the relative error against exact
+// quantiles on heavy-tailed data spanning many octaves — the latency-shaped
+// workload the sketch exists for.
+func TestQuantileSketchAccuracy(t *testing.T) {
+	r := rng.New(77)
+	const n = 200000
+	var q QuantileSketch
+	values := make([]int64, n)
+	for i := range values {
+		// Log-uniform over [1µs, 1s] in nanoseconds.
+		v := int64(1000 * math.Pow(1e6, r.Float64()))
+		values[i] = v
+		q.Add(v)
+	}
+	sort.Slice(values, func(i, j int) bool { return values[i] < values[j] })
+	for _, p := range []float64{0.01, 0.25, 0.5, 0.9, 0.99, 0.999} {
+		got := float64(q.Quantile(p))
+		want := float64(exactQuantile(values, p))
+		if relErr := math.Abs(got-want) / want; relErr > 0.08 {
+			t.Fatalf("p%.3f: sketch %v vs exact %v (rel err %.3f > 0.08)", p, got, want, relErr)
+		}
+	}
+	if q.Max() != values[n-1] || q.Min() != values[0] {
+		t.Fatalf("min/max not exact: %d/%d vs %d/%d", q.Min(), q.Max(), values[0], values[n-1])
+	}
+}
+
+// TestQuantileSketchMonotone pins that quantiles are monotone in p and
+// clamped to the observed range.
+func TestQuantileSketchMonotone(t *testing.T) {
+	r := rng.New(3)
+	var q QuantileSketch
+	for i := 0; i < 10000; i++ {
+		q.Add(int64(r.Uint64n(1 << 40)))
+	}
+	prev := int64(-1)
+	for p := 0.0; p <= 1.0; p += 0.05 {
+		v := q.Quantile(p)
+		if v < prev {
+			t.Fatalf("quantile not monotone at p=%.2f: %d < %d", p, v, prev)
+		}
+		if v < q.Min() || v > q.Max() {
+			t.Fatalf("quantile %d outside [%d, %d]", v, q.Min(), q.Max())
+		}
+		prev = v
+	}
+}
+
+func TestQuantileSketchNegativeClamps(t *testing.T) {
+	var q QuantileSketch
+	q.Add(-5)
+	if q.Min() != 0 || q.Max() != 0 || q.Quantile(0.5) != 0 {
+		t.Fatal("negative observations must clamp to zero")
+	}
+}
+
+func TestQuantileSketchMerge(t *testing.T) {
+	r := rng.New(9)
+	var a, b, whole QuantileSketch
+	for i := 0; i < 50000; i++ {
+		v := int64(r.Uint64n(1 << 30))
+		whole.Add(v)
+		if i%2 == 0 {
+			a.Add(v)
+		} else {
+			b.Add(v)
+		}
+	}
+	a.Merge(&b)
+	if a.Count() != whole.Count() || a.Min() != whole.Min() || a.Max() != whole.Max() {
+		t.Fatal("merge lost observations")
+	}
+	for _, p := range []float64{0.1, 0.5, 0.99} {
+		if a.Quantile(p) != whole.Quantile(p) {
+			t.Fatalf("p%.2f: merged %d != whole-stream %d", p, a.Quantile(p), whole.Quantile(p))
+		}
+	}
+	// Merging into an empty sketch copies the stream.
+	var empty QuantileSketch
+	empty.Merge(&whole)
+	if empty.Count() != whole.Count() || empty.Min() != whole.Min() {
+		t.Fatal("merge into empty sketch lost state")
+	}
+}
+
+// TestBucketRoundTrip pins the bucket geometry: every value maps into a
+// bucket whose bounds contain it, and bucket indexes are monotone.
+func TestBucketRoundTrip(t *testing.T) {
+	probe := []int64{0, 1, 15, 16, 17, 31, 32, 100, 1023, 1024, 1 << 20, 1<<40 + 12345, math.MaxInt64}
+	prevIdx := -1
+	for _, v := range probe {
+		idx := bucketOf(v)
+		if idx <= prevIdx && v != 0 {
+			t.Fatalf("bucket index not increasing at %d", v)
+		}
+		if high := bucketHigh(idx); v > high {
+			t.Fatalf("value %d above its bucket's upper bound %d", v, high)
+		}
+		if idx > 0 {
+			if lowNeighbor := bucketHigh(idx - 1); v <= lowNeighbor {
+				t.Fatalf("value %d not above previous bucket's bound %d", v, lowNeighbor)
+			}
+		}
+		prevIdx = idx
+	}
+	if got := bucketOf(math.MaxInt64); got >= sketchBuckets {
+		t.Fatalf("MaxInt64 bucket %d out of range %d", got, sketchBuckets)
+	}
+}
