@@ -149,17 +149,19 @@ func runSelected(wanted map[string]bool, quick bool, workers int) []*sim.Table {
 	cs := sim.DefaultChurnScaleOptions()
 	pv := sim.DefaultProtocolOptions()
 	rt := sim.DefaultRuntimeOptions()
+	tr := sim.DefaultTransportOptions()
 	if quick {
 		perf, fair, faults = sim.QuickPerfOptions(), sim.QuickFairnessOptions(), sim.QuickFaultOptions()
 		eq, abl, bl = sim.QuickEquilibriumOptions(), sim.QuickAblationOptions(), sim.QuickBaselineOptions()
 		tp, as = sim.QuickTopologyOptions(), sim.QuickAsyncOptions()
 		sc, dy, cs = sim.QuickScalingOptions(), sim.QuickDynamicsOptions(), sim.QuickChurnScaleOptions()
 		pv, rt = sim.QuickProtocolOptions(), sim.QuickRuntimeOptions()
+		tr = sim.QuickTransportOptions()
 	}
 	perf.Workers, fair.Workers, faults.Workers, eq.Workers = workers, workers, workers, workers
 	abl.Workers, bl.Workers, tp.Workers, as.Workers = workers, workers, workers, workers
 	sc.Workers, dy.Workers, cs.Workers, pv.Workers = workers, workers, workers, workers
-	rt.Workers = workers
+	rt.Workers, tr.Workers = workers, workers
 
 	add([]string{"T0"}, func() []*sim.Table { return sim.RunT0Predictions(perf) })
 	add([]string{"T1", "F1"}, func() []*sim.Table { return sim.RunT1Rounds(perf) })
@@ -177,5 +179,6 @@ func runSelected(wanted map[string]bool, quick bool, workers int) []*sim.Table {
 	add([]string{"E13"}, func() []*sim.Table { return sim.RunE13ChurnAtScale(cs) })
 	add([]string{"E14"}, func() []*sim.Table { return sim.RunE14ProtocolVariants(pv) })
 	add([]string{"E15"}, func() []*sim.Table { return sim.RunE15Runtime(rt) })
+	add([]string{"E16"}, func() []*sim.Table { return sim.RunE16Transports(tr) })
 	return out
 }

@@ -65,6 +65,7 @@ func main() {
 		runtimeRun   = flag.Bool("runtime", false, "execute on the goroutine-per-node message-passing runtime and report wall-clock + latency")
 		jitter       = flag.Duration("jitter", 0, "with -runtime: per-message transport delay ceiling (e.g. 200us)")
 		tdrop        = flag.Float64("transport-drop", 0, "with -runtime: transport-level per-message loss rate in [0, 1)")
+		transport    = flag.String("transport", "channel", "with -runtime: conduit messages cross (channel|unix|tcp)")
 	)
 	flag.Parse()
 
@@ -169,6 +170,7 @@ func main() {
 
 	if *runtimeRun {
 		rep, err := runner.RunLive(context.Background(), fairgossip.LiveOptions{
+			Transport:     *transport,
 			Jitter:        *jitter,
 			TransportDrop: *tdrop,
 		})
@@ -178,8 +180,8 @@ func main() {
 		res := rep.Result
 		fmt.Printf("outcome: %s in %d rounds\n", outcome(res), res.Rounds)
 		fmt.Printf("communication: %s\n", metrics(res))
-		fmt.Printf("runtime: wall=%v delivered=%d (push=%d vote=%d query=%d reply=%d)\n",
-			rep.WallClock, rep.Delivered, rep.Pushes, rep.Votes, rep.Queries, rep.Replies)
+		fmt.Printf("runtime: transport=%s wall=%v delivered=%d (push=%d vote=%d query=%d reply=%d)\n",
+			*transport, rep.WallClock, rep.Delivered, rep.Pushes, rep.Votes, rep.Queries, rep.Replies)
 		fmt.Printf("latency: p50=%v p99=%v max=%v\n", rep.LatencyP50, rep.LatencyP99, rep.LatencyMax)
 		return
 	}

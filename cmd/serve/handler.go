@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -17,6 +18,11 @@ import (
 type options struct {
 	// maxTrials caps the per-request trial count; 0 means 1e6.
 	maxTrials int
+	// baseCtx is the server's lifetime context (the signal context in main);
+	// its cancellation means "server shutting down", which the handler
+	// distinguishes from "client went away" when a streamed batch dies. nil
+	// means no server-side shutdown signal.
+	baseCtx context.Context
 }
 
 // runRequest is the POST /v1/runs body. Exactly one of Name and Scenario
@@ -94,6 +100,13 @@ func (o options) handleRuns(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("bad request: %v", err))
 		return
 	}
+	// Reject trailing data after the document — same contract as
+	// fairgossip.Decode: concatenated or garbage-suffixed bodies are errors,
+	// not silently half-read requests.
+	if _, err := dec.Token(); !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, "bad request: trailing data after run request")
+		return
+	}
 
 	sc, status, err := o.resolveScenario(req)
 	if err != nil {
@@ -128,6 +141,14 @@ func (o options) handleRuns(w http.ResponseWriter, r *http.Request) {
 	err = runner.Stream(r.Context(), fairgossip.StreamOptions{Trials: req.Trials},
 		func(_ int, res fairgossip.Result) { sum.Add(res) })
 	if err != nil {
+		// Both cancellations surface as the same stream error; tell them
+		// apart by who died. The server's own shutdown deserves an honest
+		// 503 while the response can still be written — only when the client
+		// itself is gone is silence right, since nobody is listening.
+		if o.baseCtx != nil && o.baseCtx.Err() != nil {
+			writeError(w, http.StatusServiceUnavailable, "server is shutting down")
+			return
+		}
 		if r.Context().Err() != nil {
 			return // client is gone; nobody is listening for the error
 		}

@@ -41,7 +41,7 @@ func main() {
 
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           newHandler(options{maxTrials: *maxTrials}),
+		Handler:           newHandler(options{maxTrials: *maxTrials, baseCtx: ctx}),
 		ReadHeaderTimeout: 5 * time.Second,
 		// Request contexts derive from the signal context, so shutdown
 		// cancels in-flight batches promptly mid-chunk instead of waiting

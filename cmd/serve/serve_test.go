@@ -1,13 +1,16 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"io"
+	"net"
 	"net/http"
 	"net/http/httptest"
 	"reflect"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/fairgossip"
 )
@@ -221,6 +224,8 @@ func TestRunErrors(t *testing.T) {
 		{"no trials", `{"name":"baseline"}`, http.StatusBadRequest, "trials"},
 		{"trials over cap", `{"name":"baseline","trials":999999999}`, http.StatusBadRequest, "cap"},
 		{"unknown request field", `{"name":"baseline","trials":3,"bogus":1}`, http.StatusBadRequest, "bogus"},
+		{"trailing document", `{"name":"baseline","trials":3}{"name":"baseline","trials":3}`, http.StatusBadRequest, "trailing data"},
+		{"trailing garbage", `{"name":"baseline","trials":3} xyz`, http.StatusBadRequest, "trailing data"},
 	}
 	for _, tc := range cases {
 		resp, body := postRun(t, srv, tc.body)
@@ -230,6 +235,34 @@ func TestRunErrors(t *testing.T) {
 		if !strings.Contains(string(body), tc.want) {
 			t.Errorf("%s: body %s does not mention %q", tc.name, body, tc.want)
 		}
+	}
+}
+
+// TestShutdownMidStream pins the graceful-shutdown half of the cancellation
+// story: when the server's base context dies while a batch is streaming, the
+// still-connected client gets an honest 503 with a JSON error — not a silent
+// hang-up, which is reserved for clients that already left.
+func TestShutdownMidStream(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	srv := httptest.NewUnstartedServer(newHandler(options{maxTrials: 10_000, baseCtx: ctx}))
+	srv.Config.BaseContext = func(net.Listener) context.Context { return ctx }
+	srv.Start()
+	defer srv.Close()
+	go func() {
+		time.Sleep(50 * time.Millisecond)
+		cancel() // the signal handler firing mid-batch
+	}()
+	resp, body := postRun(t, srv, `{"name":"baseline","trials":10000}`)
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d, want 503 (%s)", resp.StatusCode, body)
+	}
+	var e errorResponse
+	if err := json.Unmarshal(body, &e); err != nil {
+		t.Fatalf("503 body is not a JSON error: %v (%s)", err, body)
+	}
+	if !strings.Contains(e.Error, "shutting down") {
+		t.Fatalf("error %q does not mention shutdown", e.Error)
 	}
 }
 

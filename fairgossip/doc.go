@@ -97,6 +97,17 @@
 // the protocol's own fault model. Use the simulator for statistics, RunLive
 // for measurements; see ExampleScenario_runtime.
 //
+// The transport itself is a ladder, climbed one rung at a time without
+// touching the protocol. LiveOptions.Transport selects the rung: "channel"
+// (the default) hands each message straight to the destination mailbox;
+// TransportDrop and Jitter wrap any rung in seed-deterministic fault
+// injection; "unix" and "tcp" carry every delivery across a real OS socket
+// as length-prefixed binary frames — one message frame out, a synchronous
+// ack frame back once the destination mailbox accepts, so delivery keeps its
+// round-trip semantics. Every rung is transcript-equivalent (the E16
+// experiment table checks it while pricing each rung's wall-clock and
+// latency cost); only the observables change.
+//
 // The implementation lives under internal/; this package is the supported
 // surface, and none of its exported signatures mention internal types.
 package fairgossip

@@ -2,9 +2,11 @@ package fairgossip
 
 import (
 	"context"
+	"io"
 	"time"
 
 	"repro/internal/runtime"
+	"repro/internal/runtime/netconduit"
 	"repro/internal/scenario"
 )
 
@@ -13,6 +15,14 @@ import (
 type LiveOptions struct {
 	// Seed overrides the scenario seed when non-zero.
 	Seed uint64
+	// Transport selects the conduit messages cross: "" or "channel" is the
+	// in-process channel handoff; "unix" and "tcp" carry every delivery over
+	// a real loopback socket (Unix-domain or TCP) as length-prefixed binary
+	// frames. All three are transcript-equivalent — the protocol outcome for
+	// a given seed does not depend on the transport — but the wall-clock and
+	// latency observables price each rung differently. Any other value is an
+	// error wrapping ErrInvalidScenario.
+	Transport string
 	// TransportDrop adds a per-message transport-level loss probability in
 	// [0, 1) on top of the scenario's FaultModel.Drop. The transport draws
 	// from its own seed-derived stream, so lossy live runs repeat
@@ -47,8 +57,9 @@ type LiveReport struct {
 
 // RunLive executes the scenario once on the goroutine-per-node
 // message-passing runtime instead of the simulator: every agent runs on its
-// own goroutine with a bounded mailbox, and every message crosses an
-// in-process transport. With zero options the execution is
+// own goroutine with a bounded mailbox, and every message crosses the
+// selected transport — an in-process channel by default, a real loopback
+// socket with LiveOptions.Transport. With zero options the execution is
 // transcript-equivalent to the simulator — same outcome, rounds, and
 // communication metrics for the same seed — so findings transfer between
 // the two engines; the report adds the wall-clock and latency measurements
@@ -78,14 +89,33 @@ func (r *Runner) RunLive(ctx context.Context, opts LiveOptions) (LiveReport, err
 		seed = r.s.Seed
 	}
 	var conduit runtime.Conduit
+	var transport io.Closer
+	switch opts.Transport {
+	case "", "channel":
+		// In-process handoff: nothing to open, nothing to close.
+	case "unix", "tcp":
+		sc, err := netconduit.Listen(opts.Transport)
+		if err != nil {
+			return LiveReport{}, err
+		}
+		conduit, transport = sc, sc
+	default:
+		return LiveReport{}, invalidf("unknown transport %q (want channel, unix, or tcp)", opts.Transport)
+	}
 	if opts.TransportDrop > 0 || opts.Jitter > 0 {
-		conduit = runtime.NewFaultConduit(nil, seed, opts.TransportDrop, opts.Jitter)
+		conduit = runtime.NewFaultConduit(conduit, seed, opts.TransportDrop, opts.Jitter)
 	}
 	res, live, err := runtime.Execute(ctx, r.inner.RunConfig(seed), runtime.Options{
 		Conduit: conduit,
 		Mailbox: opts.Mailbox,
 	})
 	if err != nil {
+		if transport != nil {
+			// Execute closes the conduit once a Runtime owns it; an error
+			// before that point (bad config, cancelled run) must not leak the
+			// listener. Close is idempotent, so the overlap is harmless.
+			transport.Close() //nolint:errcheck // best-effort teardown
+		}
 		return LiveReport{}, err
 	}
 	return LiveReport{

@@ -66,6 +66,44 @@ func TestRunLiveCancelled(t *testing.T) {
 	}
 }
 
+// TestRunLiveSocketTransports pins the transport axis through the public
+// surface: unix and tcp runs produce the exact Result the channel run does
+// (the transport moves bytes, never the outcome), an unknown transport is an
+// invalid scenario, and the fault layer composes over a socket.
+func TestRunLiveSocketTransports(t *testing.T) {
+	sc, err := fairgossip.Lookup("baseline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := fairgossip.MustRunner(sc)
+	base, err := r.RunLive(context.Background(), fairgossip.LiveOptions{Transport: "channel"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, transport := range []string{"unix", "tcp"} {
+		rep, err := r.RunLive(context.Background(), fairgossip.LiveOptions{Transport: transport})
+		if err != nil {
+			t.Fatalf("RunLive(%s): %v", transport, err)
+		}
+		if rep.Result != base.Result {
+			t.Fatalf("%s result %+v diverged from channel %+v", transport, rep.Result, base.Result)
+		}
+		if rep.Delivered != base.Delivered {
+			t.Fatalf("%s delivered %d messages, channel %d", transport, rep.Delivered, base.Delivered)
+		}
+	}
+	if _, err := r.RunLive(context.Background(), fairgossip.LiveOptions{Transport: "carrier-pigeon"}); !errors.Is(err, fairgossip.ErrInvalidScenario) {
+		t.Fatalf("bad transport: err = %v, want ErrInvalidScenario", err)
+	}
+	lossy, err := r.RunLive(context.Background(), fairgossip.LiveOptions{Transport: "unix", TransportDrop: 0.05})
+	if err != nil {
+		t.Fatalf("fault over socket: %v", err)
+	}
+	if lossy.Delivered == 0 {
+		t.Fatal("fault layer over a socket delivered nothing")
+	}
+}
+
 // TestRunLiveFaultTransport pins the lossy transport through the public
 // surface: deterministic per seed, and jitter visible in the latency report.
 func TestRunLiveFaultTransport(t *testing.T) {

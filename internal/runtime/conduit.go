@@ -2,6 +2,8 @@ package runtime
 
 import (
 	"fmt"
+	"io"
+	"sync"
 	"time"
 
 	"repro/internal/rng"
@@ -18,6 +20,19 @@ import (
 // reached dst (dst is untouched), and the scheduler then applies the same
 // loss semantics the simulator's FaultModel.Drop produces — a lost push, a
 // failed pull. Delivery to a node that has shut down also reports false.
+//
+// Concurrency contract: implementations must be safe for concurrent Deliver
+// calls. The round-barrier coordinator happens to deliver serially today,
+// but conduits outlive that accident — the socket transport acks deliveries
+// from listener goroutines, and a concurrent scheduler would overlap
+// Delivers freely — so a conduit may never assume callers serialize it.
+// (For seed-derived randomness this means guarding the stream; the draw
+// order, and with it bit-for-bit reproducibility, is then still determined
+// by whatever order the scheduler calls Deliver in — serial today.)
+//
+// A Conduit that holds transport resources may additionally implement
+// io.Closer; Runtime.Shutdown closes it after every node goroutine has
+// exited.
 type Conduit interface {
 	Deliver(dst *Node, m Message) bool
 }
@@ -44,11 +59,18 @@ const conduitStreamSalt = 0xfa117c0d
 // distribution from a point mass into something worth measuring. Both draws
 // come from one private stream, so a faulty transport is exactly as
 // reproducible as a clean one.
+//
+// The stream is guarded by a mutex: concurrent Delivers (see the Conduit
+// concurrency contract) draw race-free, in whatever order they arrive. Under
+// a serial caller — the round-barrier coordinator — the draw order is the
+// call order and runs stay bit-for-bit reproducible.
 type FaultConduit struct {
 	inner  Conduit
 	drop   float64
 	jitter time.Duration
-	r      rng.Source
+
+	mu sync.Mutex // guards r: one unguarded stream would race under concurrent Deliver
+	r  rng.Source
 }
 
 // NewFaultConduit builds a fault-injecting transport over inner (nil means
@@ -71,13 +93,32 @@ func NewFaultConduit(inner Conduit, seed uint64, drop float64, jitter time.Durat
 }
 
 // Deliver draws the message's fate — drop, then delay — and forwards the
-// survivors to the inner transport.
+// survivors to the inner transport. Both draws happen under the stream lock;
+// the jitter sleep itself does not, so concurrent deliveries delay each
+// other only by their own jitter.
 func (c *FaultConduit) Deliver(dst *Node, m Message) bool {
-	if c.drop > 0 && c.r.Bool(c.drop) {
+	c.mu.Lock()
+	dropped := c.drop > 0 && c.r.Bool(c.drop)
+	var delay time.Duration
+	if !dropped && c.jitter > 0 {
+		delay = time.Duration(c.r.Uint64n(uint64(c.jitter)))
+	}
+	c.mu.Unlock()
+	if dropped {
 		return false
 	}
-	if c.jitter > 0 {
-		time.Sleep(time.Duration(c.r.Uint64n(uint64(c.jitter))))
+	if delay > 0 {
+		time.Sleep(delay)
 	}
 	return c.inner.Deliver(dst, m)
+}
+
+// Close forwards to the inner transport when it holds resources (a wrapped
+// socket conduit), so Runtime.Shutdown tears the whole transport stack down
+// through the fault layer.
+func (c *FaultConduit) Close() error {
+	if cl, ok := c.inner.(io.Closer); ok {
+		return cl.Close()
+	}
+	return nil
 }

@@ -9,6 +9,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/runtime"
+	"repro/internal/runtime/netconduit"
 	"repro/internal/scenario"
 	"repro/internal/trace"
 )
@@ -85,16 +86,32 @@ var equivalenceBuiltins = []string{
 	"faulty-third",
 }
 
+// socketConduit builds a loopback socket transport for one runtime run,
+// failing the test if the listener cannot start. The runtime closes it on
+// Shutdown.
+func socketConduit(t *testing.T, network string) runtime.Conduit {
+	t.Helper()
+	c, err := netconduit.Listen(network)
+	if err != nil {
+		t.Fatalf("netconduit.Listen(%s): %v", network, err)
+	}
+	return c
+}
+
 // TestRuntimeTranscriptEquivalence pins the correctness anchor of the whole
-// runtime layer: under the deterministic scheduler with the channel conduit,
-// the runtime and the simulator produce byte-identical trace transcripts and
-// identical results for the same seed — at every simulator worker count,
-// since the simulator itself is worker-independent.
+// runtime layer: under the deterministic scheduler, the runtime and the
+// simulator produce byte-identical trace transcripts and identical results
+// for the same seed — at every simulator worker count, since the simulator
+// itself is worker-independent, and through every loss-free transport. The
+// round-barrier coordinator delivers serially and waits for each message's
+// completion event, so a real TCP or Unix-domain loopback socket is just a
+// slower ChannelConduit: same deliveries, same order, same bytes.
 func TestRuntimeTranscriptEquivalence(t *testing.T) {
 	const seed = 42
 	for _, name := range equivalenceBuiltins {
 		name := name
 		t.Run(name, func(t *testing.T) {
+			t.Parallel() // each subtest runs its own engines; registry access is read-only
 			rtRes, rtTr := runtimeRun(t, name, seed, runtime.Options{})
 			for _, workers := range []int{1, 4} {
 				simRes, simTr := simRun(t, name, seed, workers)
@@ -109,6 +126,19 @@ func TestRuntimeTranscriptEquivalence(t *testing.T) {
 			}
 			if len(rtTr) == 0 {
 				t.Fatal("empty transcript — the comparison proved nothing")
+			}
+			// The socket rung: every delivery crosses a real OS socket (frame
+			// out, mailbox, ack back) and the transcript must not move a byte.
+			for _, network := range []string{"unix", "tcp"} {
+				sockRes, sockTr := runtimeRun(t, name, seed, runtime.Options{Conduit: socketConduit(t, network)})
+				if !bytes.Equal(sockTr, rtTr) {
+					t.Fatalf("%s: transcripts differ from channel conduit (%d vs %d bytes)\nfirst channel lines:\n%s\nfirst %s lines:\n%s",
+						network, len(rtTr), len(sockTr), head(rtTr), network, head(sockTr))
+				}
+				sockRes.Agents = nil
+				if !reflect.DeepEqual(sockRes, rtRes) {
+					t.Fatalf("%s: results differ\nchannel: %+v\nsocket:  %+v", network, rtRes, sockRes)
+				}
 			}
 		})
 	}

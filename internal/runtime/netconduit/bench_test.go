@@ -1,0 +1,74 @@
+package netconduit
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/runtime"
+)
+
+// BenchmarkSocketConduitRound measures one lockstep round when every
+// delivery crosses a Unix-domain loopback socket: frame encode, kernel round
+// trip, mailbox hand-off, ack frame back. Read next to BenchmarkRuntimeRound
+// (same scenario through the in-process channel conduit) it prices the
+// socket rung of the transport ladder. Informational — not gated in
+// BENCH_BASELINE.json — but published in the bench artifact so drift is
+// visible.
+func BenchmarkSocketConduitRound(b *testing.B) {
+	for _, n := range []int{128, 1024} {
+		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {
+			p, err := core.NewParams(n, 2, 3.0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			var rt *runtime.Runtime
+			var setup *core.RunSetup
+			rebuild := func() {
+				if rt != nil {
+					rt.Shutdown()
+				}
+				setup, err = core.PrepareRun(core.RunConfig{
+					Params: p,
+					Colors: core.UniformColors(n, 2),
+					Seed:   1,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				c, err := Listen("unix")
+				if err != nil {
+					b.Fatal(err)
+				}
+				rt = runtime.New(runtime.Config{
+					Topology: setup.Net,
+					Faulty:   setup.Faulty,
+					Faults:   setup.Faults,
+					Counters: setup.Counters,
+					Trace:    setup.Trace,
+					Drop:     setup.Drop,
+					DropRand: setup.DropRand,
+					Conduit:  c,
+				}, setup.Agents)
+			}
+			rebuild()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				rounds, err := rt.Run(ctx, 1)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if rounds == 0 || rt.Round() >= setup.MaxRounds {
+					b.StopTimer()
+					rebuild()
+					b.StartTimer()
+				}
+			}
+			b.StopTimer()
+			rt.Shutdown()
+		})
+	}
+}

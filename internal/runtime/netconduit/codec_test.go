@@ -1,0 +1,242 @@
+package netconduit
+
+import (
+	"bytes"
+	"errors"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/gossip"
+	"repro/internal/runtime"
+)
+
+// roundTrip encodes one message as a frame and decodes it back through the
+// same epoch, failing the test on any mismatch.
+func roundTrip(t *testing.T, m runtime.Message, to int) runtime.Message {
+	t.Helper()
+	epoch := time.Now()
+	frame, err := appendMessageFrame(nil, 7, to, m, epoch)
+	if err != nil {
+		t.Fatalf("encode: %v", err)
+	}
+	var cache paramsCache
+	seq, gotTo, got, err := decodeMessage(frame[5:], epoch, &cache) // skip length prefix + frame type
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if seq != 7 || gotTo != to {
+		t.Fatalf("seq/to = %d/%d, want 7/%d", seq, gotTo, to)
+	}
+	return got
+}
+
+func testParams(t *testing.T) core.Params {
+	t.Helper()
+	p, err := core.NewParams(64, 2, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestCodecRoundTripPayloads pins that every concrete protocol payload
+// crosses the frame codec content-identical, Params (including the derived
+// unexported wire widths — Params is comparable, so == checks them all) and
+// SizeBits included.
+func TestCodecRoundTripPayloads(t *testing.T) {
+	p := testParams(t)
+	relaxed, err := p.WithProtocol(core.Protocol{Variant: core.ProtocolRelaxed, MinVotes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	retrans, err := p.WithProtocol(core.Protocol{Variant: core.ProtocolRetransmit, Passes: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payloads := []gossip.Payload{
+		nil,
+		core.Intentions{P: p, Votes: []core.Intent{{H: 1, Z: 0}, {H: 99, Z: 63}}},
+		core.Vote{P: p, Value: 12345, Index: 4},
+		core.Vote{P: retrans, Value: 1, Index: 17},
+		core.IntentQuery{P: p},
+		core.CertQuery{P: relaxed},
+		&core.Certificate{
+			P: p, K: 77,
+			W:     []core.WEntry{{Voter: 3, Value: 9}, {Voter: 61, Value: 140608}},
+			Color: 1, Owner: 3,
+		},
+		&core.Certificate{P: p, K: 0, W: nil, Color: core.ColorBot, Owner: 0},
+	}
+	for i, payload := range payloads {
+		m := runtime.Message{Kind: runtime.MsgPush, Round: 13, From: 5, Payload: payload}
+		got := roundTrip(t, m, 9)
+		if got.Kind != m.Kind || got.Round != m.Round || got.From != m.From {
+			t.Fatalf("payload %d: header changed: %+v vs %+v", i, got, m)
+		}
+		want := payload
+		if c, ok := payload.(*core.Certificate); ok && len(c.W) == 0 {
+			// A nil and an empty vote multiset are the same certificate; the
+			// codec does not distinguish them.
+			cc := *c
+			cc.W = []core.WEntry{}
+			want = &cc
+		}
+		if !reflect.DeepEqual(got.Payload, want) {
+			t.Fatalf("payload %d changed across the wire:\nsent %#v\ngot  %#v", i, payload, got.Payload)
+		}
+		if payload != nil && got.Payload.SizeBits() != payload.SizeBits() {
+			t.Fatalf("payload %d: SizeBits %d -> %d", i, payload.SizeBits(), got.Payload.SizeBits())
+		}
+	}
+}
+
+// TestCodecVotePointer pins that a *Vote encodes like its value: handlers
+// accept both shapes, and the wire keeps the simpler one.
+func TestCodecVotePointer(t *testing.T) {
+	p := testParams(t)
+	v := &core.Vote{P: p, Value: 8, Index: 1}
+	got := roundTrip(t, runtime.Message{Kind: runtime.MsgVote, Round: 30, From: 2, Payload: v}, 3)
+	if !reflect.DeepEqual(got.Payload, *v) {
+		t.Fatalf("pointer vote decoded to %#v, want value %#v", got.Payload, *v)
+	}
+}
+
+// TestCodecSentAtTicks pins the mono-relative timestamp: a SentAt stamped
+// after the epoch survives the wire to sub-nanosecond identity when both
+// ends share the epoch, and the zero time stays zero (untimed scheduler
+// traffic must not grow a timestamp).
+func TestCodecSentAtTicks(t *testing.T) {
+	p := testParams(t)
+	m := runtime.Message{Kind: runtime.MsgQuery, Round: 1, From: 0, Payload: core.IntentQuery{P: p}}
+	if got := roundTrip(t, m, 1); !got.SentAt.IsZero() {
+		t.Fatalf("zero SentAt decoded as %v", got.SentAt)
+	}
+	epoch := time.Now()
+	m.SentAt = epoch.Add(1500 * time.Microsecond)
+	frame, err := appendMessageFrame(nil, 1, 1, m, epoch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cache paramsCache
+	_, _, got, err := decodeMessage(frame[5:], epoch, &cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d := got.SentAt.Sub(m.SentAt); d != 0 {
+		t.Fatalf("SentAt drifted %v across the wire", d)
+	}
+}
+
+// TestCodecParamsCache pins the per-connection Params memoization: the
+// second decode of the same parameter block must return the cached value.
+func TestCodecParamsCache(t *testing.T) {
+	p := testParams(t)
+	b, err := appendParams(nil, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var cache paramsCache
+	first, err := readParams(&reader{b: b}, &cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first != p {
+		t.Fatalf("decoded params %+v != original %+v", first, p)
+	}
+	if !cache.ok {
+		t.Fatal("cache not primed")
+	}
+	second, err := readParams(&reader{b: b}, &cache)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if second != p {
+		t.Fatalf("cached params %+v != original %+v", second, p)
+	}
+}
+
+// TestCodecAckRoundTrip covers both ack polarities.
+func TestCodecAckRoundTrip(t *testing.T) {
+	for _, ok := range []bool{true, false} {
+		frame := appendAckFrame(nil, 42, ok)
+		seq, got, err := decodeAck(frame[5:])
+		if err != nil || seq != 42 || got != ok {
+			t.Fatalf("ack(%v) round trip: seq=%d ok=%v err=%v", ok, seq, got, err)
+		}
+	}
+}
+
+// TestCodecRejectsMalformed walks the garbage taxonomy: every malformed body
+// must come back as a codec error, never a panic or a silent success.
+func TestCodecRejectsMalformed(t *testing.T) {
+	p := testParams(t)
+	good, err := appendMessageFrame(nil, 1, 2, runtime.Message{
+		Kind: runtime.MsgPush, Round: 3, From: 1,
+		Payload: core.Vote{P: p, Value: 5},
+	}, time.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	body := good[5:] // strip length prefix + frame type
+
+	cases := map[string][]byte{
+		"empty":            {},
+		"bad version":      append([]byte{99}, body[1:]...),
+		"truncated header": body[:2],
+		"truncated params": body[:len(body)-6],
+		"trailing bytes":   append(append([]byte{}, body...), 0xAA),
+		// The 7-byte header (version, seq, kind, flags, round, from, to — all
+		// single-byte varints here) followed by a tag outside the payload set.
+		"bad payload tag": append(append([]byte{}, body[:7]...), 0x7F),
+	}
+	for name, b := range cases {
+		var cache paramsCache
+		if _, _, _, err := decodeMessage(b, time.Now(), &cache); !errors.Is(err, errCodec) {
+			t.Errorf("%s: err = %v, want a codec error", name, err)
+		}
+	}
+	if _, _, err := decodeAck([]byte{0x01}); !errors.Is(err, errCodec) {
+		t.Errorf("truncated ack: err = %v", err)
+	}
+	if _, _, err := decodeAck([]byte{0x01, 0x05}); !errors.Is(err, errCodec) {
+		t.Errorf("ack with ok byte 5: err = %v", err)
+	}
+}
+
+// TestCodecRejectsHugeCounts pins the allocation guard: a garbage list count
+// larger than the frame's remaining bytes is rejected before any allocation
+// of that size.
+func TestCodecRejectsHugeCounts(t *testing.T) {
+	p := testParams(t)
+	// Hand-build an intentions payload claiming 2^40 votes in a tiny frame.
+	pb, err := appendParams([]byte{codecVersion, 1 /*seq*/, byte(runtime.MsgReply), 0 /*flags*/, 1, 1, 1}, p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Splice the payload tag in front of the params block we appended.
+	msg := append(pb[:7], append([]byte{payIntentions}, pb[7:]...)...)
+	msg = append(msg, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x80, 0x01) // uvarint 2^56
+	var cache paramsCache
+	if _, _, _, err := decodeMessage(msg, time.Now(), &cache); !errors.Is(err, errCodec) {
+		t.Fatalf("err = %v, want a codec error", err)
+	}
+}
+
+// TestReadFrameBounds pins the frame-length guard: zero and oversized
+// lengths are connection-fatal codec errors, and a truncated body surfaces
+// as an I/O error — all without allocating MaxFrame-scale buffers for
+// garbage.
+func TestReadFrameBounds(t *testing.T) {
+	var buf []byte
+	if _, err := readFrame(bytes.NewReader([]byte{0, 0, 0, 0}), &buf); !errors.Is(err, errCodec) {
+		t.Errorf("zero length: err = %v", err)
+	}
+	if _, err := readFrame(bytes.NewReader([]byte{0xFF, 0xFF, 0xFF, 0xFF}), &buf); !errors.Is(err, errCodec) {
+		t.Errorf("oversized length: err = %v", err)
+	}
+	if _, err := readFrame(bytes.NewReader([]byte{0, 0, 0, 9, 1, 2}), &buf); err == nil {
+		t.Error("truncated body: no error")
+	}
+}

@@ -1,0 +1,452 @@
+package netconduit
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/runtime"
+)
+
+// Dial/retry tuning. A Deliver makes at most maxAttempts passes over the
+// dial-write sequence, sleeping a doubling backoff (capped at maxBackoff)
+// after each failed dial, so a dead peer costs a bounded ~100ms before the
+// delivery is reported lost instead of wedging the coordinator forever.
+const (
+	maxAttempts    = 6
+	initialBackoff = time.Millisecond
+	maxBackoff     = 32 * time.Millisecond
+)
+
+// SocketConduit is a runtime.Conduit whose deliveries cross a real OS
+// socket. It is both halves of the transport: a listener that routes inbound
+// message frames into the destination node's mailbox and answers with an ack
+// frame, and a per-peer set of outbound connections (lazily dialed,
+// reconnected with bounded backoff) that Deliver writes message frames to.
+//
+// With the default routing every node is hosted behind the conduit's own
+// listener — the single-process loopback configuration the transcript-
+// equivalence suite pins. Route redirects individual node IDs at other
+// listeners, which is the seam the multi-process sharded-serve follow-up
+// plugs into; the per-peer connection and reconnect machinery is already
+// exercised across distinct conduits by this package's tests.
+//
+// Deliver is safe for concurrent use. Close is idempotent; Runtime.Shutdown
+// calls it automatically (after all node goroutines have exited) when the
+// conduit is the runtime's transport.
+type SocketConduit struct {
+	network string
+	ln      net.Listener
+	dir     string // temp dir holding the unix socket, removed on Close
+	epoch   time.Time
+
+	nodes  sync.Map // int -> *runtime.Node: local nodes inbound frames route to
+	routes sync.Map // int -> route: node IDs hosted behind other listeners
+
+	mu    sync.Mutex
+	peers map[string]*peer
+	conns map[net.Conn]struct{} // accepted inbound connections
+
+	closed    chan struct{}
+	closeOnce sync.Once
+	wg        sync.WaitGroup
+
+	reconnects atomic.Int64 // outbound connections re-dialed after a failure
+	rejects    atomic.Int64 // inbound connections dropped over malformed frames
+}
+
+// route addresses the listener hosting a non-local node.
+type route struct{ network, addr string }
+
+// Listen starts a socket conduit on the given network: "tcp" listens on a
+// kernel-assigned loopback port, "unix" on a socket in a fresh temp
+// directory. The caller owns the conduit until it hands it to a Runtime,
+// whose Shutdown closes it; a conduit that never reaches a runtime must be
+// Closed directly.
+func Listen(network string) (*SocketConduit, error) {
+	c := &SocketConduit{
+		network: network,
+		epoch:   time.Now(),
+		peers:   make(map[string]*peer),
+		conns:   make(map[net.Conn]struct{}),
+		closed:  make(chan struct{}),
+	}
+	var err error
+	switch network {
+	case "tcp":
+		c.ln, err = net.Listen("tcp", "127.0.0.1:0")
+	case "unix":
+		c.dir, err = os.MkdirTemp("", "netconduit")
+		if err == nil {
+			c.ln, err = net.Listen("unix", filepath.Join(c.dir, "conduit.sock"))
+		}
+	default:
+		return nil, fmt.Errorf("netconduit: unsupported network %q (want tcp or unix)", network)
+	}
+	if err != nil {
+		if c.dir != "" {
+			os.RemoveAll(c.dir)
+		}
+		return nil, fmt.Errorf("netconduit: listen %s: %w", network, err)
+	}
+	c.wg.Add(1)
+	go c.accept()
+	return c, nil
+}
+
+// Addr returns the listener's address — what another conduit's Route points
+// at.
+func (c *SocketConduit) Addr() net.Addr { return c.ln.Addr() }
+
+// Register makes a locally hosted node reachable by inbound frames. Deliver
+// registers its destinations lazily, which covers the loopback case; a
+// receiving process in a multi-listener topology registers its shard
+// explicitly.
+func (c *SocketConduit) Register(n *runtime.Node) {
+	if n != nil {
+		c.nodes.Store(n.ID(), n)
+	}
+}
+
+// Route directs deliveries for one node ID at the listener on addr instead
+// of this conduit's own.
+func (c *SocketConduit) Route(id int, network, addr string) {
+	c.routes.Store(id, route{network: network, addr: addr})
+}
+
+// Deliver implements runtime.Conduit: encode the message, write it to the
+// peer hosting dst (dialing or re-dialing as needed), and wait for the ack
+// that says dst's mailbox accepted it. False means the message did not
+// survive transport — encode-to-mailbox — and the scheduler applies its loss
+// semantics.
+func (c *SocketConduit) Deliver(dst *runtime.Node, m runtime.Message) bool {
+	select {
+	case <-c.closed:
+		return false
+	default:
+	}
+	c.nodes.Store(dst.ID(), dst)
+	return c.peerFor(dst.ID()).deliver(dst.ID(), m)
+}
+
+// Close shuts the conduit down: stop accepting, close every connection in
+// both directions, wait for all conduit goroutines, and remove the unix
+// socket's temp directory. Idempotent. Pending Delivers fail as losses. Close
+// after the runtime's nodes have stopped (Runtime.Shutdown's order): a node
+// blocked in a mailbox Send holds its inbound connection's read loop until
+// the node's stop channel releases it.
+func (c *SocketConduit) Close() error {
+	c.closeOnce.Do(func() {
+		close(c.closed)
+		c.ln.Close()
+		c.mu.Lock()
+		for conn := range c.conns {
+			conn.Close()
+		}
+		for _, p := range c.peers {
+			p.closeConn()
+		}
+		c.mu.Unlock()
+		c.wg.Wait()
+		if c.dir != "" {
+			os.RemoveAll(c.dir)
+		}
+	})
+	return nil
+}
+
+// node resolves a locally hosted node ID; nil when unknown.
+func (c *SocketConduit) node(id int) *runtime.Node {
+	v, ok := c.nodes.Load(id)
+	if !ok {
+		return nil
+	}
+	return v.(*runtime.Node)
+}
+
+// peerFor returns (creating on first use) the outbound peer hosting id.
+func (c *SocketConduit) peerFor(id int) *peer {
+	network, addr := c.network, c.ln.Addr().String()
+	if v, ok := c.routes.Load(id); ok {
+		r := v.(route)
+		network, addr = r.network, r.addr
+	}
+	key := network + "!" + addr
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p, ok := c.peers[key]
+	if !ok {
+		p = &peer{c: c, network: network, addr: addr}
+		c.peers[key] = p
+	}
+	return p
+}
+
+// accept owns the listener: every inbound connection gets its own serve
+// goroutine.
+func (c *SocketConduit) accept() {
+	defer c.wg.Done()
+	for {
+		conn, err := c.ln.Accept()
+		if err != nil {
+			return // Close closed the listener, or it is irrecoverably broken
+		}
+		c.mu.Lock()
+		select {
+		case <-c.closed:
+			c.mu.Unlock()
+			conn.Close()
+			return
+		default:
+		}
+		c.conns[conn] = struct{}{}
+		c.mu.Unlock()
+		c.wg.Add(1)
+		go c.serve(conn)
+	}
+}
+
+// dropConn closes and forgets one inbound connection.
+func (c *SocketConduit) dropConn(conn net.Conn) {
+	conn.Close()
+	c.mu.Lock()
+	delete(c.conns, conn)
+	c.mu.Unlock()
+}
+
+// serve is the inbound half of the round trip: read message frames, route
+// each into the destination node's mailbox, ack with the Send result. Any
+// malformed frame is connection-fatal — the peer's pending deliveries fail
+// as losses and the conduit stays up for the next connection — so garbage on
+// the wire can never wedge the coordinator.
+func (c *SocketConduit) serve(conn net.Conn) {
+	defer c.wg.Done()
+	defer c.dropConn(conn)
+	var buf, out []byte
+	var cache paramsCache
+	for {
+		body, err := readFrame(conn, &buf)
+		if err != nil {
+			if errors.Is(err, errCodec) || errors.Is(err, io.ErrUnexpectedEOF) {
+				c.rejects.Add(1)
+			}
+			return
+		}
+		if body[0] != frameMessage {
+			c.rejects.Add(1)
+			return
+		}
+		seq, to, m, err := decodeMessage(body[1:], c.epoch, &cache)
+		if err != nil {
+			c.rejects.Add(1)
+			return
+		}
+		node := c.node(to)
+		ok := node != nil && node.Send(m)
+		out = appendAckFrame(out[:0], seq, ok)
+		if _, err := conn.Write(out); err != nil {
+			return
+		}
+	}
+}
+
+// peer is one outbound destination: the connection to a listener, its
+// pending-ack table, and the reconnect state.
+type peer struct {
+	c       *SocketConduit
+	network string
+	addr    string
+	seq     atomic.Uint64
+
+	mu       sync.Mutex // guards pc and redialed (dial / kill)
+	pc       *peerConn
+	redialed bool // a connection died; the next successful dial is a reconnect
+}
+
+// peerConn is one live outbound connection. Pending acks are per-connection:
+// when the connection dies, exactly the deliveries written to it fail — a
+// retry on a fresh connection starts a fresh table.
+type peerConn struct {
+	conn net.Conn
+
+	wmu sync.Mutex // serializes frame writes
+
+	pmu     sync.Mutex
+	pending map[uint64]chan bool
+	dead    bool
+}
+
+func (pc *peerConn) register(seq uint64) chan bool {
+	ch := make(chan bool, 1)
+	pc.pmu.Lock()
+	if pc.dead {
+		pc.pmu.Unlock()
+		ch <- false
+		return ch
+	}
+	pc.pending[seq] = ch
+	pc.pmu.Unlock()
+	return ch
+}
+
+func (pc *peerConn) unregister(seq uint64) {
+	pc.pmu.Lock()
+	delete(pc.pending, seq)
+	pc.pmu.Unlock()
+}
+
+func (pc *peerConn) resolve(seq uint64, ok bool) {
+	pc.pmu.Lock()
+	ch, found := pc.pending[seq]
+	delete(pc.pending, seq)
+	pc.pmu.Unlock()
+	if found {
+		ch <- ok
+	}
+}
+
+// failAll resolves every pending delivery as lost; later registers fail
+// immediately.
+func (pc *peerConn) failAll() {
+	pc.pmu.Lock()
+	pending := pc.pending
+	pc.pending = nil
+	pc.dead = true
+	pc.pmu.Unlock()
+	for _, ch := range pending {
+		ch <- false
+	}
+}
+
+func (pc *peerConn) write(frame []byte) error {
+	pc.wmu.Lock()
+	defer pc.wmu.Unlock()
+	_, err := pc.conn.Write(frame)
+	return err
+}
+
+// deliver runs one message through the write-then-ack round trip, re-dialing
+// with bounded backoff when the connection is down or dies under the write.
+// A failure after the write succeeded is not retried: the message may have
+// reached the mailbox, and at-most-once is the loss semantics the scheduler
+// expects.
+func (p *peer) deliver(to int, m runtime.Message) bool {
+	seq := p.seq.Add(1)
+	frame, err := appendMessageFrame(nil, seq, to, m, p.c.epoch)
+	if err != nil {
+		// Only a payload type outside the protocol's set gets here: a
+		// programming error, not a transport condition. Fail loudly instead
+		// of folding it into the loss model.
+		panic(fmt.Sprintf("netconduit: %v", err))
+	}
+	backoff := initialBackoff
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		select {
+		case <-p.c.closed:
+			return false
+		default:
+		}
+		pc, err := p.ensureConn()
+		if err != nil {
+			select {
+			case <-p.c.closed:
+				return false
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+			continue
+		}
+		ch := pc.register(seq)
+		if err := pc.write(frame); err != nil {
+			pc.unregister(seq)
+			p.kill(pc)
+			continue
+		}
+		select {
+		case ok := <-ch:
+			return ok
+		case <-p.c.closed:
+			pc.unregister(seq)
+			return false
+		}
+	}
+	return false
+}
+
+// ensureConn returns the live connection, dialing one (and starting its ack
+// reader) if needed.
+func (p *peer) ensureConn() (*peerConn, error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.pc != nil {
+		return p.pc, nil
+	}
+	conn, err := net.DialTimeout(p.network, p.addr, time.Second)
+	if err != nil {
+		return nil, err
+	}
+	if p.redialed {
+		p.redialed = false
+		p.c.reconnects.Add(1)
+	}
+	pc := &peerConn{conn: conn, pending: make(map[uint64]chan bool)}
+	p.pc = pc
+	p.c.wg.Add(1)
+	go p.readAcks(pc)
+	return pc, nil
+}
+
+// kill retires a connection: detach it so the next deliver re-dials, close
+// it, and fail what was in flight on it.
+func (p *peer) kill(pc *peerConn) {
+	p.mu.Lock()
+	if p.pc == pc {
+		p.pc = nil
+		p.redialed = true
+	}
+	p.mu.Unlock()
+	pc.conn.Close()
+	pc.failAll()
+}
+
+// closeConn is Close's half of kill: drop the live connection, if any.
+func (p *peer) closeConn() {
+	p.mu.Lock()
+	pc := p.pc
+	p.pc = nil
+	p.mu.Unlock()
+	if pc != nil {
+		pc.conn.Close()
+	}
+}
+
+// readAcks drains one connection's ack stream, resolving pending deliveries,
+// until the connection dies — then retires it so in-flight deliveries fail
+// and the next one reconnects.
+func (p *peer) readAcks(pc *peerConn) {
+	defer p.c.wg.Done()
+	var buf []byte
+	for {
+		body, err := readFrame(pc.conn, &buf)
+		if err != nil {
+			break
+		}
+		if body[0] != frameAck {
+			break
+		}
+		seq, ok, err := decodeAck(body[1:])
+		if err != nil {
+			break
+		}
+		pc.resolve(seq, ok)
+	}
+	p.kill(pc)
+}

@@ -1,0 +1,300 @@
+package netconduit
+
+import (
+	"context"
+	"net"
+	"os"
+	stdruntime "runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/runtime"
+)
+
+// networks are the two socket flavors every robustness property must hold on.
+var networks = []string{"unix", "tcp"}
+
+// testSetup builds a small prepared run whose nodes the socket tests deliver
+// into.
+func testSetup(t *testing.T, n int, seed uint64) (*core.RunSetup, core.Params) {
+	t.Helper()
+	p, err := core.NewParams(n, 2, 3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setup, err := core.PrepareRun(core.RunConfig{
+		Params: p,
+		Colors: core.UniformColors(n, 2),
+		Seed:   seed,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return setup, p
+}
+
+// testRuntime starts node goroutines on the loss-free channel conduit, so the
+// socket conduit under test can be driven and torn down independently of the
+// runtime's lifecycle.
+func testRuntime(t *testing.T, n int, seed uint64) (*runtime.Runtime, core.Params) {
+	t.Helper()
+	setup, p := testSetup(t, n, seed)
+	rt := runtime.New(runtime.Config{
+		Topology: setup.Net,
+		Faulty:   setup.Faulty,
+		Faults:   setup.Faults,
+		Counters: setup.Counters,
+	}, setup.Agents)
+	return rt, p
+}
+
+// voteMsg is a well-formed protocol message that round-0 agents ignore
+// (commitment phase) — safe to inject outside a coordinated round.
+func voteMsg(p core.Params) runtime.Message {
+	return runtime.Message{Kind: runtime.MsgVote, Round: 0, From: 1, Payload: core.Vote{P: p, Value: 1}}
+}
+
+func listen(t *testing.T, network string) *SocketConduit {
+	t.Helper()
+	c, err := Listen(network)
+	if err != nil {
+		t.Fatalf("Listen(%s): %v", network, err)
+	}
+	return c
+}
+
+// TestDeliverAfterNodeShutdown pins the inbound half of the loss contract: a
+// frame that reaches the listener after its destination node has shut down is
+// acked false — Deliver reports a transport loss, the connection survives,
+// and nothing counts as a malformed-frame reject.
+func TestDeliverAfterNodeShutdown(t *testing.T) {
+	for _, network := range networks {
+		t.Run(network, func(t *testing.T) {
+			rt, p := testRuntime(t, 32, 1)
+			c := listen(t, network)
+			defer c.Close()
+			if !c.Deliver(rt.Node(3), voteMsg(p)) {
+				t.Fatal("delivery to a live node failed")
+			}
+			rt.Shutdown()
+			if c.Deliver(rt.Node(3), voteMsg(p)) {
+				t.Fatal("delivery to a stopped node reported success")
+			}
+			if got := c.rejects.Load(); got != 0 {
+				t.Fatalf("well-formed frames counted as rejects: %d", got)
+			}
+		})
+	}
+}
+
+// TestReconnectAfterConnKilled pins the reconnect path: killing the outbound
+// connection mid-run makes the next Deliver re-dial (counted in reconnects)
+// and succeed, instead of failing forever or wedging.
+func TestReconnectAfterConnKilled(t *testing.T) {
+	for _, network := range networks {
+		t.Run(network, func(t *testing.T) {
+			rt, p := testRuntime(t, 32, 2)
+			defer rt.Shutdown()
+			c := listen(t, network)
+			defer c.Close()
+			if !c.Deliver(rt.Node(0), voteMsg(p)) {
+				t.Fatal("first delivery failed")
+			}
+			// One loopback peer exists now; yank its live connection out from
+			// under it, as a peer crash or network partition would.
+			c.mu.Lock()
+			if len(c.peers) != 1 {
+				c.mu.Unlock()
+				t.Fatalf("expected 1 peer, have %d", len(c.peers))
+			}
+			var p0 *peer
+			for _, pe := range c.peers {
+				p0 = pe
+			}
+			c.mu.Unlock()
+			p0.mu.Lock()
+			pc := p0.pc
+			p0.mu.Unlock()
+			if pc == nil {
+				t.Fatal("no live outbound connection after a delivery")
+			}
+			pc.conn.Close()
+			// The ack reader notices and retires the connection; wait for that
+			// so the next delivery deterministically takes the re-dial path.
+			deadline := time.Now().Add(5 * time.Second)
+			for {
+				p0.mu.Lock()
+				gone := p0.pc == nil
+				p0.mu.Unlock()
+				if gone {
+					break
+				}
+				if time.Now().After(deadline) {
+					t.Fatal("killed connection never retired")
+				}
+				time.Sleep(time.Millisecond)
+			}
+			if !c.Deliver(rt.Node(1), voteMsg(p)) {
+				t.Fatal("delivery after connection kill failed")
+			}
+			if got := c.reconnects.Load(); got != 1 {
+				t.Fatalf("reconnects = %d, want 1", got)
+			}
+		})
+	}
+}
+
+// closeWriter is the half-close both net.TCPConn and net.UnixConn provide —
+// it lets a test send a truncated frame and still observe the server's
+// reaction on the read side.
+type closeWriter interface{ CloseWrite() error }
+
+// TestGarbageFramesRejected walks raw garbage into the listener — oversized
+// length prefix, unknown frame type, unsupported codec version, truncated
+// body — and pins that each one is connection-fatal (the writer sees EOF),
+// counted as a reject, and leaves the conduit fully usable.
+func TestGarbageFramesRejected(t *testing.T) {
+	for _, network := range networks {
+		t.Run(network, func(t *testing.T) {
+			rt, p := testRuntime(t, 32, 3)
+			defer rt.Shutdown()
+			c := listen(t, network)
+			defer c.Close()
+			addr := c.Addr()
+			cases := [][]byte{
+				{0xFF, 0xFF, 0xFF, 0xFF},       // length prefix beyond MaxFrame
+				{0, 0, 0, 3, 9, 9, 9},          // unknown frame type 9
+				{0, 0, 0, 2, frameMessage, 99}, // message frame, codec version 99
+				{0, 0, 0, 10, frameMessage, 2}, // body truncated by half-close
+			}
+			for i, frame := range cases {
+				conn, err := net.Dial(addr.Network(), addr.String())
+				if err != nil {
+					t.Fatalf("case %d: dial: %v", i, err)
+				}
+				if _, err := conn.Write(frame); err != nil {
+					t.Fatalf("case %d: write: %v", i, err)
+				}
+				conn.(closeWriter).CloseWrite()
+				// The server must close the connection on us — garbage is
+				// connection-fatal, not something to resynchronize past.
+				if _, err := conn.Read(make([]byte, 1)); err == nil {
+					t.Fatalf("case %d: server kept the connection open", i)
+				}
+				conn.Close()
+			}
+			if got := c.rejects.Load(); got != int64(len(cases)) {
+				t.Fatalf("rejects = %d, want %d", got, len(cases))
+			}
+			// The coordinator-facing path must be untouched by all of it.
+			if !c.Deliver(rt.Node(0), voteMsg(p)) {
+				t.Fatal("delivery after garbage storm failed")
+			}
+		})
+	}
+}
+
+// TestConcurrentDeliver exercises the conduit's concurrency contract under
+// the race detector: many goroutines delivering through one shared peer
+// connection, every ack finding its own waiter.
+func TestConcurrentDeliver(t *testing.T) {
+	for _, network := range networks {
+		t.Run(network, func(t *testing.T) {
+			const workers, each = 8, 8
+			rt, p := testRuntime(t, workers*each, 4)
+			defer rt.Shutdown()
+			c := listen(t, network)
+			defer c.Close()
+			var wg sync.WaitGroup
+			failed := make(chan int, workers*each)
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < each; i++ {
+						id := w*each + i
+						if !c.Deliver(rt.Node(id), voteMsg(p)) {
+							failed <- id
+						}
+					}
+				}(w)
+			}
+			wg.Wait()
+			close(failed)
+			for id := range failed {
+				t.Errorf("concurrent delivery to node %d failed", id)
+			}
+		})
+	}
+}
+
+// TestRouteAcrossConduits pins the multi-listener seam: a node registered
+// behind a second conduit's listener is reachable through Route, over a
+// second outbound peer — the exact machinery a sharded deployment uses.
+func TestRouteAcrossConduits(t *testing.T) {
+	rt, p := testRuntime(t, 16, 5)
+	defer rt.Shutdown()
+	a := listen(t, "tcp")
+	defer a.Close()
+	b := listen(t, "unix")
+	defer b.Close()
+	b.Register(rt.Node(5))
+	a.Route(5, b.Addr().Network(), b.Addr().String())
+	if !a.Deliver(rt.Node(5), voteMsg(p)) {
+		t.Fatal("routed delivery through the remote listener failed")
+	}
+	if !a.Deliver(rt.Node(2), voteMsg(p)) {
+		t.Fatal("loopback delivery alongside a route failed")
+	}
+	a.mu.Lock()
+	peers := len(a.peers)
+	a.mu.Unlock()
+	if peers != 2 {
+		t.Fatalf("sender holds %d peers, want 2 (loopback + routed)", peers)
+	}
+	if got := b.rejects.Load(); got != 0 {
+		t.Fatalf("remote listener rejected %d frames", got)
+	}
+}
+
+// TestShutdownReleasesResources is the transport goroleak bracket: a full
+// run through the socket conduit, shut down through Runtime.Shutdown, leaves
+// no conduit goroutines and (for unix) no socket file behind.
+func TestShutdownReleasesResources(t *testing.T) {
+	for _, network := range networks {
+		t.Run(network, func(t *testing.T) {
+			before := stdruntime.NumGoroutine()
+			setup, _ := testSetup(t, 32, 6)
+			c := listen(t, network)
+			rt := runtime.New(runtime.Config{
+				Topology: setup.Net,
+				Faulty:   setup.Faulty,
+				Faults:   setup.Faults,
+				Counters: setup.Counters,
+				Conduit:  c,
+			}, setup.Agents)
+			if _, err := rt.Run(context.Background(), setup.MaxRounds); err != nil {
+				t.Fatal(err)
+			}
+			rt.Shutdown() // closes the conduit: runtime owns the transport
+			if c.dir != "" {
+				if _, err := os.Stat(c.dir); !os.IsNotExist(err) {
+					t.Fatalf("unix socket dir %s survived Close (err=%v)", c.dir, err)
+				}
+			}
+			deadline := time.Now().Add(5 * time.Second)
+			for stdruntime.NumGoroutine() > before {
+				if time.Now().After(deadline) {
+					t.Fatalf("goroutines leaked: %d running, want <= %d", stdruntime.NumGoroutine(), before)
+				}
+				time.Sleep(5 * time.Millisecond)
+			}
+			// Deliver after Close must fail fast, not re-dial a dead listener.
+			if c.Deliver(rt.Node(0), runtime.Message{Kind: runtime.MsgVote}) {
+				t.Fatal("delivery through a closed conduit reported success")
+			}
+		})
+	}
+}

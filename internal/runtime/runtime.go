@@ -1,10 +1,12 @@
 // Package runtime executes the protocol as a real message-passing system:
 // every agent becomes a Node — its own goroutine with a typed, bounded
 // mailbox — and all communication crosses a pluggable Conduit transport.
-// It is the first step of the simulator-to-runtime ladder: in-process
-// channels now, fault-injecting transports layered on top (FaultConduit),
-// real sockets later, with the protocol logic (core.Agent) untouched at
-// every rung.
+// It is the simulator-to-runtime ladder: in-process channels
+// (ChannelConduit), fault-injecting transports layered on top
+// (FaultConduit), and real OS sockets (the netconduit subpackage: framed
+// deliveries over TCP or Unix-domain loopback with synchronous acks) — with
+// the protocol logic (core.Agent) untouched at every rung. A conduit that
+// holds transport resources implements io.Closer and is closed by Shutdown.
 //
 // # Scheduling and transcript equivalence
 //
@@ -29,6 +31,7 @@ package runtime
 import (
 	"context"
 	"fmt"
+	"io"
 	"sync"
 	"time"
 
@@ -194,12 +197,17 @@ func (rt *Runtime) Round() int { return rt.round }
 // addressed a non-neighbor or an out-of-range node.
 func (rt *Runtime) DroppedActions() int { return rt.dropped }
 
-// Shutdown stops every node goroutine and waits for them to exit. It is
-// idempotent and must be called exactly when no Run is in flight; after it
-// returns, the agents' final state is safe to read from any goroutine.
+// Shutdown stops every node goroutine and waits for them to exit, then
+// closes the conduit if it holds transport resources (implements io.Closer)
+// — the socket conduit's listener and connections die with the runtime. It
+// is idempotent and must be called exactly when no Run is in flight; after
+// it returns, the agents' final state is safe to read from any goroutine.
 func (rt *Runtime) Shutdown() {
 	rt.halt.Do(func() { close(rt.stop) })
 	rt.wg.Wait()
+	if c, ok := rt.conduit.(io.Closer); ok {
+		c.Close() //nolint:errcheck // best-effort teardown; Close is idempotent
+	}
 }
 
 // Run executes rounds until every active Decider agent has decided, maxRounds

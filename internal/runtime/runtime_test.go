@@ -4,6 +4,7 @@ import (
 	"context"
 	stdruntime "runtime"
 	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -231,6 +232,43 @@ func TestFaultConduitJitter(t *testing.T) {
 	}
 	if live.LatencyP50 < 10*time.Microsecond {
 		t.Fatalf("median latency %v under a 200µs jitter — jitter not applied", live.LatencyP50)
+	}
+}
+
+// TestFaultConduitConcurrentDeliver exercises the Conduit concurrency
+// contract on the fault layer under the race detector: many goroutines
+// drawing drop and jitter from the one seed-derived stream. Run with -race;
+// before the stream gained its mutex this was a data race.
+func TestFaultConduitConcurrentDeliver(t *testing.T) {
+	const workers, each = 8, 200
+	stop := make(chan struct{})
+	defer close(stop)
+	// A bare node with a mailbox sized for every message: nothing drains, and
+	// no Send ever blocks, so the test isolates the conduit's own state.
+	n := &Node{id: 0, inbox: make(chan Message, workers*each), stop: stop}
+	c := NewFaultConduit(nil, 1, 0.3, 50*time.Microsecond)
+	var wg sync.WaitGroup
+	var delivered atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				if c.Deliver(n, Message{Kind: MsgPush, Round: i}) {
+					delivered.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	got := delivered.Load()
+	if got != int64(len(n.inbox)) {
+		t.Fatalf("delivered %d, mailbox holds %d", got, len(n.inbox))
+	}
+	// With a 30% drop rate both outcomes must occur in 1600 draws; all-or-
+	// nothing means the stream (or the drop draw) broke under concurrency.
+	if got == 0 || got == workers*each {
+		t.Fatalf("delivered %d of %d — drop stream degenerate", got, workers*each)
 	}
 }
 

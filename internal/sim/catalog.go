@@ -31,5 +31,6 @@ func Catalog() []CatalogEntry {
 		{[]string{"E13"}, "churn at scale: the sparse engine's million-node tolerance frontier"},
 		{[]string{"E14"}, "protocol variants: the loss/churn/crash tolerance frontier per variant"},
 		{[]string{"E15"}, "simulator vs message-passing runtime: wall-clock convergence and per-message latency"},
+		{[]string{"E16"}, "transport ladder: channel vs Unix-domain vs TCP loopback sockets"},
 	}
 }

@@ -199,6 +199,10 @@ func RunAll(workers int) []*Table {
 	rt := DefaultRuntimeOptions()
 	rt.Workers = workers
 	tables = append(tables, RunE15Runtime(rt)...)
+
+	tr := DefaultTransportOptions()
+	tr.Workers = workers
+	tables = append(tables, RunE16Transports(tr)...)
 	return tables
 }
 
@@ -260,5 +264,9 @@ func RunAllQuick(workers int) []*Table {
 	rt := QuickRuntimeOptions()
 	rt.Workers = workers
 	tables = append(tables, RunE15Runtime(rt)...)
+
+	tr := QuickTransportOptions()
+	tr.Workers = workers
+	tables = append(tables, RunE16Transports(tr)...)
 	return tables
 }

@@ -90,3 +90,76 @@ func RunE15Runtime(o RuntimeOptions) []*Table {
 	e15.AddNote("lat p50/p99 are streaming quantiles over every delivered payload message (push/vote/query/reply), measured send-to-handler through the in-process channel conduit; the gap between them and the runtime/sim wall-clock ratio is the price of physically moving each message the simulator only counts")
 	return []*Table{e15}
 }
+
+// TransportOptions configures E16, the transport ladder: the same runtime
+// executions with every delivery crossing the in-process channel, a
+// Unix-domain socket, or a TCP loopback socket.
+type TransportOptions struct {
+	// Sizes are the network sizes of the sweep.
+	Sizes  []int
+	Trials int
+	Seed   uint64
+	// Workers is accepted for interface symmetry with the other experiments;
+	// the runtime always uses one goroutine per node.
+	Workers int
+}
+
+// DefaultTransportOptions is the full experiment.
+func DefaultTransportOptions() TransportOptions {
+	return TransportOptions{Sizes: []int{128, 1024}, Trials: 3, Seed: 16}
+}
+
+// QuickTransportOptions is a scaled-down variant for tests.
+func QuickTransportOptions() TransportOptions {
+	return TransportOptions{Sizes: []int{64}, Trials: 2, Seed: 16}
+}
+
+// RunE16Transports regenerates E16: the price of each rung on the transport
+// ladder. Every row is the same protocol execution off the same seeds — the
+// transports are transcript-equivalent, and the table panics if the outcome
+// ever depends on how the bytes moved — so the wall-clock and latency columns
+// isolate pure transport cost: channel is a mailbox handoff, unix adds a
+// kernel round trip per message (frame out, ack back), tcp adds the loopback
+// TCP stack on top.
+func RunE16Transports(o TransportOptions) []*Table {
+	e16 := &Table{
+		ID:    "E16",
+		Title: "Transport ladder: channel vs Unix-domain vs TCP loopback — wall-clock and per-message latency",
+		Columns: []string{"n", "transport", "rounds", "wall ms", "delivered",
+			"lat p50 µs", "lat p99 µs", "trials"},
+	}
+	for _, n := range o.Sizes {
+		baselines := make([]fairgossip.Result, o.Trials)
+		for _, transport := range []string{"channel", "unix", "tcp"} {
+			var wallMS, rounds, delivered, p50, p99 float64
+			for trial := 0; trial < o.Trials; trial++ {
+				sc := fairgossip.Scenario{
+					N: n, Colors: 2,
+					Seed: ConfigSeed(o.Seed, uint64(n)*uint64(o.Trials)+uint64(trial)),
+				}
+				rep, err := fairgossip.MustRunner(sc).RunLive(context.Background(),
+					fairgossip.LiveOptions{Transport: transport})
+				if err != nil {
+					panic(err)
+				}
+				if transport == "channel" {
+					baselines[trial] = rep.Result
+				} else if rep.Result != baselines[trial] {
+					panic(fmt.Sprintf("E16: %s diverged from channel at n=%d seed=%d:\nchannel %+v\n%s %+v",
+						transport, n, sc.Seed, baselines[trial], transport, rep.Result))
+				}
+				wallMS += float64(rep.WallClock.Microseconds()) / 1e3
+				rounds += float64(rep.Result.Rounds)
+				delivered += float64(rep.Delivered)
+				p50 += float64(rep.LatencyP50.Nanoseconds()) / 1e3
+				p99 += float64(rep.LatencyP99.Nanoseconds()) / 1e3
+			}
+			t := float64(o.Trials)
+			e16.AddRow(I(n), transport, F(rounds/t), F(wallMS/t), F(delivered/t),
+				F(p50/t), F(p99/t), I(o.Trials))
+		}
+	}
+	e16.AddNote("all three transports execute the identical protocol off identical seeds and are checked to produce the identical Result — the transport moves the bytes, never the outcome — so wall ms and the latency quantiles isolate transport cost alone")
+	e16.AddNote("unix and tcp deliveries cross a real OS socket as length-prefixed binary frames with a synchronous ack (send-frame, mailbox, ack-frame per message); the latency columns therefore price one kernel round trip (unix) and the loopback TCP stack (tcp) against the channel conduit's in-process handoff")
+	return []*Table{e16}
+}

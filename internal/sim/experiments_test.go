@@ -266,7 +266,7 @@ func TestRunAllQuickProducesAllTables(t *testing.T) {
 		t.Skip("full quick-suite run skipped in -short mode")
 	}
 	tables := RunAllQuick(0)
-	want := []string{"T0", "T1", "F1", "T2", "T3", "T4", "F2", "T5", "T6", "F3", "T7", "T8", "E9", "E10", "E11", "E12", "E12b", "E13"}
+	want := []string{"T0", "T1", "F1", "T2", "T3", "T4", "F2", "T5", "T6", "F3", "T7", "T8", "E9", "E10", "E11", "E12", "E12b", "E13", "E14", "E15", "E16"}
 	got := map[string]bool{}
 	for _, tb := range tables {
 		got[tb.ID] = true
