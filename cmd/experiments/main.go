@@ -10,6 +10,14 @@
 //	experiments -only T4,T6     # a subset by table ID
 //	experiments -csv            # also print figure series as CSV
 //	experiments -scenario churn -trials 100  # Monte-Carlo over one registered scenario
+//	experiments -only E16 -cpuprofile e16.prof -memprofile e16.mprof
+//	                            # profile any table's generation with pprof
+//
+// -cpuprofile records a CPU profile over the whole table-generation run and
+// -memprofile writes a heap profile (after a final GC) as the run ends; both
+// work with any table selection and are read with `go tool pprof`. Perf PRs
+// attach profiles of the tables they move so the hot path is arguable from
+// data.
 package main
 
 import (
@@ -18,6 +26,8 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	stdruntime "runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 	"time"
@@ -35,8 +45,40 @@ func main() {
 		csv      = flag.Bool("csv", false, "print figure series as CSV blocks")
 		scenName = flag.String("scenario", "", "run a registered scenario instead of the tables (see fairconsensus -list-scenarios)")
 		trials   = flag.Int("trials", 100, "trials for -scenario mode")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile at the end of the run to this file")
 	)
 	flag.Parse()
+
+	if *cpuProf != "" {
+		f, err := os.Create(*cpuProf)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "experiments:", err)
+			os.Exit(1)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *memProf != "" {
+		defer func() {
+			f, err := os.Create(*memProf)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+				return
+			}
+			defer f.Close()
+			stdruntime.GC() // settle live objects so the profile shows retained state
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "experiments:", err)
+			}
+		}()
+	}
 
 	if *listTabs {
 		for _, e := range sim.Catalog() {

@@ -102,11 +102,16 @@
 // (the default) hands each message straight to the destination mailbox;
 // TransportDrop and Jitter wrap any rung in seed-deterministic fault
 // injection; "unix" and "tcp" carry every delivery across a real OS socket
-// as length-prefixed binary frames — one message frame out, a synchronous
-// ack frame back once the destination mailbox accepts, so delivery keeps its
-// round-trip semantics. Every rung is transcript-equivalent (the E16
-// experiment table checks it while pricing each rung's wall-clock and
-// latency cost); only the observables change.
+// as length-prefixed binary frames. Because the protocol's correctness
+// barrier is the round, not the message, the scheduler dispatches each
+// round's deliveries as pipelined waves and the socket rungs coalesce all
+// same-peer messages of a wave into one multi-message frame answered by a
+// single bitmap ack — a handful of syscalls per round instead of a
+// synchronous write→ack round trip per message, with per-destination
+// delivery order preserved and all results settled at the round barrier.
+// Every rung is transcript-equivalent (the E16 experiment table checks it
+// while pricing each rung's wall-clock and latency cost); only the
+// observables change.
 //
 // The implementation lives under internal/; this package is the supported
 // surface, and none of its exported signatures mention internal types.

@@ -9,10 +9,11 @@ import (
 
 // BenchmarkRuntimeRound measures one lockstep round through the channel
 // conduit: n goroutines activated, every push/vote/query/reply a real
-// mailbox delivery with a completion event. Informational — the runtime
-// trades the simulator's batch throughput for physical measurement, so this
-// benchmark is not gated in BENCH_BASELINE.json; it exists to make the price
-// of that trade visible next to the simulator's per-round numbers.
+// mailbox delivery, dispatched as pipelined waves and settled at the round
+// barrier. Gated at n=1024 in BENCH_BASELINE.json with a wide ns threshold
+// (goroutine rounds are scheduler-timing-dominated) and a tight alloc
+// budget: the pipelined coordinator reuses its wave scratch, and a
+// regression into per-message allocation must not land silently.
 func BenchmarkRuntimeRound(b *testing.B) {
 	for _, n := range []int{128, 1024} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {

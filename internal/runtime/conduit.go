@@ -37,6 +37,42 @@ type Conduit interface {
 	Deliver(dst *Node, m Message) bool
 }
 
+// BatchConduit is the round-batched seam of the transport: a conduit that
+// can additionally accept a whole delivery wave without blocking per
+// message. The coordinator uses it to pipeline a round — dispatch every
+// delivery of one phase, then settle all results at the round barrier —
+// instead of paying one synchronous transport round trip per message. A
+// conduit that does not implement it (the fault-injecting layer, external
+// test conduits) is driven through Deliver exactly as before.
+//
+// The protocol's correctness barrier is the round, not the message, so the
+// only ordering a batch must preserve is per destination: messages Added for
+// the same node must enter its mailbox in Add order (the simulator delivers
+// in ascending sender order, and vote multisets, certificate W-entry order,
+// and trace bytes all depend on it). Cross-destination interleaving is free.
+type BatchConduit interface {
+	Conduit
+	// NewBatch returns an empty, reusable delivery batch. A batch is owned
+	// by one goroutine (the coordinator) and is not safe for concurrent use;
+	// the conduit itself must still honor Deliver's concurrency contract.
+	NewBatch() Batch
+}
+
+// Batch collects one wave of deliveries. Add enqueues without waiting for
+// the result; Flush forces everything onto the wire and blocks until every
+// added delivery has resolved — mailbox-accepted (true) or lost in transport
+// (false) — returning the results in Add order. The returned slice is valid
+// until the next Add or Flush; the batch is empty and reusable afterwards.
+//
+// Add may still block on destination-mailbox backpressure (the channel
+// transport hands off directly; the socket transport's server blocks the
+// connection, not the caller) — what it never does is wait for a transport
+// acknowledgement, which is what Flush settles in bulk.
+type Batch interface {
+	Add(dst *Node, m Message)
+	Flush() []bool
+}
+
 // ChannelConduit is the loss-free, zero-latency in-process transport: a
 // direct handoff into the destination's mailbox. Under the deterministic
 // round-barrier scheduler it makes the runtime transcript-equivalent to the
@@ -45,6 +81,28 @@ type ChannelConduit struct{}
 
 // Deliver hands the message straight to the destination node.
 func (ChannelConduit) Deliver(dst *Node, m Message) bool { return dst.Send(m) }
+
+// NewBatch implements BatchConduit. A channel batch has nothing to
+// coalesce — each Add is the same direct mailbox handoff Deliver makes — so
+// batching buys exactly the pipelining: the coordinator no longer waits for
+// a completion event between handoffs, and node handlers overlap with the
+// rest of the wave's dispatch.
+func (ChannelConduit) NewBatch() Batch { return &channelBatch{} }
+
+// channelBatch records direct-handoff results in Add order.
+type channelBatch struct {
+	results []bool
+}
+
+func (b *channelBatch) Add(dst *Node, m Message) {
+	b.results = append(b.results, dst.Send(m))
+}
+
+func (b *channelBatch) Flush() []bool {
+	r := b.results
+	b.results = b.results[:0]
+	return r
+}
 
 // conduitStreamSalt separates a FaultConduit's transport randomness from
 // every other use of a run seed — in particular from the scheduler-level

@@ -10,12 +10,13 @@ import (
 )
 
 // BenchmarkSocketConduitRound measures one lockstep round when every
-// delivery crosses a Unix-domain loopback socket: frame encode, kernel round
-// trip, mailbox hand-off, ack frame back. Read next to BenchmarkRuntimeRound
-// (same scenario through the in-process channel conduit) it prices the
-// socket rung of the transport ladder. Informational — not gated in
-// BENCH_BASELINE.json — but published in the bench artifact so drift is
-// visible.
+// delivery crosses a Unix-domain loopback socket, coalesced into v2 batch
+// frames with bitmap acks — a handful of writes per round instead of a
+// synchronous write→ack round trip per message. Read next to
+// BenchmarkRuntimeRound (same scenario through the in-process channel
+// conduit) it prices the socket rung of the transport ladder. Gated at
+// n=1024 in BENCH_BASELINE.json with a wide ns threshold (kernel-timing-
+// dominated) and a tight alloc budget guarding the pooled encode/ack path.
 func BenchmarkSocketConduitRound(b *testing.B) {
 	for _, n := range []int{128, 1024} {
 		b.Run(fmt.Sprintf("n=%d", n), func(b *testing.B) {

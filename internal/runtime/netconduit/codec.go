@@ -1,30 +1,49 @@
 // Package netconduit is the socket-backed rung of the transport ladder: a
 // runtime.Conduit whose deliveries cross a real OS socket — TCP over the
 // loopback interface or a Unix domain socket — instead of an in-process
-// channel handoff. The protocol logic is untouched: the coordinator still
-// delivers serially and waits for each message's completion event, so under
-// the deterministic round-barrier scheduler a loopback socket is just a
-// slower ChannelConduit and the runtime's transcript stays byte-identical to
-// the simulator's (pinned by the equivalence suite in internal/runtime).
+// channel handoff. The protocol logic is untouched, and the runtime's
+// transcript stays byte-identical to the simulator's (pinned by the
+// equivalence suite in internal/runtime) on both of the conduit's paths:
+// the serial one, where Deliver writes one message frame and waits for its
+// ack, and the batched one (runtime.BatchConduit), where the coordinator
+// stages a whole delivery wave and the conduit coalesces all same-peer
+// messages of a flush into multi-message v2 frames — one write, one batched
+// ack — with per-peer windows of in-flight frames settled at the barrier.
 //
 // # Frame format
 //
 // Every frame is a 4-byte big-endian length prefix followed by a body of at
 // most MaxFrame bytes. The body's first byte is the frame type:
 //
-//	message frame: 1 | codec version | seq uvarint | kind byte | flags byte |
-//	               round uvarint | from uvarint | to uvarint |
-//	               [sent-at ticks varint, if flags&1] | payload
+//	message frame: 1 | codec version (1) | seq uvarint | message body
 //	ack frame:     2 | seq uvarint | ok byte
+//	batch frame:   3 | batch version (2) | seq uvarint | count uvarint |
+//	               count × message body
+//	batch ack:     4 | seq uvarint | count uvarint | ⌈count/8⌉ bitmap bytes
+//
+// where one message body is
+//
+//	kind byte | flags byte | round uvarint | from uvarint | to uvarint |
+//	[sent-at ticks varint, if flags&1] | payload
 //
 // A message frame carries one runtime.Message to the node with index "to";
 // the listener routes it into that node's mailbox and answers with an ack
 // frame carrying the same sequence number, so Deliver keeps the conduit's
 // synchronous round-trip contract (true only once the destination mailbox
-// accepted the message). SentAt crosses the wire as monotonic ticks relative
-// to the conduit's epoch — exact when sender and receiver share the conduit
-// (the single-process loopback case); cross-process latency calibration is
-// the sharded-serve follow-up's problem.
+// accepted the message). A batch frame carries the bodies of one flush's
+// same-peer messages back to back, in delivery order; the listener routes
+// each body in sequence — preserving the per-destination FIFO order the
+// round-barrier coordinator depends on — and answers with a single batch
+// ack whose bitmap holds each body's mailbox result (bit i, LSB-first in
+// byte i/8, is body i's Send result). Message bodies are self-delimiting,
+// so the batch carries no per-body length. A v1-only reader that predates
+// the batch frame rejects type 3 as unknown and drops the connection; the
+// sender's window fails as transport losses and the next flush re-dials —
+// mixed versions fail closed instead of corrupting a round. SentAt crosses
+// the wire as monotonic ticks relative to the conduit's epoch — exact when
+// sender and receiver share the conduit (the single-process loopback case);
+// cross-process latency calibration is the sharded-serve follow-up's
+// problem.
 //
 // The payload encoding is versioned (codecVersion) and covers exactly the
 // concrete gossip.Payload types the protocol produces, tagged:
@@ -57,6 +76,10 @@ import (
 // rejects frames speaking any other version instead of guessing.
 const codecVersion = 1
 
+// batchVersion is the batch-frame encoding version — v2 of the wire
+// protocol; single-message v1 frames stay decodable alongside it.
+const batchVersion = 2
+
 // MaxFrame bounds one frame body. The largest regular protocol message is a
 // certificate of O(log² n) bits, so a megabyte is orders of magnitude of
 // headroom; anything larger is garbage and connection-fatal.
@@ -64,8 +87,10 @@ const MaxFrame = 1 << 20
 
 // Frame types.
 const (
-	frameMessage byte = 1
-	frameAck     byte = 2
+	frameMessage  byte = 1
+	frameAck      byte = 2
+	frameBatch    byte = 3
+	frameBatchAck byte = 4
 )
 
 // Payload tags.
@@ -372,13 +397,10 @@ func readPayload(r *reader, cache *paramsCache) (gossip.Payload, error) {
 	}
 }
 
-// appendMessageFrame encodes one delivery as a full frame (length prefix
-// included) destined for node "to".
-func appendMessageFrame(b []byte, seq uint64, to int, m runtime.Message, epoch time.Time) ([]byte, error) {
-	start := len(b)
-	b = append(b, 0, 0, 0, 0) // length prefix, patched below
-	b = append(b, frameMessage, codecVersion)
-	b = binary.AppendUvarint(b, seq)
+// appendMessageBody encodes one delivery's self-delimiting message body —
+// everything after the per-frame header, shared between v1 message frames
+// and v2 batch frames.
+func appendMessageBody(b []byte, to int, m runtime.Message, epoch time.Time) ([]byte, error) {
 	b = append(b, byte(m.Kind))
 	var flags byte
 	if !m.SentAt.IsZero() {
@@ -391,7 +413,41 @@ func appendMessageFrame(b []byte, seq uint64, to int, m runtime.Message, epoch t
 	if flags&flagSentAt != 0 {
 		b = binary.AppendVarint(b, int64(m.SentAt.Sub(epoch)))
 	}
-	b, err := appendPayload(b, m.Payload)
+	return appendPayload(b, m.Payload)
+}
+
+// readMessageBody decodes one message body, consuming exactly its bytes (the
+// caller checks for trailing garbage once the frame is exhausted).
+func readMessageBody(r *reader, epoch time.Time, cache *paramsCache) (to int, m runtime.Message, err error) {
+	m.Kind = runtime.MsgKind(r.byte())
+	flags := r.byte()
+	m.Round = int(r.uvarint())
+	m.From = int(r.uvarint())
+	to = int(r.uvarint())
+	if flags&flagSentAt != 0 {
+		m.SentAt = epoch.Add(time.Duration(r.varint()))
+	}
+	if r.bad {
+		return 0, m, codecErr("truncated message header")
+	}
+	m.Payload, err = readPayload(r, cache)
+	if err != nil {
+		return 0, m, err
+	}
+	if r.bad {
+		return 0, m, codecErr("truncated message body")
+	}
+	return to, m, nil
+}
+
+// appendMessageFrame encodes one delivery as a full frame (length prefix
+// included) destined for node "to".
+func appendMessageFrame(b []byte, seq uint64, to int, m runtime.Message, epoch time.Time) ([]byte, error) {
+	start := len(b)
+	b = append(b, 0, 0, 0, 0) // length prefix, patched below
+	b = append(b, frameMessage, codecVersion)
+	b = binary.AppendUvarint(b, seq)
+	b, err := appendMessageBody(b, to, m, epoch)
 	if err != nil {
 		return b[:start], err
 	}
@@ -414,27 +470,85 @@ func decodeMessage(body []byte, epoch time.Time, cache *paramsCache) (seq uint64
 		return 0, 0, m, codecErr("unsupported codec version %d", v)
 	}
 	seq = r.uvarint()
-	kind := runtime.MsgKind(r.byte())
-	flags := r.byte()
-	m.Kind = kind
-	m.Round = int(r.uvarint())
-	m.From = int(r.uvarint())
-	to = int(r.uvarint())
-	if flags&flagSentAt != 0 {
-		m.SentAt = epoch.Add(time.Duration(r.varint()))
-	}
 	if r.bad {
-		return 0, 0, m, codecErr("truncated message header")
+		return 0, 0, m, codecErr("truncated message frame")
 	}
-	m.Payload, err = readPayload(r, cache)
+	to, m, err = readMessageBody(r, epoch, cache)
 	if err != nil {
 		return 0, 0, m, err
 	}
-	if r.bad || len(r.b) != 0 {
+	if len(r.b) != 0 {
 		return 0, 0, m, codecErr("%d trailing bytes after payload", len(r.b))
 	}
 	return seq, to, m, nil
 }
+
+// appendBatchFrame wraps count pre-encoded message bodies as one v2 batch
+// frame (length prefix included).
+func appendBatchFrame(b []byte, seq uint64, count int, bodies []byte) ([]byte, error) {
+	start := len(b)
+	b = append(b, 0, 0, 0, 0)
+	b = append(b, frameBatch, batchVersion)
+	b = binary.AppendUvarint(b, seq)
+	b = binary.AppendUvarint(b, uint64(count))
+	b = append(b, bodies...)
+	body := len(b) - start - 4
+	if body > MaxFrame {
+		return b[:start], codecErr("batch frame body %d exceeds MaxFrame", body)
+	}
+	binary.BigEndian.PutUint32(b[start:], uint32(body))
+	return b, nil
+}
+
+// readBatchHeader parses a batch frame's header (the bytes after the frame-
+// type byte), leaving the reader positioned at the first message body. The
+// count is sanity-bounded by the bytes present — each body is at least two
+// bytes — so garbage cannot promise a huge batch.
+func readBatchHeader(r *reader) (seq uint64, count int, err error) {
+	if v := r.byte(); v != batchVersion {
+		if r.bad {
+			return 0, 0, codecErr("empty batch frame")
+		}
+		return 0, 0, codecErr("unsupported batch version %d", v)
+	}
+	seq = r.uvarint()
+	n := r.uvarint()
+	if r.bad || n == 0 || n > uint64(len(r.b)) {
+		return 0, 0, codecErr("batch count %d overruns frame", n)
+	}
+	return seq, int(n), nil
+}
+
+// appendBatchAckFrame encodes one batch's result bitmap as a full frame:
+// bit i (LSB-first within byte i/8) is message i's mailbox result.
+func appendBatchAckFrame(b []byte, seq uint64, bits []byte, count int) []byte {
+	start := len(b)
+	b = append(b, 0, 0, 0, 0)
+	b = append(b, frameBatchAck)
+	b = binary.AppendUvarint(b, seq)
+	b = binary.AppendUvarint(b, uint64(count))
+	b = append(b, bits...)
+	binary.BigEndian.PutUint32(b[start:], uint32(len(b)-start-4))
+	return b
+}
+
+// decodeBatchAck parses a batch ack frame body (the bytes after the frame-
+// type byte). The returned bitmap aliases body.
+func decodeBatchAck(body []byte) (seq uint64, bits []byte, count int, err error) {
+	r := &reader{b: body}
+	seq = r.uvarint()
+	n := r.uvarint()
+	if r.bad || n == 0 || len(r.b) != int(n+7)/8 {
+		return 0, nil, 0, codecErr("malformed batch ack")
+	}
+	return seq, r.b, int(n), nil
+}
+
+// bitmapGet reads bit i of an LSB-first bitmap.
+func bitmapGet(bits []byte, i int) bool { return bits[i/8]&(1<<(i%8)) != 0 }
+
+// bitmapSet sets bit i of an LSB-first bitmap.
+func bitmapSet(bits []byte, i int) { bits[i/8] |= 1 << (i % 8) }
 
 // appendAckFrame encodes one ack as a full frame (length prefix included).
 func appendAckFrame(b []byte, seq uint64, ok bool) []byte {
@@ -464,13 +578,18 @@ func decodeAck(body []byte) (seq uint64, ok bool, err error) {
 
 // readFrame reads one length-prefixed frame body into *buf (grown as
 // needed), returning the body slice. A length of zero or beyond MaxFrame is
-// connection-fatal.
+// connection-fatal. The length prefix is read into *buf too — a local
+// array's slice would escape through the io.Reader call and cost an
+// allocation per frame on the steady-state path.
 func readFrame(r io.Reader, buf *[]byte) ([]byte, error) {
-	var hdr [4]byte
-	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+	if cap(*buf) < 4 {
+		*buf = make([]byte, 64)
+	}
+	hdr := (*buf)[:4]
+	if _, err := io.ReadFull(r, hdr); err != nil {
 		return nil, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := binary.BigEndian.Uint32(hdr)
 	if n == 0 || n > MaxFrame {
 		return nil, codecErr("frame length %d outside (0, %d]", n, MaxFrame)
 	}

@@ -46,8 +46,13 @@ type SocketConduit struct {
 	dir     string // temp dir holding the unix socket, removed on Close
 	epoch   time.Time
 
-	nodes  sync.Map // int -> *runtime.Node: local nodes inbound frames route to
-	routes sync.Map // int -> route: node IDs hosted behind other listeners
+	nodes     sync.Map // int -> *runtime.Node: local nodes inbound frames route to
+	routes    sync.Map // int -> route: node IDs hosted behind other listeners
+	peerCache sync.Map // int -> *peer: memoized peerFor, invalidated by Route
+
+	// batchBytes caps one staged batch frame's body; 0 means
+	// defaultBatchBytes. Tests shrink it to force multi-frame windows.
+	batchBytes int
 
 	mu    sync.Mutex
 	peers map[string]*peer
@@ -118,6 +123,7 @@ func (c *SocketConduit) Register(n *runtime.Node) {
 // of this conduit's own.
 func (c *SocketConduit) Route(id int, network, addr string) {
 	c.routes.Store(id, route{network: network, addr: addr})
+	c.peerCache.Delete(id)
 }
 
 // Deliver implements runtime.Conduit: encode the message, write it to the
@@ -131,8 +137,18 @@ func (c *SocketConduit) Deliver(dst *runtime.Node, m runtime.Message) bool {
 		return false
 	default:
 	}
-	c.nodes.Store(dst.ID(), dst)
+	c.register(dst)
 	return c.peerFor(dst.ID()).deliver(dst.ID(), m)
+}
+
+// register lazily records dst as locally hosted. Load-then-store: on the
+// steady-state path the node is already known and a sync.Map Load is a
+// read-only fast path, where an unconditional Store would take the dirty-map
+// lock and allocate an entry per delivery.
+func (c *SocketConduit) register(dst *runtime.Node) {
+	if v, ok := c.nodes.Load(dst.ID()); !ok || v != dst {
+		c.nodes.Store(dst.ID(), dst)
+	}
 }
 
 // Close shuts the conduit down: stop accepting, close every connection in
@@ -170,8 +186,13 @@ func (c *SocketConduit) node(id int) *runtime.Node {
 	return v.(*runtime.Node)
 }
 
-// peerFor returns (creating on first use) the outbound peer hosting id.
+// peerFor returns (creating on first use) the outbound peer hosting id. The
+// per-node cache keeps the steady-state path off the global mutex and away
+// from the key-string allocation; Route invalidates the affected entry.
 func (c *SocketConduit) peerFor(id int) *peer {
+	if v, ok := c.peerCache.Load(id); ok {
+		return v.(*peer)
+	}
 	network, addr := c.network, c.ln.Addr().String()
 	if v, ok := c.routes.Load(id); ok {
 		r := v.(route)
@@ -179,12 +200,13 @@ func (c *SocketConduit) peerFor(id int) *peer {
 	}
 	key := network + "!" + addr
 	c.mu.Lock()
-	defer c.mu.Unlock()
 	p, ok := c.peers[key]
 	if !ok {
 		p = &peer{c: c, network: network, addr: addr}
 		c.peers[key] = p
 	}
+	c.mu.Unlock()
+	c.peerCache.Store(id, p)
 	return p
 }
 
@@ -220,15 +242,17 @@ func (c *SocketConduit) dropConn(conn net.Conn) {
 	c.mu.Unlock()
 }
 
-// serve is the inbound half of the round trip: read message frames, route
-// each into the destination node's mailbox, ack with the Send result. Any
-// malformed frame is connection-fatal — the peer's pending deliveries fail
-// as losses and the conduit stays up for the next connection — so garbage on
-// the wire can never wedge the coordinator.
+// serve is the inbound half of the round trip: read frames, route each
+// message into the destination node's mailbox, ack with the Send result — a
+// v1 message frame gets its own ack, a v2 batch frame is decoded streaming
+// (each body Sent in order, preserving per-destination FIFO) and answered
+// with one batched bitmap ack. Any malformed frame is connection-fatal — the
+// peer's pending deliveries fail as losses and the conduit stays up for the
+// next connection — so garbage on the wire can never wedge the coordinator.
 func (c *SocketConduit) serve(conn net.Conn) {
 	defer c.wg.Done()
 	defer c.dropConn(conn)
-	var buf, out []byte
+	var buf, out, bits []byte
 	var cache paramsCache
 	for {
 		body, err := readFrame(conn, &buf)
@@ -238,18 +262,48 @@ func (c *SocketConduit) serve(conn net.Conn) {
 			}
 			return
 		}
-		if body[0] != frameMessage {
+		switch body[0] {
+		case frameMessage:
+			seq, to, m, err := decodeMessage(body[1:], c.epoch, &cache)
+			if err != nil {
+				c.rejects.Add(1)
+				return
+			}
+			node := c.node(to)
+			ok := node != nil && node.Send(m)
+			out = appendAckFrame(out[:0], seq, ok)
+		case frameBatch:
+			r := &reader{b: body[1:]}
+			seq, count, err := readBatchHeader(r)
+			if err != nil {
+				c.rejects.Add(1)
+				return
+			}
+			need := (count + 7) / 8
+			if cap(bits) < need {
+				bits = make([]byte, need)
+			}
+			bits = bits[:need]
+			clear(bits)
+			for i := 0; i < count; i++ {
+				to, m, err := readMessageBody(r, c.epoch, &cache)
+				if err != nil {
+					c.rejects.Add(1)
+					return
+				}
+				if node := c.node(to); node != nil && node.Send(m) {
+					bitmapSet(bits, i)
+				}
+			}
+			if len(r.b) != 0 {
+				c.rejects.Add(1)
+				return
+			}
+			out = appendBatchAckFrame(out[:0], seq, bits, count)
+		default:
 			c.rejects.Add(1)
 			return
 		}
-		seq, to, m, err := decodeMessage(body[1:], c.epoch, &cache)
-		if err != nil {
-			c.rejects.Add(1)
-			return
-		}
-		node := c.node(to)
-		ok := node != nil && node.Send(m)
-		out = appendAckFrame(out[:0], seq, ok)
 		if _, err := conn.Write(out); err != nil {
 			return
 		}
@@ -269,30 +323,48 @@ type peer struct {
 	redialed bool // a connection died; the next successful dial is a reconnect
 }
 
-// peerConn is one live outbound connection. Pending acks are per-connection:
-// when the connection dies, exactly the deliveries written to it fail — a
-// retry on a fresh connection starts a fresh table.
+// peerConn is one live outbound connection. Pending acks — single and
+// batched — are per-connection: when the connection dies, exactly the
+// deliveries written to it fail — a retry on a fresh connection starts a
+// fresh table.
 type peerConn struct {
 	conn net.Conn
 
 	wmu sync.Mutex // serializes frame writes
 
-	pmu     sync.Mutex
-	pending map[uint64]chan bool
-	dead    bool
+	pmu          sync.Mutex
+	pending      map[uint64]chan bool
+	pendingBatch map[uint64]*batchWaiter
+	dead         bool
 }
 
-func (pc *peerConn) register(seq uint64) chan bool {
-	ch := make(chan bool, 1)
+// batchWaiter is one in-flight batch frame's completion slot: resolved by
+// the ack reader (ok plus the result bitmap, copied into waiter-owned
+// storage) or failed by connection death, then signalled on done. The
+// dispatching socketBatch owns it again once it has received done, so
+// waiters recycle across flushes without a pool.
+type batchWaiter struct {
+	done chan struct{} // cap 1
+	ok   bool          // an ack bitmap came back; false = frame lost whole
+	bits []byte
+	idxs []int32 // the frame's messages as indices into the wave's results
+}
+
+func (pc *peerConn) register(seq uint64, ch chan bool) {
+	// Reset a pooled channel: a stale buffered result would corrupt this
+	// registration's ack.
+	select {
+	case <-ch:
+	default:
+	}
 	pc.pmu.Lock()
 	if pc.dead {
 		pc.pmu.Unlock()
 		ch <- false
-		return ch
+		return
 	}
 	pc.pending[seq] = ch
 	pc.pmu.Unlock()
-	return ch
 }
 
 func (pc *peerConn) unregister(seq uint64) {
@@ -311,16 +383,55 @@ func (pc *peerConn) resolve(seq uint64, ok bool) {
 	}
 }
 
-// failAll resolves every pending delivery as lost; later registers fail
-// immediately.
+// registerBatch parks a batch waiter under seq; false means the connection
+// is already dead and the caller should fail or re-dial.
+func (pc *peerConn) registerBatch(seq uint64, w *batchWaiter) bool {
+	pc.pmu.Lock()
+	if pc.dead {
+		pc.pmu.Unlock()
+		return false
+	}
+	pc.pendingBatch[seq] = w
+	pc.pmu.Unlock()
+	return true
+}
+
+func (pc *peerConn) unregisterBatch(seq uint64) {
+	pc.pmu.Lock()
+	delete(pc.pendingBatch, seq)
+	pc.pmu.Unlock()
+}
+
+func (pc *peerConn) resolveBatch(seq uint64, bits []byte) {
+	pc.pmu.Lock()
+	w, found := pc.pendingBatch[seq]
+	delete(pc.pendingBatch, seq)
+	pc.pmu.Unlock()
+	if found {
+		w.bits = append(w.bits[:0], bits...)
+		w.ok = true
+		w.done <- struct{}{}
+	}
+}
+
+// failAll resolves every pending delivery — single and batched — as lost;
+// later registers fail immediately. A partially-acked window fails exactly
+// its unacked remainder: frames the reader already resolved are gone from
+// the table.
 func (pc *peerConn) failAll() {
 	pc.pmu.Lock()
 	pending := pc.pending
+	batches := pc.pendingBatch
 	pc.pending = nil
+	pc.pendingBatch = nil
 	pc.dead = true
 	pc.pmu.Unlock()
 	for _, ch := range pending {
 		ch <- false
+	}
+	for _, w := range batches {
+		w.ok = false
+		w.done <- struct{}{}
 	}
 }
 
@@ -331,6 +442,27 @@ func (pc *peerConn) write(frame []byte) error {
 	return err
 }
 
+// bufPool recycles frame-encode buffers and ackChanPool the single-delivery
+// ack channels, keeping the steady-state Deliver path allocation-free.
+var (
+	bufPool = sync.Pool{New: func() any {
+		b := make([]byte, 0, 512)
+		return &b
+	}}
+	ackChanPool = sync.Pool{New: func() any { return make(chan bool, 1) }}
+)
+
+// putAckChan drains and returns an ack channel to the pool. The drain covers
+// a resolve that won the race with the waiter's exit path — the buffered
+// result belongs to a registration that no longer exists.
+func putAckChan(ch chan bool) {
+	select {
+	case <-ch:
+	default:
+	}
+	ackChanPool.Put(ch)
+}
+
 // deliver runs one message through the write-then-ack round trip, re-dialing
 // with bounded backoff when the connection is down or dies under the write.
 // A failure after the write succeeded is not retried: the message may have
@@ -338,13 +470,18 @@ func (pc *peerConn) write(frame []byte) error {
 // expects.
 func (p *peer) deliver(to int, m runtime.Message) bool {
 	seq := p.seq.Add(1)
-	frame, err := appendMessageFrame(nil, seq, to, m, p.c.epoch)
+	bp := bufPool.Get().(*[]byte)
+	defer bufPool.Put(bp)
+	frame, err := appendMessageFrame((*bp)[:0], seq, to, m, p.c.epoch)
 	if err != nil {
 		// Only a payload type outside the protocol's set gets here: a
 		// programming error, not a transport condition. Fail loudly instead
 		// of folding it into the loss model.
 		panic(fmt.Sprintf("netconduit: %v", err))
 	}
+	*bp = frame
+	ch := ackChanPool.Get().(chan bool)
+	defer putAckChan(ch)
 	backoff := initialBackoff
 	for attempt := 0; attempt < maxAttempts; attempt++ {
 		select {
@@ -364,7 +501,7 @@ func (p *peer) deliver(to int, m runtime.Message) bool {
 			}
 			continue
 		}
-		ch := pc.register(seq)
+		pc.register(seq, ch)
 		if err := pc.write(frame); err != nil {
 			pc.unregister(seq)
 			p.kill(pc)
@@ -397,7 +534,11 @@ func (p *peer) ensureConn() (*peerConn, error) {
 		p.redialed = false
 		p.c.reconnects.Add(1)
 	}
-	pc := &peerConn{conn: conn, pending: make(map[uint64]chan bool)}
+	pc := &peerConn{
+		conn:         conn,
+		pending:      make(map[uint64]chan bool),
+		pendingBatch: make(map[uint64]*batchWaiter),
+	}
 	p.pc = pc
 	p.c.wg.Add(1)
 	go p.readAcks(pc)
@@ -428,25 +569,221 @@ func (p *peer) closeConn() {
 	}
 }
 
-// readAcks drains one connection's ack stream, resolving pending deliveries,
-// until the connection dies — then retires it so in-flight deliveries fail
-// and the next one reconnects.
+// defaultBatchBytes caps one staged frame's body: large enough that a full
+// wave of typical protocol messages (votes, certificates of O(log² n) bits)
+// coalesces into one or two writes, small enough that a frame never
+// approaches MaxFrame and the server's decode stays cache-friendly.
+const defaultBatchBytes = 32 << 10
+
+// NewBatch implements runtime.BatchConduit: deliveries staged through the
+// returned batch coalesce per peer into v2 multi-message frames — one write
+// and one batched bitmap ack per frame instead of a synchronous round trip
+// per message — with a window of in-flight frames per peer that Flush
+// settles at the round barrier. The batch is owned by one goroutine (the
+// coordinator); the conduit's Deliver stays independently usable between
+// flushes.
+func (c *SocketConduit) NewBatch() runtime.Batch {
+	return &socketBatch{c: c, stages: make(map[*peer]*peerStage)}
+}
+
+// socketBatch is one coordinator-owned delivery wave in flight: per-peer
+// staging buffers of encoded message bodies, sealed into batch frames when
+// they reach the size threshold (the window) or at Flush (the barrier).
+type socketBatch struct {
+	c        *SocketConduit
+	stages   map[*peer]*peerStage
+	active   []*peerStage   // stages holding bodies, in first-Add order
+	inflight []*batchWaiter // dispatched frames, in dispatch order
+	freeW    []*batchWaiter // settled waiters, recycled across flushes
+	results  []bool
+	frame    []byte // frame assembly scratch, reused per dispatch
+	n        int    // deliveries Added since the last Flush
+}
+
+// peerStage accumulates one peer's staged messages: their encoded bodies
+// back to back, and each one's index in the wave's result slice.
+type peerStage struct {
+	p    *peer
+	buf  []byte
+	idxs []int32
+}
+
+// Add implements runtime.Batch: encode the message into its peer's staging
+// buffer — sealing and dispatching a frame when the buffer reaches the
+// threshold, so a large wave pipelines as a window of in-flight frames
+// rather than one giant write at the barrier. Nothing waits here.
+func (b *socketBatch) Add(dst *runtime.Node, m runtime.Message) {
+	idx := int32(b.n)
+	b.n++
+	id := dst.ID()
+	b.c.register(dst)
+	p := b.c.peerFor(id)
+	st := b.stages[p]
+	if st == nil {
+		st = &peerStage{p: p}
+		b.stages[p] = st
+	}
+	if len(st.idxs) == 0 {
+		b.active = append(b.active, st)
+	}
+	start := len(st.buf)
+	buf, err := appendMessageBody(st.buf, id, m, b.c.epoch)
+	if err != nil {
+		st.buf = st.buf[:start]
+		// Same contract as deliver: an unencodable payload is a programming
+		// error, not a transport condition.
+		panic(fmt.Sprintf("netconduit: %v", err))
+	}
+	st.buf = buf
+	st.idxs = append(st.idxs, idx)
+	limit := b.c.batchBytes
+	if limit <= 0 {
+		limit = defaultBatchBytes
+	}
+	if len(st.buf) >= limit {
+		b.dispatch(st)
+	}
+}
+
+// Flush implements runtime.Batch: seal every remaining stage, then settle
+// the whole window — blocking until each in-flight frame's bitmap ack (or
+// connection death) arrives — and report per-delivery results in Add order.
+func (b *socketBatch) Flush() []bool {
+	for _, st := range b.active {
+		if len(st.idxs) > 0 {
+			b.dispatch(st)
+		}
+	}
+	b.active = b.active[:0]
+	if cap(b.results) < b.n {
+		b.results = make([]bool, b.n)
+	}
+	results := b.results[:b.n]
+	for i := range results {
+		results[i] = false
+	}
+	for _, w := range b.inflight {
+		<-w.done
+		if w.ok {
+			for j, gi := range w.idxs {
+				if j/8 < len(w.bits) && bitmapGet(w.bits, j) {
+					results[gi] = true
+				}
+			}
+		}
+		b.freeW = append(b.freeW, w)
+	}
+	b.inflight = b.inflight[:0]
+	b.results = results
+	b.n = 0
+	return results
+}
+
+// getWaiter recycles a settled waiter or makes a fresh one.
+func (b *socketBatch) getWaiter() *batchWaiter {
+	if k := len(b.freeW); k > 0 {
+		w := b.freeW[k-1]
+		b.freeW = b.freeW[:k-1]
+		w.ok = false
+		w.idxs = w.idxs[:0]
+		return w
+	}
+	return &batchWaiter{done: make(chan struct{}, 1)}
+}
+
+// fail settles a waiter locally: the frame never made it out.
+func (b *socketBatch) fail(w *batchWaiter) {
+	w.ok = false
+	w.done <- struct{}{}
+}
+
+// dispatch seals one stage into a batch frame and writes it, leaving its
+// waiter in flight for Flush to settle. The dial gets the same bounded
+// backoff as a single delivery, but a frame is never re-written after a
+// write error: in-flight frames on the dying connection could still be
+// processed, and a rewrite on a fresh connection would overtake them and
+// break per-destination FIFO order — so the frame's deliveries fail as
+// transport losses instead (at-most-once, the scheduler's loss semantics).
+func (b *socketBatch) dispatch(st *peerStage) {
+	w := b.getWaiter()
+	w.idxs = append(w.idxs, st.idxs...)
+	b.inflight = append(b.inflight, w)
+	count := len(st.idxs)
+	p := st.p
+	seq := p.seq.Add(1)
+	frame, err := appendBatchFrame(b.frame[:0], seq, count, st.buf)
+	b.frame = frame[:0]
+	st.buf = st.buf[:0]
+	st.idxs = st.idxs[:0]
+	if err != nil {
+		// Oversized frame: unreachable below the staging threshold, but fail
+		// as losses rather than wedge the round.
+		b.fail(w)
+		return
+	}
+	backoff := initialBackoff
+	for attempt := 0; attempt < maxAttempts; attempt++ {
+		select {
+		case <-b.c.closed:
+			b.fail(w)
+			return
+		default:
+		}
+		pc, err := p.ensureConn()
+		if err != nil {
+			select {
+			case <-b.c.closed:
+				b.fail(w)
+				return
+			case <-time.After(backoff):
+			}
+			if backoff *= 2; backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+			continue
+		}
+		if !pc.registerBatch(seq, w) {
+			continue // died under us; the next attempt re-dials
+		}
+		if err := pc.write(frame); err != nil {
+			pc.unregisterBatch(seq)
+			p.kill(pc)
+			b.fail(w)
+			return
+		}
+		return // in flight; Flush settles it
+	}
+	b.fail(w)
+}
+
+// readAcks drains one connection's ack stream — single acks and batch
+// bitmaps — resolving pending deliveries, until the connection dies — then
+// retires it so in-flight deliveries fail and the next one reconnects.
 func (p *peer) readAcks(pc *peerConn) {
 	defer p.c.wg.Done()
 	var buf []byte
+loop:
 	for {
 		body, err := readFrame(pc.conn, &buf)
 		if err != nil {
 			break
 		}
-		if body[0] != frameAck {
-			break
+		switch body[0] {
+		case frameAck:
+			seq, ok, err := decodeAck(body[1:])
+			if err != nil {
+				break loop
+			}
+			pc.resolve(seq, ok)
+		case frameBatchAck:
+			seq, bits, _, err := decodeBatchAck(body[1:])
+			if err != nil {
+				break loop
+			}
+			pc.resolveBatch(seq, bits)
+		default:
+			break loop
 		}
-		seq, ok, err := decodeAck(body[1:])
-		if err != nil {
-			break
-		}
-		pc.resolve(seq, ok)
 	}
 	p.kill(pc)
 }

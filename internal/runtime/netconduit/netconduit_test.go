@@ -168,6 +168,10 @@ func TestGarbageFramesRejected(t *testing.T) {
 				{0, 0, 0, 3, 9, 9, 9},          // unknown frame type 9
 				{0, 0, 0, 2, frameMessage, 99}, // message frame, codec version 99
 				{0, 0, 0, 10, frameMessage, 2}, // body truncated by half-close
+				{0, 0, 0, 2, frameBatch, 99},   // batch frame, batch version 99
+				{0, 0, 0, 4, frameBatch, batchVersion, 1, 0}, // batch of zero messages
+				{0, 0, 0, 5, frameBatch, batchVersion, 1, 9, 0}, // count 9 overruns the frame
+				{0, 0, 0, 6, frameBatch, batchVersion, 1, 1, 3, 0}, // message body truncated mid-header
 			}
 			for i, frame := range cases {
 				conn, err := net.Dial(addr.Network(), addr.String())
@@ -256,6 +260,290 @@ func TestRouteAcrossConduits(t *testing.T) {
 	}
 	if got := b.rejects.Load(); got != 0 {
 		t.Fatalf("remote listener rejected %d frames", got)
+	}
+}
+
+// TestBatchDeliver pins the batched seam directly: a wave of Adds across
+// several nodes flushes to all-true results in Add order, both with the
+// default threshold (one coalesced frame) and with batchBytes shrunk so
+// every Add seals its own frame — a multi-frame in-flight window.
+func TestBatchDeliver(t *testing.T) {
+	for _, network := range networks {
+		t.Run(network, func(t *testing.T) {
+			for _, window := range []int{0, 1} {
+				rt, p := testRuntime(t, 32, 7)
+				c := listen(t, network)
+				c.batchBytes = window
+				b := c.NewBatch()
+				const waves, per = 2, 12
+				for w := 0; w < waves; w++ {
+					for i := 0; i < per; i++ {
+						b.Add(rt.Node(i), voteMsg(p))
+					}
+					oks := b.Flush()
+					if len(oks) != per {
+						t.Fatalf("window=%d: flush returned %d results, want %d", window, len(oks), per)
+					}
+					for i, ok := range oks {
+						if !ok {
+							t.Fatalf("window=%d wave %d: delivery %d reported lost", window, w, i)
+						}
+					}
+				}
+				if got := c.rejects.Load(); got != 0 {
+					t.Fatalf("window=%d: well-formed batches counted as rejects: %d", window, got)
+				}
+				c.Close()
+				rt.Shutdown()
+			}
+		})
+	}
+}
+
+// TestDeliverSteadyStateAllocs is the alloc budget for the hot path: after
+// warm-up (peer dialed, pools primed, node registered), a Deliver of a
+// nil-payload message — encode, write, server decode, mailbox hand-off, ack
+// — allocates nothing on either side. Payload-free messages isolate the
+// transport: decoding a payload necessarily allocates its value.
+func TestDeliverSteadyStateAllocs(t *testing.T) {
+	for _, network := range networks {
+		t.Run(network, func(t *testing.T) {
+			rt, _ := testRuntime(t, 256, 8)
+			defer rt.Shutdown()
+			c := listen(t, network)
+			defer c.Close()
+			// Node 3 < 256 keeps the sync.Map key boxing on the runtime's
+			// small-integer cache, off the allocator.
+			m := runtime.Message{Kind: runtime.MsgVote, Round: 0, From: 1}
+			for i := 0; i < 8; i++ {
+				if !c.Deliver(rt.Node(3), m) {
+					t.Fatal("warm-up delivery failed")
+				}
+			}
+			avg := testing.AllocsPerRun(64, func() {
+				if !c.Deliver(rt.Node(3), m) {
+					t.Fatal("steady-state delivery failed")
+				}
+			})
+			if avg != 0 {
+				t.Fatalf("steady-state Deliver allocates %.1f objects/op, want 0", avg)
+			}
+		})
+	}
+}
+
+// v1OnlyListener emulates a PR 9 peer that predates the v2 batch frame: it
+// serves single message frames correctly and treats any other frame type —
+// including frameBatch — as connection-fatal garbage, exactly what the old
+// serve loop did.
+func v1OnlyListener(t *testing.T) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				var buf, out []byte
+				var cache paramsCache
+				epoch := time.Now()
+				for {
+					body, err := readFrame(conn, &buf)
+					if err != nil || body[0] != frameMessage {
+						return
+					}
+					seq, _, _, err := decodeMessage(body[1:], epoch, &cache)
+					if err != nil {
+						return
+					}
+					out = appendAckFrame(out[:0], seq, true)
+					if _, err := conn.Write(out); err != nil {
+						return
+					}
+				}
+			}(conn)
+		}
+	}()
+	return ln
+}
+
+// TestMixedVersionPeerFailsClosed pins the cross-version contract: a v2
+// sender flushing a batch at a v1-only reader fails closed — the reader
+// drops the connection, every delivery in the window is reported lost, and
+// the conduit stays live (v1 single-message frames still get through, and
+// the next batch to a v2 peer works untouched).
+func TestMixedVersionPeerFailsClosed(t *testing.T) {
+	rt, p := testRuntime(t, 32, 9)
+	defer rt.Shutdown()
+	old := v1OnlyListener(t)
+	defer old.Close()
+	c := listen(t, "tcp")
+	defer c.Close()
+	c.Route(7, "tcp", old.Addr().String())
+
+	// The v1 rung still interoperates: a single Deliver speaks frame v1.
+	if !c.Deliver(rt.Node(7), voteMsg(p)) {
+		t.Fatal("v1 single-message delivery to the old peer failed")
+	}
+	// A batch at the old peer must fail whole — no partial acks, no hang.
+	b := c.NewBatch()
+	const k = 5
+	for i := 0; i < k; i++ {
+		b.Add(rt.Node(7), voteMsg(p))
+	}
+	oks := b.Flush()
+	if len(oks) != k {
+		t.Fatalf("flush returned %d results, want %d", len(oks), k)
+	}
+	for i, ok := range oks {
+		if ok {
+			t.Fatalf("delivery %d to a v1-only reader reported success", i)
+		}
+	}
+	// The conduit is still live on both rungs: batches to a v2 peer work,
+	// and the old peer is reachable again over v1 after a re-dial.
+	for i := 0; i < 3; i++ {
+		b.Add(rt.Node(i), voteMsg(p))
+	}
+	for i, ok := range b.Flush() {
+		if !ok {
+			t.Fatalf("loopback batch delivery %d failed after the v1 rejection", i)
+		}
+	}
+	if !c.Deliver(rt.Node(7), voteMsg(p)) {
+		t.Fatal("v1 delivery after the batch rejection failed to re-dial")
+	}
+}
+
+// batchAckingListener acks complete batch frames until ackFrames have been
+// answered, then kills the connection on the next frame — the window-death
+// fixture.
+func batchAckingListener(t *testing.T, ackFrames int) net.Listener {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		for {
+			conn, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			go func(conn net.Conn) {
+				defer conn.Close()
+				var buf, out []byte
+				acked := 0
+				for {
+					body, err := readFrame(conn, &buf)
+					if err != nil || body[0] != frameBatch {
+						return
+					}
+					if acked >= ackFrames {
+						return // kill the conn with this frame unacked
+					}
+					r := &reader{b: body[1:]}
+					seq, count, err := readBatchHeader(r)
+					if err != nil {
+						return
+					}
+					bits := make([]byte, (count+7)/8)
+					for i := 0; i < count; i++ {
+						bitmapSet(bits, i)
+					}
+					out = appendBatchAckFrame(out[:0], seq, bits, count)
+					if _, err := conn.Write(out); err != nil {
+						return
+					}
+					acked++
+				}
+			}(conn)
+		}
+	}()
+	return ln
+}
+
+// TestBatchWindowConnDeath pins the window's failure isolation: with two
+// frames in flight on one connection, a peer that acks the first and dies
+// before the second fails exactly the second frame's deliveries — the acked
+// frame's results survive, and the conduit re-dials for the next wave.
+func TestBatchWindowConnDeath(t *testing.T) {
+	rt, p := testRuntime(t, 32, 10)
+	defer rt.Shutdown()
+	ln := batchAckingListener(t, 1)
+	defer ln.Close()
+	c := listen(t, "tcp")
+	defer c.Close()
+	c.batchBytes = 1 // every Add seals its own frame
+	c.Route(4, "tcp", ln.Addr().String())
+	c.Route(5, "tcp", ln.Addr().String())
+
+	b := c.NewBatch()
+	b.Add(rt.Node(4), voteMsg(p)) // frame 1: acked
+	b.Add(rt.Node(5), voteMsg(p)) // frame 2: connection dies unacked
+	oks := b.Flush()
+	if len(oks) != 2 {
+		t.Fatalf("flush returned %d results, want 2", len(oks))
+	}
+	if !oks[0] {
+		t.Fatal("acked frame's delivery reported lost")
+	}
+	if oks[1] {
+		t.Fatal("unacked frame's delivery reported success after conn death")
+	}
+	// The next wave re-dials the stub (which acks one fresh frame per conn).
+	b.Add(rt.Node(4), voteMsg(p))
+	if oks := b.Flush(); !oks[0] {
+		t.Fatal("batch after window death failed to re-dial")
+	}
+	if got := c.reconnects.Load(); got == 0 {
+		t.Fatal("window death never counted as a reconnect")
+	}
+}
+
+// TestConcurrentDeliverDuringBatch runs single Delivers and batch flushes
+// against one conduit at once under the race detector: the two pending
+// tables share a connection and its ack stream, and every completion must
+// find its own waiter.
+func TestConcurrentDeliverDuringBatch(t *testing.T) {
+	for _, network := range networks {
+		t.Run(network, func(t *testing.T) {
+			rt, p := testRuntime(t, 64, 11)
+			defer rt.Shutdown()
+			c := listen(t, network)
+			defer c.Close()
+			const workers, each = 4, 4
+			var wg sync.WaitGroup
+			for w := 0; w < workers; w++ {
+				wg.Add(1)
+				go func(w int) {
+					defer wg.Done()
+					for i := 0; i < each; i++ {
+						if !c.Deliver(rt.Node(32+w*each+i), voteMsg(p)) {
+							t.Errorf("concurrent single delivery %d/%d failed", w, i)
+						}
+					}
+				}(w)
+			}
+			b := c.NewBatch()
+			for wave := 0; wave < 2; wave++ {
+				for i := 0; i < 8; i++ {
+					b.Add(rt.Node(wave*8+i), voteMsg(p))
+				}
+				for i, ok := range b.Flush() {
+					if !ok {
+						t.Errorf("batch wave %d delivery %d failed", wave, i)
+					}
+				}
+			}
+			wg.Wait()
+		})
 	}
 }
 

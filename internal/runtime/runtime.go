@@ -15,13 +15,30 @@
 // at the round boundary, fan RoundStart out to every active node and collect
 // their actions (the nodes run Act concurrently, like the engine's parallel
 // Act phase), validate against the topology in node order, then deliver
-// pushes and resolve pulls in ascending node-ID order, each delivery a
-// synchronous round-trip through the conduit. Message loss (Config.Drop) is
-// drawn from the same seed-derived stream in the same order as the
-// simulator. Agents never emit trace events, so with the loss-free
+// pushes and resolve pulls in ascending node-ID order. Message loss
+// (Config.Drop) is drawn from the same seed-derived stream in the same order
+// as the simulator. Agents never emit trace events, so with the loss-free
 // ChannelConduit the runtime's transcript is byte-identical to the
 // simulator's for the same seed — every golden fixture and experiment
 // finding carries over. See the equivalence suite in this package's tests.
+//
+// # Pipelined delivery
+//
+// The protocol's correctness barrier is per round, so the coordinator does
+// not need a synchronous transport round trip per message — only per-
+// destination delivery order and coordinator-ordered observables. When the
+// conduit implements BatchConduit, each phase of a round is dispatched as
+// one pipelined wave: loss decisions are drawn from the Drop stream in
+// simulator order before dispatch, the whole delivery set is handed to the
+// transport without waiting per message, and results, trace events, and
+// accounting are settled at the barrier in the simulator's order — so the
+// transcript stays byte-identical while the transport coalesces frames and
+// overlaps acknowledgements. Pull rounds pipeline only when Drop == 0: the
+// simulator interleaves a pull's conditional reply-loss draw with the next
+// pull's query draw, so a lossy pull phase keeps the serial per-message path
+// to preserve the stream's exact order. Conduits without the batch seam
+// (FaultConduit, external test transports) are always driven serially,
+// exactly as before.
 //
 // On top of that parity the runtime measures what the simulator cannot:
 // wall-clock convergence and per-message delivery latency, reported as a
@@ -105,9 +122,42 @@ type Runtime struct {
 	pushes  []int32
 	pulls   []int32
 
+	// Pipelined-delivery scratch, reused every round. batch is non-nil iff
+	// the conduit implements BatchConduit; evq/evhead are the per-destination
+	// FIFO queues that match wave completions back to their dispatches.
+	batch  Batch
+	pfates []pushFate
+	precs  []pullRec
+	oks    []bool
+	evq    [][]gossip.Payload
+	evhead []int
+
 	lat       stats.QuantileSketch
 	delivered int64
 	kinds     [msgKinds]int64
+}
+
+// pushFate is one push's pre-drawn, pre-dispatch disposition in a pipelined
+// wave: the loss stream and silence mask are consulted in simulator order
+// before anything is handed to the transport.
+type pushFate uint8
+
+const (
+	pushSelf   pushFate = iota // local, free, rides the batch for FIFO order
+	pushLost                   // killed by the Drop stream before dispatch
+	pushSilent                 // target quiescent: cost paid, nothing sent
+	pushSent                   // dispatched; transport decides the rest
+)
+
+// pullRec is one pull's bookkeeping across the query and reply waves of a
+// pipelined pull phase. The final disposition (note, accounting) is settled
+// at the barrier so trace bytes come out in exactly the serial order.
+type pullRec struct {
+	fate      pushFate // pushSelf / pushSilent ("no-reply") / pushSent (query dispatched)
+	note      string   // final trace note; "" means a successful pull
+	isReply   bool     // a real reply was dispatched in wave 2
+	w2        int32    // index into the wave-2 results, -1 if none
+	replyBits int32    // accounted size of the dispatched reply
 }
 
 // New validates cfg, builds the node set, and starts one goroutine per
@@ -169,6 +219,11 @@ func New(cfg Config, agents []gossip.Agent) *Runtime {
 		actions:  make([]gossip.Action, n),
 	}
 	rt.dyn, _ = cfg.Topology.(topo.Dynamic)
+	if bc, ok := conduit.(BatchConduit); ok {
+		rt.batch = bc.NewBatch()
+		rt.evq = make([][]gossip.Payload, n)
+		rt.evhead = make([]int, n)
+	}
 	for i, a := range agents {
 		if a == nil {
 			continue
@@ -319,11 +374,26 @@ func (rt *Runtime) step() {
 		}
 	}
 
-	for _, u := range rt.pushes {
-		rt.deliverPush(round, int(u), rt.actions[u])
+	// Delivery: pipelined waves when the conduit can batch, the serial
+	// per-message path otherwise. A lossy pull phase always runs serially —
+	// the simulator interleaves each pull's conditional reply-loss draw with
+	// the next pull's query draw, so its stream order cannot be pre-drawn.
+	// (Push losses are one unconditional draw per non-self push in sender
+	// order, and all push draws precede all pull draws, so the push wave may
+	// pipeline even under loss.)
+	if rt.batch != nil {
+		rt.deliverPushesBatched(round)
+	} else {
+		for _, u := range rt.pushes {
+			rt.deliverPush(round, int(u), rt.actions[u])
+		}
 	}
-	for _, u := range rt.pulls {
-		rt.resolvePull(round, int(u), rt.actions[u])
+	if rt.batch != nil && rt.drop == 0 {
+		rt.resolvePullsBatched(round)
+	} else {
+		for _, u := range rt.pulls {
+			rt.resolvePull(round, int(u), rt.actions[u])
+		}
 	}
 
 	rt.tally.AddRound()
@@ -448,4 +518,251 @@ func (rt *Runtime) failPull(round, u, to int, note string) {
 	rt.tally.AddPull(false)
 	rt.emit(trace.Event{Round: round, Kind: trace.KindPull, From: u, To: to, Note: note})
 	rt.roundTrip(u, Message{Kind: MsgReply, Round: round, From: to})
+}
+
+// collectEvents drains n completion events, folding timed delivery latencies
+// into the run's sketch. Used at a wave barrier, after Flush has reported how
+// many deliveries reached a mailbox.
+func (rt *Runtime) collectEvents(n int) {
+	for ; n > 0; n-- {
+		ev := <-rt.events
+		if ev.timed {
+			rt.lat.Add(int64(ev.latency))
+		}
+	}
+}
+
+// collectReplies is collectEvents for the query wave: each event additionally
+// carries the target's HandlePull result, queued per target in processing
+// order. Because a node's events arrive in its mailbox order, and the batch
+// preserves per-destination Add order, popping evq[target] during the
+// puller-ordered resolution pass matches each reply to its query.
+func (rt *Runtime) collectReplies(n int) {
+	for ; n > 0; n-- {
+		ev := <-rt.events
+		if ev.timed {
+			rt.lat.Add(int64(ev.latency))
+		}
+		rt.evq[ev.id] = append(rt.evq[ev.id], ev.reply)
+	}
+}
+
+// popReply consumes the next queued HandlePull result from node id. An
+// out-of-range panic here means a delivered query produced no event — a
+// broken conduit or node, worth failing loudly over.
+func (rt *Runtime) popReply(id int) gossip.Payload {
+	h := rt.evhead[id]
+	rt.evhead[id]++
+	return rt.evq[id][h]
+}
+
+// deliverPushesBatched delivers the round's push set as one pipelined wave:
+// fates are pre-drawn in sender order (keeping the Drop stream aligned with
+// the simulator), every surviving push is dispatched without a per-message
+// wait, and accounting plus trace events are settled at the barrier in sender
+// order — byte-identical to the serial path's transcript. Self-pushes ride
+// the batch too (untimed, untallied): a direct mailbox send could overtake
+// the wave's in-flight deliveries to the same node and reorder HandlePush.
+func (rt *Runtime) deliverPushesBatched(round int) {
+	if len(rt.pushes) == 0 {
+		return
+	}
+	rt.pfates = rt.pfates[:0]
+	now := time.Now()
+	for _, u32 := range rt.pushes {
+		u := int(u32)
+		a := rt.actions[u]
+		switch {
+		case u == a.To:
+			rt.batch.Add(rt.nodes[u], Message{Kind: classifyPush(a.Payload), Round: round, From: u, Payload: a.Payload})
+			rt.pfates = append(rt.pfates, pushSelf)
+		case rt.lost():
+			rt.pfates = append(rt.pfates, pushLost)
+		case rt.silent(round, a.To):
+			rt.pfates = append(rt.pfates, pushSilent)
+		default:
+			rt.batch.Add(rt.nodes[a.To], Message{Kind: classifyPush(a.Payload), Round: round, From: u, Payload: a.Payload, SentAt: now})
+			rt.pfates = append(rt.pfates, pushSent)
+		}
+	}
+	rt.oks = append(rt.oks[:0], rt.batch.Flush()...)
+	succ := 0
+	for _, ok := range rt.oks {
+		if ok {
+			succ++
+		}
+	}
+	rt.collectEvents(succ)
+
+	// Barrier settlement, in sender order — the simulator's order.
+	j := 0
+	for i, u32 := range rt.pushes {
+		u := int(u32)
+		a := rt.actions[u]
+		fate := rt.pfates[i]
+		if fate == pushSelf {
+			j++
+			continue
+		}
+		rt.tally.AddPush()
+		rt.tally.AddMessage(gossip.PayloadBits(a.Payload))
+		switch fate {
+		case pushLost:
+			rt.emit(trace.Event{Round: round, Kind: trace.KindPush, From: u, To: a.To, Note: "lost"})
+		case pushSilent:
+			rt.emit(trace.Event{Round: round, Kind: trace.KindPush, From: u, To: a.To})
+		case pushSent:
+			ok := rt.oks[j]
+			j++
+			if !ok {
+				rt.emit(trace.Event{Round: round, Kind: trace.KindPush, From: u, To: a.To, Note: "lost"})
+				continue
+			}
+			rt.delivered++
+			rt.kinds[classifyPush(a.Payload)]++
+			rt.emit(trace.Event{Round: round, Kind: trace.KindPush, From: u, To: a.To})
+		}
+	}
+}
+
+// resolvePullsBatched resolves the round's pull set in pipelined waves (only
+// when Drop == 0; see step). Wave 1 dispatches every query — self-pulls ride
+// the batch for mailbox-order safety, quiescent targets dispatch nothing —
+// and collects the targets' HandlePull results at the barrier. The resolution
+// pass then walks pullers in ascending order, matching replies per-target
+// FIFO, and assembles wave 2: real replies cross the conduit (timed), while
+// nil-reply notifications go straight to the puller's mailbox exactly as the
+// serial path's roundTrip does — they are not link crossings. Wave 2 has at
+// most one message per puller, so no ordering hazard remains. Accounting and
+// trace events are settled last, in puller order; a reply the transport loses
+// (rare: a dying connection) is re-notified serially there.
+func (rt *Runtime) resolvePullsBatched(round int) {
+	if len(rt.pulls) == 0 {
+		return
+	}
+	rt.precs = rt.precs[:0]
+	now := time.Now()
+	for _, u32 := range rt.pulls {
+		u := int(u32)
+		a := rt.actions[u]
+		switch {
+		case u == a.To:
+			rt.batch.Add(rt.nodes[u], Message{Kind: MsgQuery, Round: round, From: u, Payload: a.Payload})
+			rt.precs = append(rt.precs, pullRec{fate: pushSelf})
+		case rt.silent(round, a.To):
+			rt.precs = append(rt.precs, pullRec{fate: pushSilent, note: "no-reply"})
+		default:
+			rt.batch.Add(rt.nodes[a.To], Message{Kind: MsgQuery, Round: round, From: u, Payload: a.Payload, SentAt: now})
+			rt.precs = append(rt.precs, pullRec{fate: pushSent})
+		}
+	}
+	rt.oks = append(rt.oks[:0], rt.batch.Flush()...)
+	succ := 0
+	for _, ok := range rt.oks {
+		if ok {
+			succ++
+		}
+	}
+	rt.collectReplies(succ)
+
+	// Resolution pass, in puller order: match each delivered query to its
+	// target's queued HandlePull result and dispatch the reply wave.
+	now = time.Now()
+	w2 := int32(0)
+	notifies := 0
+	j := 0
+	for i := range rt.precs {
+		u := int(rt.pulls[i])
+		a := rt.actions[u]
+		rec := &rt.precs[i]
+		rec.w2 = -1
+		switch rec.fate {
+		case pushSelf:
+			if rt.oks[j] {
+				rt.popReply(u) // nil placeholder from the short-circuit event
+			}
+			j++
+		case pushSilent:
+			if rt.nodes[u].Send(Message{Kind: MsgReply, Round: round, From: a.To}) {
+				notifies++
+			}
+		case pushSent:
+			ok := rt.oks[j]
+			j++
+			if !ok {
+				rec.note = "query-lost"
+				if rt.nodes[u].Send(Message{Kind: MsgReply, Round: round, From: a.To}) {
+					notifies++
+				}
+				continue
+			}
+			reply := rt.popReply(a.To)
+			rt.delivered++
+			rt.kinds[MsgQuery]++
+			if reply == nil {
+				rec.note = "refused"
+				if rt.nodes[u].Send(Message{Kind: MsgReply, Round: round, From: a.To}) {
+					notifies++
+				}
+				continue
+			}
+			rec.isReply = true
+			rec.replyBits = int32(gossip.PayloadBits(reply))
+			rec.w2 = w2
+			w2++
+			rt.batch.Add(rt.nodes[u], Message{Kind: MsgReply, Round: round, From: a.To, Payload: reply, SentAt: now})
+		}
+	}
+	rt.oks = append(rt.oks[:0], rt.batch.Flush()...)
+	succ = notifies
+	for _, ok := range rt.oks {
+		if ok {
+			succ++
+		}
+	}
+	rt.collectEvents(succ)
+
+	// Barrier settlement, in puller order — the simulator's order.
+	for i := range rt.precs {
+		u := int(rt.pulls[i])
+		a := rt.actions[u]
+		rec := &rt.precs[i]
+		switch rec.fate {
+		case pushSelf:
+			// Local and free, exactly the serial path: no cost, no trace.
+		case pushSilent:
+			rt.tally.AddMessage(gossip.PayloadBits(a.Payload))
+			rt.tally.AddPull(false)
+			rt.emit(trace.Event{Round: round, Kind: trace.KindPull, From: u, To: a.To, Note: rec.note})
+		case pushSent:
+			rt.tally.AddMessage(gossip.PayloadBits(a.Payload))
+			if !rec.isReply {
+				rt.tally.AddPull(false)
+				rt.emit(trace.Event{Round: round, Kind: trace.KindPull, From: u, To: a.To, Note: rec.note})
+				continue
+			}
+			rt.tally.AddMessage(int(rec.replyBits))
+			if !rt.oks[rec.w2] {
+				// The transport lost the reply after the target served it:
+				// account the failure and re-notify the puller serially.
+				rt.failPull(round, u, a.To, "reply-lost")
+				continue
+			}
+			rt.delivered++
+			rt.kinds[MsgReply]++
+			rt.tally.AddPull(true)
+			rt.emit(trace.Event{Round: round, Kind: trace.KindPull, From: u, To: a.To})
+		}
+	}
+
+	// Reset the per-target reply queues touched this round.
+	for i := range rt.precs {
+		u := int(rt.pulls[i])
+		dest := u
+		if rt.precs[i].fate == pushSent {
+			dest = rt.actions[u].To
+		}
+		rt.evq[dest] = rt.evq[dest][:0]
+		rt.evhead[dest] = 0
+	}
 }
